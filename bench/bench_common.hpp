@@ -1,0 +1,76 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every bench accepts:
+//   --probes N   vantage points (default 2000; the paper saw ~8700)
+//   --seed S     simulation seed (default 42)
+//   --policy P   run with a single-policy population instead of the
+//                calibrated wild() mixture (ablation; P = bind_srtt, ...)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiment/analysis.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/report.hpp"
+#include "experiment/testbed.hpp"
+
+namespace recwild::benchutil {
+
+struct Options {
+  std::size_t probes = 2'000;
+  std::uint64_t seed = 42;
+  std::string policy;  // empty = wild mixture
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      auto arg = [&](const char* flag) -> const char* {
+        if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+          return argv[++i];
+        }
+        return nullptr;
+      };
+      if (const char* v = arg("--probes")) {
+        opt.probes = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      } else if (const char* v2 = arg("--seed")) {
+        opt.seed = std::strtoull(v2, nullptr, 10);
+      } else if (const char* v3 = arg("--policy")) {
+        opt.policy = v3;
+      }
+    }
+    return opt;
+  }
+};
+
+/// Builds the standard testbed for a Table-1 combination.
+inline experiment::Testbed make_testbed(const Options& opt,
+                                        const std::string& combo_id) {
+  experiment::TestbedConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.population.probes = opt.probes;
+  cfg.test_sites = experiment::combination(combo_id).sites;
+  if (!opt.policy.empty()) {
+    const auto kind = resolver::policy_from_string(opt.policy);
+    if (!kind) {
+      std::fprintf(stderr, "unknown --policy %s\n", opt.policy.c_str());
+      std::exit(2);
+    }
+    cfg.population.mixture = resolver::PolicyMixture::pure(*kind);
+    cfg.population.public_resolvers = 0;
+    cfg.population.public_resolver_fraction = 0.0;
+  }
+  return experiment::Testbed{cfg};
+}
+
+/// The paper's 1-hour 2-minute campaign.
+inline experiment::CampaignConfig paper_campaign() {
+  experiment::CampaignConfig cc;
+  cc.interval = net::Duration::minutes(2);
+  cc.queries_per_vp = 31;
+  return cc;
+}
+
+}  // namespace recwild::benchutil

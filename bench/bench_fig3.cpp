@@ -1,0 +1,52 @@
+// Figure 3: median RTT per authoritative location (top) and the share of
+// queries each authoritative receives per combination (bottom).
+//
+// Paper shape: lower-RTT authoritatives receive more queries; FRA (51 ms
+// median) always receives the most queries of its combination.
+#include "bench_common.hpp"
+
+using namespace recwild;
+using namespace recwild::experiment;
+
+int main(int argc, char** argv) {
+  const auto opt = benchutil::Options::parse(argc, argv);
+
+  stats::Sample rtt_by_loc[7];
+  const char* locations[] = {"FRA", "DUB", "IAD", "SFO", "GRU", "NRT",
+                             "SYD"};
+
+  report::header("Figure 3 (bottom): query share per combination");
+  std::printf("%-5s  %s\n", "combo", "per-authoritative share (hot cache)");
+  for (const auto& combo : table1_combinations()) {
+    auto tb = benchutil::make_testbed(opt, combo.id);
+    const auto result = run_campaign(tb, benchutil::paper_campaign());
+    const auto shares = analyze_shares(result);
+    std::printf("%-5s ", combo.id.c_str());
+    for (std::size_t s = 0; s < shares.codes.size(); ++s) {
+      std::printf(" %s=%5.1f%%", shares.codes[s].c_str(),
+                  shares.query_share[s] * 100);
+    }
+    std::printf("\n");
+    // Feed the RTT-by-location sample (top plot).
+    for (std::size_t s = 0; s < shares.codes.size(); ++s) {
+      for (std::size_t l = 0; l < 7; ++l) {
+        if (shares.codes[s] == locations[l]) {
+          rtt_by_loc[l].add(shares.median_rtt_ms[s]);
+        }
+      }
+    }
+  }
+
+  report::header("Figure 3 (top): median RTT per location");
+  std::printf("%-5s %12s   (median across combinations)\n", "loc",
+              "median RTT");
+  for (std::size_t l = 0; l < 7; ++l) {
+    if (rtt_by_loc[l].empty()) continue;
+    std::printf("%-5s %12s   %s\n", locations[l],
+                report::ms(rtt_by_loc[l].median()).c_str(),
+                report::bar(rtt_by_loc[l].median() / 400.0, 40).c_str());
+  }
+  std::printf("\n(paper: FRA ~51 ms and always the biggest share; "
+              "SYD/GRU/NRT 200-350 ms)\n");
+  return 0;
+}

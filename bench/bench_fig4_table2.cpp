@@ -1,0 +1,62 @@
+// Figure 4 + Table 2: per-recursive query distribution between two
+// authoritatives, by continent, for combinations 2A / 2B / 2C; the weak
+// (>=60%) and strong (>=90%) preference shares; and Table 2's per-continent
+// query share / median RTT rows.
+//
+// Paper shape: weak preference 61% (2A), 59% (2B), 69% (2C); strong 10%,
+// 12%, 37%. Distribution of queries inversely proportional to RTT: EU
+// prefers FRA over SYD (83%/17%), OC the opposite (22%/78%).
+//
+// Ablation: pass --policy bind_srtt (etc.) to see how a single-policy
+// population would look instead of the calibrated wild mixture.
+#include "bench_common.hpp"
+
+using namespace recwild;
+using namespace recwild::experiment;
+
+int main(int argc, char** argv) {
+  const auto opt = benchutil::Options::parse(argc, argv);
+  if (!opt.policy.empty()) {
+    std::printf("[ablation: pure policy population '%s']\n",
+                opt.policy.c_str());
+  }
+
+  for (const char* combo_id : {"2A", "2B", "2C"}) {
+    auto tb = benchutil::make_testbed(opt, combo_id);
+    const auto result = run_campaign(tb, benchutil::paper_campaign());
+    const auto prefs = analyze_preferences(result);
+
+    report::header(std::string{"Figure 4 / Table 2, combination "} +
+                   combo_id);
+    std::printf("VPs with hot-cache coverage: %zu\n", prefs.vps.size());
+    std::printf("weak preference (>=60%% to one NS):   %s   (paper: "
+                "2A 61%%, 2B 59%%, 2C 69%%)\n",
+                report::pct(prefs.weak_fraction).c_str());
+    std::printf("strong preference (>=90%% to one NS): %s   (paper: "
+                "2A 10%%, 2B 12%%, 2C 37%%)\n",
+                report::pct(prefs.strong_fraction).c_str());
+    std::printf("RTT-following among VPs with >=50 ms RTT gap: %s "
+                "(n=%zu; paper: ~half of recursives are latency-driven)\n",
+                report::pct(prefs.rtt_following_fraction).c_str(),
+                prefs.rtt_eligible_vps);
+
+    std::printf("\nTable 2 rows — %% of queries and median RTT (ms):\n");
+    std::printf("%-4s %6s", "cont", "VPs");
+    for (const auto& code : result.service_codes) {
+      std::printf(" | %7s %%  RTT", code.c_str());
+    }
+    std::printf("\n");
+    for (const auto& cp : prefs.continents) {
+      if (cp.vp_count == 0) continue;
+      std::printf("%-4s %6zu",
+                  std::string{net::continent_code(cp.continent)}.c_str(),
+                  cp.vp_count);
+      for (std::size_t s = 0; s < result.service_codes.size(); ++s) {
+        std::printf(" | %8.0f%% %4.0f", cp.query_share[s] * 100,
+                    cp.median_rtt_ms[s]);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// §3.1 IPv6 verification: "we verify that our results apply to IPv6 by
+// repeating a subset of our measurements there ... recursives follow the
+// same strategy when querying via IPv6." (The paper omits the graph for
+// space; this bench regenerates the comparison.)
+//
+// Runs the combination-2C campaign twice on a dual-stack testbed: once
+// with a v4-only recursive population, once with every ISP recursive
+// dual-stack (choosing among the NSes' v4 AND v6 addresses). The
+// preference statistics must agree.
+#include "bench_common.hpp"
+
+using namespace recwild;
+using namespace recwild::experiment;
+
+namespace {
+
+PreferenceStats run(const benchutil::Options& opt, double ipv6_fraction) {
+  TestbedConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.population.probes = opt.probes;
+  cfg.population.ipv6_fraction = ipv6_fraction;
+  cfg.test_sites = combination("2C").sites;
+  cfg.dual_stack = true;
+  Testbed tb{cfg};
+  return analyze_preferences(run_campaign(tb, benchutil::paper_campaign()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = benchutil::Options::parse(argc, argv);
+  if (opt.probes == 2'000) opt.probes = 1'200;
+
+  report::header("IPv6 verification (paper §3.1), combination 2C");
+  std::printf("%-22s %10s %10s %14s\n", "population", "weak>=60%",
+              "strong>=90%", "RTT-following");
+  for (const double frac : {0.0, 1.0}) {
+    const auto prefs = run(opt, frac);
+    std::printf("%-22s %10s %10s %14s\n",
+                frac == 0.0 ? "IPv4-only recursives"
+                            : "dual-stack recursives",
+                report::pct(prefs.weak_fraction).c_str(),
+                report::pct(prefs.strong_fraction).c_str(),
+                report::pct(prefs.rtt_following_fraction).c_str());
+  }
+  std::printf("\n(shape check: rows agree — recursives follow the same "
+              "selection strategy over IPv6)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Anycast planner: the paper's §7 engineering question as a tool.
+//
+// Given a TLD-style deployment (a list of services, each unicast or
+// anycast), simulate a worldwide production hour and report the latency
+// clients on each continent actually experience — then compare candidate
+// deployments. Demonstrates the primary recommendation: worst-case latency
+// is limited by the least-anycast authoritative.
+//
+//   ./build/examples/anycast_planner [recursives]
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiment/production.hpp"
+#include "experiment/report.hpp"
+#include "experiment/testbed.hpp"
+
+using namespace recwild;
+using namespace recwild::experiment;
+
+namespace {
+
+DeploymentLatency evaluate(const char* title, bool all_anycast,
+                           std::size_t recursives) {
+  TestbedConfig cfg;
+  cfg.seed = 9;
+  cfg.build_population = false;
+  cfg.all_anycast_nl = all_anycast;
+  Testbed tb{cfg};
+
+  std::printf("\n== %s ==\n", title);
+  for (const auto& svc : tb.nl_services()) {
+    std::printf("  %-14s %zu site(s)%s\n", svc.name().c_str(),
+                svc.site_count(), svc.is_anycast() ? " [anycast]" : "");
+  }
+
+  ProductionConfig pc;
+  pc.target = ProductionTarget::Nl;
+  pc.recursives = recursives;
+  const auto result = run_production(tb, pc);
+  const auto latency = analyze_nl_latency(tb, result);
+
+  std::printf("  %-4s %10s %10s %10s\n", "cont", "median", "p90", "worst");
+  for (const auto& row : latency.continents) {
+    std::printf("  %-4s %10s %10s %10s\n",
+                std::string{net::continent_code(row.continent)}.c_str(),
+                report::ms(row.median_ms, 0).c_str(),
+                report::ms(row.p90_ms, 0).c_str(),
+                report::ms(row.worst_ms, 0).c_str());
+  }
+  std::printf("  ALL  %10s %10s %10s\n",
+              report::ms(latency.overall_median_ms, 0).c_str(),
+              report::ms(latency.overall_p90_ms, 0).c_str(),
+              report::ms(latency.overall_worst_ms, 0).c_str());
+  return latency;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t recursives =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 250;
+  report::header("Anycast deployment planning for a .nl-like TLD");
+
+  const auto mixed =
+      evaluate("candidate A: 5x unicast (AMS) + 3x anycast", false,
+               recursives);
+  const auto anycast =
+      evaluate("candidate B: all 8 services anycast", true, recursives);
+
+  std::printf("\nverdict: all-anycast cuts global p90 latency %.0f -> %.0f "
+              "ms and worst-case %.0f -> %.0f ms.\n",
+              mixed.overall_p90_ms, anycast.overall_p90_ms,
+              mixed.overall_worst_ms, anycast.overall_worst_ms);
+  std::printf("Recursives keep sending queries to EVERY authoritative, so "
+              "a single unicast NS puts its round-trip into every "
+              "client's tail (paper §7).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Atlas campaign: the paper's full measurement pipeline on one Table-1
+// combination — deploy authoritatives, probe from an Atlas-like VP fleet
+// every 2 minutes for an hour, then analyze coverage, shares, and
+// per-recursive preference exactly as §4 does.
+//
+//   ./build/examples/atlas_campaign [combo] [probes]
+//   e.g. ./build/examples/atlas_campaign 2C 3000
+#include <cstdio>
+#include <cstdlib>
+
+#include "experiment/analysis.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/report.hpp"
+#include "experiment/testbed.hpp"
+
+using namespace recwild;
+using namespace recwild::experiment;
+
+int main(int argc, char** argv) {
+  const std::string combo_id = argc > 1 ? argv[1] : "2C";
+  const std::size_t probes =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000;
+
+  TestbedConfig cfg;
+  cfg.seed = 1;
+  cfg.population.probes = probes;
+  cfg.test_sites = combination(combo_id).sites;
+  Testbed testbed{cfg};
+
+  std::printf("combination %s:", combo_id.c_str());
+  for (const auto& svc : testbed.test_services()) {
+    std::printf(" %s", svc.name().c_str());
+  }
+  std::printf(" | %zu probes, %zu recursives\n", probes,
+              testbed.population().recursives().size());
+
+  CampaignConfig cc;
+  cc.interval = net::Duration::minutes(2);
+  cc.queries_per_vp = 31;
+  const auto result = run_campaign(testbed, cc);
+
+  const auto cov = analyze_coverage(result);
+  report::header("Coverage (paper §4.1)");
+  std::printf("VPs answering: %zu; probed all authoritatives: %s\n",
+              cov.vps_considered, report::pct(cov.covering_fraction).c_str());
+  if (cov.queries_to_cover) {
+    std::printf("queries after the first to see all: %s\n",
+                report::box(*cov.queries_to_cover, 0).c_str());
+  }
+
+  const auto shares = analyze_shares(result);
+  report::header("Aggregate shares (paper §4.2)");
+  for (std::size_t s = 0; s < shares.codes.size(); ++s) {
+    std::printf("%-4s %6.1f%%  median RTT %7.1f ms  %s\n",
+                shares.codes[s].c_str(), shares.query_share[s] * 100,
+                shares.median_rtt_ms[s],
+                report::bar(shares.query_share[s], 40).c_str());
+  }
+
+  const auto prefs = analyze_preferences(result);
+  report::header("Per-recursive preference (paper §4.3)");
+  std::printf("weak (>=60%%): %s   strong (>=90%%): %s\n",
+              report::pct(prefs.weak_fraction).c_str(),
+              report::pct(prefs.strong_fraction).c_str());
+  std::printf("RTT-following among VPs with a >=50 ms gap: %s (n=%zu)\n",
+              report::pct(prefs.rtt_following_fraction).c_str(),
+              prefs.rtt_eligible_vps);
+  std::printf("\n%-4s %6s  shares per authoritative\n", "cont", "VPs");
+  for (const auto& cp : prefs.continents) {
+    if (cp.vp_count == 0) continue;
+    std::printf("%-4s %6zu ",
+                std::string{net::continent_code(cp.continent)}.c_str(),
+                cp.vp_count);
+    for (std::size_t s = 0; s < result.service_codes.size(); ++s) {
+      std::printf(" %s=%4.0f%%(%3.0fms)", result.service_codes[s].c_str(),
+                  cp.query_share[s] * 100, cp.median_rtt_ms[s]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "anycast/service.hpp"
+
+#include <stdexcept>
+
+namespace recwild::anycast {
+
+AnycastService AnycastService::create(
+    net::Network& network, std::string name, net::IpAddress address,
+    const std::vector<std::string>& site_codes) {
+  AnycastService svc{network, std::move(name), address};
+  for (const auto& code : site_codes) {
+    const auto loc = net::find_location(code);
+    if (!loc) {
+      throw std::invalid_argument{"AnycastService: unknown location " + code};
+    }
+    Site site;
+    site.code = code;
+    site.location = loc->point;
+    site.node =
+        network.add_node(svc.name_ + "@" + code, loc->point);
+    authns::AuthServerConfig cfg;
+    cfg.identity = svc.name_ + "." + code;
+    site.server = std::make_unique<authns::AuthServer>(
+        network, site.node, net::Endpoint{address, net::kDnsPort}, cfg);
+    svc.sites_.push_back(std::move(site));
+  }
+  return svc;
+}
+
+void AnycastService::add_zone(const authns::Zone& zone) {
+  for (auto& site : sites_) site.server->add_zone(zone);
+}
+
+void AnycastService::listen_also(net::IpAddress address6) {
+  address6_ = address6;
+  for (auto& site : sites_) {
+    site.server->listen_also(net::Endpoint{address6, net::kDnsPort});
+  }
+}
+
+void AnycastService::start() {
+  for (auto& site : sites_) site.server->start();
+}
+
+void AnycastService::stop() {
+  for (auto& site : sites_) site.server->stop();
+}
+
+void AnycastService::set_site_down(std::size_t site_index, bool down) {
+  sites_.at(site_index).server->set_down(down);
+}
+
+void AnycastService::set_all_down(bool down) {
+  for (auto& site : sites_) site.server->set_down(down);
+}
+
+const Site* AnycastService::catchment(net::NodeId from) const {
+  const net::NodeId target = network_->route(from, address_);
+  for (const auto& site : sites_) {
+    if (site.node == target) return &site;
+  }
+  return nullptr;
+}
+
+std::uint64_t AnycastService::total_queries() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& site : sites_) n += site.server->queries_received();
+  return n;
+}
+
+}  // namespace recwild::anycast

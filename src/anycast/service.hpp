@@ -1,0 +1,88 @@
+// IP anycast services (paper §1-2, §7).
+//
+// An anycast service is one NS address announced from many sites; the
+// network routes each client to its catchment site (lowest stable RTT in
+// our model — see DESIGN.md). A unicast authoritative is the degenerate
+// single-site case, so DNS deployments mixing unicast and anycast NSes
+// (like .nl's 5 unicast + 3 anycast) are just lists of AnycastService with
+// different site counts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "authns/server.hpp"
+#include "net/network.hpp"
+
+namespace recwild::anycast {
+
+struct Site {
+  std::string code;  // catalog location code, e.g. "AMS"
+  net::GeoPoint location;
+  net::NodeId node = net::kInvalidNode;
+  std::unique_ptr<authns::AuthServer> server;
+};
+
+class AnycastService {
+ public:
+  /// Creates a service named `name` on `address`, with one site per
+  /// catalog code in `site_codes` (unknown codes throw). Servers are
+  /// created but zones must be added with add_zone() before start().
+  static AnycastService create(net::Network& network, std::string name,
+                               net::IpAddress address,
+                               const std::vector<std::string>& site_codes);
+
+  AnycastService(AnycastService&&) = default;
+  AnycastService& operator=(AnycastService&&) = default;
+
+  /// Adds (a copy of) the zone to every site server.
+  void add_zone(const authns::Zone& zone);
+
+  /// Gives the service a second (IPv6-plane) address: every site also
+  /// listens on it. Call before or after start().
+  void listen_also(net::IpAddress address6);
+  [[nodiscard]] std::optional<net::IpAddress> address6() const noexcept {
+    return address6_;
+  }
+
+  /// Starts (binds) all sites.
+  void start();
+  void stop();
+
+  /// Fails a single site (queries to its catchment then time out), or the
+  /// whole service.
+  void set_site_down(std::size_t site_index, bool down);
+  void set_all_down(bool down);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] net::IpAddress address() const noexcept { return address_; }
+  [[nodiscard]] std::size_t site_count() const noexcept {
+    return sites_.size();
+  }
+  [[nodiscard]] bool is_anycast() const noexcept { return sites_.size() > 1; }
+  [[nodiscard]] const std::vector<Site>& sites() const noexcept {
+    return sites_;
+  }
+  [[nodiscard]] std::vector<Site>& sites() noexcept { return sites_; }
+
+  /// The site a client node is routed to.
+  [[nodiscard]] const Site* catchment(net::NodeId from) const;
+
+  /// Total queries across all sites.
+  [[nodiscard]] std::uint64_t total_queries() const noexcept;
+
+ private:
+  AnycastService(net::Network& network, std::string name,
+                 net::IpAddress address)
+      : network_(&network), name_(std::move(name)), address_(address) {}
+
+  net::Network* network_;
+  std::string name_;
+  net::IpAddress address_;
+  std::optional<net::IpAddress> address6_;
+  std::vector<Site> sites_;
+};
+
+}  // namespace recwild::anycast

@@ -1,0 +1,28 @@
+#include "authns/query_log.hpp"
+
+#include <algorithm>
+
+namespace recwild::authns {
+
+void QueryLog::record(QueryLogEntry entry) {
+  ++total_;
+  ++per_client_[entry.client];
+  if (retain_entries_) entries_.push_back(std::move(entry));
+}
+
+std::vector<QueryLogEntry> QueryLog::between(net::SimTime from,
+                                             net::SimTime to) const {
+  std::vector<QueryLogEntry> out;
+  for (const auto& e : entries_) {
+    if (e.at >= from && e.at < to) out.push_back(e);
+  }
+  return out;
+}
+
+void QueryLog::clear() {
+  entries_.clear();
+  per_client_.clear();
+  total_ = 0;
+}
+
+}  // namespace recwild::authns

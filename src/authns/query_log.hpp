@@ -1,0 +1,59 @@
+// Server-side query log — the analogue of the packet captures the paper
+// takes at its NSD instances (and of DITL/ENTRADA traces). Every received
+// query is appended as a compact entry; the experiment harness aggregates
+// per-client counts and shares from these logs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dnscore/name.hpp"
+#include "dnscore/types.hpp"
+#include "net/address.hpp"
+#include "net/time.hpp"
+
+namespace recwild::authns {
+
+struct QueryLogEntry {
+  net::SimTime at;
+  net::IpAddress client;
+  dns::Name qname;
+  dns::RRType qtype = dns::RRType::A;
+  dns::Rcode rcode = dns::Rcode::NoError;
+};
+
+class QueryLog {
+ public:
+  void record(QueryLogEntry entry);
+
+  [[nodiscard]] const std::vector<QueryLogEntry>& entries() const noexcept {
+    return entries_;
+  }
+  /// Queries recorded — counted even when entry retention is disabled.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Queries per client address (the paper's per-recursive aggregation).
+  [[nodiscard]] const std::unordered_map<net::IpAddress, std::uint64_t>&
+  per_client() const noexcept {
+    return per_client_;
+  }
+
+  /// Entries within [from, to).
+  [[nodiscard]] std::vector<QueryLogEntry> between(net::SimTime from,
+                                                   net::SimTime to) const;
+
+  void clear();
+
+  /// Disables entry retention (counters stay active) for large production
+  /// runs where only aggregates matter.
+  void set_retain_entries(bool retain) noexcept { retain_entries_ = retain; }
+
+ private:
+  std::vector<QueryLogEntry> entries_;
+  std::unordered_map<net::IpAddress, std::uint64_t> per_client_;
+  std::uint64_t total_ = 0;
+  bool retain_entries_ = true;
+};
+
+}  // namespace recwild::authns

@@ -1,0 +1,93 @@
+// Secondary (slave) zone maintenance — the other half of "engineering
+// authoritative DNS servers": production deployments like .nl's run a
+// hidden primary whose zone propagates to the public authoritatives via
+// NOTIFY (RFC 1996), SOA serial refresh (RFC 1034 §4.3.5) and AXFR over
+// TCP (RFC 5936).
+//
+// A SecondaryZone keeps one zone of an AuthServer in sync with a primary:
+//   * on start, and whenever a NOTIFY for the zone arrives, it compares
+//     the primary's SOA serial with its own;
+//   * when behind (or empty), it transfers the zone with AXFR over the
+//     stream transport and atomically swaps it into the server;
+//   * it re-checks every `refresh` seconds (from the SOA, overridable)
+//     and backs off by `retry` on failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "authns/server.hpp"
+
+namespace recwild::authns {
+
+struct SecondaryConfig {
+  /// Use these instead of the SOA refresh/retry timers when nonzero.
+  net::Duration refresh_override = net::Duration::zero();
+  net::Duration retry_override = net::Duration::zero();
+  /// Timeout for one SOA check or AXFR attempt.
+  net::Duration query_timeout = net::Duration::seconds(5);
+};
+
+class SecondaryZone {
+ public:
+  /// Manages `origin` on `server`, pulling from `primary`. The server must
+  /// outlive the SecondaryZone. Claims the server's NOTIFY handler.
+  SecondaryZone(net::Network& network, AuthServer& server, dns::Name origin,
+                net::Endpoint primary, SecondaryConfig config,
+                stats::Rng rng);
+  ~SecondaryZone();
+  SecondaryZone(const SecondaryZone&) = delete;
+  SecondaryZone& operator=(const SecondaryZone&) = delete;
+
+  /// Starts the refresh loop with an immediate SOA check.
+  void start();
+  void stop();
+
+  [[nodiscard]] bool has_zone() const noexcept { return serial_ != 0; }
+  /// Serial of the currently served copy (0 before the first transfer).
+  [[nodiscard]] std::uint32_t serial() const noexcept { return serial_; }
+
+  [[nodiscard]] std::uint64_t soa_checks() const noexcept {
+    return soa_checks_;
+  }
+  [[nodiscard]] std::uint64_t transfers() const noexcept {
+    return transfers_;
+  }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+
+  /// Invoked after each successful transfer (for tests/metrics).
+  std::function<void(std::uint32_t serial)> on_transferred;
+
+ private:
+  void schedule_refresh(net::Duration delay);
+  void check_soa();
+  void do_axfr();
+  void on_datagram(const net::Datagram& dgram);
+  void on_timeout();
+  [[nodiscard]] net::Duration refresh_interval() const;
+  [[nodiscard]] net::Duration retry_interval() const;
+
+  net::Network& network_;
+  AuthServer& server_;
+  dns::Name origin_;
+  net::Endpoint primary_;
+  SecondaryConfig config_;
+  stats::Rng rng_;
+  net::Endpoint ep_;
+  bool listening_ = false;
+
+  enum class Pending : unsigned char { None, Soa, Axfr };
+  Pending pending_ = Pending::None;
+  std::uint16_t pending_txid_ = 0;
+  net::EventId timeout_event_ = 0;
+  net::EventId refresh_event_ = 0;
+
+  std::uint32_t serial_ = 0;
+  std::uint32_t last_seen_refresh_ = 0;
+  std::uint32_t last_seen_retry_ = 0;
+  std::uint64_t soa_checks_ = 0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace recwild::authns

@@ -1,0 +1,237 @@
+#include "authns/server.hpp"
+
+#include <algorithm>
+
+namespace recwild::authns {
+
+AuthServer::AuthServer(net::Network& network, net::NodeId node,
+                       net::Endpoint endpoint, AuthServerConfig config)
+    : network_(network),
+      node_(node),
+      endpoint_(endpoint),
+      config_(std::move(config)) {}
+
+AuthServer::~AuthServer() {
+  if (listening_) {
+    network_.unlisten(node_, endpoint_);
+    for (const auto& ep : extra_endpoints_) network_.unlisten(node_, ep);
+  }
+}
+
+void AuthServer::listen_also(net::Endpoint ep) {
+  extra_endpoints_.push_back(ep);
+  if (listening_) {
+    network_.listen(node_, ep, [this](const net::Datagram& d, net::NodeId n) {
+      on_datagram(d, n);
+    });
+  }
+}
+
+void AuthServer::add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+
+void AuthServer::replace_zone(Zone zone) {
+  const dns::Name origin = zone.origin();
+  bool replaced = false;
+  for (auto& z : zones_) {
+    if (z.origin() == origin) {
+      z = std::move(zone);
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) zones_.push_back(std::move(zone));
+  send_notifies(origin);
+}
+
+const Zone* AuthServer::zone_for(const dns::Name& origin) const {
+  for (const auto& z : zones_) {
+    if (z.origin() == origin) return &z;
+  }
+  return nullptr;
+}
+
+void AuthServer::add_notify_target(dns::Name origin,
+                                   net::Endpoint secondary) {
+  notify_targets_.emplace_back(std::move(origin), secondary);
+}
+
+void AuthServer::send_notifies(const dns::Name& origin) {
+  for (const auto& [zone, target] : notify_targets_) {
+    if (!(zone == origin)) continue;
+    dns::Message notify;
+    notify.header.opcode = dns::Opcode::Notify;
+    notify.header.aa = true;
+    notify.questions.push_back(
+        dns::Question{origin, dns::RRType::SOA, dns::RRClass::IN});
+    network_.send(node_, endpoint_, target, dns::encode_message(notify));
+  }
+}
+
+dns::Message AuthServer::answer_axfr(const dns::Message& query,
+                                     bool via_stream) const {
+  dns::Message resp = dns::Message::make_response(query);
+  // AXFR requires the stream transport (RFC 5936 §4.2): over UDP the
+  // server replies with TC so the client retries over TCP.
+  if (!via_stream) {
+    resp.header.tc = true;
+    return resp;
+  }
+  const Zone* zone = zone_for(query.question().qname);
+  if (zone == nullptr || !zone->soa()) {
+    resp.header.rcode = dns::Rcode::Refused;
+    return resp;
+  }
+  resp.header.aa = true;
+  // SOA first and last, the full zone in between.
+  const auto all = zone->all_records();
+  const auto soa_it =
+      std::find_if(all.begin(), all.end(), [](const dns::ResourceRecord& r) {
+        return r.type() == dns::RRType::SOA;
+      });
+  resp.answers.push_back(*soa_it);
+  for (const auto& rr : all) {
+    if (rr.type() != dns::RRType::SOA) resp.answers.push_back(rr);
+  }
+  resp.answers.push_back(*soa_it);
+  return resp;
+}
+
+void AuthServer::start() {
+  if (listening_) return;
+  auto handler = [this](const net::Datagram& d, net::NodeId at) {
+    on_datagram(d, at);
+  };
+  network_.listen(node_, endpoint_, handler);
+  for (const auto& ep : extra_endpoints_) network_.listen(node_, ep, handler);
+  listening_ = true;
+}
+
+void AuthServer::stop() {
+  if (!listening_) return;
+  network_.unlisten(node_, endpoint_);
+  for (const auto& ep : extra_endpoints_) network_.unlisten(node_, ep);
+  listening_ = false;
+}
+
+dns::Message AuthServer::answer_chaos(const dns::Message& query) const {
+  // NSD-style identity: CH TXT hostname.bind and id.server return the
+  // configured identity string (RFC 4892 / RFC 8914 practice).
+  dns::Message resp = dns::Message::make_response(query);
+  const auto& q = query.question();
+  static const dns::Name kHostnameBind = dns::Name::parse("hostname.bind");
+  static const dns::Name kIdServer = dns::Name::parse("id.server");
+  if (q.qtype == dns::RRType::TXT &&
+      (q.qname == kHostnameBind || q.qname == kIdServer)) {
+    resp.header.aa = true;
+    resp.answers.push_back(dns::ResourceRecord{
+        q.qname, dns::RRClass::CH, 0,
+        dns::TxtRdata{{config_.identity}}});
+  } else {
+    resp.header.rcode = dns::Rcode::Refused;
+  }
+  return resp;
+}
+
+dns::Message AuthServer::answer(const dns::Message& query,
+                                bool via_stream) const {
+  if (query.questions.empty()) {
+    dns::Message resp;
+    resp.header = query.header;
+    resp.header.qr = true;
+    resp.header.rcode = dns::Rcode::FormErr;
+    return resp;
+  }
+  const auto& q = query.question();
+  if (q.qclass == dns::RRClass::CH) return answer_chaos(query);
+  if (q.qtype == dns::RRType::AXFR) return answer_axfr(query, via_stream);
+
+  // Find the most specific zone containing the qname.
+  const Zone* best = nullptr;
+  for (const auto& z : zones_) {
+    if (!q.qname.is_subdomain_of(z.origin())) continue;
+    if (best == nullptr ||
+        z.origin().label_count() > best->origin().label_count()) {
+      best = &z;
+    }
+  }
+  dns::Message resp = dns::Message::make_response(query);
+  if (query.edns) {
+    resp.edns = dns::EdnsInfo{};  // echo EDNS support, our own buffer size
+    resp.edns->udp_payload_size = 1232;
+  }
+  if (best == nullptr) {
+    resp.header.rcode = dns::Rcode::Refused;
+    return resp;
+  }
+  const QueryEngine engine{*best};
+  LookupResult result = engine.lookup(q);
+  resp.header.rcode = result.rcode;
+  resp.header.aa = result.authoritative;
+  resp.answers = std::move(result.answers);
+  resp.authorities = std::move(result.authorities);
+  resp.additionals = std::move(result.additionals);
+
+  // UDP size handling: if the encoded response exceeds what the client
+  // can take, truncate sections and set TC; the client then retries over
+  // TCP (Network::send_stream), where no limit applies.
+  if (!via_stream) {
+    const std::size_t limit =
+        query.edns ? query.edns->udp_payload_size : config_.plain_udp_limit;
+    if (dns::encode_message(resp).size() > limit) {
+      resp.header.tc = true;
+      resp.answers.clear();
+      resp.authorities.clear();
+      resp.additionals.clear();
+    }
+  }
+  return resp;
+}
+
+void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
+  (void)at_node;  // this server IS the site; anycast siblings are separate
+  ++queries_received_;
+  dns::Message query;
+  try {
+    query = dns::decode_message(dgram.payload);
+  } catch (const dns::WireError&) {
+    return;  // garbage in, silence out (NSD drops unparseable packets)
+  }
+  if (query.header.qr) return;  // not a query
+
+  // NOTIFY (RFC 1996): acknowledge and hand to the transfer machinery.
+  if (query.header.opcode == dns::Opcode::Notify) {
+    if (!query.questions.empty() && notify_handler_) {
+      notify_handler_(query.question().qname, dgram.src.addr);
+    }
+    dns::Message ack = dns::Message::make_response(query);
+    ack.header.aa = true;
+    network_.send(node_, dgram.dst, dgram.src, dns::encode_message(ack));
+    return;
+  }
+
+  if (!query.questions.empty()) {
+    log_.record(QueryLogEntry{network_.sim().now(), dgram.src.addr,
+                              query.question().qname,
+                              query.question().qtype, dns::Rcode::NoError});
+  }
+  if (down_) return;  // crashed process: receives but never answers
+
+  dns::Message resp = answer(query, dgram.via_stream);
+  auto wire = dns::encode_message(resp);
+  const bool via_stream = dgram.via_stream;
+  network_.sim().after(
+      config_.processing_delay,
+      [this, wire = std::move(wire), dgram, via_stream]() mutable {
+        ++responses_sent_;
+        // Reply from the endpoint that received the query (matters for
+        // dual-stack servers listening on several addresses).
+        if (via_stream) {
+          network_.send_stream(node_, dgram.dst, dgram.src,
+                               std::move(wire));
+        } else {
+          network_.send(node_, dgram.dst, dgram.src, std::move(wire));
+        }
+      });
+}
+
+}  // namespace recwild::authns

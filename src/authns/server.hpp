@@ -1,0 +1,132 @@
+// Authoritative DNS server bound to a simulated network node — the stand-in
+// for the paper's NSD 4.1.7 instances on EC2.
+//
+// One AuthServer serves one or more zones on one (address, port) binding.
+// Binding several servers (sites) to the same address forms an anycast
+// service; each site then answers the catchment the network routes to it.
+//
+// Features exercised by the experiments:
+//  * RFC 1034 answers via QueryEngine (TXT lookups for the test domain);
+//  * per-site answers for the same name — the paper identifies which
+//    authoritative answered by serving a *different* TXT string at each;
+//  * CHAOS-class identity queries (hostname.bind / id.server TXT CH);
+//  * EDNS0 echo and UDP truncation (TC bit) past the advertised size;
+//  * failure injection (server down / unresponsive) and processing delay;
+//  * a QueryLog, the analogue of the paper's server-side captures.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authns/query_engine.hpp"
+#include "authns/query_log.hpp"
+#include "authns/zone.hpp"
+#include "dnscore/codec.hpp"
+#include "net/network.hpp"
+
+namespace recwild::authns {
+
+struct AuthServerConfig {
+  /// Server identity returned for CH TXT hostname.bind / id.server.
+  std::string identity;
+  /// Processing time added to every response (NSD is fast; default 200us).
+  net::Duration processing_delay = net::Duration::micros(200);
+  /// Maximum UDP response size when the query carries no EDNS0 (RFC 1035).
+  std::size_t plain_udp_limit = 512;
+};
+
+class AuthServer {
+ public:
+  /// Creates a server on `node`, listening on {address, port}.
+  /// Registration with the network happens in start().
+  AuthServer(net::Network& network, net::NodeId node, net::Endpoint endpoint,
+             AuthServerConfig config);
+
+  ~AuthServer();
+  AuthServer(const AuthServer&) = delete;
+  AuthServer& operator=(const AuthServer&) = delete;
+
+  /// Adds a zone. The server answers authoritatively for it.
+  void add_zone(Zone zone);
+
+  /// Replaces the zone with the same origin (a reload / transferred copy);
+  /// adds it if absent. Then notifies registered secondaries.
+  void replace_zone(Zone zone);
+
+  /// The served zone with this origin, or nullptr.
+  [[nodiscard]] const Zone* zone_for(const dns::Name& origin) const;
+
+  /// Registers a secondary to receive NOTIFY (RFC 1996) when a zone with
+  /// `origin` is replaced.
+  void add_notify_target(dns::Name origin, net::Endpoint secondary);
+
+  /// Hook invoked when a NOTIFY arrives: (zone, primary address). Used by
+  /// SecondaryZone to trigger an immediate refresh.
+  using NotifyHandler =
+      std::function<void(const dns::Name&, net::IpAddress)>;
+  void set_notify_handler(NotifyHandler handler) {
+    notify_handler_ = std::move(handler);
+  }
+
+  /// Begins listening. Idempotent.
+  void start();
+  /// Stops listening (packets to this site are then unroutable).
+  void stop();
+
+  /// Additionally listens on `ep` (e.g. the service's IPv6-plane address).
+  /// Replies are sourced from whichever endpoint received the query.
+  void listen_also(net::Endpoint ep);
+
+  /// Failure injection: while down, queries are received but ignored
+  /// (timeouts at the resolver), as with a crashed nameserver process.
+  void set_down(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool is_down() const noexcept { return down_; }
+
+  [[nodiscard]] const net::Endpoint& endpoint() const noexcept {
+    return endpoint_;
+  }
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const std::string& identity() const noexcept {
+    return config_.identity;
+  }
+
+  [[nodiscard]] QueryLog& log() noexcept { return log_; }
+  [[nodiscard]] const QueryLog& log() const noexcept { return log_; }
+
+  [[nodiscard]] std::uint64_t queries_received() const noexcept {
+    return queries_received_;
+  }
+  [[nodiscard]] std::uint64_t responses_sent() const noexcept {
+    return responses_sent_;
+  }
+
+  /// Builds the response for `query` (exposed for unit tests; the network
+  /// path calls this internally). Responses to stream (TCP) queries are
+  /// never truncated.
+  [[nodiscard]] dns::Message answer(const dns::Message& query,
+                                    bool via_stream = false) const;
+
+ private:
+  void on_datagram(const net::Datagram& dgram, net::NodeId at_node);
+  [[nodiscard]] dns::Message answer_chaos(const dns::Message& query) const;
+  [[nodiscard]] dns::Message answer_axfr(const dns::Message& query,
+                                         bool via_stream) const;
+  void send_notifies(const dns::Name& origin);
+
+  net::Network& network_;
+  net::NodeId node_;
+  net::Endpoint endpoint_;
+  std::vector<net::Endpoint> extra_endpoints_;
+  AuthServerConfig config_;
+  std::vector<Zone> zones_;
+  std::vector<std::pair<dns::Name, net::Endpoint>> notify_targets_;
+  NotifyHandler notify_handler_;
+  QueryLog log_;
+  bool listening_ = false;
+  bool down_ = false;
+  std::uint64_t queries_received_ = 0;
+  std::uint64_t responses_sent_ = 0;
+};
+
+}  // namespace recwild::authns

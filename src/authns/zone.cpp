@@ -1,0 +1,179 @@
+#include "authns/zone.hpp"
+
+#include <stdexcept>
+
+namespace recwild::authns {
+
+Zone::Zone(Name origin, RRClass rrclass)
+    : origin_(std::move(origin)), rrclass_(rrclass) {}
+
+Zone Zone::from_text(Name origin, std::string_view master_text,
+                     dns::Ttl default_ttl) {
+  dns::ZoneFileOptions opts;
+  opts.origin = origin;
+  opts.default_ttl = default_ttl;
+  Zone zone{std::move(origin)};
+  for (auto& rr : dns::parse_zone_text(master_text, opts)) {
+    zone.add(std::move(rr));
+  }
+  return zone;
+}
+
+void Zone::add(ResourceRecord rr) {
+  if (!rr.name.is_subdomain_of(origin_)) {
+    throw std::invalid_argument{"Zone::add: " + rr.name.to_string() +
+                                " is outside zone " + origin_.to_string()};
+  }
+  if (rr.rrclass != rrclass_) {
+    throw std::invalid_argument{"Zone::add: class mismatch"};
+  }
+  auto& sets = names_[rr.name];
+  const RRType t = rr.type();
+  for (auto& s : sets) {
+    if (s.type == t) {
+      s.ttl = std::min(s.ttl, rr.ttl);
+      s.rdatas.push_back(std::move(rr.rdata));
+      return;
+    }
+  }
+  sets.push_back(RRset{rr.name, rr.rrclass, t, rr.ttl, {std::move(rr.rdata)}});
+}
+
+const RRset* Zone::find(const Name& name, RRType type) const {
+  const auto it = names_.find(name);
+  if (it == names_.end()) return nullptr;
+  for (const auto& s : it->second) {
+    if (s.type == type) return &s;
+  }
+  return nullptr;
+}
+
+const std::vector<RRset>* Zone::find_all(const Name& name) const {
+  const auto it = names_.find(name);
+  if (it == names_.end()) return nullptr;
+  return &it->second;
+}
+
+bool Zone::name_exists(const Name& name) const {
+  if (names_.contains(name)) return true;
+  // Empty non-terminal: any stored name that descends from `name`.
+  // names_ is in canonical order, so descendants sort directly after it.
+  const auto it = names_.lower_bound(name);
+  return it != names_.end() && it->first.is_subdomain_of(name);
+}
+
+std::optional<dns::SoaRdata> Zone::soa() const {
+  const RRset* s = find(origin_, RRType::SOA);
+  if (s == nullptr || s->rdatas.empty()) return std::nullopt;
+  return std::get<dns::SoaRdata>(s->rdatas.front());
+}
+
+dns::Ttl Zone::negative_ttl() const {
+  const auto s = soa();
+  if (!s) return 300;
+  const RRset* soa_set = find(origin_, RRType::SOA);
+  return std::min<dns::Ttl>(s->minimum, soa_set ? soa_set->ttl : s->minimum);
+}
+
+const RRset* Zone::apex_ns() const { return find(origin_, RRType::NS); }
+
+const RRset* Zone::find_delegation(const Name& name) const {
+  if (!name.is_subdomain_of(origin_)) return nullptr;
+  // Walk from just below the apex down towards `name`, looking for NS sets.
+  // The shallowest delegation wins (everything below it is cut away).
+  const std::size_t apex_labels = origin_.label_count();
+  const std::size_t name_labels = name.label_count();
+  for (std::size_t depth = apex_labels + 1; depth <= name_labels; ++depth) {
+    // Candidate: the suffix of `name` with `depth` labels.
+    std::vector<std::string> labels;
+    labels.reserve(depth);
+    for (std::size_t i = name_labels - depth; i < name_labels; ++i) {
+      labels.push_back(name.label(i));
+    }
+    const Name candidate = Name::from_labels(std::move(labels));
+    if (const RRset* ns = find(candidate, RRType::NS)) return ns;
+  }
+  return nullptr;
+}
+
+const RRset* Zone::find_wildcard(const Name& name, RRType type) const {
+  if (!name.is_subdomain_of(origin_) || name == origin_) return nullptr;
+  // Find the closest encloser: longest existing ancestor of `name`.
+  Name encloser = name.parent();
+  while (encloser.label_count() >= origin_.label_count()) {
+    if (name_exists(encloser)) break;
+    if (encloser.is_root()) return nullptr;
+    encloser = encloser.parent();
+  }
+  const Name wildcard = encloser.prefixed("*");
+  return find(wildcard, type);
+}
+
+std::vector<ResourceRecord> Zone::glue_for(const Name& target) const {
+  std::vector<ResourceRecord> out;
+  for (const RRType t : {RRType::A, RRType::AAAA}) {
+    if (const RRset* s = find(target, t)) {
+      auto records = s->to_records();
+      out.insert(out.end(), records.begin(), records.end());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Zone::validate() const {
+  std::vector<std::string> problems;
+  if (!soa()) problems.push_back("missing SOA at apex");
+  if (apex_ns() == nullptr || apex_ns()->empty()) {
+    problems.push_back("missing NS at apex");
+  }
+  for (const auto& [name, sets] : names_) {
+    bool has_cname = false;
+    for (const auto& s : sets) {
+      if (s.type == RRType::CNAME) has_cname = true;
+    }
+    if (has_cname && sets.size() > 1) {
+      problems.push_back("CNAME and other data at " + name.to_string());
+    }
+    for (const auto& s : sets) {
+      if (s.type == RRType::CNAME && s.size() > 1) {
+        problems.push_back("multiple CNAMEs at " + name.to_string());
+      }
+    }
+  }
+  return problems;
+}
+
+std::size_t Zone::rrset_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [name, sets] : names_) n += sets.size();
+  return n;
+}
+
+std::size_t Zone::record_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [name, sets] : names_) {
+    for (const auto& s : sets) n += s.size();
+  }
+  return n;
+}
+
+std::vector<ResourceRecord> Zone::all_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(record_count());
+  for (const auto& [name, sets] : names_) {
+    for (const auto& s : sets) {
+      auto records = s.to_records();
+      out.insert(out.end(), records.begin(), records.end());
+    }
+  }
+  return out;
+}
+
+std::vector<Name> Zone::owner_names() const {
+  std::vector<Name> out;
+  out.reserve(names_.size());
+  for (const auto& [name, sets] : names_) out.push_back(name);
+  return out;
+}
+
+}  // namespace recwild::authns

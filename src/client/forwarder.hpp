@@ -1,0 +1,80 @@
+// DNS forwarding middlebox — the MI boxes in the paper's Figure 1.
+//
+// Home routers and CPE devices commonly proxy DNS: the stub talks to the
+// middlebox, which forwards to the real recursive and relays answers back,
+// optionally through a small local cache. The paper worries middleboxes
+// could distort its client-side view and verifies (by comparing client-
+// and server-side data, §3.1) that the effect is minor; the forwarder
+// component lets the reproduction run that same verification.
+#pragma once
+
+#include <unordered_map>
+
+#include "dnscore/codec.hpp"
+#include "net/network.hpp"
+#include "resolver/record_cache.hpp"
+
+namespace recwild::client {
+
+struct ForwarderConfig {
+  /// Upstream attempt timeout before giving up on a query.
+  net::Duration timeout = net::Duration::seconds(4);
+  /// Entries in the middlebox's local answer cache (0 disables caching —
+  /// plain relaying).
+  std::size_t cache_entries = 256;
+};
+
+class Forwarder {
+ public:
+  Forwarder(net::Network& network, net::NodeId node, net::IpAddress address,
+            net::IpAddress upstream, ForwarderConfig config,
+            stats::Rng rng);
+  ~Forwarder();
+  Forwarder(const Forwarder&) = delete;
+  Forwarder& operator=(const Forwarder&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] net::IpAddress address() const noexcept { return address_; }
+  [[nodiscard]] net::IpAddress upstream() const noexcept {
+    return upstream_;
+  }
+
+  [[nodiscard]] std::uint64_t forwarded() const noexcept {
+    return forwarded_;
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return cache_hits_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  struct Pending {
+    net::Endpoint client;
+    std::uint16_t client_id = 0;
+    dns::Question question;
+    net::EventId timeout_event = 0;
+  };
+
+  void on_client(const net::Datagram& dgram);
+  void on_upstream(const net::Datagram& dgram);
+  void on_timeout(std::uint16_t txid);
+
+  net::Network& network_;
+  net::NodeId node_;
+  net::IpAddress address_;
+  net::IpAddress upstream_;
+  ForwarderConfig config_;
+  stats::Rng rng_;
+  net::Endpoint client_ep_;
+  net::Endpoint upstream_ep_;
+  resolver::RecordCache cache_;
+  bool listening_ = false;
+  std::unordered_map<std::uint16_t, Pending> pending_;  // by upstream txid
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace recwild::client

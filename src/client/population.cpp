@@ -1,0 +1,177 @@
+#include "client/population.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "stats/distributions.hpp"
+
+namespace recwild::client {
+
+namespace {
+
+using net::Continent;
+
+/// Picks a catalog city on `continent` and scatters around it.
+net::GeoPoint scatter_city(Continent continent, double scatter_deg,
+                           stats::Rng& rng, net::GeoPoint* city_out) {
+  const auto cities = net::locations_on(continent);
+  const auto& city = cities[rng.index(cities.size())];
+  if (city_out != nullptr) *city_out = city.point;
+  net::GeoPoint p = city.point;
+  p.lat_deg += rng.uniform(-scatter_deg, scatter_deg);
+  p.lon_deg += rng.uniform(-scatter_deg, scatter_deg);
+  p.lat_deg = std::clamp(p.lat_deg, -85.0, 85.0);
+  if (p.lon_deg > 180.0) p.lon_deg -= 360.0;
+  if (p.lon_deg < -180.0) p.lon_deg += 360.0;
+  return p;
+}
+
+}  // namespace
+
+const RecursiveInfo* Population::recursive_by_address(
+    net::IpAddress addr) const {
+  // Middleboxes are transparent: chase a forwarder to its upstream.
+  for (const auto& f : forwarders_) {
+    if (f->address() == addr) {
+      addr = f->upstream();
+      break;
+    }
+  }
+  for (const auto& r : recursives_) {
+    if (r.resolver->address() == addr) return &r;
+  }
+  return nullptr;
+}
+
+void Population::flush_all_caches() {
+  for (auto& r : recursives_) r.resolver->flush_caches();
+}
+
+Population build_population(net::Network& network,
+                            const PopulationConfig& config,
+                            const std::vector<resolver::RootHint>& hints,
+                            stats::Rng rng) {
+  Population pop;
+
+  const std::vector<Continent> continents{
+      Continent::Africa,       Continent::Asia,    Continent::Europe,
+      Continent::NorthAmerica, Continent::Oceania, Continent::SouthAmerica};
+  const stats::WeightedSampler continent_sampler{
+      {config.weight_af, config.weight_as, config.weight_eu,
+       config.weight_na, config.weight_oc, config.weight_sa}};
+
+  // Public recursives: large shared services at well-connected cities.
+  std::vector<net::IpAddress> public_addrs;
+  {
+    static constexpr std::string_view kPublicCities[] = {
+        "FRA", "IAD", "SIN", "SFO", "LHR", "NRT", "GRU", "SYD"};
+    for (std::size_t i = 0; i < config.public_resolvers; ++i) {
+      const auto loc = net::find_location(
+          kPublicCities[i % std::size(kPublicCities)]);
+      const net::NodeId node = network.add_node(
+          "public-dns-" + std::to_string(i), loc->point);
+      resolver::ResolverConfig rc = config.resolver_template;
+      rc.name = "public-dns-" + std::to_string(i);
+      // Public services run modern latency-aware software.
+      rc.policy = (i % 2 == 0) ? resolver::PolicyKind::UnboundBand
+                               : resolver::PolicyKind::BindSrtt;
+      const net::IpAddress addr = network.allocate_address();
+      RecursiveInfo info;
+      info.resolver = std::make_unique<resolver::RecursiveResolver>(
+          network, node, addr, std::move(rc), hints,
+          rng.fork("public-dns-" + std::to_string(i)));
+      info.resolver->start();
+      info.continent = loc->continent;
+      info.location = loc->point;
+      info.is_public = true;
+      public_addrs.push_back(addr);
+      pop.recursives_.push_back(std::move(info));
+    }
+  }
+
+  // ASes: cluster probes, give each AS an ISP recursive near its centroid.
+  std::size_t created = 0;
+  std::size_t as_id = 0;
+  while (created < config.probes) {
+    ++as_id;
+    // AS size: geometric-ish around the configured mean, at least 1.
+    std::size_t as_probes = 1 + static_cast<std::size_t>(
+        rng.exponential(std::max(0.0, config.mean_probes_per_as - 1.0)));
+    as_probes = std::min(as_probes, config.probes - created);
+
+    const auto continent = continents[continent_sampler.sample(rng)];
+    net::GeoPoint city;
+    const net::GeoPoint as_center =
+        scatter_city(continent, config.scatter_deg, rng, &city);
+
+    // ISP recursive for this AS.
+    const net::NodeId rnode = network.add_node(
+        "isp-recursive-as" + std::to_string(as_id), as_center);
+    resolver::ResolverConfig rc = config.resolver_template;
+    rc.name = "isp-recursive-as" + std::to_string(as_id);
+    rc.policy = config.mixture.draw(rng);
+    if (rng.chance(config.ipv6_fraction)) {
+      rc.family = resolver::AddressFamily::Dual;
+    }
+    const net::IpAddress raddr = network.allocate_address();
+    RecursiveInfo info;
+    info.resolver = std::make_unique<resolver::RecursiveResolver>(
+        network, rnode, raddr, std::move(rc), hints,
+        rng.fork("isp-recursive-as" + std::to_string(as_id)));
+    info.resolver->start();
+    info.continent = continent;
+    info.location = as_center;
+    pop.recursives_.push_back(std::move(info));
+
+    for (std::size_t i = 0; i < as_probes; ++i) {
+      const std::size_t probe_id = created++;
+      net::GeoPoint ploc = as_center;
+      ploc.lat_deg += rng.uniform(-0.8, 0.8);
+      ploc.lon_deg += rng.uniform(-0.8, 0.8);
+      const net::NodeId pnode =
+          network.add_node("probe-" + std::to_string(probe_id), ploc);
+
+      std::vector<net::IpAddress> upstreams;
+      const bool uses_public =
+          !public_addrs.empty() &&
+          rng.chance(config.public_resolver_fraction);
+      if (uses_public) {
+        upstreams.push_back(public_addrs[rng.index(public_addrs.size())]);
+      } else if (rng.chance(config.forwarder_fraction)) {
+        // Home-router middlebox on the probe's own premises, relaying to
+        // the ISP recursive.
+        const net::IpAddress faddr = network.allocate_address();
+        auto fwd = std::make_unique<Forwarder>(
+            network, pnode, faddr, raddr, config.forwarder,
+            rng.fork("forwarder-" + std::to_string(probe_id)));
+        fwd->start();
+        pop.forwarders_.push_back(std::move(fwd));
+        upstreams.push_back(faddr);
+      } else {
+        upstreams.push_back(raddr);
+      }
+      if (rng.chance(config.second_recursive_fraction)) {
+        // Second configured recursive: the other kind.
+        if (uses_public) {
+          upstreams.push_back(raddr);
+        } else if (!public_addrs.empty()) {
+          upstreams.push_back(public_addrs[rng.index(public_addrs.size())]);
+        }
+      }
+
+      VantagePoint vp;
+      vp.probe_id = probe_id;
+      vp.continent = continent;
+      vp.location = ploc;
+      vp.node = pnode;
+      vp.stub = std::make_unique<StubResolver>(
+          network, pnode, network.allocate_address(), std::move(upstreams),
+          config.stub, rng.fork("probe-" + std::to_string(probe_id)));
+      vp.stub->start();
+      pop.vps_.push_back(std::move(vp));
+    }
+  }
+  return pop;
+}
+
+}  // namespace recwild::client

@@ -1,0 +1,136 @@
+// Vantage-point population generator — the synthetic stand-in for the RIPE
+// Atlas probe fleet (paper §3.1).
+//
+// The generator reproduces the structural properties the paper's analysis
+// depends on:
+//   * ~9.7k probes, heavily skewed to Europe. Continental weights default
+//     to the paper's own VP counts (Figure 5: EU 6221, NA 1181, AS 692,
+//     OC 245, AF 215, SA 131).
+//   * Probes cluster into ASes; each AS runs one or two ISP recursives
+//     placed near its probes. ~3,300 ASes for 9,700 probes in the paper.
+//   * A fraction of probes use a shared public-DNS service instead of (or
+//     in addition to) their ISP recursive — the paper observes probes with
+//     multiple configured recursives and treats each (probe, recursive)
+//     pair as one VP.
+//   * Each recursive runs a selection policy drawn from a PolicyMixture.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/forwarder.hpp"
+#include "client/stub.hpp"
+#include "net/geo.hpp"
+#include "resolver/resolver.hpp"
+
+namespace recwild::client {
+
+struct VantagePoint {
+  std::size_t probe_id = 0;
+  net::Continent continent = net::Continent::Europe;
+  net::GeoPoint location;
+  net::NodeId node = net::kInvalidNode;
+  std::unique_ptr<StubResolver> stub;
+};
+
+struct RecursiveInfo {
+  std::unique_ptr<resolver::RecursiveResolver> resolver;
+  net::Continent continent = net::Continent::Europe;
+  net::GeoPoint location;
+  bool is_public = false;
+};
+
+struct PopulationConfig {
+  /// Number of probes to create. The paper's runs saw ~8.7k VPs; smaller
+  /// values scale every experiment down proportionally.
+  std::size_t probes = 2'000;
+  /// Per-continent probe weights; defaults follow the paper's VP counts.
+  double weight_af = 215;
+  double weight_as = 692;
+  double weight_eu = 6221;
+  double weight_na = 1181;
+  double weight_oc = 245;
+  double weight_sa = 131;
+  /// Mean probes per AS (paper: 9.7k probes over 3.3k ASes ≈ 2.9).
+  double mean_probes_per_as = 2.9;
+  /// Fraction of probes configured with a shared public resolver
+  /// (instead of their ISP's).
+  double public_resolver_fraction = 0.10;
+  /// Fraction of probes with a second configured recursive.
+  double second_recursive_fraction = 0.08;
+  /// Number of shared public-DNS recursive instances.
+  std::size_t public_resolvers = 6;
+  /// Geographic scatter around the chosen catalog city, degrees.
+  double scatter_deg = 3.0;
+  /// Selection-policy mixture across ISP recursives.
+  resolver::PolicyMixture mixture = resolver::PolicyMixture::wild();
+  /// Fraction of ISP recursives that are dual-stack (only meaningful on a
+  /// dual-stack testbed: they then also use AAAA glue for upstreams). The
+  /// paper found 69% of Atlas VPs v4-only, so ~0.3 is realistic.
+  double ipv6_fraction = 0.0;
+  /// Fraction of probes that sit behind a forwarding middlebox (home
+  /// router) instead of talking to the recursive directly — the MI boxes
+  /// of the paper's Figure 1.
+  double forwarder_fraction = 0.0;
+  ForwarderConfig forwarder{};
+  /// Per-VP query timeout configuration.
+  StubConfig stub{};
+  /// Resolver tuning knobs applied to every recursive.
+  resolver::ResolverConfig resolver_template{};
+};
+
+/// The constructed population. Owns all stubs and recursives; nodes live in
+/// the Network.
+class Population {
+ public:
+  Population() = default;
+  Population(Population&&) = default;
+  Population& operator=(Population&&) = default;
+
+  [[nodiscard]] std::vector<VantagePoint>& vps() noexcept { return vps_; }
+  [[nodiscard]] const std::vector<VantagePoint>& vps() const noexcept {
+    return vps_;
+  }
+  [[nodiscard]] std::vector<RecursiveInfo>& recursives() noexcept {
+    return recursives_;
+  }
+  [[nodiscard]] const std::vector<RecursiveInfo>& recursives()
+      const noexcept {
+    return recursives_;
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Forwarder>>& forwarders()
+      const noexcept {
+    return forwarders_;
+  }
+
+  /// Finds the RecursiveInfo serving a given address. Forwarder addresses
+  /// resolve through to their upstream recursive (the middlebox is
+  /// transparent for analysis purposes). Returns nullptr if unknown.
+  [[nodiscard]] const RecursiveInfo* recursive_by_address(
+      net::IpAddress addr) const;
+
+  /// Flushes every recursive's record+infra caches (the paper's 4-hour
+  /// break between measurements).
+  void flush_all_caches();
+
+  friend Population build_population(net::Network& network,
+                                     const PopulationConfig& config,
+                                     const std::vector<resolver::RootHint>&
+                                         hints,
+                                     stats::Rng rng);
+
+ private:
+  std::vector<VantagePoint> vps_;
+  std::vector<RecursiveInfo> recursives_;
+  std::vector<std::unique_ptr<Forwarder>> forwarders_;
+};
+
+/// Creates probes, ISP recursives and public recursives on `network`.
+/// `hints` bootstraps every recursive (root hints file).
+Population build_population(net::Network& network,
+                            const PopulationConfig& config,
+                            const std::vector<resolver::RootHint>& hints,
+                            stats::Rng rng);
+
+}  // namespace recwild::client

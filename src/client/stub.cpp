@@ -1,0 +1,122 @@
+#include "client/stub.hpp"
+
+namespace recwild::client {
+
+namespace {
+constexpr net::Port kStubPort = 40'000;
+}
+
+StubResolver::StubResolver(net::Network& network, net::NodeId node,
+                           net::IpAddress address,
+                           std::vector<net::IpAddress> recursives,
+                           StubConfig config, stats::Rng rng)
+    : network_(network),
+      node_(node),
+      address_(address),
+      recursives_(std::move(recursives)),
+      config_(config),
+      rng_(rng),
+      ep_{address, kStubPort} {}
+
+StubResolver::~StubResolver() { stop(); }
+
+void StubResolver::start() {
+  if (listening_) return;
+  network_.listen(node_, ep_, [this](const net::Datagram& d, net::NodeId) {
+    on_datagram(d);
+  });
+  listening_ = true;
+}
+
+void StubResolver::stop() {
+  if (!listening_) return;
+  network_.unlisten(node_, ep_);
+  listening_ = false;
+}
+
+void StubResolver::query(dns::Name qname, dns::RRType qtype, StubCallback cb) {
+  // Fresh txid, avoiding collisions with in-flight queries.
+  std::uint16_t txid = static_cast<std::uint16_t>(rng_.next());
+  while (pending_.contains(txid)) ++txid;
+
+  Pending p;
+  p.question = dns::Question{std::move(qname), qtype, dns::RRClass::IN};
+  p.cb = std::move(cb);
+  p.started_at = network_.sim().now();
+  pending_.emplace(txid, std::move(p));
+  send_attempt(txid);
+}
+
+void StubResolver::send_attempt(std::uint16_t txid) {
+  auto it = pending_.find(txid);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+
+  const int max_attempts =
+      config_.max_rounds * static_cast<int>(recursives_.size());
+  if (p.attempts >= max_attempts || recursives_.empty()) {
+    StubResult result;
+    result.question = p.question;
+    result.timed_out = true;
+    result.elapsed = network_.sim().now() - p.started_at;
+    auto cb = std::move(p.cb);
+    pending_.erase(it);
+    cb(result);
+    return;
+  }
+
+  const std::size_t idx =
+      static_cast<std::size_t>(p.attempts) % recursives_.size();
+  p.recursive_index = idx;
+  ++p.attempts;
+
+  dns::Message query =
+      dns::Message::make_query(txid, p.question.qname, p.question.qtype);
+  query.header.rd = true;
+  network_.send(node_, ep_,
+                net::Endpoint{recursives_[idx], net::kDnsPort},
+                dns::encode_message(query));
+  p.timeout_event = network_.sim().after(
+      config_.attempt_timeout, [this, txid] { on_timeout(txid); });
+}
+
+void StubResolver::on_timeout(std::uint16_t txid) {
+  send_attempt(txid);  // rotates to the next recursive or gives up
+}
+
+void StubResolver::on_datagram(const net::Datagram& dgram) {
+  dns::Message resp;
+  try {
+    resp = dns::decode_message(dgram.payload);
+  } catch (const dns::WireError&) {
+    return;
+  }
+  if (!resp.header.qr || resp.questions.empty()) return;
+  const auto it = pending_.find(resp.header.id);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (!(resp.question().qname == p.question.qname) ||
+      resp.question().qtype != p.question.qtype) {
+    return;
+  }
+  network_.sim().cancel(p.timeout_event);
+
+  StubResult result;
+  result.question = p.question;
+  result.rcode = resp.header.rcode;
+  result.answers = resp.answers;
+  result.elapsed = network_.sim().now() - p.started_at;
+  result.recursive_index = p.recursive_index;
+  for (const auto& rr : resp.answers) {
+    if (rr.type() == dns::RRType::TXT) {
+      const auto& txt = std::get<dns::TxtRdata>(rr.rdata);
+      result.txt.insert(result.txt.end(), txt.strings.begin(),
+                        txt.strings.end());
+    }
+  }
+  auto cb = std::move(p.cb);
+  pending_.erase(it);
+  cb(result);
+}
+
+}  // namespace recwild::client

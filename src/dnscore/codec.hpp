@@ -1,0 +1,21 @@
+// Message <-> wire codec (RFC 1035 §4.1, RFC 6891 for OPT).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dnscore/message.hpp"
+
+namespace recwild::dns {
+
+/// Serializes a message, applying name compression across all sections and
+/// emitting the EDNS OPT record last in the additional section.
+/// Throws WireError on structural problems (e.g. >65535 records).
+std::vector<std::uint8_t> encode_message(const Message& m);
+
+/// Parses a wire-format message. Throws WireError on malformed input.
+/// An OPT record in the additional section is lifted into Message::edns.
+Message decode_message(std::span<const std::uint8_t> wire);
+
+}  // namespace recwild::dns

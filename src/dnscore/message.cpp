@@ -1,0 +1,58 @@
+#include "dnscore/message.hpp"
+
+namespace recwild::dns {
+
+std::string Question::to_string() const {
+  return qname.to_string() + " " + std::string{dns::to_string(qclass)} + " " +
+         std::string{dns::to_string(qtype)};
+}
+
+Message Message::make_query(std::uint16_t id, Name qname, RRType qtype,
+                            RRClass qclass) {
+  Message m;
+  m.header.id = id;
+  m.header.qr = false;
+  m.header.opcode = Opcode::Query;
+  m.questions.push_back(Question{std::move(qname), qtype, qclass});
+  return m;
+}
+
+Message Message::make_response(const Message& query) {
+  Message m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.ra = false;
+  m.questions = query.questions;
+  return m;
+}
+
+std::string Message::to_string() const {
+  std::string out;
+  out += ";; opcode: " + std::string{dns::to_string(header.opcode)};
+  out += ", rcode: " + std::string{dns::to_string(header.rcode)};
+  out += ", id: " + std::to_string(header.id) + "\n;; flags:";
+  if (header.qr) out += " qr";
+  if (header.aa) out += " aa";
+  if (header.tc) out += " tc";
+  if (header.rd) out += " rd";
+  if (header.ra) out += " ra";
+  out += "\n";
+  if (edns) {
+    out += ";; EDNS: version " + std::to_string(edns->version) + ", udp " +
+           std::to_string(edns->udp_payload_size) + "\n";
+  }
+  out += ";; QUESTION:\n";
+  for (const auto& q : questions) out += ";  " + q.to_string() + "\n";
+  auto section = [&out](const char* title,
+                        const std::vector<ResourceRecord>& rrs) {
+    if (rrs.empty()) return;
+    out += std::string{";; "} + title + ":\n";
+    for (const auto& rr : rrs) out += rr.to_string() + "\n";
+  };
+  section("ANSWER", answers);
+  section("AUTHORITY", authorities);
+  section("ADDITIONAL", additionals);
+  return out;
+}
+
+}  // namespace recwild::dns

@@ -1,0 +1,71 @@
+// DNS message (RFC 1035 §4.1): header, question, answer/authority/additional
+// sections, plus first-class EDNS0 (RFC 6891) so the OPT pseudo-record's
+// packed fields don't leak into user code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnscore/record.hpp"
+
+namespace recwild::dns {
+
+struct Question {
+  Name qname;
+  RRType qtype = RRType::A;
+  RRClass qclass = RRClass::IN;
+
+  bool operator==(const Question&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::NoError;
+
+  bool operator==(const Header&) const = default;
+};
+
+/// EDNS0 state carried by an OPT record in the additional section.
+struct EdnsInfo {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t extended_rcode = 0;
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;
+  OptRdata options;
+
+  bool operator==(const EdnsInfo&) const = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;  // excluding OPT
+  std::optional<EdnsInfo> edns;
+
+  /// Convenience: the first (and in practice only) question.
+  [[nodiscard]] const Question& question() const { return questions.at(0); }
+
+  /// Builds a query with a fresh question, RD clear (iterative by default —
+  /// recursive-to-authoritative traffic is what this library simulates).
+  static Message make_query(std::uint16_t id, Name qname, RRType qtype,
+                            RRClass qclass = RRClass::IN);
+
+  /// Builds a response skeleton echoing `query`'s id/question/opcode.
+  static Message make_response(const Message& query);
+
+  /// Multi-line dig-style rendering for logs and examples.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace recwild::dns

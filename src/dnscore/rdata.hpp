@@ -1,0 +1,122 @@
+// Typed RDATA (RFC 1035 §3.3, RFC 3596, RFC 2782, RFC 6891, RFC 8659).
+//
+// Rdata is a closed variant over the record types the library understands,
+// plus RawRdata as an escape hatch for anything else (kept verbatim, so
+// unknown types round-trip through the codec unchanged, RFC 3597-style).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dnscore/name.hpp"
+#include "dnscore/types.hpp"
+#include "dnscore/wire.hpp"
+#include "net/address.hpp"
+
+namespace recwild::dns {
+
+struct ARdata {
+  net::IpAddress address;
+  bool operator==(const ARdata&) const = default;
+};
+
+struct AaaaRdata {
+  std::array<std::uint8_t, 16> address{};
+  bool operator==(const AaaaRdata&) const = default;
+};
+
+struct NsRdata {
+  Name nsdname;
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  Name target;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct PtrRdata {
+  Name target;
+  bool operator==(const PtrRdata&) const = default;
+};
+
+struct SoaRdata {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;  // negative-caching TTL (RFC 2308)
+  bool operator==(const SoaRdata&) const = default;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MxRdata&) const = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;  // one or more character-strings
+  bool operator==(const TxtRdata&) const = default;
+};
+
+struct SrvRdata {
+  std::uint16_t priority = 0;
+  std::uint16_t weight = 0;
+  std::uint16_t port = 0;
+  Name target;
+  bool operator==(const SrvRdata&) const = default;
+};
+
+/// EDNS0 OPT pseudo-record payload (RFC 6891). The "TTL" and "class" fields
+/// of an OPT RR carry flags and UDP size; those live in EdnsInfo on the
+/// message, while this struct holds the option list.
+struct OptRdata {
+  struct Option {
+    std::uint16_t code = 0;
+    std::vector<std::uint8_t> data;
+    bool operator==(const Option&) const = default;
+  };
+  std::vector<Option> options;
+  bool operator==(const OptRdata&) const = default;
+};
+
+struct CaaRdata {
+  std::uint8_t flags = 0;
+  std::string tag;
+  std::string value;
+  bool operator==(const CaaRdata&) const = default;
+};
+
+/// Unknown/unsupported type: opaque bytes, round-tripped unchanged.
+struct RawRdata {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> data;
+  bool operator==(const RawRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata,
+                           SoaRdata, MxRdata, TxtRdata, SrvRdata, OptRdata,
+                           CaaRdata, RawRdata>;
+
+/// The RRType a given Rdata value represents.
+RRType rdata_type(const Rdata& rdata) noexcept;
+
+/// Encodes RDATA (without the RDLENGTH prefix) into `w`. Names inside RDATA
+/// are compressed only for types where RFC 3597 permits it (NS, CNAME, PTR,
+/// SOA, MX — the types whose compression predates RFC 3597).
+void encode_rdata(WireWriter& w, const Rdata& rdata);
+
+/// Decodes `rdlength` octets of RDATA of type `type` from `r`.
+/// Unknown types come back as RawRdata.
+Rdata decode_rdata(WireReader& r, RRType type, std::size_t rdlength);
+
+/// Presentation format of the RDATA ("192.0.2.1", "10 mail.example.nl.", …).
+std::string rdata_to_string(const Rdata& rdata);
+
+}  // namespace recwild::dns

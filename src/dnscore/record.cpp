@@ -1,0 +1,39 @@
+#include "dnscore/record.hpp"
+
+#include <algorithm>
+
+namespace recwild::dns {
+
+std::string ResourceRecord::to_string() const {
+  return name.to_string() + " " + std::to_string(ttl) + " " +
+         std::string{dns::to_string(rrclass)} + " " +
+         std::string{dns::to_string(type())} + " " + rdata_to_string(rdata);
+}
+
+std::vector<ResourceRecord> RRset::to_records() const {
+  std::vector<ResourceRecord> out;
+  out.reserve(rdatas.size());
+  for (const auto& rd : rdatas) {
+    out.push_back(ResourceRecord{name, rrclass, ttl, rd});
+  }
+  return out;
+}
+
+std::vector<RRset> group_rrsets(const std::vector<ResourceRecord>& records) {
+  std::vector<RRset> sets;
+  for (const auto& rr : records) {
+    const RRType t = rr.type();
+    auto it = std::find_if(sets.begin(), sets.end(), [&](const RRset& s) {
+      return s.type == t && s.rrclass == rr.rrclass && s.name == rr.name;
+    });
+    if (it == sets.end()) {
+      sets.push_back(RRset{rr.name, rr.rrclass, t, rr.ttl, {rr.rdata}});
+    } else {
+      it->ttl = std::min(it->ttl, rr.ttl);
+      it->rdatas.push_back(rr.rdata);
+    }
+  }
+  return sets;
+}
+
+}  // namespace recwild::dns

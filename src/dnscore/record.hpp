@@ -1,0 +1,48 @@
+// Resource records (RFC 1035 §3.2.1) and record sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnscore/rdata.hpp"
+
+namespace recwild::dns {
+
+using Ttl = std::uint32_t;
+
+struct ResourceRecord {
+  Name name;
+  RRClass rrclass = RRClass::IN;
+  Ttl ttl = 0;
+  Rdata rdata;
+
+  [[nodiscard]] RRType type() const noexcept { return rdata_type(rdata); }
+
+  /// "name TTL class type rdata" presentation line.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+/// An RRset: all records sharing (name, class, type). DNS semantics operate
+/// on RRsets — caches store and expire them as a unit (RFC 2181 §5).
+struct RRset {
+  Name name;
+  RRClass rrclass = RRClass::IN;
+  RRType type = RRType::A;
+  Ttl ttl = 0;  // by RFC 2181 §5.2 all members share one TTL
+  std::vector<Rdata> rdatas;
+
+  [[nodiscard]] bool empty() const noexcept { return rdatas.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rdatas.size(); }
+
+  /// Expands back into individual records.
+  [[nodiscard]] std::vector<ResourceRecord> to_records() const;
+};
+
+/// Groups records into RRsets, preserving first-seen order. Mixed TTLs
+/// within a set are normalized to the minimum (conservative, RFC 2181).
+std::vector<RRset> group_rrsets(const std::vector<ResourceRecord>& records);
+
+}  // namespace recwild::dns

@@ -1,0 +1,168 @@
+#include "dnscore/wire.hpp"
+
+namespace recwild::dns {
+
+namespace {
+
+constexpr std::uint16_t kPointerMask = 0xc000;
+constexpr std::size_t kMaxCompressionOffset = 0x3fff;
+
+/// Canonical (lower-case) text of the suffix starting at label `from`.
+std::string suffix_key(const Name& n, std::size_t from) {
+  std::string key;
+  for (std::size_t i = from; i < n.label_count(); ++i) {
+    for (const char c : n.label(i)) key.push_back(Name::to_lower(c));
+    key.push_back('.');
+  }
+  return key;
+}
+
+}  // namespace
+
+void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void WireWriter::name(const Name& n, bool compress) {
+  for (std::size_t i = 0; i < n.label_count(); ++i) {
+    if (compress) {
+      const std::string key = suffix_key(n, i);
+      const auto it = suffix_offsets_.find(key);
+      if (it != suffix_offsets_.end()) {
+        u16(static_cast<std::uint16_t>(kPointerMask | it->second));
+        return;
+      }
+      if (buf_.size() <= kMaxCompressionOffset) {
+        suffix_offsets_.emplace(key,
+                                static_cast<std::uint16_t>(buf_.size()));
+      }
+    }
+    const std::string& label = n.label(i);
+    u8(static_cast<std::uint8_t>(label.size()));
+    bytes({reinterpret_cast<const std::uint8_t*>(label.data()),
+           label.size()});
+  }
+  u8(0);  // root
+}
+
+void WireWriter::char_string(std::string_view s) {
+  if (s.size() > 255) throw WireError{"char-string exceeds 255 octets"};
+  u8(static_cast<std::uint8_t>(s.size()));
+  bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) throw WireError{"patch_u16 out of range"};
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void WireReader::require(std::size_t n) const {
+  if (pos_ + n > data_.size()) throw WireError{"truncated message"};
+}
+
+void WireReader::seek(std::size_t offset) {
+  if (offset > data_.size()) throw WireError{"seek out of range"};
+  pos_ = offset;
+}
+
+std::uint8_t WireReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  require(2);
+  const std::uint16_t v = (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1];
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  require(4);
+  const std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                          (std::uint32_t{data_[pos_ + 1]} << 16) |
+                          (std::uint32_t{data_[pos_ + 2]} << 8) |
+                          std::uint32_t{data_[pos_ + 3]};
+  pos_ += 4;
+  return v;
+}
+
+std::vector<std::uint8_t> WireReader::bytes(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void WireReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+Name WireReader::name() {
+  std::vector<std::string> labels;
+  std::size_t expanded = 1;  // root byte
+  std::size_t pos = pos_;
+  bool jumped = false;
+  std::size_t min_pointer_target = data_.size();  // pointers go strictly back
+
+  for (;;) {
+    if (pos >= data_.size()) throw WireError{"truncated name"};
+    const std::uint8_t len = data_[pos];
+    if ((len & 0xc0) == 0xc0) {
+      if (pos + 1 >= data_.size()) throw WireError{"truncated pointer"};
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | data_[pos + 1];
+      // A pointer must reference an earlier occurrence: strictly before the
+      // pointer itself, and each chained pointer strictly before the last.
+      if (target >= pos || target >= min_pointer_target) {
+        throw WireError{"compression pointer loop"};
+      }
+      min_pointer_target = target;
+      if (!jumped) {
+        pos_ = pos + 2;
+        jumped = true;
+      }
+      pos = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) throw WireError{"reserved label type"};
+    if (len == 0) {
+      if (!jumped) pos_ = pos + 1;
+      break;
+    }
+    if (pos + 1 + len > data_.size()) throw WireError{"truncated label"};
+    expanded += 1 + len;
+    if (expanded > kMaxNameWireLength) throw WireError{"name too long"};
+    labels.emplace_back(
+        reinterpret_cast<const char*>(data_.data() + pos + 1), len);
+    pos += 1 + len;
+  }
+  return Name::from_labels(std::move(labels));
+}
+
+std::string WireReader::char_string() {
+  const std::uint8_t len = u8();
+  require(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+}  // namespace recwild::dns

@@ -1,0 +1,88 @@
+// Bounds-checked wire-format primitives (RFC 1035 §4.1).
+//
+// WireWriter appends big-endian integers, raw bytes, and domain names with
+// RFC 1035 §4.1.4 compression pointers. WireReader is the inverse, with
+// strict bounds checking and compression-loop protection — a parser fed by
+// the (simulated) network must never read out of bounds or loop forever.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dnscore/name.hpp"
+
+namespace recwild::dns {
+
+/// Thrown on malformed or truncated wire data.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class WireWriter {
+ public:
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> b);
+
+  /// Writes a name, using a compression pointer when a suffix of it was
+  /// written before. Set `compress = false` inside RDATA types whose names
+  /// must not be compressed (none of our supported types require that, but
+  /// OPT option bodies are written raw).
+  void name(const Name& n, bool compress = true);
+
+  /// Character-string: length byte + up to 255 octets (RFC 1035 §3.3).
+  void char_string(std::string_view s);
+
+  /// Patches a previously-written u16 at `offset` (for RDLENGTH back-fill).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  // Canonical (lower-cased) suffix text -> offset of its first occurrence.
+  std::unordered_map<std::string, std::uint16_t> suffix_offsets_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  void seek(std::size_t offset);
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::vector<std::uint8_t> bytes(std::size_t n);
+  void skip(std::size_t n);
+
+  /// Reads a (possibly compressed) name. Pointers may only point backwards;
+  /// the total expanded length is capped at kMaxNameWireLength.
+  Name name();
+
+  std::string char_string();
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace recwild::dns

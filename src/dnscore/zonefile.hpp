@@ -1,0 +1,42 @@
+// Master-file (zone file) parser — the subset of RFC 1035 §5 that real
+// zones use: $ORIGIN and $TTL directives, '@' for the origin, relative and
+// absolute names, omitted name/TTL/class inheritance, ';' comments, quoted
+// character-strings, and multi-line records in parentheses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dnscore/record.hpp"
+
+namespace recwild::dns {
+
+/// Thrown with a line number and explanation on malformed input.
+class ZoneParseError : public std::runtime_error {
+ public:
+  ZoneParseError(std::size_t line, const std::string& what)
+      : std::runtime_error{"zone parse error at line " +
+                           std::to_string(line) + ": " + what},
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct ZoneFileOptions {
+  /// Initial origin; a $ORIGIN directive overrides it.
+  Name origin;
+  /// Default TTL when neither the record nor $TTL specifies one.
+  Ttl default_ttl = 3600;
+};
+
+/// Parses zone text into records, in file order.
+std::vector<ResourceRecord> parse_zone_text(std::string_view text,
+                                            const ZoneFileOptions& options);
+
+/// Renders records back to master-file text (absolute names, one per line).
+std::string to_zone_text(const std::vector<ResourceRecord>& records);
+
+}  // namespace recwild::dns

@@ -1,0 +1,207 @@
+#include "experiment/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace recwild::experiment {
+
+namespace {
+
+/// Index of the first query after which the VP has seen every service;
+/// -1 when it never covers. Timeouts don't count as sightings.
+int cover_index(const std::vector<int>& sequence, std::size_t services) {
+  std::set<int> seen;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    if (sequence[i] >= 0) seen.insert(sequence[i]);
+    if (seen.size() == services) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Builds the hot-cache per-VP preference profile, or nullopt if the VP
+/// never covers or has no hot-phase queries.
+std::optional<VpPreference> profile_of(const VpObservation& vp,
+                                       std::size_t services) {
+  const int cov = cover_index(vp.sequence, services);
+  if (cov < 0) return std::nullopt;
+  std::vector<std::size_t> counts(services, 0);
+  std::size_t total = 0;
+  // Hot phase: strictly after the covering query (the paper starts once
+  // every authoritative has been seen at least once).
+  for (std::size_t i = static_cast<std::size_t>(cov) + 1;
+       i < vp.sequence.size(); ++i) {
+    if (vp.sequence[i] >= 0) {
+      ++counts[static_cast<std::size_t>(vp.sequence[i])];
+      ++total;
+    }
+  }
+  if (total == 0) return std::nullopt;
+  VpPreference p;
+  p.probe_id = vp.probe_id;
+  p.continent = vp.continent;
+  p.rtt_ms = vp.rtt_ms;
+  p.queries = total;
+  p.fraction.resize(services);
+  for (std::size_t s = 0; s < services; ++s) {
+    p.fraction[s] =
+        static_cast<double>(counts[s]) / static_cast<double>(total);
+    if (p.fraction[s] > p.favourite_fraction) {
+      p.favourite_fraction = p.fraction[s];
+      p.favourite = static_cast<int>(s);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+CoverageStats analyze_coverage(const CampaignResult& result) {
+  CoverageStats out;
+  const std::size_t services = result.service_count();
+  std::vector<double> to_cover;
+  for (const auto& vp : result.vps) {
+    const bool any_answer =
+        std::any_of(vp.sequence.begin(), vp.sequence.end(),
+                    [](int s) { return s >= 0; });
+    if (!any_answer) continue;
+    ++out.vps_considered;
+    const int cov = cover_index(vp.sequence, services);
+    if (cov >= 0) {
+      ++out.vps_covering;
+      // "Queries after the first one": covering at query index k means k
+      // additional queries were needed.
+      to_cover.push_back(static_cast<double>(cov));
+    }
+  }
+  out.covering_fraction =
+      stats::share(out.vps_covering, out.vps_considered);
+  out.queries_to_cover = stats::box_stats(to_cover);
+  return out;
+}
+
+ShareStats analyze_shares(const CampaignResult& result) {
+  ShareStats out;
+  out.codes = result.service_codes;
+  const std::size_t services = result.service_count();
+  std::vector<std::size_t> counts(services, 0);
+  std::vector<stats::Sample> rtts(services);
+  for (const auto& vp : result.vps) {
+    const auto profile = profile_of(vp, services);
+    if (!profile) continue;
+    for (std::size_t s = 0; s < services; ++s) {
+      counts[s] += static_cast<std::size_t>(
+          profile->fraction[s] * static_cast<double>(profile->queries) +
+          0.5);
+      rtts[s].add(vp.rtt_ms[s]);
+    }
+  }
+  std::size_t total = 0;
+  for (const auto c : counts) total += c;
+  out.total_queries = total;
+  out.query_share.resize(services);
+  out.median_rtt_ms.resize(services);
+  for (std::size_t s = 0; s < services; ++s) {
+    out.query_share[s] = stats::share(counts[s], total);
+    out.median_rtt_ms[s] = rtts[s].empty() ? 0.0 : rtts[s].median();
+  }
+  return out;
+}
+
+PreferenceStats analyze_preferences(const CampaignResult& result,
+                                    double rtt_diff_threshold_ms) {
+  PreferenceStats out;
+  const std::size_t services = result.service_count();
+  for (const auto& vp : result.vps) {
+    if (auto p = profile_of(vp, services)) out.vps.push_back(std::move(*p));
+  }
+
+  std::size_t weak = 0;
+  std::size_t strong = 0;
+  std::size_t rtt_eligible = 0;
+  std::size_t rtt_following = 0;
+  for (const auto& p : out.vps) {
+    if (p.favourite_fraction >= kWeakPreference) ++weak;
+    if (p.favourite_fraction >= kStrongPreference) ++strong;
+
+    // RTT-based test: only VPs whose fastest and slowest authoritative
+    // differ by at least the threshold (the paper's 50 ms rule).
+    const auto [lo, hi] =
+        std::minmax_element(p.rtt_ms.begin(), p.rtt_ms.end());
+    if (*hi - *lo >= rtt_diff_threshold_ms) {
+      ++rtt_eligible;
+      const auto fastest = static_cast<int>(lo - p.rtt_ms.begin());
+      if (p.favourite == fastest &&
+          p.favourite_fraction >= kWeakPreference) {
+        ++rtt_following;
+      }
+    }
+  }
+  out.weak_fraction = stats::share(weak, out.vps.size());
+  out.strong_fraction = stats::share(strong, out.vps.size());
+  out.rtt_eligible_vps = rtt_eligible;
+  out.rtt_following_fraction = stats::share(rtt_following, rtt_eligible);
+
+  // Per-continent aggregation (Table 2).
+  for (const net::Continent c : net::all_continents()) {
+    ContinentPreference cp;
+    cp.continent = c;
+    std::vector<double> counts(services, 0.0);
+    std::vector<stats::Sample> rtts(services);
+    double total = 0;
+    std::size_t cweak = 0;
+    std::size_t cstrong = 0;
+    for (const auto& p : out.vps) {
+      if (p.continent != c) continue;
+      ++cp.vp_count;
+      if (p.favourite_fraction >= kWeakPreference) ++cweak;
+      if (p.favourite_fraction >= kStrongPreference) ++cstrong;
+      for (std::size_t s = 0; s < services; ++s) {
+        counts[s] += p.fraction[s] * static_cast<double>(p.queries);
+        rtts[s].add(p.rtt_ms[s]);
+      }
+      total += static_cast<double>(p.queries);
+    }
+    cp.query_share.resize(services, 0.0);
+    cp.median_rtt_ms.resize(services, 0.0);
+    for (std::size_t s = 0; s < services; ++s) {
+      cp.query_share[s] = total > 0 ? counts[s] / total : 0.0;
+      cp.median_rtt_ms[s] = rtts[s].empty() ? 0.0 : rtts[s].median();
+    }
+    cp.weak_fraction = stats::share(cweak, cp.vp_count);
+    cp.strong_fraction = stats::share(cstrong, cp.vp_count);
+    out.continents.push_back(std::move(cp));
+  }
+  return out;
+}
+
+std::vector<RttSensitivityPoint> analyze_rtt_sensitivity(
+    const CampaignResult& result) {
+  const PreferenceStats prefs = analyze_preferences(result);
+  std::vector<RttSensitivityPoint> out;
+  for (const auto& cp : prefs.continents) {
+    if (cp.vp_count == 0) continue;
+    for (std::size_t s = 0; s < result.service_count(); ++s) {
+      RttSensitivityPoint pt;
+      pt.continent = cp.continent;
+      pt.code = result.service_codes[s];
+      pt.median_rtt_ms = cp.median_rtt_ms[s];
+      pt.query_fraction = cp.query_share[s];
+      pt.vp_count = cp.vp_count;
+      out.push_back(std::move(pt));
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<net::Continent, double>> fraction_to_service(
+    const CampaignResult& result, std::size_t service_index) {
+  const PreferenceStats prefs = analyze_preferences(result);
+  std::vector<std::pair<net::Continent, double>> out;
+  for (const auto& cp : prefs.continents) {
+    if (cp.vp_count == 0) continue;
+    out.emplace_back(cp.continent, cp.query_share.at(service_index));
+  }
+  return out;
+}
+
+}  // namespace recwild::experiment

@@ -1,0 +1,94 @@
+// Analyses over campaign results — one function per paper figure/table.
+//
+// Terminology follows the paper:
+//  * a VP "covers" the deployment when it has received answers from every
+//    test authoritative at least once (hot-cache condition, §4.2);
+//  * "weak preference": a VP sends >= 60% of its queries to one
+//    authoritative; "strong preference": >= 90% (§4.3);
+//  * "RTT-based": among VPs whose RTT difference between authoritatives is
+//    at least 50 ms, those that prefer the faster one (§4.3).
+#pragma once
+
+#include <optional>
+
+#include "experiment/campaign.hpp"
+#include "stats/summary.hpp"
+
+namespace recwild::experiment {
+
+inline constexpr double kWeakPreference = 0.60;
+inline constexpr double kStrongPreference = 0.90;
+inline constexpr double kRttDiffThresholdMs = 50.0;
+
+/// Figure 2: how many queries after the first until a VP has seen all
+/// authoritatives.
+struct CoverageStats {
+  std::size_t vps_considered = 0;   // VPs with at least one answer
+  std::size_t vps_covering = 0;     // VPs that eventually saw all
+  double covering_fraction = 0.0;   // the x-axis percentage of Fig 2
+  std::optional<stats::BoxStats> queries_to_cover;  // Fig 2 box/whiskers
+};
+CoverageStats analyze_coverage(const CampaignResult& result);
+
+/// Figure 3: per-authoritative query share (hot-cache) and median RTT.
+struct ShareStats {
+  std::vector<std::string> codes;
+  std::vector<double> query_share;   // sums to ~1 over services
+  std::vector<double> median_rtt_ms; // median over covering VPs
+  std::size_t total_queries = 0;
+};
+ShareStats analyze_shares(const CampaignResult& result);
+
+/// Per-VP preference profile (hot-cache phase).
+struct VpPreference {
+  std::size_t probe_id = 0;
+  net::Continent continent = net::Continent::Europe;
+  std::vector<double> fraction;  // per service; sums to 1
+  std::vector<double> rtt_ms;    // per service
+  std::size_t queries = 0;
+  int favourite = -1;            // argmax fraction
+  double favourite_fraction = 0.0;
+};
+
+/// Figure 4 + Table 2 inputs.
+struct ContinentPreference {
+  net::Continent continent;
+  std::size_t vp_count = 0;
+  std::vector<double> query_share;    // Table 2 "%" row
+  std::vector<double> median_rtt_ms;  // Table 2 "RTT" row
+  double weak_fraction = 0.0;
+  double strong_fraction = 0.0;
+};
+
+struct PreferenceStats {
+  std::vector<VpPreference> vps;  // covering VPs only
+  std::vector<ContinentPreference> continents;
+  double weak_fraction = 0.0;    // across all covering VPs
+  double strong_fraction = 0.0;
+  /// Among VPs with >= threshold RTT difference: fraction whose favourite
+  /// is also the fastest authoritative.
+  double rtt_following_fraction = 0.0;
+  std::size_t rtt_eligible_vps = 0;
+};
+PreferenceStats analyze_preferences(
+    const CampaignResult& result,
+    double rtt_diff_threshold_ms = kRttDiffThresholdMs);
+
+/// Figure 5: per (continent, authoritative): the median RTT VPs see to it
+/// and the fraction of the continent's queries it receives.
+struct RttSensitivityPoint {
+  net::Continent continent;
+  std::string code;
+  double median_rtt_ms = 0.0;
+  double query_fraction = 0.0;
+  std::size_t vp_count = 0;
+};
+std::vector<RttSensitivityPoint> analyze_rtt_sensitivity(
+    const CampaignResult& result);
+
+/// Figure 6 helper: fraction of (hot-cache) queries going to service
+/// `service_index`, per continent.
+std::vector<std::pair<net::Continent, double>> fraction_to_service(
+    const CampaignResult& result, std::size_t service_index);
+
+}  // namespace recwild::experiment

@@ -1,0 +1,89 @@
+#include "experiment/campaign.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace recwild::experiment {
+
+CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
+  auto& sim = testbed.sim();
+  auto& network = testbed.network();
+  auto& vps = testbed.population().vps();
+  const auto& services = testbed.test_services();
+
+  CampaignResult result;
+  for (const auto& svc : services) result.service_codes.push_back(svc.name());
+
+  struct VpState {
+    std::vector<int> sequence;
+    std::unordered_map<net::IpAddress, std::size_t> recursive_use;
+  };
+  std::vector<VpState> states(vps.size());
+
+  stats::Rng rng = sim.rng().fork("campaign");
+  const dns::Name domain = testbed.test_domain();
+
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    auto& vp = vps[v];
+    const net::Duration phase =
+        config.phase_jitter
+            ? net::Duration::millis(rng.uniform(0.0, config.interval.ms()))
+            : net::Duration::zero();
+    for (std::size_t k = 0; k < config.queries_per_vp; ++k) {
+      const net::SimTime at =
+          net::SimTime::origin() + phase + config.interval * double(k);
+      sim.at(at, [&testbed, &states, &vp, v, k, domain] {
+        const dns::Name qname = domain.prefixed(
+            "q" + std::to_string(vp.probe_id) + "x" + std::to_string(k));
+        vp.stub->query(
+            qname, dns::RRType::TXT,
+            [&testbed, &states, &vp, v](const client::StubResult& r) {
+              int idx = -1;
+              if (!r.timed_out && !r.txt.empty()) {
+                idx = testbed.test_index_of(r.txt.front());
+              }
+              states[v].sequence.push_back(idx);
+              if (r.recursive_index < vp.stub->recursives().size()) {
+                states[v].recursive_use
+                    [vp.stub->recursives()[r.recursive_index]]++;
+              }
+            });
+      });
+    }
+  }
+
+  sim.run();
+
+  // Assemble observations.
+  result.vps.reserve(vps.size());
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    VpObservation obs;
+    obs.probe_id = vps[v].probe_id;
+    obs.continent = vps[v].continent;
+    obs.sequence = std::move(states[v].sequence);
+
+    // Primary recursive: the one that served the most queries.
+    net::IpAddress primary{};
+    std::size_t best = 0;
+    for (const auto& [addr, n] : states[v].recursive_use) {
+      if (n > best) {
+        best = n;
+        primary = addr;
+      }
+    }
+    obs.recursive_addr = primary;
+
+    const net::NodeId rnode = testbed.recursive_node(primary);
+    obs.rtt_ms.resize(services.size(), 0.0);
+    if (rnode != net::kInvalidNode) {
+      for (std::size_t s = 0; s < services.size(); ++s) {
+        obs.rtt_ms[s] =
+            network.base_rtt_to(rnode, services[s].address()).ms();
+      }
+    }
+    result.vps.push_back(std::move(obs));
+  }
+  return result;
+}
+
+}  // namespace recwild::experiment

@@ -1,0 +1,49 @@
+// Measurement campaign: the simulated equivalent of the paper's RIPE Atlas
+// runs (§3.1). Every vantage point queries a unique cache-busting TXT label
+// under the test domain at a fixed interval; the TXT payload identifies
+// which authoritative answered. Client-side observations are collected per
+// VP, exactly as the paper collects per-probe results from Atlas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiment/testbed.hpp"
+
+namespace recwild::experiment {
+
+struct CampaignConfig {
+  /// Probing interval (paper: 2 minutes; §4.4 sweeps 5..30).
+  net::Duration interval = net::Duration::minutes(2);
+  /// Queries per VP including the first (paper: 1 hour at 2 min = 31).
+  std::size_t queries_per_vp = 31;
+  /// Random start phase within the first interval, to de-synchronize VPs.
+  bool phase_jitter = true;
+};
+
+/// Per-VP campaign observations.
+struct VpObservation {
+  std::size_t probe_id = 0;
+  net::Continent continent = net::Continent::Europe;
+  /// The recursive that served most of this VP's queries.
+  net::IpAddress recursive_addr;
+  /// Per query: index into Testbed::test_services(), or -1 on timeout.
+  std::vector<int> sequence;
+  /// Stable RTT from the VP's primary recursive to each test authoritative
+  /// (ms) — the latency the recursive's selection policy experiences.
+  std::vector<double> rtt_ms;
+};
+
+struct CampaignResult {
+  std::vector<std::string> service_codes;
+  std::vector<VpObservation> vps;
+
+  [[nodiscard]] std::size_t service_count() const noexcept {
+    return service_codes.size();
+  }
+};
+
+/// Runs the campaign to completion on the testbed's simulation.
+CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config);
+
+}  // namespace recwild::experiment

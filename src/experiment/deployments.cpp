@@ -1,0 +1,80 @@
+#include "experiment/deployments.hpp"
+
+#include <stdexcept>
+
+namespace recwild::experiment {
+
+std::vector<AuthCombination> table1_combinations() {
+  return {
+      {"2A", {"GRU", "NRT"}},
+      {"2B", {"DUB", "FRA"}},
+      {"2C", {"FRA", "SYD"}},
+      {"3A", {"GRU", "NRT", "SYD"}},
+      {"3B", {"DUB", "FRA", "IAD"}},
+      {"4A", {"GRU", "NRT", "SYD", "DUB"}},
+      {"4B", {"DUB", "FRA", "IAD", "SFO"}},
+  };
+}
+
+AuthCombination combination(const std::string& id) {
+  for (auto& c : table1_combinations()) {
+    if (c.id == id) return c;
+  }
+  throw std::invalid_argument{"unknown Table-1 combination " + id};
+}
+
+std::vector<ServiceSpec> root_letter_specs() {
+  // Scaled-down root: relative footprint sizes follow the 2017 root
+  // (L/D/J/K/F/I large, B/H tiny). Letters with many sites get global
+  // coverage; small letters sit in one region — which is what creates the
+  // per-recursive latency differences between letters.
+  return {
+      {"a-root", {"IAD", "FRA", "HKG", "LAX"}},
+      {"b-root", {"LAX"}},
+      {"c-root", {"IAD", "ORD", "FRA", "MAD"}},
+      {"d-root", {"IAD", "LHR", "NRT", "GRU", "SYD", "JNB", "ORD", "SIN"}},
+      {"e-root", {"IAD", "AMS", "SIN", "SFO"}},
+      {"f-root", {"SFO", "AMS", "HKG", "GRU", "JNB", "SYD", "ORD"}},
+      {"g-root", {"IAD", "FRA"}},
+      {"h-root", {"IAD", "AMS"}},
+      {"i-root", {"ARN", "LHR", "HKG", "IAD", "GRU", "PER", "NBO"}},
+      {"j-root", {"IAD", "LHR", "FRA", "NRT", "SIN", "GRU", "SYD", "LAX"}},
+      {"k-root", {"AMS", "LHR", "FRA", "NRT", "IAD", "BOM", "GRU"}},
+      {"l-root", {"LAX", "IAD", "AMS", "FRA", "SIN", "NRT", "SYD", "GRU",
+                  "JNB", "ORD"}},
+      {"m-root", {"NRT", "CDG", "SFO", "SIN"}},
+  };
+}
+
+std::vector<ServiceSpec> nl_service_specs() {
+  // Per the paper: 5 unicast authoritatives in the Netherlands plus 3
+  // anycast services with worldwide sites (80+ sites in reality; the
+  // relative shape — NL-only unicast vs global anycast — is what matters).
+  return {
+      {"nl-unicast-1", {"AMS"}},
+      {"nl-unicast-2", {"AMS"}},
+      {"nl-unicast-3", {"AMS"}},
+      {"nl-unicast-4", {"AMS"}},
+      {"nl-unicast-5", {"AMS"}},
+      {"nl-anycast-1",
+       {"AMS", "LHR", "IAD", "SFO", "NRT", "SIN", "GRU", "SYD"}},
+      {"nl-anycast-2", {"AMS", "FRA", "ORD", "HKG", "JNB", "SCL"}},
+      {"nl-anycast-3", {"AMS", "CDG", "IAD", "LAX", "NRT", "BOM", "GRU"}},
+  };
+}
+
+std::vector<ServiceSpec> nl_all_anycast_specs() {
+  return {
+      {"nl-anycast-1",
+       {"AMS", "LHR", "IAD", "SFO", "NRT", "SIN", "GRU", "SYD"}},
+      {"nl-anycast-2", {"AMS", "FRA", "ORD", "HKG", "JNB", "SCL"}},
+      {"nl-anycast-3", {"AMS", "CDG", "IAD", "LAX", "NRT", "BOM", "GRU"}},
+      {"nl-anycast-4", {"AMS", "MAD", "SEA", "ICN", "SYD", "LIM"}},
+      {"nl-anycast-5", {"AMS", "WAW", "DFW", "TPE", "CPT", "BUE"}},
+      {"nl-anycast-6", {"AMS", "MIL", "YUL", "DEL", "AKL", "BOG"}},
+      {"nl-anycast-7", {"AMS", "OSL", "ATL", "BKK", "MEL", "LOS"}},
+      {"nl-anycast-8", {"AMS", "ZRH", "MEX", "DXB", "WLG", "CAI"}},
+  };
+}
+
+}  // namespace recwild::experiment

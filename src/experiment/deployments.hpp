@@ -1,0 +1,48 @@
+// Deployment specifications from the paper.
+//
+//  * Table 1: the seven authoritative combinations (2A..4B) deployed for
+//    the testbed measurements, identified by AWS datacenter airport codes.
+//  * The Root DNS: 13 letters, each an anycast service with its own
+//    address; site counts follow the 2017 shape (a few letters with many
+//    sites, some with few), scaled down for simulation cost.
+//  * The .nl ccTLD as of the paper (§7): 8 authoritative services — 5
+//    unicast in the Netherlands and 3 anycast worldwide.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace recwild::experiment {
+
+/// One Table-1 row: combination id and the datacenters hosting one
+/// unicast authoritative each.
+struct AuthCombination {
+  std::string id;                  // "2A" .. "4B"
+  std::vector<std::string> sites;  // airport codes
+};
+
+/// All seven combinations of Table 1.
+std::vector<AuthCombination> table1_combinations();
+
+/// Looks up a combination by id ("2C"); throws std::invalid_argument.
+AuthCombination combination(const std::string& id);
+
+/// An anycast service blueprint: a name and its site codes.
+struct ServiceSpec {
+  std::string label;                   // "a-root", "nl-anycast-1", ...
+  std::vector<std::string> site_codes; // 1 => unicast
+};
+
+/// The 13 root letters. Site lists reproduce the *shape* of the 2017 root:
+/// site counts differ per letter by an order of magnitude and mix regional
+/// and global presence.
+std::vector<ServiceSpec> root_letter_specs();
+
+/// The 8 .nl services: 5 unicast (Netherlands) + 3 anycast (global).
+std::vector<ServiceSpec> nl_service_specs();
+
+/// An all-anycast variant of the .nl deployment (the paper's §7
+/// recommendation): every service gets a global anycast footprint.
+std::vector<ServiceSpec> nl_all_anycast_specs();
+
+}  // namespace recwild::experiment

@@ -1,0 +1,112 @@
+#include "experiment/export.hpp"
+
+#include <cstdio>
+
+namespace recwild::experiment {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void write_campaign_csv(std::ostream& out, const CampaignResult& result) {
+  CsvWriter csv{out};
+  csv.row({"probe_id", "continent", "recursive", "query_index", "service"});
+  for (const auto& vp : result.vps) {
+    for (std::size_t k = 0; k < vp.sequence.size(); ++k) {
+      const int s = vp.sequence[k];
+      csv.row({std::to_string(vp.probe_id),
+               std::string{net::continent_code(vp.continent)},
+               vp.recursive_addr.to_string(), std::to_string(k),
+               s >= 0 ? result.service_codes.at(
+                            static_cast<std::size_t>(s))
+                      : std::string{}});
+    }
+  }
+}
+
+void write_preferences_csv(std::ostream& out, const CampaignResult& result) {
+  const auto prefs = analyze_preferences(result);
+  CsvWriter csv{out};
+  std::vector<std::string> header{"probe_id", "continent", "queries",
+                                  "favourite", "favourite_fraction"};
+  for (const auto& code : result.service_codes) {
+    header.push_back("fraction_" + code);
+  }
+  for (const auto& code : result.service_codes) {
+    header.push_back("rtt_" + code);
+  }
+  csv.row(header);
+  for (const auto& p : prefs.vps) {
+    std::vector<std::string> row{
+        std::to_string(p.probe_id),
+        std::string{net::continent_code(p.continent)},
+        std::to_string(p.queries),
+        p.favourite >= 0
+            ? result.service_codes.at(static_cast<std::size_t>(p.favourite))
+            : std::string{},
+        CsvWriter::num(p.favourite_fraction)};
+    for (const double f : p.fraction) row.push_back(CsvWriter::num(f));
+    for (const double r : p.rtt_ms) row.push_back(CsvWriter::num(r));
+    csv.row(row);
+  }
+}
+
+void write_shares_csv(std::ostream& out, const CampaignResult& result) {
+  const auto shares = analyze_shares(result);
+  CsvWriter csv{out};
+  csv.row({"service", "share", "median_rtt_ms"});
+  for (std::size_t s = 0; s < shares.codes.size(); ++s) {
+    csv.row({shares.codes[s], CsvWriter::num(shares.query_share[s]),
+             CsvWriter::num(shares.median_rtt_ms[s])});
+  }
+}
+
+void write_production_csv(std::ostream& out, const ProductionResult& result) {
+  CsvWriter csv{out};
+  std::vector<std::string> header{"address", "continent", "policy", "total"};
+  for (std::size_t r = 1; r <= result.service_labels.size(); ++r) {
+    header.push_back("share_rank" + std::to_string(r));
+  }
+  csv.row(header);
+  for (const auto& t : result.recursives) {
+    std::vector<double> shares;
+    for (const auto c : t.per_service) {
+      shares.push_back(t.total ? double(c) / double(t.total) : 0.0);
+    }
+    std::sort(shares.rbegin(), shares.rend());
+    std::vector<std::string> row{
+        t.address.to_string(),
+        std::string{net::continent_code(t.continent)},
+        std::string{resolver::to_string(t.policy)},
+        std::to_string(t.total)};
+    for (const double s : shares) row.push_back(CsvWriter::num(s));
+    csv.row(row);
+  }
+}
+
+}  // namespace recwild::experiment

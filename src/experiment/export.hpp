@@ -1,0 +1,45 @@
+// CSV export of experiment results, for plotting the figures with external
+// tooling (gnuplot/matplotlib). One file per analysis; columns are
+// documented in each function.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "experiment/analysis.hpp"
+#include "experiment/production.hpp"
+
+namespace recwild::experiment {
+
+/// Minimal CSV writing: quotes fields containing separators/quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; values are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double v);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Per-VP campaign observations:
+/// probe_id,continent,recursive,query_index,service (empty on timeout)
+void write_campaign_csv(std::ostream& out, const CampaignResult& result);
+
+/// Per-VP hot-phase preference profile:
+/// probe_id,continent,queries,favourite,favourite_fraction,
+/// then fraction_<code> and rtt_<code> per service.
+void write_preferences_csv(std::ostream& out, const CampaignResult& result);
+
+/// Aggregate per-service shares: service,share,median_rtt_ms.
+void write_shares_csv(std::ostream& out, const CampaignResult& result);
+
+/// Figure-7 style rank distribution:
+/// address,continent,policy,total, then share_rank1..N.
+void write_production_csv(std::ostream& out, const ProductionResult& result);
+
+}  // namespace recwild::experiment

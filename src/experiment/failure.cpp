@@ -1,0 +1,161 @@
+#include "experiment/failure.hpp"
+
+#include <algorithm>
+
+#include "stats/distributions.hpp"
+#include "stats/summary.hpp"
+
+namespace recwild::experiment {
+
+namespace {
+
+struct Sample {
+  double at_min = 0;
+  bool success = false;
+  double latency_ms = 0;
+};
+
+PhaseStats aggregate(const std::vector<Sample>& samples, double from_min,
+                     double to_min) {
+  PhaseStats out;
+  stats::Sample latencies;
+  std::size_t ok = 0;
+  for (const auto& s : samples) {
+    if (s.at_min < from_min || s.at_min >= to_min) continue;
+    ++out.queries;
+    if (s.success) {
+      ++ok;
+      latencies.add(s.latency_ms);
+    }
+  }
+  out.success_rate = stats::share(ok, out.queries);
+  if (!latencies.empty()) {
+    out.median_latency_ms = latencies.median();
+    out.p90_latency_ms = latencies.quantile(0.90);
+  }
+  return out;
+}
+
+}  // namespace
+
+FailureResult run_failure_scenario(Testbed& testbed,
+                                   const FailureScenarioConfig& config) {
+  auto& sim = testbed.sim();
+  auto& network = testbed.network();
+  stats::Rng rng = sim.rng().fork("failure-scenario");
+
+  // Sources: worldwide recursives with steady Poisson demand.
+  struct Source {
+    std::unique_ptr<resolver::RecursiveResolver> resolver;
+    std::uint64_t counter = 0;
+  };
+  std::vector<std::unique_ptr<Source>> sources;
+  const auto continents = net::all_continents();
+  for (std::size_t i = 0; i < config.recursives; ++i) {
+    const auto continent = continents[rng.index(continents.size())];
+    const auto cities = net::locations_on(continent);
+    const auto& city = cities[rng.index(cities.size())];
+    auto src = std::make_unique<Source>();
+    resolver::ResolverConfig rc;
+    rc.name = "fail-recursive-" + std::to_string(i);
+    rc.policy = resolver::PolicyMixture::wild().draw(rng);
+    src->resolver = std::make_unique<resolver::RecursiveResolver>(
+        network, network.add_node(rc.name, city.point),
+        network.allocate_address(), std::move(rc), testbed.hints(),
+        rng.fork("fail-" + std::to_string(i)));
+    src->resolver->start();
+    sources.push_back(std::move(src));
+  }
+
+  const net::SimTime end = net::SimTime::origin() +
+                           net::Duration::minutes(config.duration_minutes);
+  auto samples = std::make_shared<std::vector<Sample>>();
+
+  // Poisson arrivals of unique (cache-defeating) TLD lookups.
+  struct Scheduler {
+    static void next(net::Simulation& sim, Source& src, net::SimTime end,
+                     stats::Rng& rng, double per_min,
+                     std::shared_ptr<std::vector<Sample>> samples) {
+      const double gap_min = rng.exponential(1.0 / per_min);
+      const net::SimTime at = sim.now() + net::Duration::minutes(gap_min);
+      if (at > end) return;
+      sim.at(at, [&sim, &src, end, &rng, per_min, samples] {
+        const std::string label =
+            "f" + std::to_string(src.resolver->address().bits()) + "q" +
+            std::to_string(src.counter++);
+        const double started_min = sim.now().minutes();
+        src.resolver->resolve(
+            dns::Question{dns::Name::parse(label), dns::RRType::A,
+                          dns::RRClass::IN},
+            [samples, started_min](const resolver::ResolveOutcome& out) {
+              Sample s;
+              s.at_min = started_min;
+              // Junk TLDs resolve to NXDOMAIN on success; SERVFAIL (or a
+              // timeout-driven SERVFAIL) means the root was unreachable.
+              s.success = out.rcode != dns::Rcode::ServFail;
+              s.latency_ms = out.elapsed.ms();
+              samples->push_back(s);
+            });
+        next(sim, src, end, rng, per_min, samples);
+      });
+    }
+  };
+  for (auto& src : sources) {
+    Scheduler::next(sim, *src, end, rng, config.queries_per_minute, samples);
+  }
+
+  // The failure event.
+  const double start_min = config.duration_minutes * config.event_start_frac;
+  const double end_min = config.duration_minutes * config.event_end_frac;
+  auto set_targets_down = [&testbed, &config](bool down) {
+    for (const std::size_t t : config.targets) {
+      auto& svc = testbed.roots().at(t);
+      if (config.kind == FailureKind::ServiceDown) {
+        svc.set_all_down(down);
+      } else {
+        const auto n_sites = svc.site_count();
+        const auto hit = static_cast<std::size_t>(
+            std::max(1.0, config.site_fraction * double(n_sites)));
+        for (std::size_t s = 0; s < hit && s < n_sites; ++s) {
+          svc.set_site_down(s, down);
+        }
+      }
+    }
+  };
+  sim.at(net::SimTime::origin() + net::Duration::minutes(start_min),
+         [set_targets_down] { set_targets_down(true); });
+  sim.at(net::SimTime::origin() + net::Duration::minutes(end_min),
+         [set_targets_down] { set_targets_down(false); });
+
+  sim.run();
+
+  // Aggregate.
+  FailureResult result;
+  result.before = aggregate(*samples, 0, start_min);
+  result.during = aggregate(*samples, start_min, end_min);
+  result.after = aggregate(*samples, end_min, config.duration_minutes);
+
+  const auto minutes = static_cast<std::size_t>(config.duration_minutes);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    const auto phase =
+        aggregate(*samples, double(m), double(m + 1));
+    result.minute_success.push_back(phase.queries ? phase.success_rate
+                                                  : -1.0);
+    result.minute_latency_ms.push_back(
+        phase.queries ? phase.median_latency_ms : -1.0);
+  }
+
+  // Letter shares during the event, from the authoritative logs' totals
+  // (the logs span the whole run; approximate the event share with the
+  // full-run share of received queries — black-holed sites still log).
+  std::uint64_t total = 0;
+  for (auto& letter : testbed.roots()) total += letter.total_queries();
+  for (auto& letter : testbed.roots()) {
+    result.letter_labels.push_back(letter.name());
+    result.letter_share_during.push_back(
+        total ? double(letter.total_queries()) / double(total) : 0.0);
+  }
+  return result;
+}
+
+}  // namespace recwild::experiment

@@ -1,0 +1,69 @@
+// Failure / DDoS scenarios (paper §7 "Other Considerations": anycast is
+// important to mitigate DDoS [Moura et al. 2016, the Nov 2015 Root
+// event]).
+//
+// A population of recursives resolves continuously while a failure event
+// takes out root letters (whole services) or a fraction of their anycast
+// sites mid-run. The result is a per-minute time series of resolution
+// success and latency plus before/during/after aggregates — showing how
+// recursive failover across NSes absorbs the loss of authoritatives.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "experiment/testbed.hpp"
+
+namespace recwild::experiment {
+
+enum class FailureKind : unsigned char {
+  /// Entire services (letters) stop answering everywhere.
+  ServiceDown,
+  /// A fraction of each targeted service's anycast sites go dark; their
+  /// catchments black-hole while other sites keep answering.
+  SitesDown,
+};
+
+struct FailureScenarioConfig {
+  FailureKind kind = FailureKind::ServiceDown;
+  /// Indices into Testbed::roots() of the services hit by the event.
+  std::vector<std::size_t> targets;
+  /// For SitesDown: fraction of each target's sites taken down.
+  double site_fraction = 1.0;
+
+  std::size_t recursives = 200;
+  double duration_minutes = 30;
+  /// Event window, as fractions of the run.
+  double event_start_frac = 1.0 / 3;
+  double event_end_frac = 2.0 / 3;
+  /// Mean per-recursive queries per minute.
+  double queries_per_minute = 6.0;
+};
+
+struct PhaseStats {
+  std::size_t queries = 0;
+  double success_rate = 0.0;   // NOERROR/NXDOMAIN answers vs SERVFAIL
+  double median_latency_ms = 0.0;
+  double p90_latency_ms = 0.0;
+};
+
+struct FailureResult {
+  PhaseStats before;
+  PhaseStats during;
+  PhaseStats after;
+  /// Per-minute resolution success rate over the whole run.
+  std::vector<double> minute_success;
+  /// Per-minute median resolution latency (ms; -1 where no samples).
+  std::vector<double> minute_latency_ms;
+  /// Query share absorbed by each root letter during the event window
+  /// (aligned with Testbed::roots()).
+  std::vector<double> letter_share_during;
+  std::vector<std::string> letter_labels;
+};
+
+/// Runs the scenario on a testbed built WITHOUT a VP population.
+FailureResult run_failure_scenario(Testbed& testbed,
+                                   const FailureScenarioConfig& config);
+
+}  // namespace recwild::experiment

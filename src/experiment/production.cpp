@@ -1,0 +1,270 @@
+#include "experiment/production.hpp"
+
+#include <algorithm>
+
+#include "stats/distributions.hpp"
+
+namespace recwild::experiment {
+
+namespace {
+
+using net::Continent;
+
+struct Source {
+  std::unique_ptr<resolver::RecursiveResolver> resolver;
+  Continent continent = Continent::Europe;
+  resolver::PolicyKind policy = resolver::PolicyKind::BindSrtt;
+  double rate_per_sec = 0.0;
+  std::uint64_t counter = 0;
+};
+
+/// Schedules Poisson arrivals of cache-busting lookups until `end`.
+void schedule_next(net::Simulation& sim, Source& src, net::SimTime end,
+                   stats::Rng& rng, ProductionTarget target) {
+  const double gap_s = rng.exponential(1.0 / src.rate_per_sec);
+  const net::SimTime at = sim.now() + net::Duration::seconds(gap_s);
+  if (at > end) return;
+  sim.at(at, [&sim, &src, end, &rng, target] {
+    const std::string label =
+        "x" + std::to_string(src.resolver->address().bits()) + "n" +
+        std::to_string(src.counter++);
+    dns::Name qname = target == ProductionTarget::Root
+                          ? dns::Name::parse(label)
+                          : dns::Name::parse(label + ".nl");
+    src.resolver->resolve(
+        dns::Question{std::move(qname), dns::RRType::A, dns::RRClass::IN},
+        [](const resolver::ResolveOutcome&) {});
+    schedule_next(sim, src, end, rng, target);
+  });
+}
+
+}  // namespace
+
+double ProductionResult::fraction_at_least(std::size_t n) const {
+  double f = 0;
+  for (std::size_t i = n; i <= fraction_querying.size(); ++i) {
+    f += fraction_querying[i - 1];
+  }
+  return f;
+}
+
+ProductionResult run_production(Testbed& testbed,
+                                const ProductionConfig& config) {
+  auto& sim = testbed.sim();
+  auto& network = testbed.network();
+  stats::Rng rng = sim.rng().fork("production");
+
+  // Observed service group.
+  auto& group = config.target == ProductionTarget::Root
+                    ? testbed.roots()
+                    : testbed.nl_services();
+  std::vector<std::size_t> observed;
+  if (config.target == ProductionTarget::Root) {
+    // DITL-2017: letters B, G and L missing (indices 1, 6, 11).
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i != 1 && i != 6 && i != 11) observed.push_back(i);
+    }
+  } else {
+    // 4 of the 8 .nl authoritatives: two unicast, two anycast.
+    observed = {0, 1, 5, 6};
+  }
+
+  // Aggregates only at the authoritatives: drop per-packet log entries.
+  for (auto& svc : group) {
+    for (auto& site : svc.sites()) {
+      site.server->log().set_retain_entries(false);
+    }
+  }
+
+  // Build the busy-recursive population.
+  const stats::WeightedSampler continent_sampler{
+      {config.weight_af, config.weight_as, config.weight_eu,
+       config.weight_na, config.weight_oc, config.weight_sa}};
+  const std::vector<Continent> continents{
+      Continent::Africa,       Continent::Asia,    Continent::Europe,
+      Continent::NorthAmerica, Continent::Oceania, Continent::SouthAmerica};
+
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(config.recursives);
+  for (std::size_t i = 0; i < config.recursives; ++i) {
+    const Continent c = continents[continent_sampler.sample(rng)];
+    const auto cities = net::locations_on(c);
+    const auto& city = cities[rng.index(cities.size())];
+    net::GeoPoint loc = city.point;
+    loc.lat_deg += rng.uniform(-2.0, 2.0);
+    loc.lon_deg += rng.uniform(-2.0, 2.0);
+    const net::NodeId node =
+        network.add_node("prod-recursive-" + std::to_string(i), loc);
+
+    auto src = std::make_unique<Source>();
+    src->continent = c;
+    src->policy = config.mixture.draw(rng);
+    resolver::ResolverConfig rc;
+    rc.name = "prod-recursive-" + std::to_string(i);
+    rc.policy = src->policy;
+    rc.selection.bind_decay = config.bind_decay;
+    if (config.warm_start) {
+      // Steady-state resolvers keep their infra entries alive through
+      // background traffic the synthesizer doesn't generate; stop the
+      // 10-minute expiry from re-triggering cold-start probing mid-hour.
+      rc.infra.entry_ttl = net::Duration::hours(24);
+    }
+
+    // Reachability holes: some letters are simply never reachable from
+    // some recursives (routing/filtering); drop them from this source's
+    // world view.
+    std::vector<resolver::RootHint> hints;
+    for (const auto& h : testbed.hints()) {
+      if (!rng.chance(config.unreachable_fraction)) hints.push_back(h);
+    }
+    if (hints.empty()) hints.push_back(testbed.hints().front());
+
+    src->resolver = std::make_unique<resolver::RecursiveResolver>(
+        network, node, network.allocate_address(), std::move(rc), hints,
+        rng.fork("prod-" + std::to_string(i)));
+    src->resolver->start();
+
+    if (config.warm_start) {
+      // Long-running recursives know their letters' RTTs already; seed the
+      // infra cache with the stable path RTT plus measurement noise so no
+      // cold-start exploration happens inside the measured hour.
+      for (const auto& h : hints) {
+        const net::NodeId target = network.route(node, h.address);
+        if (target == net::kInvalidNode) continue;
+        const double rtt = network.base_rtt(node, target).ms() *
+                           rng.uniform(0.97, 1.03);
+        src->resolver->infra().report_rtt(
+            h.address, net::Duration::millis(rtt), sim.now());
+      }
+    }
+    const double volume =
+        rng.lognormal(config.volume_mu, config.volume_sigma);
+    src->rate_per_sec = volume / (config.duration_hours * 3600.0);
+    sources.push_back(std::move(src));
+  }
+
+  const net::SimTime end =
+      net::SimTime::origin() +
+      net::Duration::hours(config.duration_hours);
+  for (auto& src : sources) {
+    schedule_next(sim, *src, end, rng, config.target);
+  }
+  sim.run();
+
+  // Reconstruct per-recursive traffic from the authoritative-side logs,
+  // exactly as the paper does from DITL/ENTRADA captures.
+  ProductionResult result;
+  result.sources_total = sources.size();
+  std::unordered_map<net::IpAddress, RecursiveTraffic> traffic;
+  for (std::size_t oi = 0; oi < observed.size(); ++oi) {
+    const auto& svc = group[observed[oi]];
+    result.service_labels.push_back(svc.name());
+    for (const auto& site : svc.sites()) {
+      for (const auto& [client, count] : site.server->log().per_client()) {
+        auto& t = traffic[client];
+        if (t.per_service.empty()) {
+          t.per_service.assign(observed.size(), 0);
+          t.address = client;
+        }
+        t.per_service[oi] += count;
+        t.total += count;
+      }
+    }
+  }
+  // Attach source metadata.
+  for (auto& [addr, t] : traffic) {
+    for (const auto& src : sources) {
+      if (src->resolver->address() == addr) {
+        t.continent = src->continent;
+        t.node = src->resolver->node();
+        t.policy = src->policy;
+        break;
+      }
+    }
+  }
+  for (auto& [addr, t] : traffic) {
+    if (t.total >= config.min_queries) {
+      result.recursives.push_back(std::move(t));
+    }
+  }
+  std::sort(result.recursives.begin(), result.recursives.end(),
+            [](const RecursiveTraffic& a, const RecursiveTraffic& b) {
+              return a.total > b.total;
+            });
+
+  // Figure 7 aggregates.
+  const std::size_t n_services = result.service_labels.size();
+  std::vector<double> rank_sum(n_services, 0.0);
+  std::vector<std::size_t> querying(n_services, 0);
+  for (const auto& t : result.recursives) {
+    std::vector<double> shares;
+    std::size_t used = 0;
+    for (const auto c : t.per_service) {
+      shares.push_back(static_cast<double>(c) /
+                       static_cast<double>(t.total));
+      if (c > 0) ++used;
+    }
+    std::sort(shares.rbegin(), shares.rend());
+    for (std::size_t r = 0; r < n_services; ++r) rank_sum[r] += shares[r];
+    if (used > 0) ++querying[used - 1];
+  }
+  const double qualif = static_cast<double>(result.recursives.size());
+  result.mean_rank_share.resize(n_services, 0.0);
+  result.fraction_querying.resize(n_services, 0.0);
+  if (qualif > 0) {
+    for (std::size_t r = 0; r < n_services; ++r) {
+      result.mean_rank_share[r] = rank_sum[r] / qualif;
+      result.fraction_querying[r] =
+          static_cast<double>(querying[r]) / qualif;
+    }
+  }
+  return result;
+}
+
+DeploymentLatency analyze_nl_latency(Testbed& testbed,
+                                     const ProductionResult& result) {
+  auto& network = testbed.network();
+  DeploymentLatency out;
+  stats::Sample overall;
+  for (const Continent c : net::all_continents()) {
+    stats::Sample sample;
+    std::size_t queries = 0;
+    for (const auto& t : result.recursives) {
+      if (t.continent != c || t.node == net::kInvalidNode) continue;
+      for (std::size_t s = 0; s < t.per_service.size(); ++s) {
+        if (t.per_service[s] == 0) continue;
+        // Find the service by label (observed subset of nl services).
+        for (auto& svc : testbed.nl_services()) {
+          if (svc.name() != result.service_labels[s]) continue;
+          const double rtt =
+              network.base_rtt_to(t.node, svc.address()).ms();
+          // Weight by query count, capped to bound memory.
+          const std::size_t w = static_cast<std::size_t>(
+              std::min<std::uint64_t>(t.per_service[s], 64));
+          for (std::size_t k = 0; k < w; ++k) {
+            sample.add(rtt);
+            overall.add(rtt);
+          }
+          queries += t.per_service[s];
+          break;
+        }
+      }
+    }
+    if (sample.empty()) continue;
+    LatencyByContinent row;
+    row.continent = c;
+    row.queries = queries;
+    row.median_ms = sample.median();
+    row.p90_ms = sample.quantile(0.90);
+    row.worst_ms = sample.quantile(1.0);
+    out.continents.push_back(row);
+  }
+  if (!overall.empty()) {
+    out.overall_median_ms = overall.median();
+    out.overall_p90_ms = overall.quantile(0.90);
+    out.overall_worst_ms = overall.quantile(1.0);
+  }
+  return out;
+}
+
+}  // namespace recwild::experiment

@@ -1,0 +1,40 @@
+#include "experiment/report.hpp"
+
+#include <algorithm>
+
+namespace recwild::experiment::report {
+
+std::string pct(double fraction, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string ms(double value, int precision) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f ms", precision, value);
+  return buf;
+}
+
+std::string bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto n = static_cast<std::size_t>(fraction * double(width) + 0.5);
+  return std::string(n, '#');
+}
+
+void header(const std::string& title) {
+  const std::string line(title.size() + 4, '=');
+  std::printf("\n%s\n= %s =\n%s\n", line.c_str(), title.c_str(),
+              line.c_str());
+}
+
+std::string box(const stats::BoxStats& b, int precision) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "p10=%.*f p25=%.*f median=%.*f p75=%.*f p90=%.*f (n=%zu)",
+                precision, b.p10, precision, b.p25, precision, b.p50,
+                precision, b.p75, precision, b.p90, b.n);
+  return buf;
+}
+
+}  // namespace recwild::experiment::report

@@ -1,0 +1,27 @@
+// Small terminal-report helpers shared by the bench binaries: each bench
+// prints the rows/series of one paper table or figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/summary.hpp"
+
+namespace recwild::experiment::report {
+
+/// "96.0%" style percentage.
+std::string pct(double fraction, int precision = 1);
+
+/// "51.3 ms" style value.
+std::string ms(double value, int precision = 1);
+
+/// An ASCII bar of `width * fraction` characters (for figure sketches).
+std::string bar(double fraction, std::size_t width = 40);
+
+/// Prints a boxed section header to stdout.
+void header(const std::string& title);
+
+/// "p10/p25/p50/p75/p90" one-liner for Figure-2-style boxplots.
+std::string box(const stats::BoxStats& b, int precision = 1);
+
+}  // namespace recwild::experiment::report

@@ -1,0 +1,154 @@
+#include "experiment/testbed.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace recwild::experiment {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      network_(std::make_unique<net::Network>(sim_, config_.latency)),
+      test_domain_(dns::Name::parse(config_.test_domain)) {
+  if (!config_.test_sites.empty() && !config_.build_nl) {
+    throw std::invalid_argument{
+        "Testbed: a test domain requires the .nl deployment"};
+  }
+  build_roots();
+  if (config_.build_nl) build_nl();
+  if (!config_.test_sites.empty()) build_test_domain();
+  assemble_zones();
+
+  for (auto& svc : roots_) svc.start();
+  for (auto& svc : nl_) svc.start();
+  for (auto& svc : test_) svc.start();
+
+  if (config_.build_population) {
+    population_ = client::build_population(
+        *network_, config_.population, hints_,
+        sim_.rng().fork("population"));
+  }
+}
+
+void Testbed::build_roots() {
+  for (const auto& spec : root_letter_specs()) {
+    const net::IpAddress addr = network_->allocate_address();
+    roots_.push_back(anycast::AnycastService::create(*network_, spec.label,
+                                                     addr, spec.site_codes));
+    // "a-root" -> a.root-servers.net
+    const dns::Name ns_name =
+        dns::Name::parse(spec.label.substr(0, 1) + ".root-servers.net");
+    NsHost host{ns_name, addr};
+    if (config_.dual_stack) {
+      const net::IpAddress addr6 = network_->allocate_address6();
+      roots_.back().listen_also(addr6);
+      host.address6 = addr6;
+      hints6_.push_back(resolver::RootHint{ns_name, addr6});
+    }
+    root_apex_.push_back(std::move(host));
+    hints_.push_back(resolver::RootHint{ns_name, addr});
+  }
+}
+
+void Testbed::build_nl() {
+  const auto specs = config_.all_anycast_nl ? nl_all_anycast_specs()
+                                            : nl_service_specs();
+  std::size_t i = 0;
+  for (const auto& spec : specs) {
+    ++i;
+    const net::IpAddress addr = network_->allocate_address();
+    nl_.push_back(anycast::AnycastService::create(*network_, spec.label,
+                                                  addr, spec.site_codes));
+    NsHost host{dns::Name::parse("ns" + std::to_string(i) + ".dns.nl"),
+                addr};
+    if (config_.dual_stack) {
+      const net::IpAddress addr6 = network_->allocate_address6();
+      nl_.back().listen_also(addr6);
+      host.address6 = addr6;
+    }
+    nl_apex_.push_back(std::move(host));
+  }
+}
+
+void Testbed::build_test_domain() {
+  for (const auto& code : config_.test_sites) {
+    if (!net::find_location(code)) {
+      throw std::invalid_argument{"Testbed: unknown test site " + code};
+    }
+    const net::IpAddress addr = network_->allocate_address();
+    test_.push_back(anycast::AnycastService::create(
+        *network_, code, addr, std::vector<std::string>{code}));
+    NsHost host{
+        dns::Name::parse("ns-" + lower(code) + "." + config_.test_domain),
+        addr};
+    if (config_.dual_stack) {
+      const net::IpAddress addr6 = network_->allocate_address6();
+      test_.back().listen_also(addr6);
+      host.address6 = addr6;
+    }
+    test_ns_.push_back(std::move(host));
+  }
+}
+
+void Testbed::assemble_zones() {
+  // Root zone: apex NS (the letters) + the .nl delegation.
+  ZoneSpec root_spec;
+  root_spec.origin = dns::Name{};
+  root_spec.apex_ns = root_apex_;
+  if (!nl_apex_.empty()) {
+    root_spec.delegations.push_back(
+        Delegation{dns::Name::parse("nl"), nl_apex_});
+  }
+  const authns::Zone root_zone = build_zone(root_spec);
+  for (auto& svc : roots_) svc.add_zone(root_zone);
+
+  // .nl zone: its 8 services + the test-domain delegation.
+  if (!nl_.empty()) {
+    ZoneSpec nl_spec;
+    nl_spec.origin = dns::Name::parse("nl");
+    nl_spec.apex_ns = nl_apex_;
+    if (!test_ns_.empty()) {
+      nl_spec.delegations.push_back(Delegation{test_domain_, test_ns_});
+    }
+    nl_spec.negative_ttl = 60;
+    const authns::Zone nl_zone = build_zone(nl_spec);
+    for (auto& svc : nl_) svc.add_zone(nl_zone);
+  }
+
+  // Test domain: each authoritative serves its own zone copy whose
+  // wildcard TXT payload is the datacenter code (paper §3.1).
+  for (std::size_t i = 0; i < test_.size(); ++i) {
+    ZoneSpec z;
+    z.origin = test_domain_;
+    z.apex_ns = test_ns_;
+    z.wildcard_txt = config_.test_sites[i];
+    z.txt_ttl = config_.txt_ttl;
+    test_[i].add_zone(build_zone(z));
+  }
+}
+
+int Testbed::test_index_of(const std::string& code) const {
+  for (std::size_t i = 0; i < test_.size(); ++i) {
+    if (test_[i].name() == code) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+net::NodeId Testbed::recursive_node(net::IpAddress addr) const {
+  const auto* info = population_.recursive_by_address(addr);
+  return info != nullptr ? info->resolver->node() : net::kInvalidNode;
+}
+
+}  // namespace recwild::experiment

@@ -1,0 +1,112 @@
+// Testbed: assembles the whole simulated world of the paper —
+// Root DNS letters (anycast), the .nl ccTLD services, the test-domain
+// authoritatives of a Table-1 combination, and the Atlas-like vantage
+// point population — on one deterministic simulation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anycast/service.hpp"
+#include "client/population.hpp"
+#include "experiment/deployments.hpp"
+#include "experiment/zones.hpp"
+#include "net/network.hpp"
+
+namespace recwild::experiment {
+
+struct TestbedConfig {
+  std::uint64_t seed = 42;
+  net::LatencyParams latency{};
+  client::PopulationConfig population{};
+  /// Build the Atlas-like population (disable for server-only tests).
+  bool build_population = true;
+  /// Build the .nl services (required when a test domain is given).
+  bool build_nl = true;
+  /// Use the all-anycast .nl variant (§7 recommendation) instead of the
+  /// paper's 5-unicast + 3-anycast deployment.
+  bool all_anycast_nl = false;
+  /// Datacenter codes for the test-domain authoritatives (a Table-1
+  /// combination); empty = no test domain.
+  std::vector<std::string> test_sites{};
+  std::string test_domain = "ourtestdomain.nl";
+  dns::Ttl txt_ttl = 5;
+  /// Dual-stack: every service additionally gets an IPv6-plane address,
+  /// published as AAAA glue. Combine with PopulationConfig::ipv6_fraction
+  /// or resolver AddressFamily to exercise v6 resolution (paper §3.1
+  /// verified its findings hold over IPv6).
+  bool dual_stack = false;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] net::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] client::Population& population() noexcept {
+    return population_;
+  }
+  [[nodiscard]] const TestbedConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] std::vector<anycast::AnycastService>& roots() noexcept {
+    return roots_;
+  }
+  [[nodiscard]] std::vector<anycast::AnycastService>& nl_services() noexcept {
+    return nl_;
+  }
+  /// One unicast service per test datacenter, in config order. The TXT
+  /// payload each serves is its datacenter code ("FRA", ...).
+  [[nodiscard]] std::vector<anycast::AnycastService>&
+  test_services() noexcept {
+    return test_;
+  }
+
+  [[nodiscard]] const std::vector<resolver::RootHint>& hints()
+      const noexcept {
+    return hints_;
+  }
+  /// IPv6-plane root hints (empty unless dual_stack).
+  [[nodiscard]] const std::vector<resolver::RootHint>& hints6()
+      const noexcept {
+    return hints6_;
+  }
+  [[nodiscard]] const dns::Name& test_domain() const noexcept {
+    return test_domain_;
+  }
+
+  /// Index of the test service whose TXT payload is `code`; -1 if unknown.
+  [[nodiscard]] int test_index_of(const std::string& code) const;
+
+  /// The node on which a recursive with address `addr` runs, or
+  /// kInvalidNode. Used by analyses that need recursive->authoritative RTT.
+  [[nodiscard]] net::NodeId recursive_node(net::IpAddress addr) const;
+
+ private:
+  void build_roots();
+  void build_nl();
+  void build_test_domain();
+  void assemble_zones();
+
+  TestbedConfig config_;
+  net::Simulation sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<anycast::AnycastService> roots_;
+  std::vector<anycast::AnycastService> nl_;
+  std::vector<anycast::AnycastService> test_;
+  std::vector<resolver::RootHint> hints_;
+  std::vector<resolver::RootHint> hints6_;
+  dns::Name test_domain_;
+  std::vector<NsHost> root_apex_;
+  std::vector<NsHost> nl_apex_;
+  std::vector<NsHost> test_ns_;
+  client::Population population_;
+};
+
+}  // namespace recwild::experiment

@@ -1,0 +1,54 @@
+#include "experiment/zones.hpp"
+
+namespace recwild::experiment {
+
+authns::Zone build_zone(const ZoneSpec& spec) {
+  authns::Zone zone{spec.origin};
+
+  dns::SoaRdata soa;
+  soa.mname = spec.apex_ns.empty() ? spec.origin.prefixed("ns")
+                                   : spec.apex_ns.front().name;
+  soa.rname = spec.origin.prefixed("hostmaster");
+  soa.serial = 2017'04'12;
+  soa.refresh = 14'400;
+  soa.retry = 3'600;
+  soa.expire = 1'209'600;
+  soa.minimum = spec.negative_ttl;
+  zone.add(dns::ResourceRecord{spec.origin, dns::RRClass::IN,
+                               spec.default_ttl, soa});
+
+  auto add_glue = [&](const NsHost& ns) {
+    if (!ns.name.is_subdomain_of(spec.origin)) return;
+    zone.add(dns::ResourceRecord{ns.name, dns::RRClass::IN,
+                                 spec.default_ttl, dns::ARdata{ns.address}});
+    if (ns.address6) {
+      zone.add(dns::ResourceRecord{
+          ns.name, dns::RRClass::IN, spec.default_ttl,
+          dns::AaaaRdata{ns.address6->to_mapped_ipv6()}});
+    }
+  };
+
+  for (const auto& ns : spec.apex_ns) {
+    zone.add(dns::ResourceRecord{spec.origin, dns::RRClass::IN,
+                                 spec.default_ttl, dns::NsRdata{ns.name}});
+    add_glue(ns);
+  }
+
+  for (const auto& d : spec.delegations) {
+    for (const auto& ns : d.servers) {
+      zone.add(dns::ResourceRecord{d.child, dns::RRClass::IN,
+                                   spec.default_ttl,
+                                   dns::NsRdata{ns.name}});
+      add_glue(ns);
+    }
+  }
+
+  if (spec.wildcard_txt) {
+    zone.add(dns::ResourceRecord{spec.origin.prefixed("*"),
+                                 dns::RRClass::IN, spec.txt_ttl,
+                                 dns::TxtRdata{{*spec.wildcard_txt}}});
+  }
+  return zone;
+}
+
+}  // namespace recwild::experiment

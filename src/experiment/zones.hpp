@@ -1,0 +1,48 @@
+// Programmatic zone construction for the simulated DNS hierarchy:
+// the root zone, the .nl zone, and the per-authoritative test-domain zones
+// (each test authoritative serves a different TXT payload for the same
+// names — the paper's trick for identifying which authoritative answered).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "authns/zone.hpp"
+#include "net/address.hpp"
+
+namespace recwild::experiment {
+
+/// A nameserver: its host name and address(es) (for glue). A set
+/// `address6` additionally publishes AAAA glue (IPv4-mapped form; see
+/// net::IpAddress::to_mapped_ipv6) for dual-stack experiments.
+struct NsHost {
+  dns::Name name;
+  net::IpAddress address;
+  std::optional<net::IpAddress> address6{};
+};
+
+/// A child delegation inside a parent zone.
+struct Delegation {
+  dns::Name child;
+  std::vector<NsHost> servers;
+};
+
+struct ZoneSpec {
+  dns::Name origin;
+  std::vector<NsHost> apex_ns;
+  std::vector<Delegation> delegations;
+  /// If set, a "*.<origin> TXT <value>" wildcard with txt_ttl — the paper's
+  /// per-authoritative response for arbitrary cache-busting labels.
+  std::optional<std::string> wildcard_txt;
+  dns::Ttl default_ttl = 172'800;  // 2 days, like root/TLD NS records
+  dns::Ttl txt_ttl = 5;            // paper §3.1: TXT TTL of 5 seconds
+  dns::Ttl negative_ttl = 60;
+};
+
+/// Builds a fully-formed zone: SOA, apex NS + glue, delegation NS + glue,
+/// and the optional wildcard TXT.
+authns::Zone build_zone(const ZoneSpec& spec);
+
+}  // namespace recwild::experiment

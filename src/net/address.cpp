@@ -1,0 +1,40 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace recwild::net {
+
+std::string IpAddress::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (bits_ >> 24) & 0xff,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+std::string Endpoint::to_string() const {
+  return addr.to_string() + ":" + std::to_string(port);
+}
+
+std::array<std::uint8_t, 16> IpAddress::to_mapped_ipv6() const noexcept {
+  std::array<std::uint8_t, 16> out{};
+  out[10] = 0xff;
+  out[11] = 0xff;
+  out[12] = static_cast<std::uint8_t>(bits_ >> 24);
+  out[13] = static_cast<std::uint8_t>(bits_ >> 16);
+  out[14] = static_cast<std::uint8_t>(bits_ >> 8);
+  out[15] = static_cast<std::uint8_t>(bits_);
+  return out;
+}
+
+std::optional<IpAddress> IpAddress::from_mapped_ipv6(
+    const std::array<std::uint8_t, 16>& v6) noexcept {
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (v6[i] != 0) return std::nullopt;
+  }
+  if (v6[10] != 0xff || v6[11] != 0xff) return std::nullopt;
+  return IpAddress{(std::uint32_t{v6[12]} << 24) |
+                   (std::uint32_t{v6[13]} << 16) |
+                   (std::uint32_t{v6[14]} << 8) | std::uint32_t{v6[15]}};
+}
+
+}  // namespace recwild::net

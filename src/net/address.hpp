@@ -1,0 +1,72 @@
+// IPv4-style addressing for the simulated network.
+//
+// Addresses are opaque 32-bit identities: the paper's recursives key their
+// infrastructure caches by authoritative IP address, and anycast means "one
+// address, many nodes", so addresses must be first-class and hashable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace recwild::net {
+
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t bits) : bits_(bits) {}
+  constexpr static IpAddress from_octets(std::uint8_t a, std::uint8_t b,
+                                         std::uint8_t c, std::uint8_t d) {
+    return IpAddress{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                     (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+
+  [[nodiscard]] constexpr std::uint32_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept {
+    return bits_ == 0;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  /// The simulated network is address-family agnostic; IPv6 endpoints are
+  /// represented as IPv4-mapped IPv6 addresses (::ffff:a.b.c.d, RFC 4291
+  /// §2.5.5.2) whose low 32 bits are the simulation address. These helpers
+  /// bridge to the 16-byte form used in AAAA RDATA.
+  [[nodiscard]] std::array<std::uint8_t, 16> to_mapped_ipv6() const noexcept;
+  static std::optional<IpAddress> from_mapped_ipv6(
+      const std::array<std::uint8_t, 16>& v6) noexcept;
+
+  constexpr auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+using Port = std::uint16_t;
+inline constexpr Port kDnsPort = 53;
+
+struct Endpoint {
+  IpAddress addr;
+  Port port = 0;
+
+  constexpr auto operator<=>(const Endpoint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace recwild::net
+
+template <>
+struct std::hash<recwild::net::IpAddress> {
+  std::size_t operator()(const recwild::net::IpAddress& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<recwild::net::Endpoint> {
+  std::size_t operator()(const recwild::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{e.addr.bits()} << 16) | e.port);
+  }
+};

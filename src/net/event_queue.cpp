@@ -1,0 +1,45 @@
+#include "net/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace recwild::net {
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  const EventId id = next_id_++;
+  callbacks_.emplace(id, std::move(fn));
+  heap_.push(Entry{at, id});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { callbacks_.erase(id); }
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // skip_cancelled() is non-const; do the equivalent scan here. The heap may
+  // hold dead entries in front, so peel them off via a const_cast-free copy
+  // of the logic: cancelled entries are cheap to drop eagerly instead.
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  assert(it != callbacks_.end());
+  Fired fired{e.at, std::move(it->second)};
+  callbacks_.erase(it);
+  return fired;
+}
+
+}  // namespace recwild::net

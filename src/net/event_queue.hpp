@@ -1,0 +1,63 @@
+// Event queue for the discrete-event simulation kernel.
+//
+// Events fire in (time, sequence) order: ties break by scheduling order so
+// runs are fully deterministic. Events can be cancelled through the handle
+// returned by push() — cancellation is lazy (the callback entry is erased and
+// the heap slot skipped on pop), keeping push/pop at O(log n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+#include "net/time.hpp"
+
+namespace recwild::net {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Returns a handle for cancel().
+  EventId push(SimTime at, EventFn fn);
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+
+  /// Time of the earliest pending event; only valid when !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops the earliest live event.
+  /// Precondition: !empty().
+  struct Fired {
+    SimTime at;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;
+    // std::priority_queue is a max-heap; invert to get earliest-first, with
+    // lower id (earlier scheduling) winning ties.
+    bool operator<(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  /// Drops heap entries whose callbacks were cancelled.
+  void skip_cancelled();
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<EventId, EventFn> callbacks_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace recwild::net

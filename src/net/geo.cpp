@@ -1,0 +1,152 @@
+#include "net/geo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace recwild::net {
+
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+
+constexpr double deg2rad(double d) noexcept {
+  return d * std::numbers::pi / 180.0;
+}
+
+// Catalog of locations. The first seven are the paper's AWS datacenters;
+// the rest scatter vantage points and host anycast sites. Codes are IATA
+// airport codes; coordinates are city centers (sufficient at RTT scale).
+// Sorted by code for binary search.
+constexpr std::array<Location, 58> kCatalog{{
+    {"AKL", "Auckland", {-36.85, 174.76}, Continent::Oceania},
+    {"AMS", "Amsterdam", {52.37, 4.90}, Continent::Europe},
+    {"ARN", "Stockholm", {59.33, 18.07}, Continent::Europe},
+    {"ATL", "Atlanta", {33.75, -84.39}, Continent::NorthAmerica},
+    {"BKK", "Bangkok", {13.76, 100.50}, Continent::Asia},
+    {"BOG", "Bogota", {4.71, -74.07}, Continent::SouthAmerica},
+    {"BOM", "Mumbai", {19.08, 72.88}, Continent::Asia},
+    {"BRU", "Brussels", {50.85, 4.35}, Continent::Europe},
+    {"BUE", "Buenos Aires", {-34.60, -58.38}, Continent::SouthAmerica},
+    {"CAI", "Cairo", {30.04, 31.24}, Continent::Africa},
+    {"CDG", "Paris", {48.86, 2.35}, Continent::Europe},
+    {"CPT", "Cape Town", {-33.92, 18.42}, Continent::Africa},
+    {"DEL", "Delhi", {28.61, 77.21}, Continent::Asia},
+    {"DFW", "Dallas", {32.78, -96.80}, Continent::NorthAmerica},
+    {"DUB", "Dublin", {53.35, -6.26}, Continent::Europe},
+    {"DXB", "Dubai", {25.20, 55.27}, Continent::Asia},
+    {"FRA", "Frankfurt", {50.11, 8.68}, Continent::Europe},
+    {"GRU", "Sao Paulo", {-23.55, -46.63}, Continent::SouthAmerica},
+    {"HAM", "Hamburg", {53.55, 9.99}, Continent::Europe},
+    {"HEL", "Helsinki", {60.17, 24.94}, Continent::Europe},
+    {"HKG", "Hong Kong", {22.32, 114.17}, Continent::Asia},
+    {"IAD", "Washington DC", {38.91, -77.04}, Continent::NorthAmerica},
+    {"ICN", "Seoul", {37.57, 126.98}, Continent::Asia},
+    {"IST", "Istanbul", {41.01, 28.98}, Continent::Asia},
+    {"JNB", "Johannesburg", {-26.20, 28.05}, Continent::Africa},
+    {"KIV", "Chisinau", {47.01, 28.86}, Continent::Europe},
+    {"LAD", "Luanda", {-8.84, 13.23}, Continent::Africa},
+    {"LAX", "Los Angeles", {34.05, -118.24}, Continent::NorthAmerica},
+    {"LHR", "London", {51.51, -0.13}, Continent::Europe},
+    {"LIM", "Lima", {-12.05, -77.04}, Continent::SouthAmerica},
+    {"LIS", "Lisbon", {38.72, -9.14}, Continent::Europe},
+    {"LOS", "Lagos", {6.52, 3.38}, Continent::Africa},
+    {"MAD", "Madrid", {40.42, -3.70}, Continent::Europe},
+    {"MEL", "Melbourne", {-37.81, 144.96}, Continent::Oceania},
+    {"MEX", "Mexico City", {19.43, -99.13}, Continent::NorthAmerica},
+    {"MIL", "Milan", {45.46, 9.19}, Continent::Europe},
+    {"MNL", "Manila", {14.60, 120.98}, Continent::Asia},
+    {"NBO", "Nairobi", {-1.29, 36.82}, Continent::Africa},
+    {"NRT", "Tokyo", {35.68, 139.69}, Continent::Asia},
+    {"ORD", "Chicago", {41.88, -87.63}, Continent::NorthAmerica},
+    {"OSL", "Oslo", {59.91, 10.75}, Continent::Europe},
+    {"PER", "Perth", {-31.95, 115.86}, Continent::Oceania},
+    {"PRG", "Prague", {50.08, 14.44}, Continent::Europe},
+    {"RAB", "Rabat", {34.02, -6.84}, Continent::Africa},
+    {"SCL", "Santiago", {-33.45, -70.67}, Continent::SouthAmerica},
+    {"SEA", "Seattle", {47.61, -122.33}, Continent::NorthAmerica},
+    {"SFO", "San Francisco", {37.77, -122.42}, Continent::NorthAmerica},
+    {"SIN", "Singapore", {1.35, 103.82}, Continent::Asia},
+    {"SOF", "Sofia", {42.70, 23.32}, Continent::Europe},
+    {"SYD", "Sydney", {-33.87, 151.21}, Continent::Oceania},
+    {"TPE", "Taipei", {25.03, 121.57}, Continent::Asia},
+    {"TUN", "Tunis", {36.81, 10.18}, Continent::Africa},
+    {"VIE", "Vienna", {48.21, 16.37}, Continent::Europe},
+    {"WAW", "Warsaw", {52.23, 21.01}, Continent::Europe},
+    {"WLG", "Wellington", {-41.29, 174.78}, Continent::Oceania},
+    {"YUL", "Montreal", {45.50, -73.57}, Continent::NorthAmerica},
+    {"YVR", "Vancouver", {49.28, -123.12}, Continent::NorthAmerica},
+    {"ZRH", "Zurich", {47.37, 8.54}, Continent::Europe},
+}};
+
+constexpr std::array<Continent, kContinentCount> kContinents{
+    Continent::Africa,        Continent::Asia,    Continent::Europe,
+    Continent::NorthAmerica,  Continent::Oceania, Continent::SouthAmerica,
+};
+
+}  // namespace
+
+std::string_view continent_code(Continent c) noexcept {
+  switch (c) {
+    case Continent::Africa: return "AF";
+    case Continent::Asia: return "AS";
+    case Continent::Europe: return "EU";
+    case Continent::NorthAmerica: return "NA";
+    case Continent::Oceania: return "OC";
+    case Continent::SouthAmerica: return "SA";
+  }
+  return "??";
+}
+
+std::string_view continent_name(Continent c) noexcept {
+  switch (c) {
+    case Continent::Africa: return "Africa";
+    case Continent::Asia: return "Asia";
+    case Continent::Europe: return "Europe";
+    case Continent::NorthAmerica: return "North America";
+    case Continent::Oceania: return "Oceania";
+    case Continent::SouthAmerica: return "South America";
+  }
+  return "Unknown";
+}
+
+std::optional<Continent> continent_from_code(std::string_view code) noexcept {
+  for (const Continent c : kContinents) {
+    if (continent_code(c) == code) return c;
+  }
+  return std::nullopt;
+}
+
+std::span<const Continent> all_continents() noexcept { return kContinents; }
+
+double great_circle_km(GeoPoint a, GeoPoint b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2);
+  const double s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+std::optional<Location> find_location(std::string_view code) noexcept {
+  const auto it = std::lower_bound(
+      kCatalog.begin(), kCatalog.end(), code,
+      [](const Location& l, std::string_view c) { return l.code < c; });
+  if (it != kCatalog.end() && it->code == code) return *it;
+  return std::nullopt;
+}
+
+std::span<const Location> location_catalog() noexcept { return kCatalog; }
+
+std::vector<Location> locations_on(Continent c) {
+  std::vector<Location> out;
+  for (const Location& l : kCatalog) {
+    if (l.continent == c) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace recwild::net

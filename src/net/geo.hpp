@@ -1,0 +1,63 @@
+// Geography: coordinates, great-circle distance, continents, and a catalog
+// of named locations (airport codes) used to place datacenters, anycast
+// sites, and vantage points.
+//
+// The paper deploys authoritatives in seven AWS regions identified by
+// airport code (GRU, NRT, DUB, FRA, SYD, IAD, SFO) and groups vantage
+// points by continent; both notions live here.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace recwild::net {
+
+/// Continents as the paper's Table 2 / Figures 4-6 group them.
+enum class Continent : unsigned char {
+  Africa,
+  Asia,
+  Europe,
+  NorthAmerica,
+  Oceania,
+  SouthAmerica,
+};
+
+inline constexpr std::size_t kContinentCount = 6;
+
+/// Two-letter code used in the paper's tables (AF, AS, EU, NA, OC, SA).
+std::string_view continent_code(Continent c) noexcept;
+std::string_view continent_name(Continent c) noexcept;
+std::optional<Continent> continent_from_code(std::string_view code) noexcept;
+/// All continents in the paper's table order.
+std::span<const Continent> all_continents() noexcept;
+
+/// WGS84-ish coordinate (degrees). No altitude — irrelevant at our scale.
+struct GeoPoint {
+  double lat_deg = 0;
+  double lon_deg = 0;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double great_circle_km(GeoPoint a, GeoPoint b) noexcept;
+
+/// A named place: airport/city code, coordinates, continent.
+struct Location {
+  std::string_view code;  // e.g. "FRA"
+  std::string_view city;  // e.g. "Frankfurt"
+  GeoPoint point;
+  Continent continent;
+};
+
+/// Looks up a location by code (case-sensitive, upper-case codes).
+/// Returns nullopt for unknown codes.
+std::optional<Location> find_location(std::string_view code) noexcept;
+
+/// The full built-in catalog (sorted by code).
+std::span<const Location> location_catalog() noexcept;
+
+/// All catalog locations on a given continent.
+std::vector<Location> locations_on(Continent c);
+
+}  // namespace recwild::net

@@ -1,0 +1,54 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recwild::net {
+
+namespace {
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+
+}  // namespace
+
+const LatencyModel::PathState& LatencyModel::path(std::uint32_t node_a,
+                                                  std::uint32_t node_b) {
+  const std::uint64_t key = pair_key(node_a, node_b);
+  const auto it = paths_.find(key);
+  if (it != paths_.end()) return it->second;
+  stats::Rng path_rng = rng_.fork(key);
+  PathState st;
+  st.stretch = path_rng.lognormal(params_.stretch_mu, params_.stretch_sigma);
+  st.last_mile_ms =
+      path_rng.lognormal(params_.last_mile_mu, params_.last_mile_sigma);
+  return paths_.emplace(key, st).first->second;
+}
+
+Duration LatencyModel::base_rtt(std::uint32_t node_a, GeoPoint a,
+                                std::uint32_t node_b, GeoPoint b) {
+  const PathState& st = path(node_a, node_b);
+  const double km = great_circle_km(a, b);
+  const double rtt_ms =
+      st.last_mile_ms + 2.0 * km * st.stretch / params_.fiber_km_per_ms;
+  return Duration::millis(rtt_ms);
+}
+
+Duration LatencyModel::one_way(std::uint32_t from, GeoPoint a,
+                               std::uint32_t to, GeoPoint b,
+                               stats::Rng& packet_rng) {
+  const Duration rtt = base_rtt(from, a, to, b);
+  const double jitter_ms =
+      std::max(params_.jitter_floor_ms,
+               std::abs(packet_rng.normal(0.0, params_.jitter_frac *
+                                                   rtt.ms())));
+  return Duration::millis(rtt.ms() / 2.0 + jitter_ms);
+}
+
+bool LatencyModel::drop(stats::Rng& packet_rng) {
+  return packet_rng.chance(params_.loss_rate);
+}
+
+}  // namespace recwild::net

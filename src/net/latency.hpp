@@ -1,0 +1,80 @@
+// Latency model: maps geography to packet delay.
+//
+// RTT(a,b) = last_mile + 2 * distance_km * stretch / fiber_speed
+//
+// where `stretch` (route inflation over great-circle fiber) and `last_mile`
+// (access network + peering overhead) are drawn once per node pair and then
+// held fixed, so each path has a stable characteristic RTT with small
+// per-packet jitter on top — matching how recursive resolvers experience
+// authoritative latency in the wild. Parameters are calibrated so that the
+// per-continent median RTTs land near the paper's Table 2 (e.g. EU->FRA
+// ~39 ms, EU->SYD ~355 ms); see docs in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/geo.hpp"
+#include "net/time.hpp"
+#include "stats/rng.hpp"
+
+namespace recwild::net {
+
+struct LatencyParams {
+  /// Effective one-way fiber speed, km per ms (~2/3 c).
+  double fiber_km_per_ms = 200.0;
+  /// Route inflation factor over great-circle distance: lognormal.
+  double stretch_mu = 0.50;     // exp(0.50) ~ 1.65 median
+  double stretch_sigma = 0.18;  // modest spread between paths
+  /// Last-mile + peering penalty per path (both ends combined), ms: lognormal.
+  double last_mile_mu = 3.05;    // exp(3.05) ~ 21 ms median
+  double last_mile_sigma = 0.55;
+  /// Per-packet jitter as a fraction of the path RTT (half-normal).
+  double jitter_frac = 0.03;
+  /// Minimum per-packet jitter floor, ms.
+  double jitter_floor_ms = 0.1;
+  /// Independent per-packet loss probability.
+  double loss_rate = 0.002;
+};
+
+/// Per-pair path characteristics, sampled lazily and cached.
+///
+/// Paths are keyed by unordered node-id pair and sampled via an RNG forked
+/// from the pair key, so the characteristic RTT of a path is independent of
+/// the order in which paths are first used — critical for reproducibility
+/// when experiments are added or reordered.
+class LatencyModel {
+ public:
+  LatencyModel(LatencyParams params, stats::Rng rng)
+      : params_(params), rng_(rng) {}
+
+  /// Stable RTT of the path (no jitter): the value a resolver's SRTT
+  /// estimate converges towards.
+  Duration base_rtt(std::uint32_t node_a, GeoPoint a, std::uint32_t node_b,
+                    GeoPoint b);
+
+  /// One-way delay for a specific packet (adds jitter).
+  Duration one_way(std::uint32_t from, GeoPoint a, std::uint32_t to,
+                   GeoPoint b, stats::Rng& packet_rng);
+
+  /// Whether a specific packet is lost.
+  bool drop(stats::Rng& packet_rng);
+
+  [[nodiscard]] const LatencyParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  struct PathState {
+    double stretch = 1.0;
+    double last_mile_ms = 0.0;
+  };
+
+  const PathState& path(std::uint32_t node_a, std::uint32_t node_b);
+
+  LatencyParams params_;
+  stats::Rng rng_;  // parent stream for per-path forks
+  std::unordered_map<std::uint64_t, PathState> paths_;
+};
+
+}  // namespace recwild::net

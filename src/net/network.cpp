@@ -1,0 +1,175 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace recwild::net {
+
+Network::Network(Simulation& sim, LatencyParams params)
+    : sim_(sim),
+      latency_(params, sim.rng().fork("latency-model")),
+      packet_rng_(sim.rng().fork("packet-rng")) {}
+
+NodeId Network::add_node(std::string name, GeoPoint point) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeInfo{id, std::move(name), point});
+  return id;
+}
+
+const NodeInfo& Network::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range{"Network::node: bad id"};
+  return nodes_[id];
+}
+
+IpAddress Network::allocate_address() {
+  // 10.0.0.0/8 pool, skipping .0 and .255 host bytes for readability.
+  std::uint32_t host = next_addr_++;
+  return IpAddress{(10u << 24) | (host & 0x00ffffffu)};
+}
+
+IpAddress Network::allocate_address6() {
+  std::uint32_t host = next_addr_++;
+  return IpAddress{(253u << 24) | (host & 0x00ffffffu)};
+}
+
+void Network::listen(NodeId node, Endpoint ep, DatagramHandler handler) {
+  if (node >= nodes_.size()) throw std::out_of_range{"Network::listen"};
+  auto& list = bindings_[ep];
+  for (auto& b : list) {
+    if (b.node == node) {
+      b.handler = std::move(handler);
+      return;
+    }
+  }
+  list.push_back(Binding{node, std::move(handler)});
+}
+
+void Network::unlisten(NodeId node, Endpoint ep) {
+  const auto it = bindings_.find(ep);
+  if (it == bindings_.end()) return;
+  auto& list = it->second;
+  std::erase_if(list, [node](const Binding& b) { return b.node == node; });
+  if (list.empty()) bindings_.erase(it);
+}
+
+const Network::Binding* Network::select_binding(NodeId from, Endpoint dst) {
+  const auto it = bindings_.find(dst);
+  if (it == bindings_.end() || it->second.empty()) return nullptr;
+  auto& list = it->second;
+  if (list.size() == 1) return &list.front();
+  // Anycast: nearest site by stable path RTT.
+  const Binding* best = nullptr;
+  auto best_rtt = Duration::micros(std::numeric_limits<std::int64_t>::max());
+  for (const auto& b : list) {
+    const Duration rtt = base_rtt(from, b.node);
+    if (best == nullptr || rtt < best_rtt) {
+      best = &b;
+      best_rtt = rtt;
+    }
+  }
+  return best;
+}
+
+bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
+                   std::vector<std::uint8_t> payload) {
+  if (from_node >= nodes_.size()) throw std::out_of_range{"Network::send"};
+  ++sent_;
+  const Binding* binding = select_binding(from_node, dst);
+  if (binding == nullptr) {
+    ++unroutable_;
+    return false;
+  }
+  if (latency_.drop(packet_rng_)) {
+    ++dropped_;
+    return true;  // sent, but lost in transit
+  }
+  const NodeInfo& a = nodes_[from_node];
+  const NodeInfo& b = nodes_[binding->node];
+  const Duration delay =
+      latency_.one_way(a.id, a.point, b.id, b.point, packet_rng_);
+  Datagram dgram{src, dst, sim_.now(), std::move(payload)};
+  // Copy the handler: the binding may be replaced/unbound before delivery.
+  DatagramHandler handler = binding->handler;
+  const NodeId at_node = binding->node;
+  sim_.after(delay, [handler = std::move(handler), dgram = std::move(dgram),
+                     at_node, this]() mutable {
+    ++delivered_;
+    handler(dgram, at_node);
+  });
+  return true;
+}
+
+bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
+                          std::vector<std::uint8_t> payload) {
+  if (from_node >= nodes_.size()) {
+    throw std::out_of_range{"Network::send_stream"};
+  }
+  ++sent_;
+  const Binding* binding = select_binding(from_node, dst);
+  if (binding == nullptr) {
+    ++unroutable_;
+    return false;
+  }
+  // TCP is reliable: no drop. Cost model: SYN (one way) + SYN/ACK (one
+  // way back) + payload (one way) = three one-way delays before the
+  // message is in the receiver's hands.
+  const NodeInfo& a = nodes_[from_node];
+  const NodeInfo& b = nodes_[binding->node];
+  Duration delay = Duration::zero();
+  for (int leg = 0; leg < 3; ++leg) {
+    delay += latency_.one_way(a.id, a.point, b.id, b.point, packet_rng_);
+  }
+  Datagram dgram{src, dst, sim_.now(), std::move(payload), true};
+  DatagramHandler handler = binding->handler;
+  const NodeId at_node = binding->node;
+  sim_.after(delay, [handler = std::move(handler), dgram = std::move(dgram),
+                     at_node, this]() mutable {
+    ++delivered_;
+    handler(dgram, at_node);
+  });
+  return true;
+}
+
+Duration Network::base_rtt(NodeId a, NodeId b) {
+  const NodeInfo& na = node(a);
+  const NodeInfo& nb = node(b);
+  return latency_.base_rtt(na.id, na.point, nb.id, nb.point);
+}
+
+Duration Network::base_rtt_to(NodeId from, IpAddress addr) {
+  const NodeId target = route(from, addr);
+  if (target == kInvalidNode) return Duration::zero();
+  return base_rtt(from, target);
+}
+
+NodeId Network::route(NodeId from, IpAddress addr) {
+  // Any port bound on the address counts; DNS uses port 53 everywhere in
+  // this library, so scan the canonical port first, then any binding.
+  const Binding* b = select_binding(from, Endpoint{addr, kDnsPort});
+  if (b != nullptr) return b->node;
+  for (const auto& [ep, list] : bindings_) {
+    if (ep.addr == addr && !list.empty()) {
+      const Binding* alt = select_binding(from, ep);
+      if (alt != nullptr) return alt->node;
+    }
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> Network::bound_nodes(IpAddress addr) const {
+  std::vector<NodeId> out;
+  for (const auto& [ep, list] : bindings_) {
+    if (ep.addr != addr) continue;
+    for (const auto& b : list) {
+      if (std::find(out.begin(), out.end(), b.node) == out.end()) {
+        out.push_back(b.node);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace recwild::net

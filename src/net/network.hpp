@@ -1,0 +1,137 @@
+// Simulated UDP network.
+//
+// Nodes are placed at geographic points; sockets bind (address, port) pairs
+// on nodes; datagrams are delivered after a latency-model delay or dropped.
+// Binding the SAME address on multiple nodes creates an anycast service:
+// the network routes each packet to the bound node with the lowest stable
+// path RTT from the sender (the "nearest site" catchment approximation
+// documented in DESIGN.md). Replies from an anycast site are sourced from
+// the shared address, exactly as real anycast behaves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/geo.hpp"
+#include "net/latency.hpp"
+#include "net/simulation.hpp"
+
+namespace recwild::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  std::string name;
+  GeoPoint point;
+};
+
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  SimTime sent_at;
+  std::vector<std::uint8_t> payload;
+  /// True when carried over the reliable stream transport (see
+  /// Network::send_stream) — the simulated TCP used for truncated-answer
+  /// retries. Stream "datagrams" are whole messages, never lost.
+  bool via_stream = false;
+};
+
+/// Called on the receiving node. `at_node` identifies which node got the
+/// packet (relevant for anycast, where one address maps to several nodes).
+using DatagramHandler = std::function<void(const Datagram&, NodeId at_node)>;
+
+class Network {
+ public:
+  Network(Simulation& sim, LatencyParams params = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a node at a geographic point. Names are for logs/debugging.
+  NodeId add_node(std::string name, GeoPoint point);
+  [[nodiscard]] const NodeInfo& node(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Allocates a fresh unique address (10.0.0.0/8 pool).
+  IpAddress allocate_address();
+
+  /// Allocates an address from the "IPv6 plane" pool (253.0.0.0/8). The
+  /// network treats both planes identically; the distinct pool lets
+  /// experiments give services separate v4/v6 identities (published as A
+  /// vs AAAA records) and tell the traffic apart.
+  IpAddress allocate_address6();
+
+  /// Binds (addr, port) on `node`. Binding the same endpoint on several
+  /// nodes forms an anycast service. Re-binding the same (endpoint, node)
+  /// replaces the handler.
+  void listen(NodeId node, Endpoint ep, DatagramHandler handler);
+  void unlisten(NodeId node, Endpoint ep);
+
+  /// Sends a datagram from `from_node`. `src` should be an endpoint the
+  /// sender listens on if it expects a reply. Returns false when no node is
+  /// bound to `dst` (packet silently discarded, as real UDP would).
+  bool send(NodeId from_node, Endpoint src, Endpoint dst,
+            std::vector<std::uint8_t> payload);
+
+  /// Reliable stream send — the simulated TCP path for DNS-over-TCP
+  /// (RFC 1035 §4.2.2; used after a TC=1 response). Never dropped; costs a
+  /// handshake plus the transfer, i.e. ~1.5x the path RTT before the first
+  /// payload byte arrives. Delivered with Datagram::via_stream set.
+  bool send_stream(NodeId from_node, Endpoint src, Endpoint dst,
+                   std::vector<std::uint8_t> payload);
+
+  /// Stable (jitter-free) path RTT between two nodes, from the latency model.
+  Duration base_rtt(NodeId a, NodeId b);
+
+  /// Stable RTT from a node to an address (for anycast: to its catchment
+  /// site). Returns Duration::zero() if the address is unbound.
+  Duration base_rtt_to(NodeId from, IpAddress addr);
+
+  /// The node an address routes to from `from` (anycast catchment).
+  /// Returns kInvalidNode when unbound.
+  NodeId route(NodeId from, IpAddress addr);
+
+  /// Nodes currently bound to an address (any port).
+  [[nodiscard]] std::vector<NodeId> bound_nodes(IpAddress addr) const;
+
+  // Counters for tests and reports.
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::uint64_t unroutable() const noexcept {
+    return unroutable_;
+  }
+
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] LatencyModel& latency() noexcept { return latency_; }
+
+ private:
+  struct Binding {
+    NodeId node;
+    DatagramHandler handler;
+  };
+
+  /// Picks the lowest-RTT binding for `dst` as seen from `from`.
+  const Binding* select_binding(NodeId from, Endpoint dst);
+
+  Simulation& sim_;
+  LatencyModel latency_;
+  stats::Rng packet_rng_;
+  std::vector<NodeInfo> nodes_;
+  std::unordered_map<Endpoint, std::vector<Binding>> bindings_;
+  std::uint32_t next_addr_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace recwild::net

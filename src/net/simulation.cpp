@@ -1,0 +1,24 @@
+#include "net/simulation.hpp"
+
+namespace recwild::net {
+
+void Simulation::run() {
+  while (!queue_.empty()) {
+    auto fired = queue_.pop();
+    now_ = fired.at;
+    ++steps_;
+    fired.fn();
+  }
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.next_time() <= t) {
+    auto fired = queue_.pop();
+    now_ = fired.at;
+    ++steps_;
+    fired.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace recwild::net

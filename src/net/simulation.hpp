@@ -1,0 +1,55 @@
+// Simulation facade: clock + event queue + root RNG.
+//
+// Single-threaded discrete-event loop. Components schedule callbacks with
+// after()/at(); run() processes events in deterministic (time, seq) order.
+// All randomness forks off the root Rng so a single seed reproduces a run.
+#pragma once
+
+#include <cstdint>
+
+#include "net/event_queue.hpp"
+#include "net/time.hpp"
+#include "stats/rng.hpp"
+
+namespace recwild::net {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventId at(SimTime t, EventFn fn) { return queue_.push(t, std::move(fn)); }
+
+  /// Schedules `fn` after relative delay `d` (clamped to >= 0).
+  EventId after(Duration d, EventFn fn) {
+    if (d < Duration::zero()) d = Duration::zero();
+    return queue_.push(now_ + d, std::move(fn));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs all events scheduled at or before `t`; leaves the clock at `t`.
+  void run_until(SimTime t);
+
+  /// Number of events processed so far.
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  [[nodiscard]] stats::Rng& rng() noexcept { return rng_; }
+
+ private:
+  SimTime now_ = SimTime::origin();
+  EventQueue queue_;
+  stats::Rng rng_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace recwild::net

@@ -1,0 +1,81 @@
+// Simulated time. The whole library runs on a discrete-event clock; wall
+// clock time never appears. SimTime is an absolute instant and Duration a
+// signed difference, both with microsecond resolution — fine enough for
+// sub-millisecond RTT differences, wide enough for multi-day simulations.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace recwild::net {
+
+/// Signed duration in microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration micros(std::int64_t us) { return Duration{us}; }
+  constexpr static Duration millis(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1000.0)};
+  }
+  constexpr static Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1'000'000.0)};
+  }
+  constexpr static Duration minutes(double m) { return seconds(m * 60.0); }
+  constexpr static Duration hours(double h) { return minutes(h * 60.0); }
+  constexpr static Duration zero() { return Duration{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double ms() const {
+    return static_cast<double>(us_) / 1000.0;
+  }
+  [[nodiscard]] constexpr double sec() const {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// Absolute simulated instant (microseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr static SimTime origin() { return SimTime{}; }
+  constexpr static SimTime from_micros(std::int64_t us) { return SimTime{us}; }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double ms() const {
+    return static_cast<double>(us_) / 1000.0;
+  }
+  [[nodiscard]] constexpr double sec() const {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
+  [[nodiscard]] constexpr double minutes() const { return sec() / 60.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime{us_ + d.count_micros()};
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime{us_ - d.count_micros()};
+  }
+  constexpr Duration operator-(SimTime o) const {
+    return Duration::micros(us_ - o.us_);
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace recwild::net

@@ -1,0 +1,79 @@
+#include "resolver/infra_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recwild::resolver {
+
+const ServerStats* InfraCache::get(net::IpAddress server,
+                                   net::SimTime now) const {
+  const auto it = entries_.find(server);
+  if (it == entries_.end() || expired(it->second, now)) return nullptr;
+  return &it->second;
+}
+
+void InfraCache::report_rtt(net::IpAddress server, net::Duration rtt,
+                            net::SimTime now) {
+  const double sample = rtt.ms();
+  auto it = entries_.find(server);
+  if (it == entries_.end() || expired(it->second, now)) {
+    ServerStats fresh;
+    fresh.srtt_ms = sample;
+    fresh.rttvar_ms = sample / 2.0;
+    fresh.last_update = now;
+    entries_[server] = fresh;
+    return;
+  }
+  ServerStats& s = it->second;
+  const double err = sample - s.srtt_ms;
+  s.srtt_ms = std::min(config_.max_srtt_ms,
+                       (1.0 - config_.ewma_alpha) * s.srtt_ms +
+                           config_.ewma_alpha * sample);
+  // RFC 6298-style variance smoothing (Unbound's estimator).
+  s.rttvar_ms = 0.75 * s.rttvar_ms + 0.25 * std::abs(err);
+  s.consecutive_timeouts = 0;
+  s.last_update = now;
+  if (s.backoff_until > now) s.backoff_until = now;  // recovered
+}
+
+void InfraCache::report_timeout(net::IpAddress server, net::SimTime now) {
+  auto it = entries_.find(server);
+  if (it == entries_.end() || expired(it->second, now)) {
+    ServerStats fresh;
+    fresh.srtt_ms = 376.0;  // Unbound's unknown-host penalty start
+    fresh.rttvar_ms = fresh.srtt_ms / 2.0;
+    fresh.consecutive_timeouts = 1;
+    fresh.last_update = now;
+    if (fresh.consecutive_timeouts >= config_.backoff_threshold) {
+      fresh.backoff_until = now + config_.backoff_duration;
+    }
+    entries_[server] = fresh;
+    return;
+  }
+  ServerStats& s = it->second;
+  s.srtt_ms = std::min(config_.max_srtt_ms,
+                       std::max(1.0, s.srtt_ms) * config_.timeout_penalty);
+  s.consecutive_timeouts += 1;
+  s.last_update = now;
+  if (s.consecutive_timeouts >= config_.backoff_threshold) {
+    s.backoff_until = now + config_.backoff_duration;
+  }
+}
+
+void InfraCache::decay(net::IpAddress server, double factor,
+                       net::SimTime now) {
+  auto it = entries_.find(server);
+  if (it == entries_.end() || expired(it->second, now)) return;
+  it->second.srtt_ms *= factor;
+  // Aging does not refresh last_update: an unused entry still expires.
+}
+
+std::size_t InfraCache::size(net::SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [addr, s] : entries_) {
+    if (!expired(s, now)) ++n;
+  }
+  return n;
+}
+
+}  // namespace recwild::resolver

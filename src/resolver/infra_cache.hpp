@@ -1,0 +1,88 @@
+// Infrastructure cache (paper §2): per-authoritative-IP latency knowledge.
+//
+// Recursive resolvers keep a cache of "how fast does each authoritative
+// answer", keyed by server IP address, and use it to choose among the NS
+// addresses of a zone. BIND keeps a smoothed RTT with decay and ~10-minute
+// retention; Unbound a TCP-style SRTT/RTTVAR pair with ~15-minute retention.
+// This class models that state generically; the selection policies decide
+// how to act on it.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "net/time.hpp"
+
+namespace recwild::resolver {
+
+struct InfraCacheConfig {
+  /// Entry lifetime since last update (BIND ~600 s, Unbound ~900 s).
+  net::Duration entry_ttl = net::Duration::seconds(600);
+  /// EWMA weight of a new RTT sample (BIND: srtt = 0.7 old + 0.3 new).
+  double ewma_alpha = 0.3;
+  /// Multiplicative penalty applied to SRTT on a query timeout.
+  double timeout_penalty = 2.0;
+  /// SRTT ceiling, ms (BIND caps effective RTT).
+  double max_srtt_ms = 10'000.0;
+  /// Consecutive timeouts before the server is put on probation.
+  int backoff_threshold = 3;
+  /// Probation length once the threshold is hit.
+  net::Duration backoff_duration = net::Duration::seconds(60);
+};
+
+struct ServerStats {
+  double srtt_ms = 0.0;
+  double rttvar_ms = 0.0;
+  int consecutive_timeouts = 0;
+  net::SimTime last_update;
+  net::SimTime backoff_until;
+
+  [[nodiscard]] bool in_backoff(net::SimTime now) const noexcept {
+    return now < backoff_until;
+  }
+  /// TCP-style retransmission timeout estimate (Unbound's RTO).
+  [[nodiscard]] double rto_ms() const noexcept {
+    return srtt_ms + 4.0 * rttvar_ms;
+  }
+};
+
+class InfraCache {
+ public:
+  explicit InfraCache(InfraCacheConfig config = {}) : config_(config) {}
+
+  /// Stats for a server, or nullptr when unknown or expired.
+  [[nodiscard]] const ServerStats* get(net::IpAddress server,
+                                       net::SimTime now) const;
+
+  /// Feeds a measured RTT (EWMA update; resets the timeout streak).
+  void report_rtt(net::IpAddress server, net::Duration rtt, net::SimTime now);
+
+  /// Feeds a timeout: penalizes SRTT multiplicatively; after the configured
+  /// streak, places the server on probation.
+  void report_timeout(net::IpAddress server, net::SimTime now);
+
+  /// BIND-style aging: decays the SRTT of servers that were *not* chosen so
+  /// a slightly-slower server is retried eventually.
+  void decay(net::IpAddress server, double factor, net::SimTime now);
+
+  /// Number of live (non-expired) entries.
+  [[nodiscard]] std::size_t size(net::SimTime now) const;
+
+  /// Drops every entry (the paper's cold-cache condition between runs).
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const InfraCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] bool expired(const ServerStats& s, net::SimTime now) const {
+    return now - s.last_update > config_.entry_ttl;
+  }
+
+  InfraCacheConfig config_;
+  std::unordered_map<net::IpAddress, ServerStats> entries_;
+};
+
+}  // namespace recwild::resolver

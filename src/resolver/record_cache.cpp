@@ -1,0 +1,97 @@
+#include "resolver/record_cache.hpp"
+
+#include <algorithm>
+
+namespace recwild::resolver {
+
+CacheEntry* RecordCache::find_live(const Key& key, net::SimTime now) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  if (it->second.entry.expires_at <= now) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+    return nullptr;
+  }
+  touch(it->second, key);
+  return &it->second.entry;
+}
+
+void RecordCache::touch(Slot& slot, const Key& key) {
+  lru_.erase(slot.lru_pos);
+  lru_.push_front(key);
+  slot.lru_pos = lru_.begin();
+}
+
+std::optional<dns::RRset> RecordCache::get(const dns::Name& name,
+                                           dns::RRType type,
+                                           net::SimTime now) {
+  CacheEntry* e = find_live(Key{name, type}, now);
+  if (e == nullptr || e->negative) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  dns::RRset out = e->rrset;
+  const double remaining = (e->expires_at - now).sec();
+  out.ttl = static_cast<dns::Ttl>(std::max(0.0, remaining));
+  return out;
+}
+
+std::optional<dns::Rcode> RecordCache::get_negative(const dns::Name& name,
+                                                    dns::RRType type,
+                                                    net::SimTime now) {
+  CacheEntry* e = find_live(Key{name, type}, now);
+  if (e == nullptr || !e->negative) return std::nullopt;
+  return e->negative_rcode;
+}
+
+void RecordCache::put(const dns::RRset& rrset, net::SimTime now) {
+  const dns::Ttl ttl =
+      std::clamp(rrset.ttl, config_.min_ttl, config_.max_ttl);
+  CacheEntry entry;
+  entry.rrset = rrset;
+  entry.rrset.ttl = ttl;
+  entry.expires_at = now + net::Duration::seconds(ttl);
+  insert(Key{rrset.name, rrset.type}, std::move(entry));
+}
+
+void RecordCache::put_negative(const dns::Name& name, dns::RRType type,
+                               dns::Rcode rcode, dns::Ttl ttl,
+                               net::SimTime now) {
+  CacheEntry entry;
+  entry.negative = true;
+  entry.negative_rcode = rcode;
+  entry.rrset.name = name;
+  entry.rrset.type = type;
+  entry.expires_at =
+      now + net::Duration::seconds(
+                std::clamp(ttl, config_.min_ttl, config_.max_ttl));
+  insert(Key{name, type}, std::move(entry));
+}
+
+void RecordCache::insert(Key key, CacheEntry entry) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.entry = std::move(entry);
+    touch(it->second, key);
+    return;
+  }
+  while (entries_.size() >= config_.max_entries) evict_one();
+  lru_.push_front(key);
+  entries_.emplace(std::move(key), Slot{std::move(entry), lru_.begin()});
+}
+
+void RecordCache::evict_one() {
+  if (lru_.empty()) return;
+  const Key victim = lru_.back();
+  lru_.pop_back();
+  entries_.erase(victim);
+  ++evictions_;
+}
+
+void RecordCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace recwild::resolver

@@ -1,0 +1,94 @@
+// Record cache: the resolver's local cache of RRsets with TTL expiry and a
+// bounded LRU (paper §2 "local cache"). Also stores negative answers
+// (NXDOMAIN / NODATA) per RFC 2308, keyed by (name, type).
+//
+// The paper's measurement design defeats this cache on purpose (unique
+// labels, TTL 5 s); the cache still matters because NS sets and glue stay
+// cached between probes, which is exactly why only the test authoritatives
+// see the probe traffic after the first resolution.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "dnscore/record.hpp"
+#include "net/time.hpp"
+
+namespace recwild::resolver {
+
+struct RecordCacheConfig {
+  std::size_t max_entries = 100'000;
+  /// TTL clamp bounds (many resolvers clamp; e.g. Unbound cache-max-ttl).
+  dns::Ttl min_ttl = 0;
+  dns::Ttl max_ttl = 86'400;
+};
+
+/// A cached positive RRset or negative marker.
+struct CacheEntry {
+  dns::RRset rrset;            // empty rdatas => negative entry
+  bool negative = false;
+  dns::Rcode negative_rcode = dns::Rcode::NoError;  // NXDOMAIN vs NODATA
+  net::SimTime expires_at;
+};
+
+class RecordCache {
+ public:
+  explicit RecordCache(RecordCacheConfig config = {}) : config_(config) {}
+
+  /// Positive lookup; the returned RRset's TTL is decremented to the time
+  /// remaining. Returns nullopt on miss/expired/negative.
+  std::optional<dns::RRset> get(const dns::Name& name, dns::RRType type,
+                                net::SimTime now);
+
+  /// Negative lookup: returns the stored rcode when a negative entry for
+  /// (name, type) is live.
+  std::optional<dns::Rcode> get_negative(const dns::Name& name,
+                                         dns::RRType type, net::SimTime now);
+
+  /// Inserts/overwrites a positive RRset (TTL clamped to config bounds).
+  void put(const dns::RRset& rrset, net::SimTime now);
+
+  /// Inserts a negative entry with the zone's negative TTL.
+  void put_negative(const dns::Name& name, dns::RRType type, dns::Rcode rcode,
+                    dns::Ttl ttl, net::SimTime now);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear();
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  struct Key {
+    dns::Name name;
+    dns::RRType type;
+    bool operator==(const Key& o) const {
+      return type == o.type && name == o.name;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return k.name.hash() ^ (static_cast<std::size_t>(k.type) * 0x9e3779b9);
+    }
+  };
+  struct Slot {
+    CacheEntry entry;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  CacheEntry* find_live(const Key& key, net::SimTime now);
+  void touch(Slot& slot, const Key& key);
+  void insert(Key key, CacheEntry entry);
+  void evict_one();
+
+  RecordCacheConfig config_;
+  std::unordered_map<Key, Slot, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recent
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace recwild::resolver

@@ -1,0 +1,523 @@
+#include "resolver/resolver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recwild::resolver {
+
+namespace {
+
+constexpr net::Port kUpstreamPort = 10'053;
+
+/// The suffix of `name` keeping `depth` labels.
+dns::Name suffix_of(const dns::Name& name, std::size_t depth) {
+  std::vector<std::string> labels;
+  labels.reserve(depth);
+  const std::size_t total = name.label_count();
+  for (std::size_t i = total - depth; i < total; ++i) {
+    labels.push_back(name.label(i));
+  }
+  return dns::Name::from_labels(std::move(labels));
+}
+
+}  // namespace
+
+struct RecursiveResolver::Job {
+  dns::Question original;
+  dns::Name current_name;
+  /// QNAME minimization: minimum label count to expose next (grows past
+  /// empty non-terminals, RFC 7816 §3).
+  std::size_t min_labels = 0;
+  std::vector<dns::ResourceRecord> chain;
+  std::vector<ResolveCallback> callbacks;
+  net::SimTime started_at;
+  int upstream_count = 0;
+  int indirections = 0;
+  bool done = false;
+  dns::Name current_zone;
+  std::vector<net::IpAddress> failed_servers;
+};
+
+RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
+                                     net::IpAddress address,
+                                     ResolverConfig config,
+                                     std::vector<RootHint> hints,
+                                     stats::Rng rng)
+    : network_(network),
+      node_(node),
+      address_(address),
+      config_(std::move(config)),
+      hints_(std::move(hints)),
+      rng_(rng),
+      selector_(make_selector(config_.policy, config_.selection)),
+      infra_(config_.infra),
+      cache_(config_.cache),
+      client_ep_{address, net::kDnsPort},
+      upstream_ep_{address, kUpstreamPort} {}
+
+RecursiveResolver::~RecursiveResolver() { stop(); }
+
+void RecursiveResolver::start() {
+  if (listening_) return;
+  network_.listen(node_, client_ep_,
+                  [this](const net::Datagram& d, net::NodeId) {
+                    on_client_datagram(d);
+                  });
+  network_.listen(node_, upstream_ep_,
+                  [this](const net::Datagram& d, net::NodeId) {
+                    on_upstream_datagram(d);
+                  });
+  listening_ = true;
+}
+
+void RecursiveResolver::stop() {
+  if (!listening_) return;
+  network_.unlisten(node_, client_ep_);
+  network_.unlisten(node_, upstream_ep_);
+  listening_ = false;
+}
+
+void RecursiveResolver::flush_caches() {
+  cache_.clear();
+  infra_.clear();
+}
+
+void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
+  // Coalesce identical in-flight questions.
+  const PendingKey key{q.qname, q.qtype};
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    if (auto job = it->second.lock(); job && !job->done) {
+      job->callbacks.push_back(std::move(cb));
+      return;
+    }
+    inflight_.erase(it);
+  }
+  auto job = std::make_shared<Job>();
+  job->original = q;
+  job->current_name = q.qname;
+  job->callbacks.push_back(std::move(cb));
+  job->started_at = network_.sim().now();
+  inflight_[key] = job;
+  step(job);
+}
+
+void RecursiveResolver::on_client_datagram(const net::Datagram& dgram) {
+  dns::Message query;
+  try {
+    query = dns::decode_message(dgram.payload);
+  } catch (const dns::WireError&) {
+    return;
+  }
+  if (query.header.qr || query.questions.empty()) return;
+  ++client_queries_;
+
+  // CHAOS-class identity queries are answered locally by the recursive —
+  // the very reason the paper could not use them to identify which
+  // *authoritative* answered (§3.1).
+  const dns::Question q = query.question();
+  if (q.qclass == dns::RRClass::CH) {
+    dns::Message resp = dns::Message::make_response(query);
+    resp.header.ra = true;
+    static const dns::Name kHostnameBind = dns::Name::parse("hostname.bind");
+    static const dns::Name kIdServer = dns::Name::parse("id.server");
+    if (q.qtype == dns::RRType::TXT &&
+        (q.qname == kHostnameBind || q.qname == kIdServer)) {
+      resp.answers.push_back(dns::ResourceRecord{
+          q.qname, dns::RRClass::CH, 0, dns::TxtRdata{{config_.name}}});
+    } else {
+      resp.header.rcode = dns::Rcode::Refused;
+    }
+    network_.send(node_, client_ep_, dgram.src, dns::encode_message(resp));
+    return;
+  }
+
+  const auto reply_to = dgram.src;
+  const auto id = query.header.id;
+  const bool rd = query.header.rd;
+  resolve(q, [this, reply_to, id, rd, q](const ResolveOutcome& outcome) {
+    dns::Message resp;
+    resp.header.id = id;
+    resp.header.qr = true;
+    resp.header.rd = rd;
+    resp.header.ra = true;
+    resp.header.rcode = outcome.rcode;
+    resp.questions.push_back(q);
+    resp.answers = outcome.answers;
+    network_.send(node_, client_ep_, reply_to, dns::encode_message(resp));
+  });
+}
+
+void RecursiveResolver::find_zone_cut(const dns::Name& qname, dns::Name& zone,
+                                      std::vector<net::IpAddress>& servers) {
+  const net::SimTime now = network_.sim().now();
+  // Deepest cached NS set with at least one resolvable address wins.
+  for (std::size_t depth = qname.label_count(); depth > 0; --depth) {
+    const dns::Name candidate = suffix_of(qname, depth);
+    auto ns_set = cache_.get(candidate, dns::RRType::NS, now);
+    if (!ns_set) continue;
+    std::vector<net::IpAddress> addrs;
+    for (const auto& rd : ns_set->rdatas) {
+      const auto& ns_name = std::get<dns::NsRdata>(rd).nsdname;
+      if (config_.family != AddressFamily::V4Only) {
+        if (auto aaaa_set = cache_.get(ns_name, dns::RRType::AAAA, now)) {
+          for (const auto& ard : aaaa_set->rdatas) {
+            if (auto addr = net::IpAddress::from_mapped_ipv6(
+                    std::get<dns::AaaaRdata>(ard).address)) {
+              addrs.push_back(*addr);
+            }
+          }
+        }
+      }
+      if (config_.family != AddressFamily::V6Only) {
+        if (auto a_set = cache_.get(ns_name, dns::RRType::A, now)) {
+          for (const auto& ard : a_set->rdatas) {
+            addrs.push_back(std::get<dns::ARdata>(ard).address);
+          }
+        }
+      }
+    }
+    if (!addrs.empty()) {
+      zone = candidate;
+      servers = std::move(addrs);
+      return;
+    }
+  }
+  // Fall back to the root hints.
+  zone = dns::Name{};
+  servers.clear();
+  for (const auto& h : hints_) servers.push_back(h.address);
+}
+
+void RecursiveResolver::step(const std::shared_ptr<Job>& job) {
+  if (job->done) return;
+  const net::SimTime now = network_.sim().now();
+
+  // Cache walk: negative entries, direct answers, CNAME chases.
+  for (;;) {
+    if (auto neg = cache_.get_negative(job->current_name,
+                                       job->original.qtype, now)) {
+      finish(job, *neg);
+      return;
+    }
+    if (auto set = cache_.get(job->current_name, job->original.qtype, now)) {
+      for (auto& rr : set->to_records()) job->chain.push_back(std::move(rr));
+      finish(job, dns::Rcode::NoError);
+      return;
+    }
+    if (job->original.qtype != dns::RRType::CNAME) {
+      if (auto cname = cache_.get(job->current_name, dns::RRType::CNAME,
+                                  now)) {
+        for (auto& rr : cname->to_records()) {
+          job->chain.push_back(std::move(rr));
+        }
+        job->current_name =
+            std::get<dns::CnameRdata>(cname->rdatas.front()).target;
+        job->min_labels = 0;  // restart minimization for the new target
+        if (++job->indirections > config_.max_indirections) {
+          finish(job, dns::Rcode::ServFail);
+          return;
+        }
+        continue;
+      }
+    }
+    break;
+  }
+
+  if (job->upstream_count >= config_.max_upstream_queries) {
+    finish(job, dns::Rcode::ServFail);
+    return;
+  }
+
+  dns::Name zone;
+  std::vector<net::IpAddress> servers;
+  find_zone_cut(job->current_name, zone, servers);
+  if (servers.empty()) {
+    finish(job, dns::Rcode::ServFail);
+    return;
+  }
+  if (!(zone == job->current_zone)) {
+    job->failed_servers.clear();
+    job->current_zone = zone;
+  }
+  // Avoid servers that already failed this round, when alternatives exist.
+  // Forwarder-style policies instead retry the same server.
+  std::vector<net::IpAddress> candidates;
+  if (selector_->prefers_retry_same()) {
+    candidates = servers;
+  } else {
+    for (const auto& s : servers) {
+      if (std::find(job->failed_servers.begin(), job->failed_servers.end(),
+                    s) == job->failed_servers.end()) {
+        candidates.push_back(s);
+      }
+    }
+    if (candidates.empty()) {
+      job->failed_servers.clear();  // second round: retry everyone
+      candidates = servers;
+    }
+  }
+  const net::IpAddress server =
+      selector_->select(zone, candidates, infra_, now, rng_);
+  send_upstream(job, zone, server);
+}
+
+void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
+                                      const dns::Name& zone,
+                                      net::IpAddress server, bool via_tcp) {
+  const net::SimTime now = network_.sim().now();
+  const std::uint64_t txkey = next_txkey_++;
+  const auto txid = static_cast<std::uint16_t>(rng_.next());
+
+  // QNAME minimization: reveal only the next label to this zone's servers
+  // and ask for the delegation (NS) instead of the real question.
+  dns::Name query_name = job->current_name;
+  dns::RRType query_type = job->original.qtype;
+  bool minimized = false;
+  if (config_.qname_minimization &&
+      zone.label_count() < job->current_name.label_count()) {
+    const std::size_t depth =
+        std::max(zone.label_count() + 1, job->min_labels);
+    if (depth < job->current_name.label_count()) {
+      query_name = suffix_of(job->current_name, depth);
+      query_type = dns::RRType::NS;
+      minimized = true;
+    }
+  }
+
+  dns::Message query = dns::Message::make_query(txid, query_name,
+                                                query_type);
+  if (config_.use_edns) query.edns = dns::EdnsInfo{};
+
+  ++job->upstream_count;
+  ++upstream_sent_;
+
+  // Adaptive retransmission timeout from the infra cache.
+  net::Duration timeout = config_.initial_timeout;
+  if (const ServerStats* st = infra_.get(server, now)) {
+    timeout = net::Duration::millis(st->srtt_ms * config_.retrans_factor);
+  }
+  timeout = std::clamp(timeout, config_.min_timeout, config_.max_timeout);
+
+  (void)zone;  // the selector keys its own per-zone state
+
+  if (via_tcp) timeout += timeout;  // handshake costs an extra round trip
+
+  Outstanding out;
+  out.job = job;
+  out.minimized = minimized;
+  out.server = server;
+  out.qname = query_name;
+  out.qtype = query_type;
+  out.txid = txid;
+  out.via_tcp = via_tcp;
+  out.sent_at = now;
+  out.timeout_event = network_.sim().after(
+      timeout, [this, txkey] { on_upstream_timeout(txkey); });
+  outstanding_.emplace(txkey, std::move(out));
+
+  const auto wire = dns::encode_message(query);
+  const net::Endpoint dst{server, net::kDnsPort};
+  if (via_tcp) {
+    network_.send_stream(node_, upstream_ep_, dst, wire);
+  } else {
+    network_.send(node_, upstream_ep_, dst, wire);
+  }
+}
+
+void RecursiveResolver::on_upstream_timeout(std::uint64_t txkey) {
+  const auto it = outstanding_.find(txkey);
+  if (it == outstanding_.end()) return;
+  Outstanding out = std::move(it->second);
+  outstanding_.erase(it);
+  ++upstream_timeouts_;
+  const net::SimTime now = network_.sim().now();
+  infra_.report_timeout(out.server, now);
+  selector_->on_timeout(out.job->current_zone, out.server);
+  out.job->failed_servers.push_back(out.server);
+  step(out.job);
+}
+
+void RecursiveResolver::on_upstream_datagram(const net::Datagram& dgram) {
+  dns::Message resp;
+  try {
+    resp = dns::decode_message(dgram.payload);
+  } catch (const dns::WireError&) {
+    return;
+  }
+  if (!resp.header.qr || resp.questions.empty()) return;
+
+  // Match an outstanding query: id + server + question.
+  const auto match = std::find_if(
+      outstanding_.begin(), outstanding_.end(), [&](const auto& kv) {
+        const Outstanding& o = kv.second;
+        return o.txid == resp.header.id && o.server == dgram.src.addr &&
+               o.qtype == resp.question().qtype &&
+               o.qname == resp.question().qname;
+      });
+  if (match == outstanding_.end()) return;  // late or spoofed: ignore
+
+  Outstanding out = std::move(match->second);
+  outstanding_.erase(match);
+  network_.sim().cancel(out.timeout_event);
+
+  const net::SimTime now = network_.sim().now();
+  // TCP exchanges include handshake time; don't let them poison the
+  // (UDP) SRTT estimate the selection policies rely on.
+  if (!out.via_tcp) infra_.report_rtt(out.server, now - out.sent_at, now);
+  if (out.job->done) return;
+
+  // Truncated over UDP: retry the same server over TCP (RFC 1035 §4.2.2).
+  if (resp.header.tc && !out.via_tcp) {
+    ++tcp_retries_;
+    if (out.job->upstream_count < config_.max_upstream_queries) {
+      send_upstream(out.job, out.job->current_zone, out.server,
+                    /*via_tcp=*/true);
+      return;
+    }
+  }
+  handle_response(out.job, resp, out);
+}
+
+void RecursiveResolver::cache_message_records(const dns::Message& resp,
+                                              const dns::Name& server_zone) {
+  const net::SimTime now = network_.sim().now();
+  auto in_bailiwick = [&](const dns::Name& owner) {
+    return owner.is_subdomain_of(server_zone);
+  };
+  for (const auto& set : dns::group_rrsets(resp.answers)) {
+    if (in_bailiwick(set.name)) cache_.put(set, now);
+  }
+  for (const auto& set : dns::group_rrsets(resp.authorities)) {
+    if ((set.type == dns::RRType::NS || set.type == dns::RRType::SOA) &&
+        in_bailiwick(set.name)) {
+      cache_.put(set, now);
+    }
+  }
+  for (const auto& set : dns::group_rrsets(resp.additionals)) {
+    if ((set.type == dns::RRType::A || set.type == dns::RRType::AAAA) &&
+        in_bailiwick(set.name)) {
+      cache_.put(set, now);
+    }
+  }
+}
+
+void RecursiveResolver::handle_response(const std::shared_ptr<Job>& job,
+                                        const dns::Message& resp,
+                                        const Outstanding& out) {
+  const net::IpAddress server = out.server;
+  const net::SimTime now = network_.sim().now();
+
+  // Lame or broken server: try another.
+  if (resp.header.rcode == dns::Rcode::ServFail ||
+      resp.header.rcode == dns::Rcode::Refused ||
+      resp.header.rcode == dns::Rcode::NotImp ||
+      resp.header.rcode == dns::Rcode::FormErr) {
+    selector_->on_timeout(job->current_zone, server);
+    job->failed_servers.push_back(server);
+    step(job);
+    return;
+  }
+
+  if (resp.header.rcode == dns::Rcode::NxDomain) {
+    dns::Ttl neg_ttl = 300;
+    for (const auto& rr : resp.authorities) {
+      if (rr.type() == dns::RRType::SOA) {
+        neg_ttl = std::min(rr.ttl,
+                           std::get<dns::SoaRdata>(rr.rdata).minimum);
+      }
+    }
+    cache_message_records(resp, job->current_zone);
+    // NXDOMAIN on a minimized prefix means the full name cannot exist
+    // either (RFC 8020).
+    cache_.put_negative(out.qname, out.qtype, dns::Rcode::NxDomain,
+                        neg_ttl, now);
+    finish(job, dns::Rcode::NxDomain);
+    return;
+  }
+
+  // NOERROR.
+  if (!resp.answers.empty()) {
+    cache_message_records(resp, job->current_zone);
+    if (++job->indirections > config_.max_indirections) {
+      finish(job, dns::Rcode::ServFail);
+      return;
+    }
+    step(job);  // the cache walk picks up answers and chases CNAMEs
+    return;
+  }
+
+  // Referral: NS records for a zone deeper than the one we queried.
+  const dns::ResourceRecord* referral_ns = nullptr;
+  for (const auto& rr : resp.authorities) {
+    if (rr.type() == dns::RRType::NS) {
+      referral_ns = &rr;
+      break;
+    }
+  }
+  if (referral_ns != nullptr) {
+    const bool deeper =
+        referral_ns->name.label_count() > job->current_zone.label_count() &&
+        referral_ns->name.is_subdomain_of(job->current_zone) &&
+        job->current_name.is_subdomain_of(referral_ns->name);
+    if (deeper) {
+      cache_message_records(resp, job->current_zone);
+      if (++job->indirections > config_.max_indirections) {
+        finish(job, dns::Rcode::ServFail);
+        return;
+      }
+      step(job);
+      return;
+    }
+    // Sideways/upwards referral: lame.
+    selector_->on_timeout(job->current_zone, server);
+    job->failed_servers.push_back(server);
+    step(job);
+    return;
+  }
+
+  // NODATA: name exists, no records of this type.
+  dns::Ttl neg_ttl = 300;
+  bool saw_soa = false;
+  for (const auto& rr : resp.authorities) {
+    if (rr.type() == dns::RRType::SOA) {
+      neg_ttl =
+          std::min(rr.ttl, std::get<dns::SoaRdata>(rr.rdata).minimum);
+      saw_soa = true;
+    }
+  }
+  if (saw_soa || resp.header.aa) {
+    cache_message_records(resp, job->current_zone);
+    cache_.put_negative(out.qname, out.qtype, dns::Rcode::NoError, neg_ttl,
+                        now);
+    if (out.minimized) {
+      // The minimized prefix is an empty non-terminal: expose one more
+      // label on the next round (RFC 7816 §3).
+      job->min_labels = out.qname.label_count() + 1;
+      step(job);
+      return;
+    }
+    finish(job, dns::Rcode::NoError);
+    return;
+  }
+  // Empty, non-authoritative, no referral: useless answer; failover.
+  selector_->on_timeout(job->current_zone, server);
+  job->failed_servers.push_back(server);
+  step(job);
+}
+
+void RecursiveResolver::finish(const std::shared_ptr<Job>& job,
+                               dns::Rcode rcode) {
+  if (job->done) return;
+  job->done = true;
+  if (rcode == dns::Rcode::ServFail) ++servfails_;
+  ResolveOutcome outcome;
+  outcome.rcode = rcode;
+  outcome.answers = job->chain;
+  outcome.elapsed = network_.sim().now() - job->started_at;
+  outcome.upstream_queries = job->upstream_count;
+  inflight_.erase(PendingKey{job->original.qname, job->original.qtype});
+  for (auto& cb : job->callbacks) cb(outcome);
+  job->callbacks.clear();
+}
+
+}  // namespace recwild::resolver

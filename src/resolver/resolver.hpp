@@ -1,0 +1,201 @@
+// Recursive resolver bound to a simulated network node.
+//
+// Implements full iterative resolution the way production resolvers do:
+// start from root hints, follow referrals downwards, cache NS sets, glue
+// and answers, and pick among a zone's authoritative addresses with a
+// pluggable ServerSelector fed by the InfraCache. Handles retransmission
+// with adaptive timeouts, server failover, SERVFAIL/REFUSED lameness,
+// CNAME chasing, negative caching, and client query coalescing.
+//
+// One RecursiveResolver models one "recursive" of the paper (an R box in
+// Figure 1); its selection policy is drawn from the population mixture.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dnscore/codec.hpp"
+#include "dnscore/message.hpp"
+#include "net/network.hpp"
+#include "resolver/infra_cache.hpp"
+#include "resolver/record_cache.hpp"
+#include "resolver/selection.hpp"
+
+namespace recwild::resolver {
+
+/// Bootstrap knowledge: the root NS addresses (a hints file).
+struct RootHint {
+  dns::Name ns_name;
+  net::IpAddress address;
+};
+
+/// Which address records of an NS a resolver uses for upstream queries.
+/// Dual-stack resolvers treat the v4 and v6 addresses of a nameserver as
+/// separate candidate servers, as BIND/Unbound do (the paper verified its
+/// findings hold over IPv6, §3.1).
+enum class AddressFamily : unsigned char { V4Only, V6Only, Dual };
+
+struct ResolverConfig {
+  std::string name = "resolver";
+  PolicyKind policy = PolicyKind::BindSrtt;
+  AddressFamily family = AddressFamily::V4Only;
+  SelectionConfig selection{};
+  InfraCacheConfig infra{};
+  RecordCacheConfig cache{};
+
+  /// Per-transmission timeout bounds. With SRTT knowledge the timeout is
+  /// max(min_timeout, srtt*retrans_factor); without it, initial_timeout.
+  net::Duration initial_timeout = net::Duration::millis(750);
+  net::Duration min_timeout = net::Duration::millis(500);
+  net::Duration max_timeout = net::Duration::seconds(2);
+  double retrans_factor = 3.0;
+
+  /// Upper bound on upstream transmissions for one client query.
+  int max_upstream_queries = 16;
+  /// Upper bound on referral depth + CNAME chases.
+  int max_indirections = 12;
+
+  bool use_edns = true;
+
+  /// QNAME minimization (RFC 7816): expose only one more label to each
+  /// zone's servers (NS queries for the next label) instead of the full
+  /// query name. Off by default, like the resolvers of the paper's era.
+  bool qname_minimization = false;
+};
+
+/// Final result delivered to the caller of resolve().
+struct ResolveOutcome {
+  dns::Rcode rcode = dns::Rcode::ServFail;
+  std::vector<dns::ResourceRecord> answers;
+  /// Total wall-clock the resolution took.
+  net::Duration elapsed = net::Duration::zero();
+  /// Upstream queries this resolution caused (0 = pure cache hit).
+  int upstream_queries = 0;
+};
+
+using ResolveCallback = std::function<void(const ResolveOutcome&)>;
+
+class RecursiveResolver {
+ public:
+  RecursiveResolver(net::Network& network, net::NodeId node,
+                    net::IpAddress address, ResolverConfig config,
+                    std::vector<RootHint> hints, stats::Rng rng);
+  ~RecursiveResolver();
+  RecursiveResolver(const RecursiveResolver&) = delete;
+  RecursiveResolver& operator=(const RecursiveResolver&) = delete;
+
+  /// Starts serving: client port 53 and the upstream socket.
+  void start();
+  void stop();
+
+  /// Resolves a question on behalf of a local caller (no client-side
+  /// network hop). Identical path to network clients otherwise.
+  void resolve(const dns::Question& q, ResolveCallback cb);
+
+  [[nodiscard]] net::IpAddress address() const noexcept { return address_; }
+  [[nodiscard]] net::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return config_.name;
+  }
+  [[nodiscard]] PolicyKind policy() const noexcept { return config_.policy; }
+
+  [[nodiscard]] InfraCache& infra() noexcept { return infra_; }
+  [[nodiscard]] RecordCache& cache() noexcept { return cache_; }
+
+  /// Simulates a restart / cache flush (cold-cache condition).
+  void flush_caches();
+
+  // Counters.
+  [[nodiscard]] std::uint64_t client_queries() const noexcept {
+    return client_queries_;
+  }
+  [[nodiscard]] std::uint64_t upstream_sent() const noexcept {
+    return upstream_sent_;
+  }
+  [[nodiscard]] std::uint64_t upstream_timeouts() const noexcept {
+    return upstream_timeouts_;
+  }
+  [[nodiscard]] std::uint64_t servfails() const noexcept {
+    return servfails_;
+  }
+  [[nodiscard]] std::uint64_t tcp_retries() const noexcept {
+    return tcp_retries_;
+  }
+
+ private:
+  struct Job;
+
+  void on_client_datagram(const net::Datagram& dgram);
+  void on_upstream_datagram(const net::Datagram& dgram);
+
+  /// Advances a job: cache checks, zone-cut discovery, upstream send.
+  void step(const std::shared_ptr<Job>& job);
+  /// Finds the deepest zone cut with cached/known server addresses for
+  /// `qname`. Fills `zone` and `servers`; falls back to root hints.
+  void find_zone_cut(const dns::Name& qname, dns::Name& zone,
+                     std::vector<net::IpAddress>& servers);
+  struct Outstanding;
+  void send_upstream(const std::shared_ptr<Job>& job, const dns::Name& zone,
+                     net::IpAddress server, bool via_tcp = false);
+  void on_upstream_timeout(std::uint64_t txkey);
+  void handle_response(const std::shared_ptr<Job>& job,
+                       const dns::Message& resp, const Outstanding& out);
+  void finish(const std::shared_ptr<Job>& job, dns::Rcode rcode);
+  void cache_message_records(const dns::Message& resp,
+                             const dns::Name& server_zone);
+
+  net::Network& network_;
+  net::NodeId node_;
+  net::IpAddress address_;
+  ResolverConfig config_;
+  std::vector<RootHint> hints_;
+  stats::Rng rng_;
+  std::unique_ptr<ServerSelector> selector_;
+  InfraCache infra_;
+  RecordCache cache_;
+
+  net::Endpoint client_ep_;
+  net::Endpoint upstream_ep_;
+  bool listening_ = false;
+
+  struct Outstanding {
+    std::shared_ptr<Job> job;
+    bool minimized = false;  // qname/qtype differ from the client question
+    net::IpAddress server;
+    dns::Name qname;
+    dns::RRType qtype{};
+    std::uint16_t txid = 0;
+    bool via_tcp = false;
+    net::SimTime sent_at;
+    net::EventId timeout_event = 0;
+  };
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;  // by txkey
+  std::uint64_t next_txkey_ = 1;
+
+  // Query coalescing: (qname,type) -> job waiting upstream.
+  struct PendingKey {
+    dns::Name name;
+    dns::RRType type;
+    bool operator==(const PendingKey& o) const {
+      return type == o.type && name == o.name;
+    }
+  };
+  struct PendingKeyHash {
+    std::size_t operator()(const PendingKey& k) const noexcept {
+      return k.name.hash() ^ (static_cast<std::size_t>(k.type) << 1);
+    }
+  };
+  std::unordered_map<PendingKey, std::weak_ptr<Job>, PendingKeyHash>
+      inflight_;
+
+  std::uint64_t client_queries_ = 0;
+  std::uint64_t upstream_sent_ = 0;
+  std::uint64_t upstream_timeouts_ = 0;
+  std::uint64_t servfails_ = 0;
+  std::uint64_t tcp_retries_ = 0;
+};
+
+}  // namespace recwild::resolver

@@ -1,0 +1,116 @@
+// Authoritative server selection policies.
+//
+// The paper measures the *aggregate* of the diverse selection algorithms
+// deployed in the wild; Yu et al. [33] catalogued the per-implementation
+// behaviours in a testbed. This module implements that catalogue:
+//
+//  * BindSrtt       — lowest smoothed RTT wins; unselected servers' SRTT is
+//                     decayed so they get re-probed occasionally (BIND 9).
+//                     Unknown servers start with a small random SRTT so each
+//                     is tried early. => strong latency preference.
+//  * UnboundBand    — servers within an RTT band of the fastest are treated
+//                     as equivalent and picked uniformly (Unbound). Within
+//                     the band: even spread; beyond it: strong preference.
+//  * PowerDnsFactor — probabilistic, weight ∝ 1/(srtt+c)^2 (PowerDNS-style
+//                     "mostly fastest" with continuous exploration).
+//  * UniformRandom  — uniform over all servers (djbdns dnscache).
+//  * RoundRobin     — strict rotation per zone (some embedded resolvers).
+//  * StickyFirst    — latch onto one server per zone until it fails
+//                     (forwarders / resolvers without an infra cache). The
+//                     latch survives infra-cache expiry, which is one cause
+//                     of the persistence the paper observes in §4.4.
+//
+// Selectors may mutate the InfraCache (BIND's aging, priming of unknown
+// servers) — selection in real resolvers is stateful.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dnscore/name.hpp"
+#include "resolver/infra_cache.hpp"
+#include "stats/rng.hpp"
+
+namespace recwild::resolver {
+
+enum class PolicyKind : unsigned char {
+  BindSrtt,
+  UnboundBand,
+  PowerDnsFactor,
+  UniformRandom,
+  RoundRobin,
+  StickyFirst,
+};
+
+std::string_view to_string(PolicyKind k) noexcept;
+std::optional<PolicyKind> policy_from_string(std::string_view s) noexcept;
+
+/// Tunables for the latency-aware policies.
+struct SelectionConfig {
+  /// BIND: decay applied to the SRTT of servers not chosen this round.
+  double bind_decay = 0.98;
+  /// BIND: unknown servers are primed with U(1, this) ms so they get tried.
+  double bind_unknown_srtt_ms = 32.0;
+  /// Unbound: servers within this band of the fastest are equivalent.
+  double unbound_band_ms = 400.0;
+  /// Unbound: RTT assumed for servers it knows nothing about.
+  double unbound_unknown_rtt_ms = 376.0;
+  /// PowerDNS: additive constant in the 1/(srtt+c)^2 weight.
+  double pdns_offset_ms = 30.0;
+};
+
+class ServerSelector {
+ public:
+  virtual ~ServerSelector() = default;
+
+  /// Picks one of `servers` (non-empty) for a query to `zone`.
+  /// `infra` may be updated (aging, priming). Servers in backoff are
+  /// avoided when any alternative exists.
+  virtual net::IpAddress select(const dns::Name& zone,
+                                std::span<const net::IpAddress> servers,
+                                InfraCache& infra, net::SimTime now,
+                                stats::Rng& rng) = 0;
+
+  /// Feedback on delivery failure, for policies with their own state
+  /// (StickyFirst re-latches). Default: no-op.
+  virtual void on_timeout(const dns::Name& zone, net::IpAddress server);
+
+  /// True for policies that retry the SAME server after a timeout instead
+  /// of failing over (forwarder-style behaviour). The resolver then skips
+  /// its tried-servers filter for retries.
+  [[nodiscard]] virtual bool prefers_retry_same() const noexcept {
+    return false;
+  }
+
+  [[nodiscard]] virtual PolicyKind kind() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept {
+    return to_string(kind());
+  }
+};
+
+/// Creates a selector of the given kind.
+std::unique_ptr<ServerSelector> make_selector(PolicyKind kind,
+                                              SelectionConfig config = {});
+
+/// A weighted mixture of policies, used to model the population of
+/// recursive implementations in the wild. Weights need not sum to 1.
+struct PolicyMixture {
+  std::vector<std::pair<PolicyKind, double>> weights;
+
+  /// The calibrated default: roughly half of resolvers latency-driven
+  /// (Yu et al. found 3 of 6 implementations strongly RTT-based), the rest
+  /// split across random, rotation, and sticky behaviours.
+  static PolicyMixture wild();
+
+  /// A single-policy "mixture" for ablation runs.
+  static PolicyMixture pure(PolicyKind kind);
+
+  /// Draws a policy for one simulated resolver.
+  [[nodiscard]] PolicyKind draw(stats::Rng& rng) const;
+};
+
+}  // namespace recwild::resolver

@@ -1,0 +1,80 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace recwild::stats {
+
+Zipf::Zipf(std::size_t n, double exponent) : exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument{"Zipf: n must be >= 1"};
+  if (exponent <= 0) throw std::invalid_argument{"Zipf: exponent must be > 0"};
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), exponent);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bin short
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double Zipf::pmf(std::size_t k) const {
+  if (k == 0 || k > cdf_.size()) return 0.0;
+  const double lo = (k == 1) ? 0.0 : cdf_[k - 2];
+  return cdf_[k - 1] - lo;
+}
+
+WeightedSampler::WeightedSampler(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument{"WeightedSampler: empty weights"};
+  double total = 0;
+  for (const double w : weights) {
+    if (w < 0) throw std::invalid_argument{"WeightedSampler: negative weight"};
+    total += w;
+  }
+  norm_.resize(n);
+  if (total <= 0) {
+    // Degenerate: uniform over all indices.
+    std::fill(norm_.begin(), norm_.end(), 1.0 / static_cast<double>(n));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) norm_[i] = weights[i] / total;
+  }
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = norm_[i] * static_cast<double>(n);
+  }
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::size_t i : large) prob_[i] = 1.0;
+  for (const std::size_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t WeightedSampler::sample(Rng& rng) const {
+  const std::size_t i = rng.index(prob_.size());
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace recwild::stats

@@ -1,0 +1,55 @@
+// Discrete samplers used by the workload generators:
+//  * Zipf — heavy-tailed per-recursive query volumes (Figure 7 synthesis);
+//  * WeightedSampler — alias-method O(1) sampling from arbitrary weights
+//    (continent assignment, policy mixture draw, AS clustering).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace recwild::stats {
+
+/// Zipf(s, N) sampler over ranks {1..N} with exponent s > 0.
+/// Precomputes the CDF once; sampling is a binary search (O(log N)).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double exponent);
+
+  /// Draws a rank in [1, n].
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t n() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+  /// Expected probability mass of rank k (1-based).
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+/// Walker alias method: O(n) build, O(1) sample from arbitrary non-negative
+/// weights. Zero total weight degenerates to uniform.
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+  /// Normalized probability of index i (for tests / reporting).
+  [[nodiscard]] double probability(std::size_t i) const noexcept {
+    return norm_.at(i);
+  }
+
+ private:
+  std::vector<double> prob_;        // alias-table acceptance probability
+  std::vector<std::size_t> alias_;  // alias index
+  std::vector<double> norm_;        // normalized input weights
+};
+
+}  // namespace recwild::stats

@@ -1,0 +1,74 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace recwild::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument{"Histogram: lo must be < hi"};
+  if (bins == 0) throw std::invalid_argument{"Histogram: bins must be >= 1"};
+  counts_.assign(bins, 0);
+}
+
+std::size_t Histogram::bin_for(double x) const noexcept {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  const auto bin =
+      static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::add(double x) noexcept { add(x, 1); }
+
+void Histogram::add(double x, std::size_t count) noexcept {
+  counts_[bin_for(x)] += count;
+  total_ += count;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"Histogram::bin_lo"};
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range{"Histogram::bin_hi"};
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::cdf(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (bin_hi(b) <= x) {
+      acc += counts_[b];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_count = 0;
+  for (const std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  char line[128];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        max_count == 0 ? 0 : counts_[b] * width / max_count;
+    std::snprintf(line, sizeof line, "[%8.2f,%8.2f) %8zu |", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace recwild::stats

@@ -1,0 +1,42 @@
+// Fixed-bin histogram for latency/fraction distributions, plus a tiny ASCII
+// rendering used by the bench reporters to sketch the paper's figures in a
+// terminal.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace recwild::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins. Values outside the
+/// range are clamped into the first/last bin so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add(double x, std::size_t count) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Fraction of mass at or below x (empirical CDF on bin boundaries).
+  [[nodiscard]] double cdf(double x) const noexcept;
+
+  /// Multi-line ASCII bar rendering, one row per bin, widest bar = `width`.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  [[nodiscard]] std::size_t bin_for(double x) const noexcept;
+
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace recwild::stats

@@ -1,0 +1,86 @@
+// Deterministic random number generation for reproducible simulation.
+//
+// All stochastic behaviour in the library flows through Rng so that every
+// experiment is exactly reproducible from a single 64-bit seed. The core
+// generator is xoshiro256** (Blackman & Vigna), seeded via SplitMix64 so that
+// closely-spaced seeds still yield uncorrelated streams. Child streams can be
+// forked per component (per vantage point, per resolver, per link) so the
+// relative order of events does not perturb other components' randomness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace recwild::stats {
+
+/// SplitMix64: used for seeding and for hashing strings into seeds.
+/// Advances `state` and returns the next 64-bit output.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// Stable 64-bit hash of a string (FNV-1a folded through SplitMix64).
+/// Used to derive per-name child seeds, e.g. fork("vp-1234").
+std::uint64_t hash_string(std::string_view s) noexcept;
+
+/// xoshiro256** pseudo-random generator with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator, so it also works with <random>
+/// distributions, although the built-in helpers below are preferred since
+/// their results are stable across standard library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator from a single 64-bit value through SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64 bits.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Forks an independent child stream; deterministic in (parent state, tag).
+  /// The parent stream is NOT advanced, so adding forks never perturbs the
+  /// parent's own sequence.
+  [[nodiscard]] Rng fork(std::string_view tag) const noexcept;
+  [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept;
+  /// Uniform index in [0, n); requires n > 0. Unbiased (Lemire).
+  std::size_t index(std::size_t n) noexcept;
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Box–Muller (stateless variant; no caching).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+  /// Exponential with given mean (= 1/lambda); mean must be > 0.
+  double exponential(double mean) noexcept;
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept;
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    const std::size_t n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = index(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace recwild::stats

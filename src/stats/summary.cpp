@@ -1,0 +1,128 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace recwild::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> sample, double q) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> sample) { return quantile(sample, 0.5); }
+
+std::optional<BoxStats> box_stats(std::span<const double> sample) {
+  if (sample.empty()) return std::nullopt;
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  BoxStats b;
+  b.p10 = quantile_sorted(copy, 0.10);
+  b.p25 = quantile_sorted(copy, 0.25);
+  b.p50 = quantile_sorted(copy, 0.50);
+  b.p75 = quantile_sorted(copy, 0.75);
+  b.p90 = quantile_sorted(copy, 0.90);
+  b.n = copy.size();
+  return b;
+}
+
+void Online::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Online::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Online::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Sample::quantile(double q) const {
+  if (dirty_) {
+    std::sort(values_.begin(), values_.end());
+    dirty_ = false;
+  }
+  return quantile_sorted(values_, q);
+}
+
+double Sample::mean() const {
+  if (values_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0;
+  for (const double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+std::optional<BoxStats> Sample::box() const {
+  if (values_.empty()) return std::nullopt;
+  if (dirty_) {
+    std::sort(values_.begin(), values_.end());
+    dirty_ = false;
+  }
+  BoxStats b;
+  b.p10 = quantile_sorted(values_, 0.10);
+  b.p25 = quantile_sorted(values_, 0.25);
+  b.p50 = quantile_sorted(values_, 0.50);
+  b.p75 = quantile_sorted(values_, 0.75);
+  b.p90 = quantile_sorted(values_, 0.90);
+  b.n = values_.size();
+  return b;
+}
+
+double share(std::size_t part, std::size_t whole) noexcept {
+  if (whole == 0) return 0.0;
+  return static_cast<double>(part) / static_cast<double>(whole);
+}
+
+double ks_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 1.0;
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  while (i < sa.size() || j < sb.size()) {
+    // Step both CDFs past the next value together (ties must advance both
+    // sides, or identical samples would show a spurious distance).
+    double x;
+    if (i >= sa.size()) {
+      x = sb[j];
+    } else if (j >= sb.size()) {
+      x = sa[i];
+    } else {
+      x = std::min(sa[i], sb[j]);
+    }
+    while (i < sa.size() && sa[i] == x) ++i;
+    while (j < sb.size() && sb[j] == x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+}  // namespace recwild::stats

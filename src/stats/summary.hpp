@@ -1,0 +1,87 @@
+// Summary statistics used by the measurement harness: quantiles, boxplot
+// statistics (the paper's Figure 2 reports quartiles with 10/90% whiskers),
+// online mean/variance, and small helpers for fractions and shares.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace recwild::stats {
+
+/// Linear-interpolated quantile of an unsorted sample (copies + sorts).
+/// q must be in [0, 1]. Returns NaN for an empty sample.
+double quantile(std::span<const double> sample, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Median convenience wrapper.
+double median(std::span<const double> sample);
+
+/// Five-number-style summary used for the paper's box plots:
+/// quartiles for the box, 10th/90th percentiles for the whiskers.
+struct BoxStats {
+  double p10 = 0;
+  double p25 = 0;
+  double p50 = 0;
+  double p75 = 0;
+  double p90 = 0;
+  std::size_t n = 0;
+};
+
+/// Computes BoxStats; returns nullopt for an empty sample.
+std::optional<BoxStats> box_stats(std::span<const double> sample);
+
+/// Welford online mean/variance accumulator.
+class Online {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Accumulates raw samples and answers quantile queries.
+/// Used per (continent, authoritative) cell in the experiment reports.
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); dirty_ = true; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::optional<BoxStats> box() const;
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool dirty_ = true;  // re-sort lazily on query
+};
+
+/// Share of `part` in `whole`; 0 when whole == 0. Used for query fractions.
+double share(std::size_t part, std::size_t whole) noexcept;
+
+/// Two-sample Kolmogorov–Smirnov distance: sup |F_a(x) - F_b(x)| over the
+/// empirical CDFs. Used to quantify "these two distributions agree" checks
+/// (e.g. the paper's IPv4-vs-IPv6 and middlebox verifications). Returns 1
+/// when either sample is empty.
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace recwild::stats

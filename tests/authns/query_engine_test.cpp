@@ -1,0 +1,189 @@
+#include "authns/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::authns {
+namespace {
+
+constexpr const char* kZoneText = R"(
+$TTL 3600
+@       IN SOA ns1 hostmaster 1 14400 3600 1209600 120
+@       IN NS  ns1
+ns1     IN A   192.0.2.1
+www     IN A   192.0.2.80
+www     IN A   192.0.2.81
+www     IN AAAA 2001:db8::80
+alias   IN CNAME www
+hop1    IN CNAME hop2
+hop2    IN CNAME www
+out     IN CNAME target.other.org.
+*.wild  IN TXT "caught"
+wildcn  IN NS ns1
+child   IN NS  ns1.child
+child   IN NS  ns2.child
+ns1.child IN A 192.0.2.100
+ns2.child IN A 192.0.2.101
+empty.nonterm IN A 192.0.2.9
+)";
+
+struct Fixture {
+  Zone zone = Zone::from_text(dns::Name::parse("example.nl"), kZoneText);
+  QueryEngine engine{zone};
+
+  LookupResult ask(const char* name, dns::RRType type,
+                   dns::RRClass rrclass = dns::RRClass::IN) const {
+    return engine.lookup(
+        dns::Question{dns::Name::parse(name), type, rrclass});
+  }
+};
+
+TEST(QueryEngine, DirectAnswer) {
+  Fixture f;
+  const auto r = f.ask("www.example.nl", dns::RRType::A);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(r.authoritative);
+  EXPECT_EQ(r.disposition, Disposition::Answer);
+  EXPECT_EQ(r.answers.size(), 2u);
+  EXPECT_TRUE(r.authorities.empty());
+}
+
+TEST(QueryEngine, TypeSelectivity) {
+  Fixture f;
+  const auto r = f.ask("www.example.nl", dns::RRType::AAAA);
+  EXPECT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type(), dns::RRType::AAAA);
+}
+
+TEST(QueryEngine, AnyReturnsAllSets) {
+  Fixture f;
+  const auto r = f.ask("www.example.nl", dns::RRType::ANY);
+  EXPECT_EQ(r.answers.size(), 3u);  // 2 A + 1 AAAA
+}
+
+TEST(QueryEngine, CnameChaseInZone) {
+  Fixture f;
+  const auto r = f.ask("alias.example.nl", dns::RRType::A);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+  ASSERT_EQ(r.answers.size(), 3u);  // CNAME + 2 A
+  EXPECT_EQ(r.answers[0].type(), dns::RRType::CNAME);
+  EXPECT_EQ(r.answers[1].type(), dns::RRType::A);
+}
+
+TEST(QueryEngine, CnameChainOfTwo) {
+  Fixture f;
+  const auto r = f.ask("hop1.example.nl", dns::RRType::A);
+  ASSERT_EQ(r.answers.size(), 4u);  // 2 CNAMEs + 2 A
+}
+
+TEST(QueryEngine, CnameQueryItselfNotChased) {
+  Fixture f;
+  const auto r = f.ask("alias.example.nl", dns::RRType::CNAME);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type(), dns::RRType::CNAME);
+}
+
+TEST(QueryEngine, CnameToOutsideZoneEndsAnswer) {
+  Fixture f;
+  const auto r = f.ask("out.example.nl", dns::RRType::A);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type(), dns::RRType::CNAME);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+}
+
+TEST(QueryEngine, NoDataForExistingNameWrongType) {
+  Fixture f;
+  const auto r = f.ask("www.example.nl", dns::RRType::MX);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+  EXPECT_EQ(r.disposition, Disposition::NoData);
+  EXPECT_TRUE(r.answers.empty());
+  ASSERT_EQ(r.authorities.size(), 1u);
+  EXPECT_EQ(r.authorities[0].type(), dns::RRType::SOA);
+  EXPECT_EQ(r.authorities[0].ttl, 120u);  // negative TTL from SOA minimum
+}
+
+TEST(QueryEngine, NxDomainForMissingName) {
+  Fixture f;
+  const auto r = f.ask("missing.example.nl", dns::RRType::A);
+  EXPECT_EQ(r.rcode, dns::Rcode::NxDomain);
+  EXPECT_EQ(r.disposition, Disposition::NxDomain);
+  ASSERT_EQ(r.authorities.size(), 1u);
+  EXPECT_EQ(r.authorities[0].type(), dns::RRType::SOA);
+}
+
+TEST(QueryEngine, EmptyNonTerminalIsNoDataNotNxDomain) {
+  Fixture f;
+  const auto r = f.ask("nonterm.example.nl", dns::RRType::A);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+  EXPECT_EQ(r.disposition, Disposition::NoData);
+}
+
+TEST(QueryEngine, WildcardSynthesizesAtQueryName) {
+  Fixture f;
+  const auto r = f.ask("some.random.wild.example.nl", dns::RRType::TXT);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+  EXPECT_EQ(r.disposition, Disposition::Wildcard);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].name,
+            dns::Name::parse("some.random.wild.example.nl"));
+  EXPECT_EQ(r.answers[0].type(), dns::RRType::TXT);
+}
+
+TEST(QueryEngine, WildcardWrongTypeIsNxDomain) {
+  Fixture f;
+  const auto r = f.ask("some.wild.example.nl", dns::RRType::A);
+  EXPECT_EQ(r.rcode, dns::Rcode::NxDomain);
+}
+
+TEST(QueryEngine, ReferralForDelegatedName) {
+  Fixture f;
+  const auto r = f.ask("deep.child.example.nl", dns::RRType::A);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+  EXPECT_EQ(r.disposition, Disposition::Referral);
+  EXPECT_FALSE(r.authoritative);
+  EXPECT_TRUE(r.answers.empty());
+  EXPECT_EQ(r.authorities.size(), 2u);  // two NS records
+  EXPECT_EQ(r.additionals.size(), 2u);  // glue for both
+  for (const auto& rr : r.authorities) {
+    EXPECT_EQ(rr.type(), dns::RRType::NS);
+    EXPECT_EQ(rr.name, dns::Name::parse("child.example.nl"));
+  }
+}
+
+TEST(QueryEngine, DelegationPointItselfIsReferred) {
+  Fixture f;
+  const auto r = f.ask("child.example.nl", dns::RRType::A);
+  EXPECT_EQ(r.disposition, Disposition::Referral);
+}
+
+TEST(QueryEngine, ApexNsIsAuthoritativeAnswerWithGlue) {
+  Fixture f;
+  const auto r = f.ask("example.nl", dns::RRType::NS);
+  EXPECT_EQ(r.disposition, Disposition::Answer);
+  EXPECT_TRUE(r.authoritative);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.additionals.size(), 1u);  // ns1 glue
+}
+
+TEST(QueryEngine, SoaQueryAnswered) {
+  Fixture f;
+  const auto r = f.ask("example.nl", dns::RRType::SOA);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type(), dns::RRType::SOA);
+}
+
+TEST(QueryEngine, OutOfZoneRefused) {
+  Fixture f;
+  const auto r = f.ask("www.other.org", dns::RRType::A);
+  EXPECT_EQ(r.rcode, dns::Rcode::Refused);
+  EXPECT_EQ(r.disposition, Disposition::NotAuth);
+  EXPECT_FALSE(r.authoritative);
+}
+
+TEST(QueryEngine, WrongClassRefused) {
+  Fixture f;
+  const auto r = f.ask("www.example.nl", dns::RRType::TXT, dns::RRClass::CH);
+  EXPECT_EQ(r.rcode, dns::Rcode::Refused);
+}
+
+}  // namespace
+}  // namespace recwild::authns

@@ -1,0 +1,151 @@
+#include "client/forwarder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "experiment/analysis.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/testbed.hpp"
+
+namespace recwild::client {
+namespace {
+
+/// Direct world: stub -> forwarder -> recursive -> authoritative.
+struct World {
+  net::Simulation sim{55};
+  net::LatencyParams params;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<authns::AuthServer> auth;
+  std::unique_ptr<resolver::RecursiveResolver> recursive;
+  std::unique_ptr<Forwarder> forwarder;
+  std::unique_ptr<StubResolver> stub;
+
+  explicit World(ForwarderConfig fcfg = {}) {
+    params.loss_rate = 0;
+    net_ = std::make_unique<net::Network>(sim, params);
+    const auto loc = [](const char* c) {
+      return net::find_location(c)->point;
+    };
+
+    const net::IpAddress auth_addr = net_->allocate_address();
+    authns::Zone zone{dns::Name{}};
+    dns::SoaRdata soa;
+    soa.minimum = 60;
+    zone.add({dns::Name{}, dns::RRClass::IN, 86400, soa});
+    zone.add({dns::Name{}, dns::RRClass::IN, 86400,
+              dns::NsRdata{dns::Name::parse("ns.test")}});
+    zone.add({dns::Name::parse("ns.test"), dns::RRClass::IN, 86400,
+              dns::ARdata{auth_addr}});
+    zone.add({dns::Name::parse("fixed.test"), dns::RRClass::IN, 300,
+              dns::TxtRdata{{"payload"}}});
+    zone.add({dns::Name::parse("*.w"), dns::RRClass::IN, 5,
+              dns::TxtRdata{{"wild"}}});
+    authns::AuthServerConfig acfg;
+    acfg.identity = "auth";
+    auth = std::make_unique<authns::AuthServer>(
+        *net_, net_->add_node("auth", loc("FRA")),
+        net::Endpoint{auth_addr, net::kDnsPort}, acfg);
+    auth->add_zone(std::move(zone));
+    auth->start();
+
+    resolver::ResolverConfig rcfg;
+    rcfg.name = "isp";
+    recursive = std::make_unique<resolver::RecursiveResolver>(
+        *net_, net_->add_node("isp", loc("AMS")), net_->allocate_address(),
+        rcfg, std::vector<resolver::RootHint>{{dns::Name::parse("ns.test"),
+                                               auth_addr}},
+        stats::Rng{2});
+    recursive->start();
+
+    const net::NodeId home = net_->add_node("home", loc("AMS"));
+    forwarder = std::make_unique<Forwarder>(
+        *net_, home, net_->allocate_address(), recursive->address(), fcfg,
+        stats::Rng{3});
+    forwarder->start();
+
+    stub = std::make_unique<StubResolver>(
+        *net_, home, net_->allocate_address(),
+        std::vector<net::IpAddress>{forwarder->address()}, StubConfig{},
+        stats::Rng{4});
+    stub->start();
+  }
+
+  StubResult ask(const char* name) {
+    StubResult result;
+    stub->query(dns::Name::parse(name), dns::RRType::TXT,
+                [&](const StubResult& r) { result = r; });
+    sim.run();
+    return result;
+  }
+};
+
+TEST(Forwarder, RelaysQueriesAndAnswers) {
+  World w;
+  const auto r = w.ask("fixed.test");
+  EXPECT_FALSE(r.timed_out);
+  ASSERT_EQ(r.txt.size(), 1u);
+  EXPECT_EQ(r.txt[0], "payload");
+  EXPECT_EQ(w.forwarder->forwarded(), 1u);
+  EXPECT_EQ(w.recursive->client_queries(), 1u);
+}
+
+TEST(Forwarder, PreservesClientTransactionId) {
+  // The stub matches on its own id; a broken forwarder would break this.
+  World w;
+  const auto r = w.ask("fixed.test");
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(Forwarder, LocalCacheServesRepeats) {
+  World w;
+  (void)w.ask("fixed.test");
+  const auto second = w.ask("fixed.test");
+  EXPECT_FALSE(second.timed_out);
+  EXPECT_EQ(w.forwarder->cache_hits(), 1u);
+  EXPECT_EQ(w.forwarder->forwarded(), 1u);  // no second upstream query
+  EXPECT_EQ(w.recursive->client_queries(), 1u);
+}
+
+TEST(Forwarder, CacheDisabledAlwaysForwards) {
+  ForwarderConfig fcfg;
+  fcfg.cache_entries = 0;
+  World w{fcfg};
+  (void)w.ask("fixed.test");
+  (void)w.ask("fixed.test");
+  EXPECT_EQ(w.forwarder->forwarded(), 2u);
+  EXPECT_EQ(w.forwarder->cache_hits(), 0u);
+}
+
+TEST(Forwarder, UpstreamDeadTimesOutCleanly) {
+  ForwarderConfig fcfg;
+  fcfg.timeout = net::Duration::seconds(1);
+  World w{fcfg};
+  w.recursive->stop();
+  const auto r = w.ask("fixed.test");
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_GE(w.forwarder->timeouts(), 1u);
+}
+
+TEST(Forwarder, MiddleboxesDoNotDistortTheMeasurement) {
+  // The paper's §3.1 verification: client-side results with middleboxes in
+  // the path match the no-middlebox view. Run the 2B campaign with 0% and
+  // 40% of probes behind forwarders and compare the preference stats.
+  auto run = [](double fraction) {
+    experiment::TestbedConfig cfg;
+    cfg.seed = 31337;
+    cfg.population.probes = 250;
+    cfg.population.forwarder_fraction = fraction;
+    cfg.test_sites = {"DUB", "FRA"};
+    experiment::Testbed tb{cfg};
+    experiment::CampaignConfig cc;
+    cc.queries_per_vp = 20;
+    return analyze_preferences(run_campaign(tb, cc));
+  };
+  const auto without = run(0.0);
+  const auto with = run(0.4);
+  EXPECT_GT(with.vps.size(), 200u);  // VPs still covered both NSes
+  EXPECT_NEAR(without.weak_fraction, with.weak_fraction, 0.12);
+  EXPECT_NEAR(without.strong_fraction, with.strong_fraction, 0.12);
+}
+
+}  // namespace
+}  // namespace recwild::client

@@ -1,0 +1,150 @@
+#include "client/stub.hpp"
+
+#include <gtest/gtest.h>
+
+#include "authns/server.hpp"
+#include "resolver/resolver.hpp"
+
+namespace recwild::client {
+namespace {
+
+/// World: one authoritative + one recursive + one stub.
+struct World {
+  net::Simulation sim{31};
+  net::LatencyParams params;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<authns::AuthServer> auth;
+  std::unique_ptr<resolver::RecursiveResolver> recursive;
+  std::unique_ptr<resolver::RecursiveResolver> recursive2;
+  std::unique_ptr<StubResolver> stub;
+
+  explicit World(bool two_recursives = false, StubConfig scfg = {}) {
+    params.loss_rate = 0.0;
+    net_ = std::make_unique<net::Network>(sim, params);
+    const auto loc = [](const char* c) {
+      return net::find_location(c)->point;
+    };
+    const net::IpAddress auth_addr = net_->allocate_address();
+
+    authns::Zone zone{dns::Name{}};
+    dns::SoaRdata soa;
+    soa.minimum = 60;
+    zone.add({dns::Name{}, dns::RRClass::IN, 86400, soa});
+    zone.add({dns::Name{}, dns::RRClass::IN, 86400,
+              dns::NsRdata{dns::Name::parse("a.root-servers.net")}});
+    zone.add({dns::Name::parse("a.root-servers.net"), dns::RRClass::IN,
+              86400, dns::ARdata{auth_addr}});
+    zone.add({dns::Name::parse("*.test"), dns::RRClass::IN, 5,
+              dns::TxtRdata{{"ROOT"}}});
+
+    const net::NodeId anode = net_->add_node("auth", loc("FRA"));
+    authns::AuthServerConfig acfg;
+    acfg.identity = "auth";
+    auth = std::make_unique<authns::AuthServer>(
+        *net_, anode, net::Endpoint{auth_addr, net::kDnsPort}, acfg);
+    auth->add_zone(std::move(zone));
+    auth->start();
+
+    const std::vector<resolver::RootHint> hints{
+        {dns::Name::parse("a.root-servers.net"), auth_addr}};
+
+    auto make_recursive = [&](const char* name, const char* city) {
+      resolver::ResolverConfig rcfg;
+      rcfg.name = name;
+      auto r = std::make_unique<resolver::RecursiveResolver>(
+          *net_, net_->add_node(name, loc(city)), net_->allocate_address(),
+          rcfg, hints, stats::Rng{42});
+      r->start();
+      return r;
+    };
+    recursive = make_recursive("rec1", "AMS");
+    std::vector<net::IpAddress> upstreams{recursive->address()};
+    if (two_recursives) {
+      recursive2 = make_recursive("rec2", "LHR");
+      upstreams.push_back(recursive2->address());
+    }
+    stub = std::make_unique<StubResolver>(
+        *net_, net_->add_node("probe", loc("AMS")),
+        net_->allocate_address(), upstreams, scfg, stats::Rng{7});
+    stub->start();
+  }
+};
+
+TEST(Stub, ResolvesThroughRecursive) {
+  World w;
+  std::vector<StubResult> results;
+  w.stub->query(dns::Name::parse("hello.test"), dns::RRType::TXT,
+                [&](const StubResult& r) { results.push_back(r); });
+  w.sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].timed_out);
+  EXPECT_EQ(results[0].rcode, dns::Rcode::NoError);
+  ASSERT_EQ(results[0].txt.size(), 1u);
+  EXPECT_EQ(results[0].txt[0], "ROOT");
+  EXPECT_EQ(results[0].recursive_index, 0u);
+  EXPECT_GT(results[0].elapsed.ms(), 1.0);
+}
+
+TEST(Stub, CollectsNonTxtAnswers) {
+  World w;
+  std::vector<StubResult> results;
+  w.stub->query(dns::Name::parse("a.root-servers.net"), dns::RRType::A,
+                [&](const StubResult& r) { results.push_back(r); });
+  w.sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].txt.empty());
+  ASSERT_EQ(results[0].answers.size(), 1u);
+  EXPECT_EQ(results[0].answers[0].type(), dns::RRType::A);
+}
+
+TEST(Stub, FailsOverToSecondRecursive) {
+  StubConfig scfg;
+  scfg.attempt_timeout = net::Duration::seconds(2);
+  World w{/*two_recursives=*/true, scfg};
+  w.recursive->stop();  // first recursive unreachable
+  std::vector<StubResult> results;
+  w.stub->query(dns::Name::parse("x.test"), dns::RRType::TXT,
+                [&](const StubResult& r) { results.push_back(r); });
+  w.sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].timed_out);
+  EXPECT_EQ(results[0].recursive_index, 1u);
+  // The failover cost at least one attempt timeout.
+  EXPECT_GT(results[0].elapsed.sec(), 2.0);
+}
+
+TEST(Stub, TimesOutWhenAllRecursivesDead) {
+  StubConfig scfg;
+  scfg.attempt_timeout = net::Duration::seconds(1);
+  scfg.max_rounds = 2;
+  World w{false, scfg};
+  w.recursive->stop();
+  std::vector<StubResult> results;
+  w.stub->query(dns::Name::parse("x.test"), dns::RRType::TXT,
+                [&](const StubResult& r) { results.push_back(r); });
+  w.sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].timed_out);
+  // 2 rounds x 1 recursive x 1 s.
+  EXPECT_NEAR(results[0].elapsed.sec(), 2.0, 0.1);
+}
+
+TEST(Stub, ConcurrentQueriesKeptApart) {
+  World w;
+  std::vector<std::string> names;
+  for (const char* n : {"one.test", "two.test", "three.test"}) {
+    w.stub->query(dns::Name::parse(n), dns::RRType::TXT,
+                  [&names](const StubResult& r) {
+                    names.push_back(r.question.qname.to_string());
+                  });
+  }
+  w.sim.run();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "one.test."),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "three.test."),
+            names.end());
+}
+
+}  // namespace
+}  // namespace recwild::client

@@ -1,0 +1,210 @@
+#include "dnscore/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace recwild::dns {
+namespace {
+
+Message sample_query() {
+  Message q = Message::make_query(0x1234, Name::parse("www.example.nl"),
+                                  RRType::TXT);
+  q.header.rd = true;
+  return q;
+}
+
+TEST(Codec, QueryRoundTrip) {
+  const Message q = sample_query();
+  const Message back = decode_message(encode_message(q));
+  EXPECT_EQ(back.header, q.header);
+  ASSERT_EQ(back.questions.size(), 1u);
+  EXPECT_EQ(back.questions[0], q.questions[0]);
+  EXPECT_TRUE(back.answers.empty());
+  EXPECT_FALSE(back.edns.has_value());
+}
+
+TEST(Codec, ResponseWithAllSectionsRoundTrips) {
+  Message resp = Message::make_response(sample_query());
+  resp.header.aa = true;
+  resp.header.ra = true;
+  resp.answers.push_back(ResourceRecord{
+      Name::parse("www.example.nl"), RRClass::IN, 300,
+      CnameRdata{Name::parse("web.example.nl")}});
+  resp.answers.push_back(ResourceRecord{
+      Name::parse("web.example.nl"), RRClass::IN, 60,
+      ARdata{net::IpAddress::from_octets(192, 0, 2, 7)}});
+  resp.authorities.push_back(ResourceRecord{
+      Name::parse("example.nl"), RRClass::IN, 3600,
+      NsRdata{Name::parse("ns1.example.nl")}});
+  resp.additionals.push_back(ResourceRecord{
+      Name::parse("ns1.example.nl"), RRClass::IN, 3600,
+      ARdata{net::IpAddress::from_octets(192, 0, 2, 53)}});
+
+  const Message back = decode_message(encode_message(resp));
+  EXPECT_EQ(back.header, resp.header);
+  EXPECT_EQ(back.answers, resp.answers);
+  EXPECT_EQ(back.authorities, resp.authorities);
+  EXPECT_EQ(back.additionals, resp.additionals);
+}
+
+TEST(Codec, HeaderFlagsSurvive) {
+  Message m = sample_query();
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.tc = true;
+  m.header.rd = true;
+  m.header.ra = true;
+  m.header.opcode = Opcode::Update;
+  m.header.rcode = Rcode::Refused;
+  const Message back = decode_message(encode_message(m));
+  EXPECT_EQ(back.header, m.header);
+}
+
+TEST(Codec, EdnsRoundTrips) {
+  Message q = sample_query();
+  q.edns = EdnsInfo{};
+  q.edns->udp_payload_size = 4096;
+  q.edns->dnssec_ok = true;
+  q.edns->options.options.push_back({10, {1, 2, 3}});
+  const Message back = decode_message(encode_message(q));
+  ASSERT_TRUE(back.edns.has_value());
+  EXPECT_EQ(back.edns->udp_payload_size, 4096);
+  EXPECT_TRUE(back.edns->dnssec_ok);
+  EXPECT_EQ(back.edns->options, q.edns->options);
+  // OPT must not leak into additionals.
+  EXPECT_TRUE(back.additionals.empty());
+}
+
+TEST(Codec, DuplicateOptRejected) {
+  Message q = sample_query();
+  q.edns = EdnsInfo{};
+  auto wire = encode_message(q);
+  // Append a second OPT record manually: bump ARCOUNT and append bytes.
+  wire[11] = 2;  // arcount low byte (was 1)
+  const std::vector<std::uint8_t> opt{0, 0, 41, 4, 0xd0, 0, 0, 0, 0, 0, 0};
+  wire.insert(wire.end(), opt.begin(), opt.end());
+  EXPECT_THROW(decode_message(wire), WireError);
+}
+
+TEST(Codec, CompressionShrinksRepeatedNames) {
+  Message resp = Message::make_response(sample_query());
+  for (int i = 0; i < 4; ++i) {
+    resp.answers.push_back(ResourceRecord{
+        Name::parse("www.example.nl"), RRClass::IN, 60,
+        ARdata{net::IpAddress{static_cast<std::uint32_t>(i)}}});
+  }
+  const auto wire = encode_message(resp);
+  // Each answer's owner should cost 2 bytes (pointer), not 16.
+  // Header(12) + question(16+4) + 4 * (2 + 10 + 4) = 96.
+  EXPECT_EQ(wire.size(), 96u);
+}
+
+TEST(Codec, TruncatedHeaderRejected) {
+  const std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_THROW(decode_message(junk), WireError);
+}
+
+TEST(Codec, TruncatedQuestionRejected) {
+  auto wire = encode_message(sample_query());
+  wire.resize(wire.size() - 3);
+  EXPECT_THROW(decode_message(wire), WireError);
+}
+
+TEST(Codec, GarbageRejectedNotCrash) {
+  stats::Rng rng{99};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(rng.index(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    try {
+      (void)decode_message(junk);
+    } catch (const WireError&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST(Codec, MakeResponseEchoesQuestion) {
+  const Message q = sample_query();
+  const Message r = Message::make_response(q);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(r.header.id, q.header.id);
+  ASSERT_EQ(r.questions.size(), 1u);
+  EXPECT_EQ(r.questions[0], q.questions[0]);
+}
+
+TEST(Codec, ToStringMentionsSections) {
+  Message resp = Message::make_response(sample_query());
+  resp.answers.push_back(ResourceRecord{
+      Name::parse("www.example.nl"), RRClass::IN, 60, TxtRdata{{"x"}}});
+  const std::string s = resp.to_string();
+  EXPECT_NE(s.find("QUESTION"), std::string::npos);
+  EXPECT_NE(s.find("ANSWER"), std::string::npos);
+  EXPECT_NE(s.find("NOERROR"), std::string::npos);
+}
+
+/// Property sweep: random messages survive encode/decode unchanged.
+class CodecFuzzRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzzRoundTrip, RandomMessagesRoundTrip) {
+  stats::Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919};
+  Message m;
+  m.header.id = static_cast<std::uint16_t>(rng.next());
+  m.header.qr = rng.chance(0.5);
+  m.header.aa = rng.chance(0.5);
+  m.header.rd = rng.chance(0.5);
+  m.header.rcode = rng.chance(0.3) ? Rcode::NxDomain : Rcode::NoError;
+
+  auto random_name = [&rng] {
+    std::vector<std::string> labels;
+    const std::size_t n = 1 + rng.index(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string label;
+      const std::size_t len = 1 + rng.index(10);
+      for (std::size_t j = 0; j < len; ++j) {
+        label.push_back("abcdefghij0123456789"[rng.index(20)]);
+      }
+      labels.push_back(std::move(label));
+    }
+    return Name::from_labels(std::move(labels));
+  };
+
+  m.questions.push_back(Question{random_name(), RRType::TXT, RRClass::IN});
+  const std::size_t n_answers = rng.index(5);
+  for (std::size_t i = 0; i < n_answers; ++i) {
+    switch (rng.index(4)) {
+      case 0:
+        m.answers.push_back(ResourceRecord{
+            random_name(), RRClass::IN,
+            static_cast<Ttl>(rng.index(86400)),
+            ARdata{net::IpAddress{static_cast<std::uint32_t>(rng.next())}}});
+        break;
+      case 1:
+        m.answers.push_back(ResourceRecord{random_name(), RRClass::IN, 60,
+                                           NsRdata{random_name()}});
+        break;
+      case 2:
+        m.answers.push_back(ResourceRecord{random_name(), RRClass::IN, 5,
+                                           TxtRdata{{"payload"}}});
+        break;
+      default:
+        m.answers.push_back(ResourceRecord{
+            random_name(), RRClass::IN, 30,
+            MxRdata{static_cast<std::uint16_t>(rng.index(100)),
+                    random_name()}});
+        break;
+    }
+  }
+  if (rng.chance(0.5)) m.edns = EdnsInfo{};
+
+  const Message back = decode_message(encode_message(m));
+  EXPECT_EQ(back.header, m.header);
+  EXPECT_EQ(back.questions, m.questions);
+  EXPECT_EQ(back.answers, m.answers);
+  EXPECT_EQ(back.edns.has_value(), m.edns.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzRoundTrip, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace recwild::dns

@@ -1,0 +1,179 @@
+#include "dnscore/name.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace recwild::dns {
+namespace {
+
+TEST(Name, RootParsesAndPrints) {
+  const Name root = Name::parse(".");
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.label_count(), 0u);
+  EXPECT_EQ(root.to_string(), ".");
+  EXPECT_EQ(root.wire_length(), 1u);
+}
+
+TEST(Name, DefaultConstructedIsRoot) {
+  EXPECT_TRUE(Name{}.is_root());
+}
+
+TEST(Name, ParsesRelativeAndAbsoluteForms) {
+  const Name a = Name::parse("www.example.nl");
+  const Name b = Name::parse("www.example.nl.");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.label_count(), 3u);
+  EXPECT_EQ(a.label(0), "www");
+  EXPECT_EQ(a.label(2), "nl");
+}
+
+TEST(Name, ToStringAppendsTrailingDot) {
+  EXPECT_EQ(Name::parse("example.nl").to_string(), "example.nl.");
+}
+
+TEST(Name, RejectsEmptyAndMalformed) {
+  EXPECT_THROW(Name::parse(""), std::invalid_argument);
+  EXPECT_THROW(Name::parse("a..b"), std::invalid_argument);
+  EXPECT_THROW(Name::parse(".a"), std::invalid_argument);
+  EXPECT_THROW(Name::parse("a\\"), std::invalid_argument);
+}
+
+TEST(Name, EscapedDotStaysInLabel) {
+  const Name n = Name::parse("a\\.b.nl");
+  EXPECT_EQ(n.label_count(), 2u);
+  EXPECT_EQ(n.label(0), "a.b");
+  EXPECT_EQ(n.to_string(), "a\\.b.nl.");
+}
+
+TEST(Name, RoundTripsThroughToString) {
+  for (const char* text :
+       {"example.nl.", "a.b.c.d.e.", "xn--caf-dma.fr.", "a\\.b.nl."}) {
+    const Name n = Name::parse(text);
+    EXPECT_EQ(Name::parse(n.to_string()), n) << text;
+  }
+}
+
+TEST(Name, LabelLengthLimitEnforced) {
+  const std::string max_label(63, 'a');
+  EXPECT_NO_THROW(Name::parse(max_label + ".nl"));
+  const std::string too_long(64, 'a');
+  EXPECT_THROW(Name::parse(too_long + ".nl"), std::invalid_argument);
+}
+
+TEST(Name, TotalLengthLimitEnforced) {
+  // Four 63-byte labels: 4*64 + 1 = 257 > 255.
+  const std::string l(63, 'a');
+  EXPECT_THROW(Name::parse(l + "." + l + "." + l + "." + l),
+               std::invalid_argument);
+  // Three long labels + short one stays within 255.
+  EXPECT_NO_THROW(Name::parse(l + "." + l + "." + l + ".x"));
+}
+
+TEST(Name, WireLengthCountsLabelBytes) {
+  EXPECT_EQ(Name::parse("ab.nl").wire_length(), 1 + 2 + 1 + 2 + 1u);
+}
+
+TEST(Name, ComparisonIsCaseInsensitive) {
+  EXPECT_EQ(Name::parse("WWW.Example.NL"), Name::parse("www.example.nl"));
+  EXPECT_EQ(Name::parse("WWW.Example.NL").hash(),
+            Name::parse("www.example.nl").hash());
+}
+
+TEST(Name, CanonicalOrderIsRightToLeft) {
+  // example.com < example.nl (com < nl at the rightmost label).
+  EXPECT_LT(Name::parse("example.com"), Name::parse("example.nl"));
+  // Parent sorts before child.
+  EXPECT_LT(Name::parse("nl"), Name::parse("example.nl"));
+  // Root sorts first.
+  EXPECT_LT(Name{}, Name::parse("nl"));
+}
+
+TEST(Name, CompareIsAntisymmetric) {
+  const Name a = Name::parse("a.nl");
+  const Name b = Name::parse("b.nl");
+  EXPECT_EQ(a.compare(b), -b.compare(a));
+  EXPECT_EQ(a.compare(a), 0);
+}
+
+TEST(Name, SubdomainChecks) {
+  const Name zone = Name::parse("example.nl");
+  EXPECT_TRUE(Name::parse("www.example.nl").is_subdomain_of(zone));
+  EXPECT_TRUE(zone.is_subdomain_of(zone));
+  EXPECT_TRUE(zone.is_subdomain_of(Name{}));  // everything under root
+  EXPECT_FALSE(Name::parse("example.com").is_subdomain_of(zone));
+  EXPECT_FALSE(Name::parse("nl").is_subdomain_of(zone));
+  // Not fooled by string suffixes: "badexample.nl" is not under
+  // "example.nl".
+  EXPECT_FALSE(Name::parse("badexample.nl").is_subdomain_of(zone));
+}
+
+TEST(Name, SubdomainIsCaseInsensitive) {
+  EXPECT_TRUE(Name::parse("WWW.EXAMPLE.NL")
+                  .is_subdomain_of(Name::parse("example.nl")));
+}
+
+TEST(Name, ParentWalksUp) {
+  const Name n = Name::parse("a.b.c");
+  EXPECT_EQ(n.parent(), Name::parse("b.c"));
+  EXPECT_EQ(n.parent().parent(), Name::parse("c"));
+  EXPECT_TRUE(n.parent().parent().parent().is_root());
+  EXPECT_TRUE(Name{}.parent().is_root());
+}
+
+TEST(Name, PrefixedAddsLeftmostLabel) {
+  EXPECT_EQ(Name::parse("example.nl").prefixed("www"),
+            Name::parse("www.example.nl"));
+  EXPECT_EQ(Name{}.prefixed("nl"), Name::parse("nl"));
+}
+
+TEST(Name, PrefixedValidatesLimits) {
+  EXPECT_THROW(Name::parse("nl").prefixed(std::string(64, 'a')),
+               std::invalid_argument);
+}
+
+TEST(Name, ConcatJoinsNames) {
+  EXPECT_EQ(Name::parse("www").concat(Name::parse("example.nl")),
+            Name::parse("www.example.nl"));
+  EXPECT_EQ(Name::parse("www.example.nl").concat(Name{}),
+            Name::parse("www.example.nl"));
+}
+
+TEST(Name, FromLabelsValidates) {
+  EXPECT_THROW(Name::from_labels({""}), std::invalid_argument);
+  EXPECT_NO_THROW(Name::from_labels({"a", "b"}));
+}
+
+TEST(Name, HashDistinguishesNames) {
+  EXPECT_NE(Name::parse("a.nl").hash(), Name::parse("b.nl").hash());
+  EXPECT_NE(Name::parse("ab.nl").hash(), Name::parse("a.bnl").hash());
+}
+
+/// Property sweep: parse/print round-trip over generated names.
+class NameRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(NameRoundTrip, ParsePrintParse) {
+  stats::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<std::string> labels;
+  const std::size_t n = 1 + rng.index(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string label;
+    const std::size_t len = 1 + rng.index(12);
+    for (std::size_t j = 0; j < len; ++j) {
+      static constexpr char alphabet[] =
+          "abcdefghijklmnopqrstuvwxyzABC0123456789-_.";
+      label.push_back(
+          alphabet[rng.index(sizeof(alphabet) - 1)]);
+    }
+    labels.push_back(std::move(label));
+  }
+  const Name n1 = Name::from_labels(labels);
+  const Name n2 = Name::parse(n1.to_string());
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(n1.compare(n2), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NameRoundTrip, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace recwild::dns

@@ -1,0 +1,134 @@
+#include "dnscore/rdata.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::dns {
+namespace {
+
+/// Encodes rdata and decodes it back, checking equality.
+Rdata round_trip(const Rdata& in) {
+  WireWriter w;
+  encode_rdata(w, in);
+  WireReader r{w.data()};
+  return decode_rdata(r, rdata_type(in), w.size());
+}
+
+TEST(Rdata, TypeMapping) {
+  EXPECT_EQ(rdata_type(ARdata{}), RRType::A);
+  EXPECT_EQ(rdata_type(AaaaRdata{}), RRType::AAAA);
+  EXPECT_EQ(rdata_type(NsRdata{}), RRType::NS);
+  EXPECT_EQ(rdata_type(CnameRdata{}), RRType::CNAME);
+  EXPECT_EQ(rdata_type(SoaRdata{}), RRType::SOA);
+  EXPECT_EQ(rdata_type(MxRdata{}), RRType::MX);
+  EXPECT_EQ(rdata_type(TxtRdata{}), RRType::TXT);
+  EXPECT_EQ(rdata_type(SrvRdata{}), RRType::SRV);
+  EXPECT_EQ(rdata_type(OptRdata{}), RRType::OPT);
+  EXPECT_EQ(rdata_type(CaaRdata{}), RRType::CAA);
+  EXPECT_EQ(rdata_type(PtrRdata{}), RRType::PTR);
+  EXPECT_EQ(rdata_type(RawRdata{999, {}}), static_cast<RRType>(999));
+}
+
+TEST(Rdata, ARoundTrip) {
+  const Rdata in = ARdata{net::IpAddress::from_octets(192, 0, 2, 1)};
+  EXPECT_EQ(round_trip(in), in);
+}
+
+TEST(Rdata, AWrongLengthRejected) {
+  WireWriter w;
+  w.u16(5);
+  WireReader r{w.data()};
+  EXPECT_THROW(decode_rdata(r, RRType::A, 2), WireError);
+}
+
+TEST(Rdata, AaaaRoundTrip) {
+  AaaaRdata v;
+  for (std::size_t i = 0; i < 16; ++i) {
+    v.address[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  EXPECT_EQ(round_trip(Rdata{v}), Rdata{v});
+}
+
+TEST(Rdata, NsCnamePtrRoundTrip) {
+  EXPECT_EQ(round_trip(NsRdata{Name::parse("ns1.example.nl")}),
+            Rdata{NsRdata{Name::parse("ns1.example.nl")}});
+  EXPECT_EQ(round_trip(CnameRdata{Name::parse("www.example.nl")}),
+            Rdata{CnameRdata{Name::parse("www.example.nl")}});
+  EXPECT_EQ(round_trip(PtrRdata{Name::parse("host.example.nl")}),
+            Rdata{PtrRdata{Name::parse("host.example.nl")}});
+}
+
+TEST(Rdata, SoaRoundTrip) {
+  SoaRdata soa;
+  soa.mname = Name::parse("ns1.dns.nl");
+  soa.rname = Name::parse("hostmaster.dns.nl");
+  soa.serial = 2017041201;
+  soa.refresh = 14400;
+  soa.retry = 3600;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  EXPECT_EQ(round_trip(Rdata{soa}), Rdata{soa});
+}
+
+TEST(Rdata, MxRoundTrip) {
+  const MxRdata mx{10, Name::parse("mail.example.nl")};
+  EXPECT_EQ(round_trip(Rdata{mx}), Rdata{mx});
+}
+
+TEST(Rdata, TxtSingleString) {
+  const TxtRdata txt{{"FRA"}};
+  EXPECT_EQ(round_trip(Rdata{txt}), Rdata{txt});
+}
+
+TEST(Rdata, TxtMultipleStrings) {
+  const TxtRdata txt{{"first", "second", ""}};
+  EXPECT_EQ(round_trip(Rdata{txt}), Rdata{txt});
+}
+
+TEST(Rdata, SrvRoundTrip) {
+  const SrvRdata srv{1, 2, 5353, Name::parse("svc.example.nl")};
+  EXPECT_EQ(round_trip(Rdata{srv}), Rdata{srv});
+}
+
+TEST(Rdata, OptOptionsRoundTrip) {
+  OptRdata opt;
+  opt.options.push_back({10, {1, 2, 3, 4}});  // e.g. COOKIE
+  opt.options.push_back({8, {0x00, 0x01, 0x18, 0x00}});  // ECS-ish
+  EXPECT_EQ(round_trip(Rdata{opt}), Rdata{opt});
+}
+
+TEST(Rdata, CaaRoundTrip) {
+  const CaaRdata caa{128, "issue", "letsencrypt.org"};
+  EXPECT_EQ(round_trip(Rdata{caa}), Rdata{caa});
+}
+
+TEST(Rdata, UnknownTypeRoundTripsRaw) {
+  const RawRdata raw{4242, {9, 8, 7}};
+  WireWriter w;
+  encode_rdata(w, Rdata{raw});
+  WireReader r{w.data()};
+  const Rdata back = decode_rdata(r, static_cast<RRType>(4242), 3);
+  EXPECT_EQ(back, Rdata{raw});
+}
+
+TEST(Rdata, LengthMismatchDetected) {
+  // NS rdata with trailing junk inside declared rdlength.
+  WireWriter w;
+  w.name(Name::parse("ns.example.nl"), false);
+  w.u8(0xff);
+  WireReader r{w.data()};
+  EXPECT_THROW(decode_rdata(r, RRType::NS, w.size()), WireError);
+}
+
+TEST(Rdata, PresentationFormats) {
+  EXPECT_EQ(rdata_to_string(ARdata{net::IpAddress::from_octets(10, 1, 2, 3)}),
+            "10.1.2.3");
+  EXPECT_EQ(rdata_to_string(MxRdata{5, Name::parse("mx.nl")}), "5 mx.nl.");
+  EXPECT_EQ(rdata_to_string(TxtRdata{{"a", "b"}}), "\"a\" \"b\"");
+  EXPECT_EQ(rdata_to_string(NsRdata{Name::parse("ns.nl")}), "ns.nl.");
+  AaaaRdata v6;
+  v6.address[15] = 1;
+  EXPECT_EQ(rdata_to_string(v6), "0:0:0:0:0:0:0:1");
+}
+
+}  // namespace
+}  // namespace recwild::dns

@@ -1,0 +1,85 @@
+#include "dnscore/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::dns {
+namespace {
+
+ResourceRecord a_record(const char* name, std::uint32_t ip, Ttl ttl = 60) {
+  return ResourceRecord{Name::parse(name), RRClass::IN, ttl,
+                        ARdata{net::IpAddress{ip}}};
+}
+
+TEST(Record, TypeComesFromRdata) {
+  EXPECT_EQ(a_record("x.nl", 1).type(), RRType::A);
+  const ResourceRecord txt{Name::parse("x.nl"), RRClass::IN, 5,
+                           TxtRdata{{"v"}}};
+  EXPECT_EQ(txt.type(), RRType::TXT);
+}
+
+TEST(Record, ToStringIsPresentationLine) {
+  const auto rr = a_record("www.example.nl", 0x0a000001, 300);
+  EXPECT_EQ(rr.to_string(), "www.example.nl. 300 IN A 10.0.0.1");
+}
+
+TEST(RRset, ToRecordsExpandsAll) {
+  RRset set;
+  set.name = Name::parse("x.nl");
+  set.type = RRType::A;
+  set.ttl = 60;
+  set.rdatas = {ARdata{net::IpAddress{1}}, ARdata{net::IpAddress{2}}};
+  const auto records = set.to_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].ttl, 60u);
+  EXPECT_EQ(records[0].name, set.name);
+  EXPECT_NE(records[0].rdata, records[1].rdata);
+}
+
+TEST(GroupRRsets, GroupsByNameAndType) {
+  const std::vector<ResourceRecord> records{
+      a_record("a.nl", 1),
+      a_record("a.nl", 2),
+      a_record("b.nl", 3),
+      {Name::parse("a.nl"), RRClass::IN, 60, TxtRdata{{"t"}}},
+  };
+  const auto sets = group_rrsets(records);
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].size(), 2u);  // two A records at a.nl
+  EXPECT_EQ(sets[1].size(), 1u);
+  EXPECT_EQ(sets[2].type, RRType::TXT);
+}
+
+TEST(GroupRRsets, MixedTtlNormalizedToMinimum) {
+  const std::vector<ResourceRecord> records{
+      a_record("a.nl", 1, 300),
+      a_record("a.nl", 2, 100),
+  };
+  const auto sets = group_rrsets(records);
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].ttl, 100u);
+}
+
+TEST(GroupRRsets, CaseInsensitiveOwnerMatch) {
+  const std::vector<ResourceRecord> records{
+      a_record("A.NL", 1),
+      a_record("a.nl", 2),
+  };
+  EXPECT_EQ(group_rrsets(records).size(), 1u);
+}
+
+TEST(GroupRRsets, EmptyInput) {
+  EXPECT_TRUE(group_rrsets({}).empty());
+}
+
+TEST(GroupRRsets, PreservesFirstSeenOrder) {
+  const std::vector<ResourceRecord> records{
+      a_record("z.nl", 1),
+      a_record("a.nl", 2),
+  };
+  const auto sets = group_rrsets(records);
+  EXPECT_EQ(sets[0].name, Name::parse("z.nl"));
+  EXPECT_EQ(sets[1].name, Name::parse("a.nl"));
+}
+
+}  // namespace
+}  // namespace recwild::dns

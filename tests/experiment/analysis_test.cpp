@@ -1,0 +1,173 @@
+// Analysis functions tested on hand-built CampaignResult fixtures, so the
+// preference/coverage math is verified independently of the simulator.
+#include "experiment/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::experiment {
+namespace {
+
+VpObservation vp(net::Continent c, std::vector<int> seq,
+                 std::vector<double> rtts, std::size_t id = 0) {
+  VpObservation obs;
+  obs.probe_id = id;
+  obs.continent = c;
+  obs.sequence = std::move(seq);
+  obs.rtt_ms = std::move(rtts);
+  return obs;
+}
+
+CampaignResult two_service_result() {
+  CampaignResult r;
+  r.service_codes = {"DUB", "FRA"};
+  return r;
+}
+
+TEST(Coverage, CountsQueriesToSeeAll) {
+  auto result = two_service_result();
+  // Sees service 0 at query 0, service 1 at query 2 -> covers at index 2.
+  result.vps.push_back(
+      vp(net::Continent::Europe, {0, 0, 1, 0, 1}, {50, 40}));
+  const auto cov = analyze_coverage(result);
+  EXPECT_EQ(cov.vps_considered, 1u);
+  EXPECT_EQ(cov.vps_covering, 1u);
+  EXPECT_DOUBLE_EQ(cov.covering_fraction, 1.0);
+  ASSERT_TRUE(cov.queries_to_cover.has_value());
+  EXPECT_DOUBLE_EQ(cov.queries_to_cover->p50, 2.0);
+}
+
+TEST(Coverage, NeverCoveringVpCounted) {
+  auto result = two_service_result();
+  result.vps.push_back(vp(net::Continent::Europe, {0, 0, 0}, {50, 40}));
+  result.vps.push_back(vp(net::Continent::Europe, {0, 1, 0}, {50, 40}));
+  const auto cov = analyze_coverage(result);
+  EXPECT_EQ(cov.vps_considered, 2u);
+  EXPECT_EQ(cov.vps_covering, 1u);
+  EXPECT_DOUBLE_EQ(cov.covering_fraction, 0.5);
+}
+
+TEST(Coverage, TimeoutsAreNotSightings) {
+  auto result = two_service_result();
+  result.vps.push_back(vp(net::Continent::Europe, {0, -1, 1}, {50, 40}));
+  const auto cov = analyze_coverage(result);
+  ASSERT_TRUE(cov.queries_to_cover.has_value());
+  EXPECT_DOUBLE_EQ(cov.queries_to_cover->p50, 2.0);
+}
+
+TEST(Coverage, AllTimeoutVpIgnored) {
+  auto result = two_service_result();
+  result.vps.push_back(vp(net::Continent::Europe, {-1, -1}, {50, 40}));
+  const auto cov = analyze_coverage(result);
+  EXPECT_EQ(cov.vps_considered, 0u);
+}
+
+TEST(Shares, HotPhaseOnly) {
+  auto result = two_service_result();
+  // Covers at index 1; hot phase = indices 2..5: {0,0,0,1}.
+  result.vps.push_back(
+      vp(net::Continent::Europe, {0, 1, 0, 0, 0, 1}, {50, 40}));
+  const auto shares = analyze_shares(result);
+  EXPECT_EQ(shares.total_queries, 4u);
+  EXPECT_DOUBLE_EQ(shares.query_share[0], 0.75);
+  EXPECT_DOUBLE_EQ(shares.query_share[1], 0.25);
+}
+
+TEST(Shares, MedianRttAcrossVps) {
+  auto result = two_service_result();
+  result.vps.push_back(
+      vp(net::Continent::Europe, {0, 1, 0, 1}, {30, 100}));
+  result.vps.push_back(
+      vp(net::Continent::Europe, {1, 0, 1, 0}, {50, 200}));
+  result.vps.push_back(
+      vp(net::Continent::Europe, {0, 1, 1, 0}, {70, 300}));
+  const auto shares = analyze_shares(result);
+  EXPECT_DOUBLE_EQ(shares.median_rtt_ms[0], 50.0);
+  EXPECT_DOUBLE_EQ(shares.median_rtt_ms[1], 200.0);
+}
+
+TEST(Preferences, WeakAndStrongThresholds) {
+  auto result = two_service_result();
+  // Hot phase after index 1. 10 hot queries:
+  // VP A: 9/10 to service 0 -> strong (and weak).
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, {30, 90},
+                          1));
+  // VP B: 7/10 to service 0 -> weak only.
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 0, 0, 0, 1, 0, 0, 1, 0, 0, 1}, {30, 90},
+                          2));
+  // VP C: 5/10 each -> neither.
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}, {30, 90},
+                          3));
+  const auto prefs = analyze_preferences(result);
+  ASSERT_EQ(prefs.vps.size(), 3u);
+  EXPECT_NEAR(prefs.weak_fraction, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(prefs.strong_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Preferences, RttFollowingRequiresThreshold) {
+  auto result = two_service_result();
+  // RTT diff 60 ms (eligible); favours the fast service 0.
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 0, 0, 0, 0}, {30, 90}, 1));
+  // RTT diff 10 ms (not eligible).
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 0, 0, 0, 0}, {30, 40}, 2));
+  // Eligible but favours the SLOW one.
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 1, 1, 1, 1}, {30, 90}, 3));
+  const auto prefs = analyze_preferences(result);
+  EXPECT_EQ(prefs.rtt_eligible_vps, 2u);
+  EXPECT_DOUBLE_EQ(prefs.rtt_following_fraction, 0.5);
+}
+
+TEST(Preferences, ContinentRowsMatchTable2Shape) {
+  auto result = two_service_result();
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 0, 0, 0, 0}, {30, 90}, 1));
+  result.vps.push_back(vp(net::Continent::Oceania,
+                          {0, 1, 1, 1, 1, 1}, {300, 40}, 2));
+  const auto prefs = analyze_preferences(result);
+  ASSERT_EQ(prefs.continents.size(), net::kContinentCount);
+  const auto& eu = prefs.continents[2];  // AF AS EU NA OC SA order
+  EXPECT_EQ(net::continent_code(eu.continent), "EU");
+  EXPECT_EQ(eu.vp_count, 1u);
+  EXPECT_DOUBLE_EQ(eu.query_share[0], 1.0);
+  const auto& oc = prefs.continents[4];
+  EXPECT_EQ(oc.vp_count, 1u);
+  EXPECT_DOUBLE_EQ(oc.query_share[1], 1.0);
+  EXPECT_DOUBLE_EQ(oc.median_rtt_ms[0], 300.0);
+}
+
+TEST(Preferences, VpWithoutCoverageExcluded) {
+  auto result = two_service_result();
+  result.vps.push_back(vp(net::Continent::Europe, {0, 0, 0}, {30, 90}));
+  const auto prefs = analyze_preferences(result);
+  EXPECT_TRUE(prefs.vps.empty());
+}
+
+TEST(RttSensitivity, OnePointPerContinentService) {
+  auto result = two_service_result();
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 0, 0}, {30, 90}, 1));
+  const auto points = analyze_rtt_sensitivity(result);
+  ASSERT_EQ(points.size(), 2u);  // one continent with VPs x two services
+  EXPECT_EQ(points[0].code, "DUB");
+  EXPECT_EQ(points[1].code, "FRA");
+  EXPECT_DOUBLE_EQ(points[0].median_rtt_ms, 30.0);
+  EXPECT_DOUBLE_EQ(points[0].query_fraction, 1.0);
+}
+
+TEST(FractionToService, PerContinent) {
+  auto result = two_service_result();
+  result.vps.push_back(vp(net::Continent::Europe,
+                          {0, 1, 1, 1, 1, 0}, {30, 90}, 1));
+  const auto rows = fraction_to_service(result, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, net::Continent::Europe);
+  EXPECT_DOUBLE_EQ(rows[0].second, 0.75);  // hot phase: {1,1,1,0}
+}
+
+}  // namespace
+}  // namespace recwild::experiment

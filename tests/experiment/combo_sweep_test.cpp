@@ -1,0 +1,117 @@
+// Parameterized sweep over every Table-1 combination: the structural
+// invariants of the paper's findings must hold for each deployment, and
+// KS distances quantify the §3.1 parity verifications.
+#include <gtest/gtest.h>
+
+#include "experiment/analysis.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/testbed.hpp"
+
+namespace recwild::experiment {
+namespace {
+
+class ComboSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  CampaignResult run(std::size_t probes = 250) {
+    TestbedConfig cfg;
+    cfg.seed = 777;
+    cfg.population.probes = probes;
+    cfg.test_sites = combination(GetParam()).sites;
+    Testbed tb{cfg};
+    CampaignConfig cc;
+    cc.queries_per_vp = 25;
+    return run_campaign(tb, cc);
+  }
+};
+
+TEST_P(ComboSweep, MajorityCoversAllAuthoritatives) {
+  const auto cov = analyze_coverage(run());
+  // Paper Figure 2: 75-96% across all seven combinations.
+  EXPECT_GT(cov.covering_fraction, 0.55) << GetParam();
+  EXPECT_GT(cov.vps_considered, 200u);
+}
+
+TEST_P(ComboSweep, SharesArePositiveAndNormalized) {
+  const auto shares = analyze_shares(run());
+  double total = 0;
+  for (const double s : shares.query_share) {
+    EXPECT_GT(s, 0.01) << GetParam();  // every NS sees real traffic
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(ComboSweep, FastestAuthoritativeGetsAtLeastFairShare) {
+  // §4.2: the lowest-RTT NS receives at least 1/n of the queries.
+  const auto shares = analyze_shares(run());
+  const auto fastest = static_cast<std::size_t>(
+      std::min_element(shares.median_rtt_ms.begin(),
+                       shares.median_rtt_ms.end()) -
+      shares.median_rtt_ms.begin());
+  EXPECT_GE(shares.query_share[fastest],
+            1.0 / double(shares.query_share.size()) - 0.03)
+      << GetParam();
+}
+
+TEST_P(ComboSweep, PreferenceFractionsOrdered) {
+  const auto prefs = analyze_preferences(run());
+  EXPECT_GE(prefs.weak_fraction, prefs.strong_fraction) << GetParam();
+  EXPECT_GT(prefs.weak_fraction, 0.2) << GetParam();
+  // Latency-driven resolvers form a large bloc among VPs with a clear RTT
+  // gap. With 3-4 NSes the ">=60% to the single fastest" bar is much
+  // harder to clear (even a pure-BIND VP splits when several NSes are
+  // nearly as fast), so the floor drops with deployment size.
+  if (prefs.rtt_eligible_vps > 30) {
+    const double floor =
+        combination(GetParam()).sites.size() == 2 ? 0.40 : 0.18;
+    EXPECT_GT(prefs.rtt_following_fraction, floor) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, ComboSweep,
+                         ::testing::Values("2A", "2B", "2C", "3A", "3B",
+                                           "4A", "4B"),
+                         [](const auto& info) { return info.param; });
+
+TEST(KsParity, PreferenceDistributionsAgreeAcrossSeeds) {
+  // Same world, different seeds: per-VP favourite fractions must come from
+  // the same distribution (a sanity bound on run-to-run variance).
+  auto favs = [](std::uint64_t seed) {
+    TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.population.probes = 300;
+    cfg.test_sites = {"FRA", "SYD"};
+    Testbed tb{cfg};
+    CampaignConfig cc;
+    cc.queries_per_vp = 20;
+    const auto prefs = analyze_preferences(run_campaign(tb, cc));
+    std::vector<double> out;
+    for (const auto& vp : prefs.vps) out.push_back(vp.favourite_fraction);
+    return out;
+  };
+  const auto a = favs(1);
+  const auto b = favs(2);
+  EXPECT_LT(stats::ks_distance(a, b), 0.12);
+}
+
+TEST(KsParity, DistinctDeploymentsActuallyDiffer) {
+  // Control for the test above: 2B and 2C preference distributions are
+  // far apart (2C's big RTT gap creates many strong preferences).
+  auto favs = [](const char* combo) {
+    TestbedConfig cfg;
+    cfg.seed = 5;
+    cfg.population.probes = 300;
+    cfg.test_sites = combination(combo).sites;
+    Testbed tb{cfg};
+    CampaignConfig cc;
+    cc.queries_per_vp = 20;
+    const auto prefs = analyze_preferences(run_campaign(tb, cc));
+    std::vector<double> out;
+    for (const auto& vp : prefs.vps) out.push_back(vp.favourite_fraction);
+    return out;
+  };
+  EXPECT_GT(stats::ks_distance(favs("2B"), favs("2C")), 0.15);
+}
+
+}  // namespace
+}  // namespace recwild::experiment

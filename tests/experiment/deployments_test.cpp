@@ -1,0 +1,97 @@
+#include "experiment/deployments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/geo.hpp"
+
+namespace recwild::experiment {
+namespace {
+
+TEST(Deployments, Table1HasSevenCombinations) {
+  const auto combos = table1_combinations();
+  ASSERT_EQ(combos.size(), 7u);
+  EXPECT_EQ(combos[0].id, "2A");
+  EXPECT_EQ(combos[6].id, "4B");
+}
+
+TEST(Deployments, Table1SiteListsMatchPaper) {
+  EXPECT_EQ(combination("2A").sites,
+            (std::vector<std::string>{"GRU", "NRT"}));
+  EXPECT_EQ(combination("2B").sites,
+            (std::vector<std::string>{"DUB", "FRA"}));
+  EXPECT_EQ(combination("2C").sites,
+            (std::vector<std::string>{"FRA", "SYD"}));
+  EXPECT_EQ(combination("3A").sites,
+            (std::vector<std::string>{"GRU", "NRT", "SYD"}));
+  EXPECT_EQ(combination("3B").sites,
+            (std::vector<std::string>{"DUB", "FRA", "IAD"}));
+  EXPECT_EQ(combination("4A").sites,
+            (std::vector<std::string>{"GRU", "NRT", "SYD", "DUB"}));
+  EXPECT_EQ(combination("4B").sites,
+            (std::vector<std::string>{"DUB", "FRA", "IAD", "SFO"}));
+}
+
+TEST(Deployments, UnknownCombinationThrows) {
+  EXPECT_THROW(combination("9Z"), std::invalid_argument);
+}
+
+TEST(Deployments, ThirteenRootLetters) {
+  const auto letters = root_letter_specs();
+  ASSERT_EQ(letters.size(), 13u);
+  EXPECT_EQ(letters[0].label, "a-root");
+  EXPECT_EQ(letters[12].label, "m-root");
+}
+
+TEST(Deployments, RootLetterFootprintsVary) {
+  const auto letters = root_letter_specs();
+  std::size_t min_sites = 1000;
+  std::size_t max_sites = 0;
+  for (const auto& l : letters) {
+    min_sites = std::min(min_sites, l.site_codes.size());
+    max_sites = std::max(max_sites, l.site_codes.size());
+  }
+  EXPECT_EQ(min_sites, 1u);   // b-root style
+  EXPECT_GE(max_sites, 8u);   // l-root style
+}
+
+TEST(Deployments, AllSiteCodesResolvable) {
+  auto check = [](const std::vector<ServiceSpec>& specs) {
+    for (const auto& s : specs) {
+      for (const auto& code : s.site_codes) {
+        EXPECT_TRUE(net::find_location(code).has_value())
+            << s.label << " " << code;
+      }
+    }
+  };
+  check(root_letter_specs());
+  check(nl_service_specs());
+  check(nl_all_anycast_specs());
+}
+
+TEST(Deployments, NlMatchesPaperSection7) {
+  const auto nl = nl_service_specs();
+  ASSERT_EQ(nl.size(), 8u);
+  std::size_t unicast = 0;
+  std::size_t anycast = 0;
+  for (const auto& s : nl) {
+    if (s.site_codes.size() == 1) {
+      ++unicast;
+      EXPECT_EQ(s.site_codes[0], "AMS");  // unicast NSes in the Netherlands
+    } else {
+      ++anycast;
+    }
+  }
+  EXPECT_EQ(unicast, 5u);
+  EXPECT_EQ(anycast, 3u);
+}
+
+TEST(Deployments, AllAnycastVariantHasNoUnicast) {
+  const auto nl = nl_all_anycast_specs();
+  ASSERT_EQ(nl.size(), 8u);
+  for (const auto& s : nl) {
+    EXPECT_GT(s.site_codes.size(), 1u) << s.label;
+  }
+}
+
+}  // namespace
+}  // namespace recwild::experiment

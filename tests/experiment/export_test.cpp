@@ -1,0 +1,99 @@
+#include "experiment/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace recwild::experiment {
+namespace {
+
+CampaignResult tiny_result() {
+  CampaignResult r;
+  r.service_codes = {"DUB", "FRA"};
+  VpObservation vp;
+  vp.probe_id = 7;
+  vp.continent = net::Continent::Europe;
+  vp.recursive_addr = net::IpAddress::from_octets(10, 0, 0, 9);
+  vp.sequence = {0, 1, 1, 1, -1, 1};
+  vp.rtt_ms = {50.0, 40.0};
+  r.vps.push_back(std::move(vp));
+  return r;
+}
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in{s};
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+TEST(CsvWriter, NumFormatsCompactly) {
+  EXPECT_EQ(CsvWriter::num(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::num(42), "42");
+}
+
+TEST(ExportCampaign, OneRowPerQuery) {
+  std::ostringstream out;
+  write_campaign_csv(out, tiny_result());
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 7u);  // header + 6 queries
+  EXPECT_EQ(lines[0], "probe_id,continent,recursive,query_index,service");
+  EXPECT_EQ(lines[1], "7,EU,10.0.0.9,0,DUB");
+  EXPECT_EQ(lines[5], "7,EU,10.0.0.9,4,");  // timeout -> empty service
+  EXPECT_EQ(lines[6], "7,EU,10.0.0.9,5,FRA");
+}
+
+TEST(ExportPreferences, ProfilesWithFractions) {
+  std::ostringstream out;
+  write_preferences_csv(out, tiny_result());
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "probe_id,continent,queries,favourite,favourite_fraction,"
+            "fraction_DUB,fraction_FRA,rtt_DUB,rtt_FRA");
+  // Hot phase after covering at index 1: {1,1,-1,1} -> 3 FRA of 3 valid.
+  EXPECT_EQ(lines[1], "7,EU,3,FRA,1,0,1,50,40");
+}
+
+TEST(ExportShares, HeaderAndRows) {
+  std::ostringstream out;
+  write_shares_csv(out, tiny_result());
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "service,share,median_rtt_ms");
+  EXPECT_EQ(lines[1].substr(0, 4), "DUB,");
+  EXPECT_EQ(lines[2].substr(0, 4), "FRA,");
+}
+
+TEST(ExportProduction, RankSharesSorted) {
+  ProductionResult result;
+  result.service_labels = {"a-root", "c-root", "d-root"};
+  RecursiveTraffic t;
+  t.address = net::IpAddress::from_octets(10, 1, 1, 1);
+  t.continent = net::Continent::Asia;
+  t.policy = resolver::PolicyKind::StickyFirst;
+  t.total = 100;
+  t.per_service = {20, 70, 10};
+  result.recursives.push_back(std::move(t));
+
+  std::ostringstream out;
+  write_production_csv(out, result);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "address,continent,policy,total,share_rank1,share_rank2,"
+            "share_rank3");
+  EXPECT_EQ(lines[1], "10.1.1.1,AS,sticky_first,100,0.7,0.2,0.1");
+}
+
+}  // namespace
+}  // namespace recwild::experiment

@@ -1,0 +1,85 @@
+#include "experiment/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::experiment {
+namespace {
+
+Testbed root_testbed() {
+  TestbedConfig cfg;
+  cfg.seed = 71;
+  cfg.build_nl = false;
+  cfg.build_population = false;
+  return Testbed{cfg};
+}
+
+FailureScenarioConfig quick(FailureKind kind) {
+  FailureScenarioConfig cfg;
+  cfg.kind = kind;
+  cfg.recursives = 40;
+  cfg.duration_minutes = 12;
+  cfg.queries_per_minute = 4;
+  cfg.targets = {0, 1, 2};
+  return cfg;
+}
+
+TEST(FailureScenario, ProducesAllPhases) {
+  auto tb = root_testbed();
+  const auto result = run_failure_scenario(tb, quick(FailureKind::ServiceDown));
+  EXPECT_GT(result.before.queries, 0u);
+  EXPECT_GT(result.during.queries, 0u);
+  EXPECT_GT(result.after.queries, 0u);
+  EXPECT_EQ(result.minute_success.size(), 12u);
+  EXPECT_EQ(result.letter_labels.size(), 13u);
+}
+
+TEST(FailureScenario, HealthyPhasesFullySucceed) {
+  auto tb = root_testbed();
+  const auto result = run_failure_scenario(tb, quick(FailureKind::ServiceDown));
+  EXPECT_GT(result.before.success_rate, 0.98);
+  EXPECT_GT(result.after.success_rate, 0.95);
+}
+
+TEST(FailureScenario, RedundancyAbsorbsThreeDeadLetters) {
+  auto tb = root_testbed();
+  const auto result = run_failure_scenario(tb, quick(FailureKind::ServiceDown));
+  // The 2015-root-event shape: success barely moves, latency pays.
+  EXPECT_GT(result.during.success_rate, 0.90);
+  EXPECT_GE(result.during.p90_latency_ms, result.before.p90_latency_ms);
+}
+
+TEST(FailureScenario, AllLettersDownIsFatal) {
+  auto tb = root_testbed();
+  auto cfg = quick(FailureKind::ServiceDown);
+  cfg.targets.clear();
+  for (std::size_t i = 0; i < 13; ++i) cfg.targets.push_back(i);
+  const auto result = run_failure_scenario(tb, cfg);
+  // Warm NS caches cannot help: the test queries are junk TLDs that
+  // always need the root. (Some tail succeeds: resolutions started near
+  // the event's end retry long enough to reach the recovered letters.)
+  EXPECT_LT(result.during.success_rate, 0.25);
+  EXPECT_GT(result.after.success_rate, 0.80);  // recovery after the event
+}
+
+TEST(FailureScenario, PartialSiteFailureMilderThanFullFailure) {
+  auto tb1 = root_testbed();
+  auto sites_cfg = quick(FailureKind::SitesDown);
+  sites_cfg.site_fraction = 0.5;
+  const auto partial = run_failure_scenario(tb1, sites_cfg);
+
+  auto tb2 = root_testbed();
+  const auto full =
+      run_failure_scenario(tb2, quick(FailureKind::ServiceDown));
+  EXPECT_GE(partial.during.success_rate, full.during.success_rate - 0.02);
+}
+
+TEST(FailureScenario, LetterSharesSumToOne) {
+  auto tb = root_testbed();
+  const auto result = run_failure_scenario(tb, quick(FailureKind::ServiceDown));
+  double total = 0;
+  for (const double s : result.letter_share_during) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace recwild::experiment

@@ -1,0 +1,130 @@
+#include "experiment/production.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::experiment {
+namespace {
+
+Testbed production_testbed(bool all_anycast = false) {
+  TestbedConfig cfg;
+  cfg.seed = 41;
+  cfg.build_population = false;
+  cfg.all_anycast_nl = all_anycast;
+  return Testbed{cfg};
+}
+
+ProductionConfig small_config(ProductionTarget target) {
+  ProductionConfig pc;
+  pc.target = target;
+  pc.recursives = 60;
+  pc.duration_hours = 0.25;
+  pc.volume_mu = 5.0;  // median ~148/hour -> ~37 per quarter hour
+  pc.min_queries = 20;
+  return pc;
+}
+
+TEST(Production, RootRunObservesTenLetters) {
+  auto tb = production_testbed();
+  const auto result = run_production(tb, small_config(ProductionTarget::Root));
+  ASSERT_EQ(result.service_labels.size(), 10u);
+  // B, G, L are the missing DITL letters.
+  for (const auto& label : result.service_labels) {
+    EXPECT_NE(label, "b-root");
+    EXPECT_NE(label, "g-root");
+    EXPECT_NE(label, "l-root");
+  }
+  EXPECT_EQ(result.sources_total, 60u);
+  EXPECT_GT(result.recursives.size(), 5u);
+}
+
+TEST(Production, QualifyingRecursivesMeetThreshold) {
+  auto tb = production_testbed();
+  const auto cfg = small_config(ProductionTarget::Root);
+  const auto result = run_production(tb, cfg);
+  for (const auto& t : result.recursives) {
+    EXPECT_GE(t.total, cfg.min_queries);
+    EXPECT_EQ(t.per_service.size(), result.service_labels.size());
+    std::uint64_t sum = 0;
+    for (const auto c : t.per_service) sum += c;
+    EXPECT_EQ(sum, t.total);
+  }
+}
+
+TEST(Production, SortedByVolumeDescending) {
+  auto tb = production_testbed();
+  const auto result = run_production(tb, small_config(ProductionTarget::Root));
+  for (std::size_t i = 1; i < result.recursives.size(); ++i) {
+    EXPECT_GE(result.recursives[i - 1].total, result.recursives[i].total);
+  }
+}
+
+TEST(Production, RankSharesAreDistribution) {
+  auto tb = production_testbed();
+  const auto result = run_production(tb, small_config(ProductionTarget::Root));
+  ASSERT_FALSE(result.mean_rank_share.empty());
+  double total = 0;
+  double prev = 1.0;
+  for (const double s : result.mean_rank_share) {
+    EXPECT_LE(s, prev + 1e-9);  // non-increasing by rank
+    prev = s;
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Production, FractionQueryingSumsToOne) {
+  auto tb = production_testbed();
+  const auto result = run_production(tb, small_config(ProductionTarget::Root));
+  double total = 0;
+  for (const double f : result.fraction_querying) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_NEAR(result.fraction_at_least(1), 1.0, 1e-6);
+  EXPECT_LE(result.fraction_all(), 1.0);
+}
+
+TEST(Production, NlRunObservesFourServices) {
+  auto tb = production_testbed();
+  const auto result = run_production(tb, small_config(ProductionTarget::Nl));
+  ASSERT_EQ(result.service_labels.size(), 4u);
+  EXPECT_GT(result.recursives.size(), 0u);
+}
+
+TEST(Production, SourceMetadataAttached) {
+  auto tb = production_testbed();
+  const auto result = run_production(tb, small_config(ProductionTarget::Root));
+  for (const auto& t : result.recursives) {
+    EXPECT_NE(t.node, net::kInvalidNode);
+  }
+}
+
+TEST(Production, NlLatencyAnalysisProducesRows) {
+  auto tb = production_testbed();
+  const auto result = run_production(tb, small_config(ProductionTarget::Nl));
+  const auto latency = analyze_nl_latency(tb, result);
+  EXPECT_FALSE(latency.continents.empty());
+  EXPECT_GT(latency.overall_median_ms, 0.0);
+  EXPECT_GE(latency.overall_worst_ms, latency.overall_median_ms);
+  for (const auto& row : latency.continents) {
+    EXPECT_GT(row.queries, 0u);
+    EXPECT_LE(row.median_ms, row.worst_ms);
+  }
+}
+
+TEST(Production, AllAnycastNlCutsTailLatency) {
+  // The §7 recommendation, as a regression test: the all-anycast .nl must
+  // have a lower worst-case latency than the mixed deployment.
+  auto mixed_tb = production_testbed(false);
+  const auto mixed =
+      analyze_nl_latency(mixed_tb, run_production(mixed_tb,
+                                                  small_config(
+                                                      ProductionTarget::Nl)));
+  auto any_tb = production_testbed(true);
+  const auto anycast =
+      analyze_nl_latency(any_tb, run_production(any_tb,
+                                                small_config(
+                                                    ProductionTarget::Nl)));
+  EXPECT_LT(anycast.overall_p90_ms, mixed.overall_p90_ms);
+}
+
+}  // namespace
+}  // namespace recwild::experiment

@@ -1,0 +1,110 @@
+#include "experiment/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::experiment {
+namespace {
+
+TestbedConfig small_config(std::vector<std::string> sites = {"DUB", "FRA"}) {
+  TestbedConfig cfg;
+  cfg.seed = 11;
+  cfg.population.probes = 60;
+  cfg.test_sites = std::move(sites);
+  return cfg;
+}
+
+TEST(Testbed, BuildsTheWholeWorld) {
+  Testbed tb{small_config()};
+  EXPECT_EQ(tb.roots().size(), 13u);
+  EXPECT_EQ(tb.nl_services().size(), 8u);
+  EXPECT_EQ(tb.test_services().size(), 2u);
+  EXPECT_EQ(tb.population().vps().size(), 60u);
+  EXPECT_EQ(tb.hints().size(), 13u);
+}
+
+TEST(Testbed, TestServiceIndexLookup) {
+  Testbed tb{small_config()};
+  EXPECT_EQ(tb.test_index_of("DUB"), 0);
+  EXPECT_EQ(tb.test_index_of("FRA"), 1);
+  EXPECT_EQ(tb.test_index_of("SYD"), -1);
+}
+
+TEST(Testbed, UnknownTestSiteThrows) {
+  EXPECT_THROW(Testbed{small_config({"???"})}, std::invalid_argument);
+}
+
+TEST(Testbed, TestDomainRequiresNl) {
+  TestbedConfig cfg = small_config();
+  cfg.build_nl = false;
+  EXPECT_THROW(Testbed{cfg}, std::invalid_argument);
+}
+
+TEST(Testbed, RootOnlyWorldIsFine) {
+  TestbedConfig cfg;
+  cfg.seed = 3;
+  cfg.build_nl = false;
+  cfg.build_population = false;
+  cfg.test_sites.clear();
+  Testbed tb{cfg};
+  EXPECT_EQ(tb.roots().size(), 13u);
+  EXPECT_TRUE(tb.nl_services().empty());
+  EXPECT_TRUE(tb.population().vps().empty());
+}
+
+TEST(Testbed, EndToEndResolutionThroughAllLayers) {
+  Testbed tb{small_config()};
+  auto& vp = tb.population().vps().front();
+  std::vector<client::StubResult> results;
+  vp.stub->query(dns::Name::parse("probe1.ourtestdomain.nl"),
+                 dns::RRType::TXT,
+                 [&](const client::StubResult& r) { results.push_back(r); });
+  tb.sim().run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].rcode, dns::Rcode::NoError);
+  ASSERT_EQ(results[0].txt.size(), 1u);
+  EXPECT_TRUE(results[0].txt[0] == "DUB" || results[0].txt[0] == "FRA");
+  // Resolution walked root -> nl -> test domain.
+  std::uint64_t root_queries = 0;
+  for (auto& letter : tb.roots()) root_queries += letter.total_queries();
+  EXPECT_GE(root_queries, 1u);
+  std::uint64_t nl_queries = 0;
+  for (auto& svc : tb.nl_services()) nl_queries += svc.total_queries();
+  EXPECT_GE(nl_queries, 1u);
+}
+
+TEST(Testbed, AllAnycastNlVariant) {
+  TestbedConfig cfg = small_config();
+  cfg.all_anycast_nl = true;
+  Testbed tb{cfg};
+  for (auto& svc : tb.nl_services()) {
+    EXPECT_GT(svc.site_count(), 1u) << svc.name();
+  }
+}
+
+TEST(Testbed, RecursiveNodeLookup) {
+  Testbed tb{small_config()};
+  const auto& rec = tb.population().recursives().front();
+  EXPECT_EQ(tb.recursive_node(rec.resolver->address()),
+            rec.resolver->node());
+  EXPECT_EQ(tb.recursive_node(net::IpAddress{0xdeadbeef}),
+            net::kInvalidNode);
+}
+
+TEST(Testbed, DeterministicWithSameSeed) {
+  Testbed a{small_config()};
+  Testbed b{small_config()};
+  auto run = [](Testbed& tb) {
+    std::string result;
+    tb.population().vps().front().stub->query(
+        dns::Name::parse("det.ourtestdomain.nl"), dns::RRType::TXT,
+        [&](const client::StubResult& r) {
+          result = r.txt.empty() ? "none" : r.txt[0];
+        });
+    tb.sim().run();
+    return result;
+  };
+  EXPECT_EQ(run(a), run(b));
+}
+
+}  // namespace
+}  // namespace recwild::experiment

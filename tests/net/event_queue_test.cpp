@@ -1,0 +1,118 @@
+#include "net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace recwild::net {
+namespace {
+
+SimTime at_ms(double ms) {
+  return SimTime::origin() + Duration::millis(ms);
+}
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at_ms(30), [&] { order.push_back(3); });
+  q.push(at_ms(10), [&] { order.push_back(1); });
+  q.push(at_ms(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at_ms(5), [&] { order.push_back(1); });
+  q.push(at_ms(5), [&] { order.push_back(2); });
+  q.push(at_ms(5), [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PopReportsFireTime) {
+  EventQueue q;
+  q.push(at_ms(42), [] {});
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.at, at_ms(42));
+}
+
+TEST(EventQueue, NextTimeIsEarliest) {
+  EventQueue q;
+  q.push(at_ms(9), [] {});
+  q.push(at_ms(3), [] {});
+  EXPECT_EQ(q.next_time(), at_ms(3));
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(at_ms(1), [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelledEventSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId id = q.push(at_ms(1), [&] { order.push_back(1); });
+  q.push(at_ms(2), [&] { order.push_back(2); });
+  q.cancel(id);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const EventId id = q.push(at_ms(1), [] {});
+  q.cancel(id);
+  q.cancel(id);  // no effect, no crash
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  const EventId id = q.push(at_ms(1), [] {});
+  q.pop().fn();
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledFront) {
+  EventQueue q;
+  const EventId early = q.push(at_ms(1), [] {});
+  q.push(at_ms(7), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), at_ms(7));
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue q;
+  const EventId a = q.push(at_ms(1), [] {});
+  q.push(at_ms(2), [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<double> fire_times;
+  for (int i = 999; i >= 0; --i) {
+    q.push(at_ms(i % 100), [] {});
+  }
+  while (!q.empty()) fire_times.push_back(q.pop().at.ms());
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    EXPECT_LE(fire_times[i - 1], fire_times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace recwild::net

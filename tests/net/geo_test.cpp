@@ -1,0 +1,109 @@
+#include "net/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::net {
+namespace {
+
+TEST(GreatCircle, ZeroForSamePoint) {
+  const GeoPoint p{52.0, 4.0};
+  EXPECT_DOUBLE_EQ(great_circle_km(p, p), 0.0);
+}
+
+TEST(GreatCircle, Symmetric) {
+  const GeoPoint a{52.37, 4.90};
+  const GeoPoint b{-33.87, 151.21};
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(GreatCircle, KnownDistanceAmsterdamFrankfurt) {
+  const auto ams = find_location("AMS");
+  const auto fra = find_location("FRA");
+  ASSERT_TRUE(ams && fra);
+  const double d = great_circle_km(ams->point, fra->point);
+  EXPECT_GT(d, 300.0);
+  EXPECT_LT(d, 420.0);  // ~360 km
+}
+
+TEST(GreatCircle, KnownDistanceFrankfurtSydney) {
+  const auto fra = find_location("FRA");
+  const auto syd = find_location("SYD");
+  ASSERT_TRUE(fra && syd);
+  const double d = great_circle_km(fra->point, syd->point);
+  EXPECT_GT(d, 16'000.0);
+  EXPECT_LT(d, 17'000.0);  // ~16,500 km
+}
+
+TEST(GreatCircle, AntipodalNearHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_km(a, b), 20'015.0, 50.0);
+}
+
+TEST(GreatCircle, TriangleInequalityHolds) {
+  const auto fra = find_location("FRA")->point;
+  const auto iad = find_location("IAD")->point;
+  const auto syd = find_location("SYD")->point;
+  EXPECT_LE(great_circle_km(fra, syd),
+            great_circle_km(fra, iad) + great_circle_km(iad, syd) + 1e-6);
+}
+
+TEST(Locations, PaperDatacentersExist) {
+  for (const char* code : {"GRU", "NRT", "DUB", "FRA", "SYD", "IAD", "SFO"}) {
+    EXPECT_TRUE(find_location(code).has_value()) << code;
+  }
+}
+
+TEST(Locations, UnknownCodeIsNullopt) {
+  EXPECT_FALSE(find_location("XXX").has_value());
+  EXPECT_FALSE(find_location("").has_value());
+}
+
+TEST(Locations, ContinentsAreCorrect) {
+  EXPECT_EQ(find_location("FRA")->continent, Continent::Europe);
+  EXPECT_EQ(find_location("GRU")->continent, Continent::SouthAmerica);
+  EXPECT_EQ(find_location("NRT")->continent, Continent::Asia);
+  EXPECT_EQ(find_location("SYD")->continent, Continent::Oceania);
+  EXPECT_EQ(find_location("IAD")->continent, Continent::NorthAmerica);
+  EXPECT_EQ(find_location("JNB")->continent, Continent::Africa);
+}
+
+TEST(Locations, CatalogIsSortedByCode) {
+  const auto catalog = location_catalog();
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].code, catalog[i].code);
+  }
+}
+
+TEST(Locations, EveryContinentHasCities) {
+  for (const Continent c : all_continents()) {
+    EXPECT_GE(locations_on(c).size(), 4u) << continent_name(c);
+  }
+}
+
+TEST(Continent, CodesRoundTrip) {
+  for (const Continent c : all_continents()) {
+    const auto back = continent_from_code(continent_code(c));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, c);
+  }
+}
+
+TEST(Continent, PaperTableOrder) {
+  const auto all = all_continents();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(continent_code(all[0]), "AF");
+  EXPECT_EQ(continent_code(all[1]), "AS");
+  EXPECT_EQ(continent_code(all[2]), "EU");
+  EXPECT_EQ(continent_code(all[3]), "NA");
+  EXPECT_EQ(continent_code(all[4]), "OC");
+  EXPECT_EQ(continent_code(all[5]), "SA");
+}
+
+TEST(Continent, UnknownCodeRejected) {
+  EXPECT_FALSE(continent_from_code("XX").has_value());
+  EXPECT_FALSE(continent_from_code("eu").has_value());
+}
+
+}  // namespace
+}  // namespace recwild::net

@@ -1,0 +1,144 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::net {
+namespace {
+
+LatencyModel make_model(LatencyParams params = {}) {
+  return LatencyModel{params, stats::Rng{1234}};
+}
+
+GeoPoint point(const char* code) { return find_location(code)->point; }
+
+TEST(LatencyModel, BaseRttIsStablePerPath) {
+  auto model = make_model();
+  const Duration a = model.base_rtt(1, point("FRA"), 2, point("SYD"));
+  const Duration b = model.base_rtt(1, point("FRA"), 2, point("SYD"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(LatencyModel, BaseRttSymmetricInNodeOrder) {
+  auto model = make_model();
+  const Duration ab = model.base_rtt(1, point("FRA"), 2, point("SYD"));
+  const Duration ba = model.base_rtt(2, point("SYD"), 1, point("FRA"));
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(LatencyModel, PathStateIndependentOfQueryOrder) {
+  // The same (pair, seed) must give the same path RTT regardless of which
+  // other paths were queried first — forks are keyed by pair id.
+  auto m1 = make_model();
+  const Duration direct = m1.base_rtt(5, point("DUB"), 9, point("GRU"));
+
+  auto m2 = make_model();
+  (void)m2.base_rtt(1, point("FRA"), 2, point("SYD"));
+  (void)m2.base_rtt(3, point("NRT"), 4, point("IAD"));
+  const Duration later = m2.base_rtt(5, point("DUB"), 9, point("GRU"));
+  EXPECT_EQ(direct, later);
+}
+
+TEST(LatencyModel, FartherMeansSlower) {
+  auto model = make_model();
+  // Average out path-specific factors across many node pairs.
+  double near_sum = 0;
+  double far_sum = 0;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    near_sum +=
+        model.base_rtt(100 + i, point("FRA"), 200 + i, point("AMS")).ms();
+    far_sum +=
+        model.base_rtt(300 + i, point("FRA"), 400 + i, point("SYD")).ms();
+  }
+  EXPECT_LT(near_sum / 40, far_sum / 40);
+}
+
+TEST(LatencyModel, CalibrationEuToFrankfurt) {
+  // Paper Table 2: European VPs see ~39 ms median to FRA. Allow a band.
+  auto model = make_model();
+  std::vector<double> rtts;
+  const auto cities = locations_on(Continent::Europe);
+  std::uint32_t node = 1000;
+  for (const auto& city : cities) {
+    for (int rep = 0; rep < 10; ++rep) {
+      rtts.push_back(
+          model.base_rtt(node++, city.point, 1, point("FRA")).ms());
+    }
+  }
+  std::sort(rtts.begin(), rtts.end());
+  const double median = rtts[rtts.size() / 2];
+  EXPECT_GT(median, 15.0);
+  EXPECT_LT(median, 80.0);
+}
+
+TEST(LatencyModel, CalibrationEuToSydney) {
+  // Paper Table 2: EU -> SYD median ~355 ms.
+  auto model = make_model();
+  std::vector<double> rtts;
+  std::uint32_t node = 2000;
+  for (const auto& city : locations_on(Continent::Europe)) {
+    for (int rep = 0; rep < 10; ++rep) {
+      rtts.push_back(
+          model.base_rtt(node++, city.point, 1, point("SYD")).ms());
+    }
+  }
+  std::sort(rtts.begin(), rtts.end());
+  const double median = rtts[rtts.size() / 2];
+  EXPECT_GT(median, 220.0);
+  EXPECT_LT(median, 480.0);
+}
+
+TEST(LatencyModel, OneWayIsAboutHalfRtt) {
+  auto model = make_model();
+  stats::Rng packet_rng{7};
+  const double rtt = model.base_rtt(1, point("FRA"), 2, point("IAD")).ms();
+  double sum = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    sum += model.one_way(1, point("FRA"), 2, point("IAD"), packet_rng).ms();
+  }
+  EXPECT_NEAR(sum / n, rtt / 2, rtt * 0.1);
+}
+
+TEST(LatencyModel, OneWayNeverBelowHalfBase) {
+  // Jitter is additive-positive: one-way >= base/2.
+  auto model = make_model();
+  stats::Rng packet_rng{11};
+  const double rtt = model.base_rtt(1, point("FRA"), 2, point("NRT")).ms();
+  for (int i = 0; i < 500; ++i) {
+    const double ow =
+        model.one_way(1, point("FRA"), 2, point("NRT"), packet_rng).ms();
+    EXPECT_GE(ow, rtt / 2);
+  }
+}
+
+TEST(LatencyModel, DropRateMatchesConfig) {
+  LatencyParams params;
+  params.loss_rate = 0.1;
+  auto model = make_model(params);
+  stats::Rng packet_rng{13};
+  int drops = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (model.drop(packet_rng)) ++drops;
+  }
+  EXPECT_NEAR(drops / double(n), 0.1, 0.01);
+}
+
+TEST(LatencyModel, ZeroLossNeverDrops) {
+  LatencyParams params;
+  params.loss_rate = 0.0;
+  auto model = make_model(params);
+  stats::Rng packet_rng{17};
+  for (int i = 0; i < 10'000; ++i) EXPECT_FALSE(model.drop(packet_rng));
+}
+
+TEST(LatencyModel, DistinctPathsGetDistinctCharacter) {
+  auto model = make_model();
+  // Same endpoints geographically, different node ids -> different paths.
+  const Duration a = model.base_rtt(1, point("FRA"), 2, point("IAD"));
+  const Duration b = model.base_rtt(3, point("FRA"), 4, point("IAD"));
+  EXPECT_NE(a.count_micros(), b.count_micros());
+}
+
+}  // namespace
+}  // namespace recwild::net

@@ -1,0 +1,210 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::net {
+namespace {
+
+GeoPoint point(const char* code) { return find_location(code)->point; }
+
+struct Fixture {
+  Simulation sim{123};
+  LatencyParams params;
+  Fixture() { params.loss_rate = 0.0; }
+};
+
+TEST(Network, AddNodeAssignsSequentialIds) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  EXPECT_EQ(net.add_node("a", point("FRA")), 0u);
+  EXPECT_EQ(net.add_node("b", point("IAD")), 1u);
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.node(0).name, "a");
+  EXPECT_THROW(net.node(5), std::out_of_range);
+}
+
+TEST(Network, AllocateAddressIsUnique) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const auto a = net.allocate_address();
+  const auto b = net.allocate_address();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.to_string().substr(0, 3), "10.");
+}
+
+TEST(Network, DeliversDatagramWithLatency) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId sender = net.add_node("sender", point("FRA"));
+  const NodeId receiver = net.add_node("receiver", point("IAD"));
+  const Endpoint dst{net.allocate_address(), 53};
+
+  bool delivered = false;
+  SimTime at;
+  net.listen(receiver, dst, [&](const Datagram& d, NodeId node) {
+    delivered = true;
+    at = f.sim.now();
+    EXPECT_EQ(node, receiver);
+    EXPECT_EQ(d.payload.size(), 3u);
+    EXPECT_EQ(d.sent_at, SimTime::origin());
+  });
+
+  EXPECT_TRUE(net.send(sender, Endpoint{net.allocate_address(), 1000}, dst,
+                       {1, 2, 3}));
+  f.sim.run();
+  EXPECT_TRUE(delivered);
+  // One-way FRA->IAD should be tens of ms.
+  EXPECT_GT(at.ms(), 10.0);
+  EXPECT_LT(at.ms(), 300.0);
+}
+
+TEST(Network, UnroutableReturnsFalse) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId sender = net.add_node("sender", point("FRA"));
+  EXPECT_FALSE(net.send(sender, Endpoint{}, Endpoint{IpAddress{42}, 53}, {}));
+  EXPECT_EQ(net.unroutable(), 1u);
+}
+
+TEST(Network, UnlistenMakesUnroutable) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId a = net.add_node("a", point("FRA"));
+  const NodeId b = net.add_node("b", point("IAD"));
+  const Endpoint ep{net.allocate_address(), 53};
+  net.listen(b, ep, [](const Datagram&, NodeId) {});
+  EXPECT_TRUE(net.send(a, Endpoint{}, ep, {}));
+  net.unlisten(b, ep);
+  EXPECT_FALSE(net.send(a, Endpoint{}, ep, {}));
+}
+
+TEST(Network, RebindReplacesHandler) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId a = net.add_node("a", point("FRA"));
+  const NodeId b = net.add_node("b", point("AMS"));
+  const Endpoint ep{net.allocate_address(), 53};
+  int first = 0;
+  int second = 0;
+  net.listen(b, ep, [&](const Datagram&, NodeId) { ++first; });
+  net.listen(b, ep, [&](const Datagram&, NodeId) { ++second; });
+  net.send(a, Endpoint{}, ep, {});
+  f.sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Network, FullLossDropsEverything) {
+  Fixture f;
+  f.params.loss_rate = 1.0;
+  Network net{f.sim, f.params};
+  const NodeId a = net.add_node("a", point("FRA"));
+  const NodeId b = net.add_node("b", point("AMS"));
+  const Endpoint ep{net.allocate_address(), 53};
+  bool delivered = false;
+  net.listen(b, ep, [&](const Datagram&, NodeId) { delivered = true; });
+  EXPECT_TRUE(net.send(a, Endpoint{}, ep, {9}));  // sent, then lost
+  f.sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.dropped(), 1u);
+  EXPECT_EQ(net.delivered(), 0u);
+}
+
+TEST(Network, AnycastRoutesToNearestSite) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client_eu = net.add_node("client-eu", point("AMS"));
+  const NodeId client_au = net.add_node("client-au", point("MEL"));
+  const NodeId site_eu = net.add_node("site-eu", point("FRA"));
+  const NodeId site_au = net.add_node("site-au", point("SYD"));
+  const Endpoint anycast{net.allocate_address(), 53};
+
+  NodeId hit = kInvalidNode;
+  auto handler = [&](const Datagram&, NodeId node) { hit = node; };
+  net.listen(site_eu, anycast, handler);
+  net.listen(site_au, anycast, handler);
+
+  net.send(client_eu, Endpoint{}, anycast, {});
+  f.sim.run();
+  EXPECT_EQ(hit, site_eu);
+
+  net.send(client_au, Endpoint{}, anycast, {});
+  f.sim.run();
+  EXPECT_EQ(hit, site_au);
+}
+
+TEST(Network, RouteReportsCatchment) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client = net.add_node("client", point("AMS"));
+  const NodeId site_eu = net.add_node("site-eu", point("FRA"));
+  const NodeId site_us = net.add_node("site-us", point("SFO"));
+  const IpAddress addr = net.allocate_address();
+  auto handler = [](const Datagram&, NodeId) {};
+  net.listen(site_eu, Endpoint{addr, 53}, handler);
+  net.listen(site_us, Endpoint{addr, 53}, handler);
+  EXPECT_EQ(net.route(client, addr), site_eu);
+  EXPECT_EQ(net.route(client, IpAddress{777}), kInvalidNode);
+}
+
+TEST(Network, BoundNodesListsAllSites) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId s1 = net.add_node("s1", point("FRA"));
+  const NodeId s2 = net.add_node("s2", point("SYD"));
+  const IpAddress addr = net.allocate_address();
+  auto handler = [](const Datagram&, NodeId) {};
+  net.listen(s1, Endpoint{addr, 53}, handler);
+  net.listen(s2, Endpoint{addr, 53}, handler);
+  const auto nodes = net.bound_nodes(addr);
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST(Network, BaseRttToUsesCatchment) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client = net.add_node("client", point("AMS"));
+  const NodeId near_site = net.add_node("near", point("FRA"));
+  const NodeId far_site = net.add_node("far", point("SYD"));
+  const IpAddress addr = net.allocate_address();
+  auto handler = [](const Datagram&, NodeId) {};
+  net.listen(near_site, Endpoint{addr, 53}, handler);
+  net.listen(far_site, Endpoint{addr, 53}, handler);
+  const Duration rtt = net.base_rtt_to(client, addr);
+  EXPECT_EQ(rtt, net.base_rtt(client, near_site));
+  EXPECT_LT(rtt, net.base_rtt(client, far_site));
+}
+
+TEST(Network, CountersTrackTraffic) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId a = net.add_node("a", point("FRA"));
+  const NodeId b = net.add_node("b", point("AMS"));
+  const Endpoint ep{net.allocate_address(), 53};
+  net.listen(b, ep, [](const Datagram&, NodeId) {});
+  net.send(a, Endpoint{}, ep, {});
+  net.send(a, Endpoint{}, ep, {});
+  f.sim.run();
+  EXPECT_EQ(net.sent(), 2u);
+  EXPECT_EQ(net.delivered(), 2u);
+}
+
+TEST(Address, ToStringFormatsOctets) {
+  EXPECT_EQ(IpAddress::from_octets(10, 0, 1, 2).to_string(), "10.0.1.2");
+  EXPECT_EQ(IpAddress::from_octets(255, 255, 255, 255).to_string(),
+            "255.255.255.255");
+  const Endpoint ep{IpAddress::from_octets(1, 2, 3, 4), 53};
+  EXPECT_EQ(ep.to_string(), "1.2.3.4:53");
+}
+
+TEST(Address, ComparisonAndHash) {
+  const IpAddress a{1};
+  const IpAddress b{2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<IpAddress>{}(a), std::hash<IpAddress>{}(b));
+  EXPECT_TRUE(IpAddress{}.is_unspecified());
+  EXPECT_FALSE(a.is_unspecified());
+}
+
+}  // namespace
+}  // namespace recwild::net

@@ -1,0 +1,161 @@
+#include "resolver/infra_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::resolver {
+namespace {
+
+net::SimTime at_s(double s) {
+  return net::SimTime::origin() + net::Duration::seconds(s);
+}
+
+const net::IpAddress kServer{0x0a000001};
+
+TEST(InfraCache, UnknownServerIsNull) {
+  InfraCache cache;
+  EXPECT_EQ(cache.get(kServer, at_s(0)), nullptr);
+}
+
+TEST(InfraCache, FirstSampleSetsSrtt) {
+  InfraCache cache;
+  cache.report_rtt(kServer, net::Duration::millis(40), at_s(0));
+  const auto* st = cache.get(kServer, at_s(1));
+  ASSERT_NE(st, nullptr);
+  EXPECT_DOUBLE_EQ(st->srtt_ms, 40.0);
+  EXPECT_DOUBLE_EQ(st->rttvar_ms, 20.0);
+}
+
+TEST(InfraCache, EwmaSmoothing) {
+  InfraCache cache;  // alpha = 0.3
+  cache.report_rtt(kServer, net::Duration::millis(100), at_s(0));
+  cache.report_rtt(kServer, net::Duration::millis(200), at_s(1));
+  const auto* st = cache.get(kServer, at_s(2));
+  ASSERT_NE(st, nullptr);
+  EXPECT_NEAR(st->srtt_ms, 0.7 * 100 + 0.3 * 200, 1e-9);
+}
+
+TEST(InfraCache, ConvergesTowardsStableRtt) {
+  InfraCache cache;
+  cache.report_rtt(kServer, net::Duration::millis(500), at_s(0));
+  for (int i = 1; i <= 50; ++i) {
+    cache.report_rtt(kServer, net::Duration::millis(50), at_s(i));
+  }
+  EXPECT_NEAR(cache.get(kServer, at_s(51))->srtt_ms, 50.0, 1.0);
+}
+
+TEST(InfraCache, EntryExpiresAfterTtl) {
+  InfraCacheConfig cfg;
+  cfg.entry_ttl = net::Duration::seconds(600);  // BIND's 10 minutes
+  InfraCache cache{cfg};
+  cache.report_rtt(kServer, net::Duration::millis(40), at_s(0));
+  EXPECT_NE(cache.get(kServer, at_s(599)), nullptr);
+  EXPECT_EQ(cache.get(kServer, at_s(601)), nullptr);
+}
+
+TEST(InfraCache, UpdateRefreshesExpiry) {
+  InfraCacheConfig cfg;
+  cfg.entry_ttl = net::Duration::seconds(600);
+  InfraCache cache{cfg};
+  cache.report_rtt(kServer, net::Duration::millis(40), at_s(0));
+  cache.report_rtt(kServer, net::Duration::millis(40), at_s(500));
+  EXPECT_NE(cache.get(kServer, at_s(1000)), nullptr);
+}
+
+TEST(InfraCache, ExpiredEntryRestartsFresh) {
+  InfraCacheConfig cfg;
+  cfg.entry_ttl = net::Duration::seconds(10);
+  InfraCache cache{cfg};
+  cache.report_rtt(kServer, net::Duration::millis(500), at_s(0));
+  cache.report_rtt(kServer, net::Duration::millis(20), at_s(100));
+  // Not an EWMA of 500: the old entry had expired.
+  EXPECT_DOUBLE_EQ(cache.get(kServer, at_s(101))->srtt_ms, 20.0);
+}
+
+TEST(InfraCache, TimeoutDoublesSrtt) {
+  InfraCache cache;
+  cache.report_rtt(kServer, net::Duration::millis(100), at_s(0));
+  cache.report_timeout(kServer, at_s(1));
+  EXPECT_DOUBLE_EQ(cache.get(kServer, at_s(2))->srtt_ms, 200.0);
+  EXPECT_EQ(cache.get(kServer, at_s(2))->consecutive_timeouts, 1);
+}
+
+TEST(InfraCache, TimeoutOnUnknownServerPenalizes) {
+  InfraCache cache;
+  cache.report_timeout(kServer, at_s(0));
+  const auto* st = cache.get(kServer, at_s(1));
+  ASSERT_NE(st, nullptr);
+  EXPECT_GT(st->srtt_ms, 300.0);  // Unbound's 376 ms unknown penalty
+}
+
+TEST(InfraCache, SrttCapped) {
+  InfraCacheConfig cfg;
+  cfg.max_srtt_ms = 1000.0;
+  InfraCache cache{cfg};
+  cache.report_rtt(kServer, net::Duration::millis(900), at_s(0));
+  for (int i = 0; i < 10; ++i) cache.report_timeout(kServer, at_s(i + 1));
+  EXPECT_LE(cache.get(kServer, at_s(11))->srtt_ms, 1000.0);
+}
+
+TEST(InfraCache, BackoffAfterConsecutiveTimeouts) {
+  InfraCacheConfig cfg;
+  cfg.backoff_threshold = 3;
+  cfg.backoff_duration = net::Duration::seconds(60);
+  InfraCache cache{cfg};
+  cache.report_rtt(kServer, net::Duration::millis(50), at_s(0));
+  cache.report_timeout(kServer, at_s(1));
+  cache.report_timeout(kServer, at_s(2));
+  EXPECT_FALSE(cache.get(kServer, at_s(3))->in_backoff(at_s(3)));
+  cache.report_timeout(kServer, at_s(3));
+  EXPECT_TRUE(cache.get(kServer, at_s(4))->in_backoff(at_s(4)));
+  EXPECT_FALSE(cache.get(kServer, at_s(64))->in_backoff(at_s(64)));
+}
+
+TEST(InfraCache, SuccessfulResponseClearsBackoff) {
+  InfraCacheConfig cfg;
+  cfg.backoff_threshold = 1;
+  InfraCache cache{cfg};
+  cache.report_timeout(kServer, at_s(0));
+  EXPECT_TRUE(cache.get(kServer, at_s(1))->in_backoff(at_s(1)));
+  cache.report_rtt(kServer, net::Duration::millis(30), at_s(2));
+  EXPECT_FALSE(cache.get(kServer, at_s(3))->in_backoff(at_s(3)));
+  EXPECT_EQ(cache.get(kServer, at_s(3))->consecutive_timeouts, 0);
+}
+
+TEST(InfraCache, DecayReducesSrttWithoutRefreshing) {
+  InfraCacheConfig cfg;
+  cfg.entry_ttl = net::Duration::seconds(100);
+  InfraCache cache{cfg};
+  cache.report_rtt(kServer, net::Duration::millis(100), at_s(0));
+  cache.decay(kServer, 0.5, at_s(10));
+  EXPECT_DOUBLE_EQ(cache.get(kServer, at_s(11))->srtt_ms, 50.0);
+  // Decay must not extend the lifetime.
+  EXPECT_EQ(cache.get(kServer, at_s(150)), nullptr);
+}
+
+TEST(InfraCache, DecayOnUnknownIsNoOp) {
+  InfraCache cache;
+  cache.decay(kServer, 0.5, at_s(0));
+  EXPECT_EQ(cache.get(kServer, at_s(1)), nullptr);
+}
+
+TEST(InfraCache, RtoCombinesSrttAndVariance) {
+  InfraCache cache;
+  cache.report_rtt(kServer, net::Duration::millis(100), at_s(0));
+  const auto* st = cache.get(kServer, at_s(1));
+  EXPECT_DOUBLE_EQ(st->rto_ms(), 100.0 + 4 * 50.0);
+}
+
+TEST(InfraCache, SizeCountsLiveEntries) {
+  InfraCacheConfig cfg;
+  cfg.entry_ttl = net::Duration::seconds(10);
+  InfraCache cache{cfg};
+  cache.report_rtt(net::IpAddress{1}, net::Duration::millis(10), at_s(0));
+  cache.report_rtt(net::IpAddress{2}, net::Duration::millis(10), at_s(5));
+  EXPECT_EQ(cache.size(at_s(6)), 2u);
+  EXPECT_EQ(cache.size(at_s(12)), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(at_s(6)), 0u);
+}
+
+}  // namespace
+}  // namespace recwild::resolver

@@ -1,0 +1,319 @@
+#include "resolver/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace recwild::resolver {
+namespace {
+
+net::SimTime at_s(double s) {
+  return net::SimTime::origin() + net::Duration::seconds(s);
+}
+
+const dns::Name kZone = dns::Name::parse("example.nl");
+const net::IpAddress kFast{1};
+const net::IpAddress kSlow{2};
+const std::vector<net::IpAddress> kTwo{kFast, kSlow};
+
+/// Seeds the infra cache with stable RTTs.
+InfraCache primed(double fast_ms, double slow_ms) {
+  InfraCache cache;
+  cache.report_rtt(kFast, net::Duration::millis(fast_ms), at_s(0));
+  cache.report_rtt(kSlow, net::Duration::millis(slow_ms), at_s(0));
+  return cache;
+}
+
+std::map<net::IpAddress, int> tally(ServerSelector& sel, InfraCache& infra,
+                                    int n, std::uint64_t seed = 1) {
+  stats::Rng rng{seed};
+  std::map<net::IpAddress, int> counts;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sel.select(kZone, kTwo, infra, at_s(1), rng)];
+  }
+  return counts;
+}
+
+/// Like tally(), but feeds the true RTT of the chosen server back after
+/// every query — how selection behaves in a live resolver.
+std::map<net::IpAddress, int> tally_with_feedback(ServerSelector& sel,
+                                                  InfraCache& infra,
+                                                  double fast_ms,
+                                                  double slow_ms, int n,
+                                                  std::uint64_t seed = 1) {
+  stats::Rng rng{seed};
+  std::map<net::IpAddress, int> counts;
+  for (int i = 0; i < n; ++i) {
+    const auto pick = sel.select(kZone, kTwo, infra, at_s(i), rng);
+    ++counts[pick];
+    const double rtt = (pick == kFast) ? fast_ms : slow_ms;
+    infra.report_rtt(pick, net::Duration::millis(rtt), at_s(i));
+  }
+  return counts;
+}
+
+TEST(Policy, NamesRoundTrip) {
+  for (const PolicyKind k :
+       {PolicyKind::BindSrtt, PolicyKind::UnboundBand,
+        PolicyKind::PowerDnsFactor, PolicyKind::UniformRandom,
+        PolicyKind::RoundRobin, PolicyKind::StickyFirst}) {
+    const auto back = policy_from_string(to_string(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(policy_from_string("nonsense").has_value());
+}
+
+TEST(BindSrtt, PrefersFastestOverwhelmingly) {
+  auto sel = make_selector(PolicyKind::BindSrtt);
+  InfraCache infra = primed(40, 300);
+  // With live RTT feedback, the fast server dominates: the slow one is
+  // re-probed only when aging has decayed its SRTT below 40 ms.
+  const auto counts =
+      tally_with_feedback(*sel, infra, 40, 300, 200);
+  EXPECT_GT(counts.at(kFast), 170);
+}
+
+TEST(BindSrtt, DecayEventuallyRetriesSlowServer) {
+  SelectionConfig cfg;
+  cfg.bind_decay = 0.90;  // faster aging for the test
+  auto sel = make_selector(PolicyKind::BindSrtt, cfg);
+  InfraCache infra = primed(40, 60);
+  const auto counts = tally(*sel, infra, 100);
+  // Slow server must be probed at least sometimes thanks to decay.
+  EXPECT_GT(counts.count(kSlow) ? counts.at(kSlow) : 0, 5);
+  EXPECT_GT(counts.at(kFast), counts.at(kSlow));
+}
+
+TEST(BindSrtt, PrimesUnknownServersForEarlyProbing) {
+  auto sel = make_selector(PolicyKind::BindSrtt);
+  InfraCache infra;  // nothing known
+  stats::Rng rng{3};
+  (void)sel->select(kZone, kTwo, infra, at_s(1), rng);
+  // Both servers must now have primed entries.
+  EXPECT_NE(infra.get(kFast, at_s(1)), nullptr);
+  EXPECT_NE(infra.get(kSlow, at_s(1)), nullptr);
+  EXPECT_LE(infra.get(kFast, at_s(1))->srtt_ms, 32.0);
+}
+
+TEST(UnboundBand, SpreadsWithinBand) {
+  SelectionConfig cfg;
+  cfg.unbound_band_ms = 400;
+  auto sel = make_selector(PolicyKind::UnboundBand, cfg);
+  InfraCache infra = primed(40, 90);  // 50 ms apart, same band
+  const auto counts = tally(*sel, infra, 1000);
+  EXPECT_NEAR(counts.at(kFast), 500, 80);
+  EXPECT_NEAR(counts.at(kSlow), 500, 80);
+}
+
+TEST(UnboundBand, ExcludesBeyondBand) {
+  SelectionConfig cfg;
+  cfg.unbound_band_ms = 100;
+  auto sel = make_selector(PolicyKind::UnboundBand, cfg);
+  InfraCache infra = primed(40, 400);  // far apart
+  const auto counts = tally(*sel, infra, 300);
+  EXPECT_EQ(counts.count(kSlow), 0u);
+  EXPECT_EQ(counts.at(kFast), 300);
+}
+
+TEST(UnboundBand, UnknownServersAssumedSlowButProbed) {
+  SelectionConfig cfg;
+  cfg.unbound_band_ms = 400;
+  cfg.unbound_unknown_rtt_ms = 376;
+  auto sel = make_selector(PolicyKind::UnboundBand, cfg);
+  InfraCache infra;
+  infra.report_rtt(kFast, net::Duration::millis(40), at_s(0));
+  // Unknown kSlow at 376 is within 400 of RTO(kFast)=120 -> still in band.
+  const auto counts = tally(*sel, infra, 400);
+  EXPECT_GT(counts.at(kSlow), 100);
+}
+
+TEST(PowerDns, HeavilyWeightsFastest) {
+  auto sel = make_selector(PolicyKind::PowerDnsFactor);
+  InfraCache infra = primed(20, 200);
+  const auto counts = tally(*sel, infra, 1000);
+  // Weight ratio (230/50)^2 ~ 21 : 1.
+  EXPECT_GT(counts.at(kFast), 880);
+  EXPECT_GT(counts.at(kSlow), 5);  // but never starves the slow one
+}
+
+TEST(PowerDns, NearEqualServersShareLoad) {
+  auto sel = make_selector(PolicyKind::PowerDnsFactor);
+  InfraCache infra = primed(50, 55);
+  const auto counts = tally(*sel, infra, 1000);
+  EXPECT_GT(counts.at(kSlow), 350);
+}
+
+TEST(UniformRandom, IgnoresRtt) {
+  auto sel = make_selector(PolicyKind::UniformRandom);
+  InfraCache infra = primed(10, 500);
+  const auto counts = tally(*sel, infra, 1000);
+  EXPECT_NEAR(counts.at(kFast), 500, 80);
+}
+
+TEST(RoundRobin, StrictAlternation) {
+  auto sel = make_selector(PolicyKind::RoundRobin);
+  InfraCache infra;
+  stats::Rng rng{1};
+  const auto first = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  const auto second = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  const auto third = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(first, third);
+}
+
+TEST(RoundRobin, PerZoneState) {
+  auto sel = make_selector(PolicyKind::RoundRobin);
+  InfraCache infra;
+  stats::Rng rng{1};
+  const dns::Name other = dns::Name::parse("other.org");
+  const auto a1 = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  const auto b1 = sel->select(other, kTwo, infra, at_s(1), rng);
+  EXPECT_EQ(a1, b1);  // each zone starts at index 0
+}
+
+TEST(StickyFirst, LatchesOntoOneServer) {
+  auto sel = make_selector(PolicyKind::StickyFirst);
+  InfraCache infra = primed(10, 500);
+  const auto counts = tally(*sel, infra, 100);
+  EXPECT_EQ(counts.size(), 1u);  // only ever one server
+}
+
+TEST(StickyFirst, ToleratesTransientTimeouts) {
+  // A forwarder keeps its upstream through sporadic loss (paper §4.4:
+  // preference persists beyond the infra-cache TTL).
+  auto sel = make_selector(PolicyKind::StickyFirst);
+  InfraCache infra;
+  stats::Rng rng{5};
+  const auto first = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  for (int i = 0; i < 5; ++i) sel->on_timeout(kZone, first);
+  EXPECT_EQ(sel->select(kZone, kTwo, infra, at_s(2), rng), first);
+}
+
+TEST(StickyFirst, RelatchesAfterPersistentFailure) {
+  auto sel = make_selector(PolicyKind::StickyFirst);
+  InfraCache infra;
+  stats::Rng rng{5};
+  const auto first = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  for (int i = 0; i < 6; ++i) sel->on_timeout(kZone, first);
+  // Latch dropped; the selector settles on exactly one (possibly new)
+  // server again.
+  std::map<net::IpAddress, int> counts;
+  for (int i = 0; i < 50; ++i) {
+    ++counts[sel->select(kZone, kTwo, infra, at_s(2), rng)];
+  }
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(StickyFirst, PrefersRetrySame) {
+  auto sel = make_selector(PolicyKind::StickyFirst);
+  EXPECT_TRUE(sel->prefers_retry_same());
+  EXPECT_FALSE(make_selector(PolicyKind::BindSrtt)->prefers_retry_same());
+}
+
+TEST(StickyFirst, TimeoutOfOtherServerKeepsLatch) {
+  auto sel = make_selector(PolicyKind::StickyFirst);
+  InfraCache infra;
+  stats::Rng rng{5};
+  const auto first = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  const auto other = (first == kFast) ? kSlow : kFast;
+  sel->on_timeout(kZone, other);
+  EXPECT_EQ(sel->select(kZone, kTwo, infra, at_s(2), rng), first);
+}
+
+TEST(Selectors, AvoidServersInBackoff) {
+  InfraCacheConfig icfg;
+  icfg.backoff_threshold = 1;
+  for (const PolicyKind kind :
+       {PolicyKind::BindSrtt, PolicyKind::UnboundBand,
+        PolicyKind::PowerDnsFactor, PolicyKind::UniformRandom,
+        PolicyKind::RoundRobin, PolicyKind::StickyFirst}) {
+    InfraCache infra{icfg};
+    infra.report_rtt(kFast, net::Duration::millis(500), at_s(0));
+    infra.report_timeout(kSlow, at_s(0));  // kSlow goes on probation
+    auto sel = make_selector(kind);
+    stats::Rng rng{7};
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(sel->select(kZone, kTwo, infra, at_s(1), rng), kFast)
+          << to_string(kind);
+    }
+  }
+}
+
+TEST(Selectors, AllInBackoffStillPicksSomething) {
+  InfraCacheConfig icfg;
+  icfg.backoff_threshold = 1;
+  InfraCache infra{icfg};
+  infra.report_timeout(kFast, at_s(0));
+  infra.report_timeout(kSlow, at_s(0));
+  auto sel = make_selector(PolicyKind::UniformRandom);
+  stats::Rng rng{9};
+  const auto pick = sel->select(kZone, kTwo, infra, at_s(1), rng);
+  EXPECT_TRUE(pick == kFast || pick == kSlow);
+}
+
+TEST(Mixture, DrawFollowsWeights) {
+  const PolicyMixture mix{{{PolicyKind::BindSrtt, 0.8},
+                           {PolicyKind::UniformRandom, 0.2}}};
+  stats::Rng rng{11};
+  int bind = 0;
+  const int n = 10'000;
+  for (int i = 0; i < n; ++i) {
+    if (mix.draw(rng) == PolicyKind::BindSrtt) ++bind;
+  }
+  EXPECT_NEAR(bind / double(n), 0.8, 0.02);
+}
+
+TEST(Mixture, PureAlwaysSameKind) {
+  const auto mix = PolicyMixture::pure(PolicyKind::RoundRobin);
+  stats::Rng rng{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mix.draw(rng), PolicyKind::RoundRobin);
+  }
+}
+
+TEST(Mixture, WildCoversAllPolicies) {
+  const auto mix = PolicyMixture::wild();
+  EXPECT_EQ(mix.weights.size(), 6u);
+  double total = 0;
+  for (const auto& [k, w] : mix.weights) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+/// Property sweep: every policy must return a member of the server list.
+class AllPolicies : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(AllPolicies, AlwaysReturnsAValidServer) {
+  auto sel = make_selector(GetParam());
+  InfraCache infra;
+  stats::Rng rng{17};
+  const std::vector<net::IpAddress> servers{net::IpAddress{5},
+                                            net::IpAddress{6},
+                                            net::IpAddress{7}};
+  for (int i = 0; i < 200; ++i) {
+    const auto pick = sel->select(kZone, servers, infra, at_s(i), rng);
+    EXPECT_TRUE(std::find(servers.begin(), servers.end(), pick) !=
+                servers.end());
+  }
+}
+
+TEST_P(AllPolicies, SingleServerAlwaysChosen) {
+  auto sel = make_selector(GetParam());
+  InfraCache infra;
+  stats::Rng rng{19};
+  const std::vector<net::IpAddress> one{net::IpAddress{9}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sel->select(kZone, one, infra, at_s(i), rng),
+              net::IpAddress{9});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllPolicies,
+    ::testing::Values(PolicyKind::BindSrtt, PolicyKind::UnboundBand,
+                      PolicyKind::PowerDnsFactor, PolicyKind::UniformRandom,
+                      PolicyKind::RoundRobin, PolicyKind::StickyFirst),
+    [](const auto& info) { return std::string{to_string(info.param)}; });
+
+}  // namespace
+}  // namespace recwild::resolver

@@ -1,0 +1,131 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace recwild::stats {
+namespace {
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Zipf(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(Zipf(10, -1.0), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const Zipf z{50, 1.1};
+  double sum = 0;
+  for (std::size_t k = 1; k <= 50; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfIsDecreasing) {
+  const Zipf z{20, 1.3};
+  for (std::size_t k = 2; k <= 20; ++k) {
+    EXPECT_LT(z.pmf(k), z.pmf(k - 1));
+  }
+}
+
+TEST(Zipf, PmfOutOfRangeIsZero) {
+  const Zipf z{5, 1.0};
+  EXPECT_DOUBLE_EQ(z.pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(z.pmf(6), 0.0);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  const Zipf z{10, 1.0};
+  Rng rng{1};
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = z.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 10u);
+  }
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  const Zipf z{8, 1.2};
+  Rng rng{2};
+  std::vector<int> counts(9, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 1; k <= 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.pmf(k), 0.01);
+  }
+}
+
+TEST(Zipf, SingleElementAlwaysRankOne) {
+  const Zipf z{1, 2.0};
+  Rng rng{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 1u);
+}
+
+TEST(WeightedSampler, RejectsEmptyAndNegative) {
+  EXPECT_THROW(WeightedSampler({}), std::invalid_argument);
+  EXPECT_THROW(WeightedSampler({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(WeightedSampler, NormalizesProbabilities) {
+  const WeightedSampler w{{1.0, 3.0}};
+  EXPECT_NEAR(w.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(w.probability(1), 0.75, 1e-12);
+}
+
+TEST(WeightedSampler, ZeroTotalFallsBackToUniform) {
+  const WeightedSampler w{{0.0, 0.0, 0.0}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(w.probability(i), 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(WeightedSampler, EmpiricalFrequencies) {
+  const WeightedSampler w{{1.0, 2.0, 7.0}};
+  Rng rng{5};
+  std::vector<int> counts(3, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[w.sample(rng)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.7, 0.01);
+}
+
+TEST(WeightedSampler, ZeroWeightNeverSampled) {
+  const WeightedSampler w{{0.0, 1.0}};
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) EXPECT_EQ(w.sample(rng), 1u);
+}
+
+TEST(WeightedSampler, SingleEntry) {
+  const WeightedSampler w{{5.0}};
+  Rng rng{9};
+  EXPECT_EQ(w.sample(rng), 0u);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+/// Property sweep: alias tables stay exact for many weight shapes.
+class WeightedSamplerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedSamplerSweep, FrequenciesMatchWeights) {
+  Rng setup{static_cast<std::uint64_t>(GetParam())};
+  const std::size_t n_weights = 2 + setup.index(10);
+  std::vector<double> weights(n_weights);
+  for (auto& w : weights) w = setup.uniform(0.1, 10.0);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  const WeightedSampler sampler{weights};
+  Rng rng{static_cast<std::uint64_t>(GetParam()) + 1000};
+  std::vector<int> counts(n_weights, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < n_weights; ++i) {
+    EXPECT_NEAR(counts[i] / double(n), weights[i] / total, 0.02)
+        << "weight index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedSamplerSweep,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace recwild::stats

@@ -1,0 +1,78 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace recwild::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinBoundaries) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_THROW(h.bin_lo(5), std::out_of_range);
+}
+
+TEST(Histogram, AddLandsInCorrectBin) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);
+  h.add(9.9);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-100.0);
+  h.add(+100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.1, 10);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  double prev = -1;
+  for (double x = 0; x <= 10; x += 1.0) {
+    const double c = h.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf(0.0), 0.0);
+}
+
+TEST(Histogram, CdfEmptyIsZero) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recwild::stats

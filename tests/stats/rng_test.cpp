@@ -1,0 +1,233 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace recwild::stats {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, CloseSeedsStillDecorrelated) {
+  // SplitMix64 seeding should avalanche adjacent seeds.
+  Rng a{1000};
+  Rng b{1001};
+  const std::uint64_t xa = a.next();
+  const std::uint64_t xb = b.next();
+  EXPECT_NE(xa, xb);
+  // Hamming distance should be substantial.
+  const int bits = std::popcount(xa ^ xb);
+  EXPECT_GT(bits, 10);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  const Rng parent{7};
+  Rng c1 = parent.fork("child");
+  Rng c2 = parent.fork("child");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a{7};
+  Rng b{7};
+  (void)a.fork("x");
+  (void)a.fork("y");
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DistinctTagsGiveDistinctStreams) {
+  const Rng parent{7};
+  Rng c1 = parent.fork("alpha");
+  Rng c2 = parent.fork("beta");
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{5};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{9};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-5.0, 11.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 11.0);
+  }
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng{11};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng{13};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, IndexIsRoughlyUniform) {
+  Rng rng{17};
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.index(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{19};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{23};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksP) {
+  Rng rng{29};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{31};
+  double sum = 0;
+  double sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng{37};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{41};
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng{43};
+  std::vector<double> xs;
+  const int n = 50'001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(2.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(2.0), 0.2);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng{47};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{53};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng{59};
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(copy);
+  EXPECT_NE(copy, v);
+}
+
+TEST(HashString, StableAndDistinct) {
+  EXPECT_EQ(hash_string("abc"), hash_string("abc"));
+  EXPECT_NE(hash_string("abc"), hash_string("abd"));
+  EXPECT_NE(hash_string(""), hash_string("a"));
+}
+
+TEST(Splitmix, ProducesDistinctValues) {
+  std::uint64_t state = 0;
+  const auto a = splitmix64_next(state);
+  const auto b = splitmix64_next(state);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace recwild::stats

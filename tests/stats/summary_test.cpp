@@ -1,0 +1,172 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace recwild::stats {
+namespace {
+
+TEST(Quantile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 7.0);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  const std::vector<double> v{5, 1, 3};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Quantile, MedianOfEvenCountInterpolates) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinMax) {
+  const std::vector<double> v{9, 2, 7, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.5), 3.0);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, SortedVariantMatchesUnsorted) {
+  std::vector<double> v{4, 1, 9, 2, 8, 3};
+  const double q = quantile(v, 0.6);
+  std::sort(v.begin(), v.end());
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.6), q);
+}
+
+TEST(BoxStats, EmptyGivesNullopt) {
+  EXPECT_FALSE(box_stats({}).has_value());
+}
+
+TEST(BoxStats, OrderedPercentiles) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);
+  const auto b = box_stats(v);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(b->p10, 10, 1e-9);
+  EXPECT_NEAR(b->p25, 25, 1e-9);
+  EXPECT_NEAR(b->p50, 50, 1e-9);
+  EXPECT_NEAR(b->p75, 75, 1e-9);
+  EXPECT_NEAR(b->p90, 90, 1e-9);
+  EXPECT_EQ(b->n, 101u);
+}
+
+TEST(Online, EmptyDefaults) {
+  Online o;
+  EXPECT_EQ(o.count(), 0u);
+  EXPECT_DOUBLE_EQ(o.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(o.variance(), 0.0);
+}
+
+TEST(Online, MeanAndVariance) {
+  Online o;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) o.add(x);
+  EXPECT_DOUBLE_EQ(o.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(o.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(o.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Online, TracksMinMax) {
+  Online o;
+  o.add(5);
+  o.add(-2);
+  o.add(9);
+  EXPECT_DOUBLE_EQ(o.min(), -2);
+  EXPECT_DOUBLE_EQ(o.max(), 9);
+}
+
+TEST(Online, SingleValueHasZeroVariance) {
+  Online o;
+  o.add(42);
+  EXPECT_DOUBLE_EQ(o.variance(), 0.0);
+}
+
+TEST(Sample, MedianAfterIncrementalAdds) {
+  Sample s;
+  s.add(3);
+  EXPECT_DOUBLE_EQ(s.median(), 3);
+  s.add(1);
+  EXPECT_DOUBLE_EQ(s.median(), 2);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.median(), 3);
+}
+
+TEST(Sample, MeanAndBox) {
+  Sample s;
+  for (int i = 1; i <= 4; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  const auto b = s.box();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->n, 4u);
+  EXPECT_DOUBLE_EQ(b->p50, 2.5);
+}
+
+TEST(Sample, EmptyBehaviour) {
+  Sample s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_FALSE(s.box().has_value());
+}
+
+TEST(KsDistance, IdenticalSamplesAreZero) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks_distance(v, v), 0.0);
+}
+
+TEST(KsDistance, DisjointSamplesAreOne) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{10, 11, 12};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(KsDistance, EmptySampleIsOne) {
+  const std::vector<double> v{1.0};
+  EXPECT_DOUBLE_EQ(ks_distance({}, v), 1.0);
+  EXPECT_DOUBLE_EQ(ks_distance(v, {}), 1.0);
+}
+
+TEST(KsDistance, SymmetricAndBounded) {
+  const std::vector<double> a{1, 3, 5, 7, 9};
+  const std::vector<double> b{2, 3, 4, 8};
+  const double ab = ks_distance(a, b);
+  EXPECT_DOUBLE_EQ(ab, ks_distance(b, a));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(KsDistance, KnownValue) {
+  // F_a jumps at 1,2; F_b jumps at 2,3. At x in [1,2): F_a=0.5, F_b=0.
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{2, 3};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.5);
+}
+
+TEST(Share, Basics) {
+  EXPECT_DOUBLE_EQ(share(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(share(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(share(2, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace recwild::stats
