@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddos.dir/bench_ddos.cpp.o"
+  "CMakeFiles/bench_ddos.dir/bench_ddos.cpp.o.d"
+  "bench_ddos"
+  "bench_ddos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

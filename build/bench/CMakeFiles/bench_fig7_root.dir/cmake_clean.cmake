@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_root.dir/bench_fig7_root.cpp.o"
+  "CMakeFiles/bench_fig7_root.dir/bench_fig7_root.cpp.o.d"
+  "bench_fig7_root"
+  "bench_fig7_root.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_root.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipv6.dir/bench_ipv6.cpp.o"
+  "CMakeFiles/bench_ipv6.dir/bench_ipv6.cpp.o.d"
+  "bench_ipv6"
+  "bench_ipv6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipv6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

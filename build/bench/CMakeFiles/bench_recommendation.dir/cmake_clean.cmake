@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recommendation.dir/bench_recommendation.cpp.o"
+  "CMakeFiles/bench_recommendation.dir/bench_recommendation.cpp.o.d"
+  "bench_recommendation"
+  "bench_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_planner.dir/anycast_planner.cpp.o"
+  "CMakeFiles/anycast_planner.dir/anycast_planner.cpp.o.d"
+  "anycast_planner"
+  "anycast_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

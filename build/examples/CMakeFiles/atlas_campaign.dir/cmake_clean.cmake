@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_campaign.dir/atlas_campaign.cpp.o"
+  "CMakeFiles/atlas_campaign.dir/atlas_campaign.cpp.o.d"
+  "atlas_campaign"
+  "atlas_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dig_demo.dir/dig_demo.cpp.o"
+  "CMakeFiles/dig_demo.dir/dig_demo.cpp.o.d"
+  "dig_demo"
+  "dig_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dig_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_policies.dir/resolver_policies.cpp.o"
+  "CMakeFiles/resolver_policies.dir/resolver_policies.cpp.o.d"
+  "resolver_policies"
+  "resolver_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_anycast.dir/service.cpp.o"
+  "CMakeFiles/recwild_anycast.dir/service.cpp.o.d"
+  "librecwild_anycast.a"
+  "librecwild_anycast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_anycast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

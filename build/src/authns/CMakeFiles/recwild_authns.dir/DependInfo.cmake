@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authns/query_engine.cpp" "src/authns/CMakeFiles/recwild_authns.dir/query_engine.cpp.o" "gcc" "src/authns/CMakeFiles/recwild_authns.dir/query_engine.cpp.o.d"
+  "/root/repo/src/authns/query_log.cpp" "src/authns/CMakeFiles/recwild_authns.dir/query_log.cpp.o" "gcc" "src/authns/CMakeFiles/recwild_authns.dir/query_log.cpp.o.d"
+  "/root/repo/src/authns/secondary.cpp" "src/authns/CMakeFiles/recwild_authns.dir/secondary.cpp.o" "gcc" "src/authns/CMakeFiles/recwild_authns.dir/secondary.cpp.o.d"
+  "/root/repo/src/authns/server.cpp" "src/authns/CMakeFiles/recwild_authns.dir/server.cpp.o" "gcc" "src/authns/CMakeFiles/recwild_authns.dir/server.cpp.o.d"
+  "/root/repo/src/authns/trace.cpp" "src/authns/CMakeFiles/recwild_authns.dir/trace.cpp.o" "gcc" "src/authns/CMakeFiles/recwild_authns.dir/trace.cpp.o.d"
+  "/root/repo/src/authns/zone.cpp" "src/authns/CMakeFiles/recwild_authns.dir/zone.cpp.o" "gcc" "src/authns/CMakeFiles/recwild_authns.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/recwild_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/recwild_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recwild_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

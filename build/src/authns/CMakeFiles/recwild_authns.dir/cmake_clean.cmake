@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_authns.dir/query_engine.cpp.o"
+  "CMakeFiles/recwild_authns.dir/query_engine.cpp.o.d"
+  "CMakeFiles/recwild_authns.dir/query_log.cpp.o"
+  "CMakeFiles/recwild_authns.dir/query_log.cpp.o.d"
+  "CMakeFiles/recwild_authns.dir/secondary.cpp.o"
+  "CMakeFiles/recwild_authns.dir/secondary.cpp.o.d"
+  "CMakeFiles/recwild_authns.dir/server.cpp.o"
+  "CMakeFiles/recwild_authns.dir/server.cpp.o.d"
+  "CMakeFiles/recwild_authns.dir/trace.cpp.o"
+  "CMakeFiles/recwild_authns.dir/trace.cpp.o.d"
+  "CMakeFiles/recwild_authns.dir/zone.cpp.o"
+  "CMakeFiles/recwild_authns.dir/zone.cpp.o.d"
+  "librecwild_authns.a"
+  "librecwild_authns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_authns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

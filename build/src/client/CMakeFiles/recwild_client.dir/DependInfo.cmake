@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/forwarder.cpp" "src/client/CMakeFiles/recwild_client.dir/forwarder.cpp.o" "gcc" "src/client/CMakeFiles/recwild_client.dir/forwarder.cpp.o.d"
+  "/root/repo/src/client/population.cpp" "src/client/CMakeFiles/recwild_client.dir/population.cpp.o" "gcc" "src/client/CMakeFiles/recwild_client.dir/population.cpp.o.d"
+  "/root/repo/src/client/stub.cpp" "src/client/CMakeFiles/recwild_client.dir/stub.cpp.o" "gcc" "src/client/CMakeFiles/recwild_client.dir/stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resolver/CMakeFiles/recwild_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/recwild_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/recwild_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recwild_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

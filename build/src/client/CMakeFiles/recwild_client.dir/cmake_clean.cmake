@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_client.dir/forwarder.cpp.o"
+  "CMakeFiles/recwild_client.dir/forwarder.cpp.o.d"
+  "CMakeFiles/recwild_client.dir/population.cpp.o"
+  "CMakeFiles/recwild_client.dir/population.cpp.o.d"
+  "CMakeFiles/recwild_client.dir/stub.cpp.o"
+  "CMakeFiles/recwild_client.dir/stub.cpp.o.d"
+  "librecwild_client.a"
+  "librecwild_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecwild_client.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnscore/codec.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/codec.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/codec.cpp.o.d"
+  "/root/repo/src/dnscore/message.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/message.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/message.cpp.o.d"
+  "/root/repo/src/dnscore/name.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/name.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/name.cpp.o.d"
+  "/root/repo/src/dnscore/rdata.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/rdata.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/rdata.cpp.o.d"
+  "/root/repo/src/dnscore/record.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/record.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/record.cpp.o.d"
+  "/root/repo/src/dnscore/types.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/types.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/types.cpp.o.d"
+  "/root/repo/src/dnscore/wire.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/wire.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/wire.cpp.o.d"
+  "/root/repo/src/dnscore/zonefile.cpp" "src/dnscore/CMakeFiles/recwild_dnscore.dir/zonefile.cpp.o" "gcc" "src/dnscore/CMakeFiles/recwild_dnscore.dir/zonefile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/recwild_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recwild_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_dnscore.dir/codec.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/codec.cpp.o.d"
+  "CMakeFiles/recwild_dnscore.dir/message.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/message.cpp.o.d"
+  "CMakeFiles/recwild_dnscore.dir/name.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/name.cpp.o.d"
+  "CMakeFiles/recwild_dnscore.dir/rdata.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/rdata.cpp.o.d"
+  "CMakeFiles/recwild_dnscore.dir/record.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/record.cpp.o.d"
+  "CMakeFiles/recwild_dnscore.dir/types.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/types.cpp.o.d"
+  "CMakeFiles/recwild_dnscore.dir/wire.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/wire.cpp.o.d"
+  "CMakeFiles/recwild_dnscore.dir/zonefile.cpp.o"
+  "CMakeFiles/recwild_dnscore.dir/zonefile.cpp.o.d"
+  "librecwild_dnscore.a"
+  "librecwild_dnscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_dnscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiment/analysis.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/analysis.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/analysis.cpp.o.d"
+  "/root/repo/src/experiment/campaign.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/campaign.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/campaign.cpp.o.d"
+  "/root/repo/src/experiment/deployments.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/deployments.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/deployments.cpp.o.d"
+  "/root/repo/src/experiment/export.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/export.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/export.cpp.o.d"
+  "/root/repo/src/experiment/failure.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/failure.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/failure.cpp.o.d"
+  "/root/repo/src/experiment/production.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/production.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/production.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/report.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/report.cpp.o.d"
+  "/root/repo/src/experiment/testbed.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/testbed.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/testbed.cpp.o.d"
+  "/root/repo/src/experiment/zones.cpp" "src/experiment/CMakeFiles/recwild_experiment.dir/zones.cpp.o" "gcc" "src/experiment/CMakeFiles/recwild_experiment.dir/zones.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/anycast/CMakeFiles/recwild_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/authns/CMakeFiles/recwild_authns.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/recwild_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/recwild_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/recwild_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/recwild_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recwild_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

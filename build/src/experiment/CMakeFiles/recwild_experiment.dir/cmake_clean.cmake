@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_experiment.dir/analysis.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/analysis.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/campaign.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/campaign.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/deployments.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/deployments.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/export.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/export.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/failure.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/failure.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/production.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/production.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/report.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/report.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/testbed.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/testbed.cpp.o.d"
+  "CMakeFiles/recwild_experiment.dir/zones.cpp.o"
+  "CMakeFiles/recwild_experiment.dir/zones.cpp.o.d"
+  "librecwild_experiment.a"
+  "librecwild_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

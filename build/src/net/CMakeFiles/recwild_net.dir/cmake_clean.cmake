@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_net.dir/address.cpp.o"
+  "CMakeFiles/recwild_net.dir/address.cpp.o.d"
+  "CMakeFiles/recwild_net.dir/event_queue.cpp.o"
+  "CMakeFiles/recwild_net.dir/event_queue.cpp.o.d"
+  "CMakeFiles/recwild_net.dir/geo.cpp.o"
+  "CMakeFiles/recwild_net.dir/geo.cpp.o.d"
+  "CMakeFiles/recwild_net.dir/latency.cpp.o"
+  "CMakeFiles/recwild_net.dir/latency.cpp.o.d"
+  "CMakeFiles/recwild_net.dir/network.cpp.o"
+  "CMakeFiles/recwild_net.dir/network.cpp.o.d"
+  "CMakeFiles/recwild_net.dir/simulation.cpp.o"
+  "CMakeFiles/recwild_net.dir/simulation.cpp.o.d"
+  "librecwild_net.a"
+  "librecwild_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

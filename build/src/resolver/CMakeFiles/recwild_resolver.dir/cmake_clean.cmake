@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_resolver.dir/infra_cache.cpp.o"
+  "CMakeFiles/recwild_resolver.dir/infra_cache.cpp.o.d"
+  "CMakeFiles/recwild_resolver.dir/record_cache.cpp.o"
+  "CMakeFiles/recwild_resolver.dir/record_cache.cpp.o.d"
+  "CMakeFiles/recwild_resolver.dir/resolver.cpp.o"
+  "CMakeFiles/recwild_resolver.dir/resolver.cpp.o.d"
+  "CMakeFiles/recwild_resolver.dir/selection.cpp.o"
+  "CMakeFiles/recwild_resolver.dir/selection.cpp.o.d"
+  "librecwild_resolver.a"
+  "librecwild_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

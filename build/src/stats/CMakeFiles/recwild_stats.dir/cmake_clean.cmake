@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recwild_stats.dir/distributions.cpp.o"
+  "CMakeFiles/recwild_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/recwild_stats.dir/histogram.cpp.o"
+  "CMakeFiles/recwild_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/recwild_stats.dir/rng.cpp.o"
+  "CMakeFiles/recwild_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/recwild_stats.dir/summary.cpp.o"
+  "CMakeFiles/recwild_stats.dir/summary.cpp.o.d"
+  "librecwild_stats.a"
+  "librecwild_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recwild_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_tests.dir/anycast/service_test.cpp.o"
+  "CMakeFiles/anycast_tests.dir/anycast/service_test.cpp.o.d"
+  "anycast_tests"
+  "anycast_tests.pdb"
+  "anycast_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

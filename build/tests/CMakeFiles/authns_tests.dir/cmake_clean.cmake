@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authns_tests.dir/authns/query_engine_test.cpp.o"
+  "CMakeFiles/authns_tests.dir/authns/query_engine_test.cpp.o.d"
+  "CMakeFiles/authns_tests.dir/authns/secondary_test.cpp.o"
+  "CMakeFiles/authns_tests.dir/authns/secondary_test.cpp.o.d"
+  "CMakeFiles/authns_tests.dir/authns/server_test.cpp.o"
+  "CMakeFiles/authns_tests.dir/authns/server_test.cpp.o.d"
+  "CMakeFiles/authns_tests.dir/authns/trace_test.cpp.o"
+  "CMakeFiles/authns_tests.dir/authns/trace_test.cpp.o.d"
+  "CMakeFiles/authns_tests.dir/authns/zone_property_test.cpp.o"
+  "CMakeFiles/authns_tests.dir/authns/zone_property_test.cpp.o.d"
+  "CMakeFiles/authns_tests.dir/authns/zone_test.cpp.o"
+  "CMakeFiles/authns_tests.dir/authns/zone_test.cpp.o.d"
+  "authns_tests"
+  "authns_tests.pdb"
+  "authns_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authns_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_tests.dir/client/forwarder_test.cpp.o"
+  "CMakeFiles/client_tests.dir/client/forwarder_test.cpp.o.d"
+  "CMakeFiles/client_tests.dir/client/population_test.cpp.o"
+  "CMakeFiles/client_tests.dir/client/population_test.cpp.o.d"
+  "CMakeFiles/client_tests.dir/client/stub_test.cpp.o"
+  "CMakeFiles/client_tests.dir/client/stub_test.cpp.o.d"
+  "client_tests"
+  "client_tests.pdb"
+  "client_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dnscore/codec_test.cpp" "tests/CMakeFiles/dnscore_tests.dir/dnscore/codec_test.cpp.o" "gcc" "tests/CMakeFiles/dnscore_tests.dir/dnscore/codec_test.cpp.o.d"
+  "/root/repo/tests/dnscore/name_test.cpp" "tests/CMakeFiles/dnscore_tests.dir/dnscore/name_test.cpp.o" "gcc" "tests/CMakeFiles/dnscore_tests.dir/dnscore/name_test.cpp.o.d"
+  "/root/repo/tests/dnscore/rdata_test.cpp" "tests/CMakeFiles/dnscore_tests.dir/dnscore/rdata_test.cpp.o" "gcc" "tests/CMakeFiles/dnscore_tests.dir/dnscore/rdata_test.cpp.o.d"
+  "/root/repo/tests/dnscore/record_test.cpp" "tests/CMakeFiles/dnscore_tests.dir/dnscore/record_test.cpp.o" "gcc" "tests/CMakeFiles/dnscore_tests.dir/dnscore/record_test.cpp.o.d"
+  "/root/repo/tests/dnscore/types_test.cpp" "tests/CMakeFiles/dnscore_tests.dir/dnscore/types_test.cpp.o" "gcc" "tests/CMakeFiles/dnscore_tests.dir/dnscore/types_test.cpp.o.d"
+  "/root/repo/tests/dnscore/wire_test.cpp" "tests/CMakeFiles/dnscore_tests.dir/dnscore/wire_test.cpp.o" "gcc" "tests/CMakeFiles/dnscore_tests.dir/dnscore/wire_test.cpp.o.d"
+  "/root/repo/tests/dnscore/zonefile_test.cpp" "tests/CMakeFiles/dnscore_tests.dir/dnscore/zonefile_test.cpp.o" "gcc" "tests/CMakeFiles/dnscore_tests.dir/dnscore/zonefile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/recwild_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/anycast/CMakeFiles/recwild_anycast.dir/DependInfo.cmake"
+  "/root/repo/build/src/authns/CMakeFiles/recwild_authns.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/recwild_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/recwild_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/recwild_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/recwild_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/recwild_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

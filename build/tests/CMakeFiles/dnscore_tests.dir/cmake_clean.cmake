@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnscore_tests.dir/dnscore/codec_test.cpp.o"
+  "CMakeFiles/dnscore_tests.dir/dnscore/codec_test.cpp.o.d"
+  "CMakeFiles/dnscore_tests.dir/dnscore/name_test.cpp.o"
+  "CMakeFiles/dnscore_tests.dir/dnscore/name_test.cpp.o.d"
+  "CMakeFiles/dnscore_tests.dir/dnscore/rdata_test.cpp.o"
+  "CMakeFiles/dnscore_tests.dir/dnscore/rdata_test.cpp.o.d"
+  "CMakeFiles/dnscore_tests.dir/dnscore/record_test.cpp.o"
+  "CMakeFiles/dnscore_tests.dir/dnscore/record_test.cpp.o.d"
+  "CMakeFiles/dnscore_tests.dir/dnscore/types_test.cpp.o"
+  "CMakeFiles/dnscore_tests.dir/dnscore/types_test.cpp.o.d"
+  "CMakeFiles/dnscore_tests.dir/dnscore/wire_test.cpp.o"
+  "CMakeFiles/dnscore_tests.dir/dnscore/wire_test.cpp.o.d"
+  "CMakeFiles/dnscore_tests.dir/dnscore/zonefile_test.cpp.o"
+  "CMakeFiles/dnscore_tests.dir/dnscore/zonefile_test.cpp.o.d"
+  "dnscore_tests"
+  "dnscore_tests.pdb"
+  "dnscore_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnscore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_tests.dir/experiment/analysis_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/analysis_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/campaign_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/campaign_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/combo_sweep_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/combo_sweep_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/deployments_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/deployments_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/export_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/export_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/failure_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/failure_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/ipv6_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/ipv6_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/loss_campaign_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/loss_campaign_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/production_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/production_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/testbed_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/testbed_test.cpp.o.d"
+  "CMakeFiles/experiment_tests.dir/experiment/zones_test.cpp.o"
+  "CMakeFiles/experiment_tests.dir/experiment/zones_test.cpp.o.d"
+  "experiment_tests"
+  "experiment_tests.pdb"
+  "experiment_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_tests.dir/resolver/infra_cache_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/infra_cache_test.cpp.o.d"
+  "CMakeFiles/resolver_tests.dir/resolver/qname_minimization_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/qname_minimization_test.cpp.o.d"
+  "CMakeFiles/resolver_tests.dir/resolver/record_cache_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/record_cache_test.cpp.o.d"
+  "CMakeFiles/resolver_tests.dir/resolver/resolver_property_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/resolver_property_test.cpp.o.d"
+  "CMakeFiles/resolver_tests.dir/resolver/resolver_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/resolver_test.cpp.o.d"
+  "CMakeFiles/resolver_tests.dir/resolver/security_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/security_test.cpp.o.d"
+  "CMakeFiles/resolver_tests.dir/resolver/selection_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/selection_test.cpp.o.d"
+  "CMakeFiles/resolver_tests.dir/resolver/tcp_fallback_test.cpp.o"
+  "CMakeFiles/resolver_tests.dir/resolver/tcp_fallback_test.cpp.o.d"
+  "resolver_tests"
+  "resolver_tests.pdb"
+  "resolver_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

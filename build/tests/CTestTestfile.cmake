@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/dnscore_tests[1]_include.cmake")
+include("/root/repo/build/tests/authns_tests[1]_include.cmake")
+include("/root/repo/build/tests/resolver_tests[1]_include.cmake")
+include("/root/repo/build/tests/client_tests[1]_include.cmake")
+include("/root/repo/build/tests/anycast_tests[1]_include.cmake")
+include("/root/repo/build/tests/experiment_tests[1]_include.cmake")
