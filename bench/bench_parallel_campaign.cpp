@@ -1,0 +1,97 @@
+// Shard-count scaling of the campaign engine.
+//
+// Runs the paper's 1-hour campaign on a large Atlas-like population once
+// per shard count, reports wall-clock time and speedup versus the serial
+// run, and cross-checks that every shard count exports byte-identical
+// results (the engine's determinism guarantee).
+//
+//   ./build/bench/bench_parallel_campaign --probes 10000 --seed 42
+//   ./build/bench/bench_parallel_campaign --shards 1,2,4,8 --queries 31
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "experiment/export.hpp"
+
+using namespace recwild;
+using namespace recwild::experiment;
+
+namespace {
+
+std::string export_bytes(const CampaignResult& result) {
+  std::ostringstream out;
+  write_campaign_csv(out, result);
+  write_preferences_csv(out, result);
+  write_shares_csv(out, result);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = benchutil::Options::parse(argc, argv);
+  if (opt.probes == 2'000) opt.probes = 10'000;  // bigger default here
+  std::vector<std::size_t> shard_counts{1, 2, 4};
+  std::size_t queries = 31;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts.clear();
+      for (const char* p = argv[i + 1]; *p != '\0'; ++p) {
+        if (*p >= '0' && *p <= '9') {
+          std::size_t n = 0;
+          while (*p >= '0' && *p <= '9') n = n * 10 + std::size_t(*p++ - '0');
+          shard_counts.push_back(n);
+          if (*p == '\0') break;
+        }
+      }
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  report::header("Parallel campaign scaling (combination 2C)");
+  std::printf("%zu probes, %zu queries/VP, seed %llu\n", opt.probes, queries,
+              static_cast<unsigned long long>(opt.seed));
+  {
+    auto tb = benchutil::make_testbed(opt, "2C");
+    const auto groups = campaign_vp_groups(tb);
+    std::size_t largest = 0;
+    for (const auto& g : groups) largest = std::max(largest, g.size());
+    std::printf(
+        "%zu independent VP groups; largest (public-resolver cluster) has "
+        "%zu VPs (%.1f%% of load)\n",
+        groups.size(), largest, 100.0 * double(largest) / double(opt.probes));
+  }
+
+  std::printf("\n%8s %12s %9s %s\n", "shards", "wall-clock", "speedup",
+              "result");
+  double serial_s = 0.0;
+  std::string reference;
+  for (const std::size_t shards : shard_counts) {
+    auto tb = benchutil::make_testbed(opt, "2C");
+    CampaignConfig cc;
+    cc.interval = net::Duration::minutes(2);
+    cc.queries_per_vp = queries;
+    cc.shards = shards;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = run_campaign(tb, cc);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    const std::string bytes = export_bytes(result);
+    const char* verdict;
+    if (reference.empty()) {
+      reference = bytes;
+      serial_s = secs;
+      verdict = "reference";
+    } else {
+      verdict = bytes == reference ? "byte-identical"
+                                   : "MISMATCH vs shards=1";
+    }
+    std::printf("%8zu %10.2fs %8.2fx %s\n", shards, secs,
+                serial_s > 0 ? serial_s / secs : 1.0, verdict);
+  }
+  return 0;
+}

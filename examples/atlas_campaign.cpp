@@ -3,8 +3,11 @@
 // every 2 minutes for an hour, then analyze coverage, shares, and
 // per-recursive preference exactly as §4 does.
 //
-//   ./build/examples/atlas_campaign [combo] [probes]
-//   e.g. ./build/examples/atlas_campaign 2C 3000
+//   ./build/examples/atlas_campaign [combo] [probes] [shards]
+//   e.g. ./build/examples/atlas_campaign 2C 3000 4
+//
+// `shards` spreads the campaign over worker threads (0 = one per hardware
+// thread); the result is byte-identical for every value.
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,6 +23,8 @@ int main(int argc, char** argv) {
   const std::string combo_id = argc > 1 ? argv[1] : "2C";
   const std::size_t probes =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000;
+  const std::size_t shards =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
 
   TestbedConfig cfg;
   cfg.seed = 1;
@@ -31,12 +36,13 @@ int main(int argc, char** argv) {
   for (const auto& svc : testbed.test_services()) {
     std::printf(" %s", svc.name().c_str());
   }
-  std::printf(" | %zu probes, %zu recursives\n", probes,
-              testbed.population().recursives().size());
+  std::printf(" | %zu probes, %zu recursives, %zu shard(s)\n", probes,
+              testbed.population().recursives().size(), shards);
 
   CampaignConfig cc;
   cc.interval = net::Duration::minutes(2);
   cc.queries_per_vp = 31;
+  cc.shards = shards;
   const auto result = run_campaign(testbed, cc);
 
   const auto cov = analyze_coverage(result);

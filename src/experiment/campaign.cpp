@@ -1,18 +1,32 @@
 #include "experiment/campaign.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
 #include <unordered_map>
 
 namespace recwild::experiment {
 
-CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
-  auto& sim = testbed.sim();
-  auto& network = testbed.network();
-  auto& vps = testbed.population().vps();
-  const auto& services = testbed.test_services();
+namespace {
 
-  CampaignResult result;
-  for (const auto& svc : services) result.service_codes.push_back(svc.name());
+/// Schedules the campaign queries of the VPs in `vp_indices` (ascending) on
+/// `world`, runs its simulation to completion, and returns one observation
+/// per scheduled VP, in `vp_indices` order.
+///
+/// All randomness is keyed per VP (phase jitter forks on the probe id), so
+/// the observations a VP produces depend only on the seed and on the VPs it
+/// shares a recursive with — never on how the schedule was sharded.
+std::vector<VpObservation> run_campaign_shard(
+    Testbed& world, const CampaignConfig& config,
+    const std::vector<std::size_t>& vp_indices) {
+  auto& sim = world.sim();
+  auto& network = world.network();
+  auto& vps = world.population().vps();
+  const auto& services = world.test_services();
+  const dns::Name domain = world.test_domain();
 
   struct VpState {
     std::vector<int> sequence;
@@ -20,27 +34,27 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
   };
   std::vector<VpState> states(vps.size());
 
-  stats::Rng rng = sim.rng().fork("campaign");
-  const dns::Name domain = testbed.test_domain();
+  const stats::Rng campaign_rng = sim.rng().fork("campaign");
 
-  for (std::size_t v = 0; v < vps.size(); ++v) {
+  for (const std::size_t v : vp_indices) {
     auto& vp = vps[v];
+    stats::Rng vp_rng = campaign_rng.fork(vp.probe_id);
     const net::Duration phase =
         config.phase_jitter
-            ? net::Duration::millis(rng.uniform(0.0, config.interval.ms()))
+            ? net::Duration::millis(vp_rng.uniform(0.0, config.interval.ms()))
             : net::Duration::zero();
     for (std::size_t k = 0; k < config.queries_per_vp; ++k) {
       const net::SimTime at =
           net::SimTime::origin() + phase + config.interval * double(k);
-      sim.at(at, [&testbed, &states, &vp, v, k, domain] {
+      sim.at(at, [&world, &states, &vp, v, k, domain] {
         const dns::Name qname = domain.prefixed(
             "q" + std::to_string(vp.probe_id) + "x" + std::to_string(k));
         vp.stub->query(
             qname, dns::RRType::TXT,
-            [&testbed, &states, &vp, v](const client::StubResult& r) {
+            [&world, &states, &vp, v](const client::StubResult& r) {
               int idx = -1;
               if (!r.timed_out && !r.txt.empty()) {
-                idx = testbed.test_index_of(r.txt.front());
+                idx = world.test_index_of(r.txt.front());
               }
               states[v].sequence.push_back(idx);
               if (r.recursive_index < vp.stub->recursives().size()) {
@@ -54,26 +68,28 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
 
   sim.run();
 
-  // Assemble observations.
-  result.vps.reserve(vps.size());
-  for (std::size_t v = 0; v < vps.size(); ++v) {
+  std::vector<VpObservation> observations;
+  observations.reserve(vp_indices.size());
+  for (const std::size_t v : vp_indices) {
     VpObservation obs;
     obs.probe_id = vps[v].probe_id;
     obs.continent = vps[v].continent;
     obs.sequence = std::move(states[v].sequence);
 
-    // Primary recursive: the one that served the most queries.
+    // Primary recursive: the one that served the most queries. Equal counts
+    // break by lowest address — unordered_map iteration order differs
+    // between standard libraries, so the count alone is not deterministic.
     net::IpAddress primary{};
     std::size_t best = 0;
     for (const auto& [addr, n] : states[v].recursive_use) {
-      if (n > best) {
+      if (n > best || (n == best && n > 0 && addr < primary)) {
         best = n;
         primary = addr;
       }
     }
     obs.recursive_addr = primary;
 
-    const net::NodeId rnode = testbed.recursive_node(primary);
+    const net::NodeId rnode = world.recursive_node(primary);
     obs.rtt_ms.resize(services.size(), 0.0);
     if (rnode != net::kInvalidNode) {
       for (std::size_t s = 0; s < services.size(); ++s) {
@@ -81,7 +97,154 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
             network.base_rtt_to(rnode, services[s].address()).ms();
       }
     }
-    result.vps.push_back(std::move(obs));
+    observations.push_back(std::move(obs));
+  }
+  return observations;
+}
+
+/// Deterministic LPT bin-packing of VP groups onto `shards` bins, weighted
+/// by VP count. Returns per-shard ascending VP index lists; empty shards
+/// are dropped.
+std::vector<std::vector<std::size_t>> pack_groups(
+    std::vector<std::vector<std::size_t>> groups, std::size_t shards) {
+  std::vector<std::size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&groups](std::size_t a, std::size_t b) {
+              if (groups[a].size() != groups[b].size()) {
+                return groups[a].size() > groups[b].size();
+              }
+              return groups[a].front() < groups[b].front();
+            });
+
+  std::vector<std::vector<std::size_t>> bins(shards);
+  std::vector<std::size_t> load(shards, 0);
+  for (const std::size_t g : order) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[lightest] += groups[g].size();
+    auto& bin = bins[lightest];
+    bin.insert(bin.end(), groups[g].begin(), groups[g].end());
+  }
+  std::erase_if(bins, [](const auto& b) { return b.empty(); });
+  for (auto& bin : bins) std::sort(bin.begin(), bin.end());
+  return bins;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> campaign_vp_groups(Testbed& testbed) {
+  const auto& pop = testbed.population();
+  const auto& vps = pop.vps();
+
+  // Forwarders are transparent middleboxes: chase them to their upstream
+  // recursive, which is what actually holds shared state.
+  std::unordered_map<net::IpAddress, net::IpAddress> via_forwarder;
+  for (const auto& f : pop.forwarders()) {
+    via_forwarder.emplace(f->address(), f->upstream());
+  }
+
+  // Union-find over recursive addresses; each VP unions all its upstreams.
+  std::unordered_map<net::IpAddress, std::size_t> addr_index;
+  std::vector<std::size_t> parent;
+  auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto index_of = [&](net::IpAddress addr) {
+    const auto fwd = via_forwarder.find(addr);
+    if (fwd != via_forwarder.end()) addr = fwd->second;
+    const auto [it, inserted] = addr_index.emplace(addr, parent.size());
+    if (inserted) parent.push_back(it->second);
+    return it->second;
+  };
+
+  std::vector<std::size_t> vp_set(vps.size());
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    const auto& upstreams = vps[v].stub->recursives();
+    std::size_t first = index_of(upstreams.empty()
+                                     ? net::IpAddress{}
+                                     : upstreams.front());
+    for (std::size_t u = 1; u < upstreams.size(); ++u) {
+      const std::size_t other = index_of(upstreams[u]);
+      parent[find(other)] = find(first);
+    }
+    vp_set[v] = first;
+  }
+
+  // Group VPs by root set, in first-seen order.
+  std::unordered_map<std::size_t, std::size_t> group_of_root;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    const std::size_t root = find(vp_set[v]);
+    const auto [it, inserted] = group_of_root.emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(v);
+  }
+  return groups;
+}
+
+CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
+  const auto& vps = testbed.population().vps();
+
+  CampaignResult result;
+  for (const auto& svc : testbed.test_services()) {
+    result.service_codes.push_back(svc.name());
+  }
+
+  std::size_t shards =
+      config.shards != 0
+          ? config.shards
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  shards = std::min(shards, std::max<std::size_t>(1, vps.size()));
+
+  if (shards <= 1) {
+    std::vector<std::size_t> all(vps.size());
+    std::iota(all.begin(), all.end(), 0);
+    result.vps = run_campaign_shard(testbed, config, all);
+    return result;
+  }
+
+  const auto parts = pack_groups(campaign_vp_groups(testbed), shards);
+
+  // Shard 0 runs on the caller's testbed (keeping its logs/caches useful to
+  // callers, exactly like the serial path); the rest replay on replicas
+  // built from the same config, hence bit-identical worlds.
+  std::vector<std::vector<VpObservation>> per_shard(parts.size());
+  std::exception_ptr error;
+  std::mutex error_mu;
+  std::vector<std::thread> workers;
+  workers.reserve(parts.size() - 1);
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    workers.emplace_back([&testbed, &config, &parts, &per_shard, &error,
+                          &error_mu, i] {
+      try {
+        Testbed replica{testbed.config()};
+        per_shard[i] = run_campaign_shard(replica, config, parts[i]);
+      } catch (...) {
+        const std::scoped_lock lock{error_mu};
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  try {
+    per_shard[0] = run_campaign_shard(testbed, config, parts[0]);
+  } catch (...) {
+    const std::scoped_lock lock{error_mu};
+    if (!error) error = std::current_exception();
+  }
+  for (auto& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
+
+  // Merge back in probe order: output is independent of the partition.
+  result.vps.resize(vps.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = 0; j < parts[i].size(); ++j) {
+      result.vps[parts[i][j]] = std::move(per_shard[i][j]);
+    }
   }
   return result;
 }

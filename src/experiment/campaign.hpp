@@ -3,6 +3,15 @@
 // under the test domain at a fixed interval; the TXT payload identifies
 // which authoritative answered. Client-side observations are collected per
 // VP, exactly as the paper collects per-probe results from Atlas.
+//
+// The campaign can run sharded: vantage points are partitioned into groups
+// that share no recursive resolver, groups are packed onto `shards` worker
+// threads, and each worker replays its share of the schedule on a private
+// replica of the testbed. Because every random stream in the simulation is
+// keyed by identity (per VP, per resolver, per network flow) rather than by
+// draw order, a VP's observations do not depend on which other VPs run
+// beside it — so the merged result is byte-identical for every shard count,
+// including the single-threaded shards=1 run.
 #pragma once
 
 #include <string>
@@ -19,13 +28,20 @@ struct CampaignConfig {
   std::size_t queries_per_vp = 31;
   /// Random start phase within the first interval, to de-synchronize VPs.
   bool phase_jitter = true;
+  /// Worker threads to run the campaign on. 1 = serial on the caller's
+  /// testbed; 0 = one per hardware thread. Any value yields byte-identical
+  /// results when the testbed is freshly built (shards > 1 replays on
+  /// replicas built from Testbed::config(), so a testbed that already ran
+  /// traffic can only be reproduced by shards = 1).
+  std::size_t shards = 1;
 };
 
 /// Per-VP campaign observations.
 struct VpObservation {
   std::size_t probe_id = 0;
   net::Continent continent = net::Continent::Europe;
-  /// The recursive that served most of this VP's queries.
+  /// The recursive that served most of this VP's queries (ties broken by
+  /// lowest address so the choice is stable across platforms).
   net::IpAddress recursive_addr;
   /// Per query: index into Testbed::test_services(), or -1 on timeout.
   std::vector<int> sequence;
@@ -43,7 +59,16 @@ struct CampaignResult {
   }
 };
 
-/// Runs the campaign to completion on the testbed's simulation.
+/// Runs the campaign to completion on the testbed's simulation (and, for
+/// config.shards > 1, on replica simulations in worker threads).
 CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config);
+
+/// The VP partition the sharded engine uses: vantage points that share a
+/// recursive resolver (directly or through a chain of shared upstreams,
+/// forwarders included) always land in the same group, because a shared
+/// recursive's cache and SRTT state couple their observations. Groups are
+/// listed in first-seen VP order; each group lists VP indices ascending.
+/// Exposed for tests and capacity planning.
+std::vector<std::vector<std::size_t>> campaign_vp_groups(Testbed& testbed);
 
 }  // namespace recwild::experiment

@@ -1,6 +1,11 @@
 #include "experiment/production.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
 
 #include "stats/distributions.hpp"
 
@@ -16,15 +21,19 @@ struct Source {
   resolver::PolicyKind policy = resolver::PolicyKind::BindSrtt;
   double rate_per_sec = 0.0;
   std::uint64_t counter = 0;
+  /// Private Poisson-arrival stream: gaps must not depend on how other
+  /// sources' arrivals interleave, or results would vary with sharding
+  /// (and, before this stream existed, with any event reordering).
+  stats::Rng sched_rng;
 };
 
 /// Schedules Poisson arrivals of cache-busting lookups until `end`.
 void schedule_next(net::Simulation& sim, Source& src, net::SimTime end,
-                   stats::Rng& rng, ProductionTarget target) {
-  const double gap_s = rng.exponential(1.0 / src.rate_per_sec);
+                   ProductionTarget target) {
+  const double gap_s = src.sched_rng.exponential(1.0 / src.rate_per_sec);
   const net::SimTime at = sim.now() + net::Duration::seconds(gap_s);
   if (at > end) return;
-  sim.at(at, [&sim, &src, end, &rng, target] {
+  sim.at(at, [&sim, &src, end, target] {
     const std::string label =
         "x" + std::to_string(src.resolver->address().bits()) + "n" +
         std::to_string(src.counter++);
@@ -34,49 +43,20 @@ void schedule_next(net::Simulation& sim, Source& src, net::SimTime end,
     src.resolver->resolve(
         dns::Question{std::move(qname), dns::RRType::A, dns::RRClass::IN},
         [](const resolver::ResolveOutcome&) {});
-    schedule_next(sim, src, end, rng, target);
+    schedule_next(sim, src, end, target);
   });
 }
 
-}  // namespace
-
-double ProductionResult::fraction_at_least(std::size_t n) const {
-  double f = 0;
-  for (std::size_t i = n; i <= fraction_querying.size(); ++i) {
-    f += fraction_querying[i - 1];
-  }
-  return f;
-}
-
-ProductionResult run_production(Testbed& testbed,
-                                const ProductionConfig& config) {
-  auto& sim = testbed.sim();
-  auto& network = testbed.network();
+/// Builds every source recursive on `world`, in config order. Worlds built
+/// from the same TestbedConfig produce identical sources (addresses, nodes,
+/// policies, rates), which is what lets shards replay disjoint subsets of
+/// them and still merge into one coherent hour.
+std::vector<std::unique_ptr<Source>> build_sources(
+    Testbed& world, const ProductionConfig& config) {
+  auto& sim = world.sim();
+  auto& network = world.network();
   stats::Rng rng = sim.rng().fork("production");
 
-  // Observed service group.
-  auto& group = config.target == ProductionTarget::Root
-                    ? testbed.roots()
-                    : testbed.nl_services();
-  std::vector<std::size_t> observed;
-  if (config.target == ProductionTarget::Root) {
-    // DITL-2017: letters B, G and L missing (indices 1, 6, 11).
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      if (i != 1 && i != 6 && i != 11) observed.push_back(i);
-    }
-  } else {
-    // 4 of the 8 .nl authoritatives: two unicast, two anycast.
-    observed = {0, 1, 5, 6};
-  }
-
-  // Aggregates only at the authoritatives: drop per-packet log entries.
-  for (auto& svc : group) {
-    for (auto& site : svc.sites()) {
-      site.server->log().set_retain_entries(false);
-    }
-  }
-
-  // Build the busy-recursive population.
   const stats::WeightedSampler continent_sampler{
       {config.weight_af, config.weight_as, config.weight_eu,
        config.weight_na, config.weight_oc, config.weight_sa}};
@@ -99,6 +79,7 @@ ProductionResult run_production(Testbed& testbed,
     auto src = std::make_unique<Source>();
     src->continent = c;
     src->policy = config.mixture.draw(rng);
+    src->sched_rng = rng.fork("prod-sched", i);
     resolver::ResolverConfig rc;
     rc.name = "prod-recursive-" + std::to_string(i);
     rc.policy = src->policy;
@@ -114,10 +95,10 @@ ProductionResult run_production(Testbed& testbed,
     // some recursives (routing/filtering); drop them from this source's
     // world view.
     std::vector<resolver::RootHint> hints;
-    for (const auto& h : testbed.hints()) {
+    for (const auto& h : world.hints()) {
       if (!rng.chance(config.unreachable_fraction)) hints.push_back(h);
     }
-    if (hints.empty()) hints.push_back(testbed.hints().front());
+    if (hints.empty()) hints.push_back(world.hints().front());
 
     src->resolver = std::make_unique<resolver::RecursiveResolver>(
         network, node, network.allocate_address(), std::move(rc), hints,
@@ -142,14 +123,162 @@ ProductionResult run_production(Testbed& testbed,
     src->rate_per_sec = volume / (config.duration_hours * 3600.0);
     sources.push_back(std::move(src));
   }
+  return sources;
+}
+
+/// Per observed service: query count per client address, as reconstructed
+/// from that world's authoritative-side logs.
+using ClientCounts =
+    std::vector<std::unordered_map<net::IpAddress, std::uint64_t>>;
+
+/// Runs the traffic of `source_indices` on `world` and harvests the logs of
+/// the observed services. `sources` must be `world`'s own (pre-built).
+ClientCounts run_production_shard(
+    Testbed& world, std::vector<std::unique_ptr<Source>>& sources,
+    const ProductionConfig& config,
+    const std::vector<std::size_t>& source_indices,
+    const std::vector<std::size_t>& observed) {
+  auto& sim = world.sim();
+  auto& group = config.target == ProductionTarget::Root
+                    ? world.roots()
+                    : world.nl_services();
+
+  // Aggregates only at the authoritatives: drop per-packet log entries.
+  for (auto& svc : group) {
+    for (auto& site : svc.sites()) {
+      site.server->log().set_retain_entries(false);
+    }
+  }
 
   const net::SimTime end =
       net::SimTime::origin() +
       net::Duration::hours(config.duration_hours);
-  for (auto& src : sources) {
-    schedule_next(sim, *src, end, rng, config.target);
+  for (const std::size_t i : source_indices) {
+    schedule_next(sim, *sources[i], end, config.target);
   }
   sim.run();
+
+  ClientCounts counts(observed.size());
+  for (std::size_t oi = 0; oi < observed.size(); ++oi) {
+    for (const auto& site : group[observed[oi]].sites()) {
+      for (const auto& [client, n] : site.server->log().per_client()) {
+        counts[oi][client] += n;
+      }
+    }
+  }
+  return counts;
+}
+
+/// Deterministic LPT packing of source indices onto `shards` bins, weighted
+/// by each source's expected query rate. Empty bins are dropped.
+std::vector<std::vector<std::size_t>> pack_sources(
+    const std::vector<std::unique_ptr<Source>>& sources, std::size_t shards) {
+  std::vector<std::size_t> order(sources.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&sources](std::size_t a,
+                                                   std::size_t b) {
+    if (sources[a]->rate_per_sec != sources[b]->rate_per_sec) {
+      return sources[a]->rate_per_sec > sources[b]->rate_per_sec;
+    }
+    return a < b;
+  });
+  std::vector<std::vector<std::size_t>> bins(shards);
+  std::vector<double> load(shards, 0.0);
+  for (const std::size_t i : order) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[lightest] += sources[i]->rate_per_sec;
+    bins[lightest].push_back(i);
+  }
+  std::erase_if(bins, [](const auto& b) { return b.empty(); });
+  for (auto& bin : bins) std::sort(bin.begin(), bin.end());
+  return bins;
+}
+
+}  // namespace
+
+double ProductionResult::fraction_at_least(std::size_t n) const {
+  double f = 0;
+  for (std::size_t i = n; i <= fraction_querying.size(); ++i) {
+    f += fraction_querying[i - 1];
+  }
+  return f;
+}
+
+ProductionResult run_production(Testbed& testbed,
+                                const ProductionConfig& config) {
+  // Observed service group.
+  auto& group = config.target == ProductionTarget::Root
+                    ? testbed.roots()
+                    : testbed.nl_services();
+  std::vector<std::size_t> observed;
+  if (config.target == ProductionTarget::Root) {
+    // DITL-2017: letters B, G and L missing (indices 1, 6, 11).
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i != 1 && i != 6 && i != 11) observed.push_back(i);
+    }
+  } else {
+    // 4 of the 8 .nl authoritatives: two unicast, two anycast.
+    observed = {0, 1, 5, 6};
+  }
+
+  // The busy-recursive population always exists in full on every world (so
+  // addresses and node ids never depend on the shard count); shards only
+  // split whose traffic is replayed where.
+  std::vector<std::unique_ptr<Source>> sources =
+      build_sources(testbed, config);
+
+  std::size_t shards =
+      config.shards != 0
+          ? config.shards
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  shards = std::min(shards, std::max<std::size_t>(1, sources.size()));
+
+  ClientCounts counts(observed.size());
+  if (shards <= 1) {
+    std::vector<std::size_t> all(sources.size());
+    std::iota(all.begin(), all.end(), 0);
+    counts = run_production_shard(testbed, sources, config, all, observed);
+  } else {
+    const auto parts = pack_sources(sources, shards);
+    std::vector<ClientCounts> per_shard(parts.size());
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::vector<std::thread> workers;
+    workers.reserve(parts.size() - 1);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      workers.emplace_back([&testbed, &config, &parts, &per_shard, &observed,
+                            &error, &error_mu, i] {
+        try {
+          Testbed replica{testbed.config()};
+          auto replica_sources = build_sources(replica, config);
+          per_shard[i] = run_production_shard(replica, replica_sources,
+                                              config, parts[i], observed);
+        } catch (...) {
+          const std::scoped_lock lock{error_mu};
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+    try {
+      per_shard[0] =
+          run_production_shard(testbed, sources, config, parts[0], observed);
+    } catch (...) {
+      const std::scoped_lock lock{error_mu};
+      if (!error) error = std::current_exception();
+    }
+    for (auto& w : workers) w.join();
+    if (error) std::rethrow_exception(error);
+
+    // The hour's server-side logs are disjoint per shard: merge by sum.
+    for (const auto& shard_counts : per_shard) {
+      for (std::size_t oi = 0; oi < observed.size(); ++oi) {
+        for (const auto& [client, n] : shard_counts[oi]) {
+          counts[oi][client] += n;
+        }
+      }
+    }
+  }
 
   // Reconstruct per-recursive traffic from the authoritative-side logs,
   // exactly as the paper does from DITL/ENTRADA captures.
@@ -157,18 +286,15 @@ ProductionResult run_production(Testbed& testbed,
   result.sources_total = sources.size();
   std::unordered_map<net::IpAddress, RecursiveTraffic> traffic;
   for (std::size_t oi = 0; oi < observed.size(); ++oi) {
-    const auto& svc = group[observed[oi]];
-    result.service_labels.push_back(svc.name());
-    for (const auto& site : svc.sites()) {
-      for (const auto& [client, count] : site.server->log().per_client()) {
-        auto& t = traffic[client];
-        if (t.per_service.empty()) {
-          t.per_service.assign(observed.size(), 0);
-          t.address = client;
-        }
-        t.per_service[oi] += count;
-        t.total += count;
+    result.service_labels.push_back(group[observed[oi]].name());
+    for (const auto& [client, count] : counts[oi]) {
+      auto& t = traffic[client];
+      if (t.per_service.empty()) {
+        t.per_service.assign(observed.size(), 0);
+        t.address = client;
       }
+      t.per_service[oi] += count;
+      t.total += count;
     }
   }
   // Attach source metadata.
@@ -187,9 +313,12 @@ ProductionResult run_production(Testbed& testbed,
       result.recursives.push_back(std::move(t));
     }
   }
+  // Equal totals break by address: the rows come out of a hash map, whose
+  // iteration order is not portable, so the sort key must be a total order.
   std::sort(result.recursives.begin(), result.recursives.end(),
             [](const RecursiveTraffic& a, const RecursiveTraffic& b) {
-              return a.total > b.total;
+              if (a.total != b.total) return a.total > b.total;
+              return a.address < b.address;
             });
 
   // Figure 7 aggregates.

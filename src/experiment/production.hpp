@@ -63,6 +63,13 @@ struct ProductionConfig {
   double weight_na = 0.31;
   double weight_oc = 0.05;
   double weight_sa = 0.07;
+  /// Worker threads. 1 = serial on the caller's testbed; 0 = one per
+  /// hardware thread. Sources are independent recursives with per-source
+  /// random streams, so the merged server-side logs — and everything the
+  /// analysis derives from them — are identical for every shard count
+  /// (the testbed must be freshly built for shards > 1, which replays on
+  /// replicas built from Testbed::config()).
+  std::size_t shards = 1;
 };
 
 /// One qualifying recursive, as reconstructed from server-side logs.

@@ -5,41 +5,108 @@
 
 namespace recwild::net {
 
-EventId EventQueue::push(SimTime at, EventFn fn) {
-  const EventId id = next_id_++;
-  callbacks_.emplace(id, std::move(fn));
-  heap_.push(Entry{at, id});
-  return id;
+namespace {
+
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) noexcept {
+  return (EventId{gen} << 32) | slot;
 }
 
-void EventQueue::cancel(EventId id) { callbacks_.erase(id); }
+constexpr std::uint32_t id_slot(EventId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
 
-void EventQueue::skip_cancelled() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
+constexpr std::uint32_t id_gen(EventId id) noexcept {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.gen;  // even -> odd: live
+  s.fn = std::move(fn);
+
+  heap_.push_back(Entry{at, next_seq_++, slot, s.gen});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return make_id(slot, s.gen);
+}
+
+void EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != id_gen(id) || (s.gen & 1u) == 0) return;  // fired or stale
+  ++s.gen;  // odd -> even: retired; the heap entry is now stale
+  s.fn = nullptr;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
+void EventQueue::drop_stale_head() {
+  while (!heap_.empty() && !live(heap_.front())) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
   }
 }
 
-SimTime EventQueue::next_time() const {
-  // skip_cancelled() is non-const; do the equivalent scan here. The heap may
-  // hold dead entries in front, so peel them off via a const_cast-free copy
-  // of the logic: cancelled entries are cheap to drop eagerly instead.
-  auto* self = const_cast<EventQueue*>(this);
-  self->skip_cancelled();
+SimTime EventQueue::next_time() {
+  drop_stale_head();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  skip_cancelled();
+  drop_stale_head();
   assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(e.id);
-  assert(it != callbacks_.end());
-  Fired fired{e.at, std::move(it->second)};
-  callbacks_.erase(it);
+  const Entry head = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+
+  Slot& s = slots_[head.slot];
+  Fired fired{head.at, std::move(s.fn)};
+  ++s.gen;  // odd -> even: fired
+  s.fn = nullptr;
+  s.next_free = free_head_;
+  free_head_ = head.slot;
+  --live_;
   return fired;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!e.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = heap_[i];
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_[child + 1].before(heap_[child])) ++child;
+    if (!heap_[child].before(e)) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
 }
 
 }  // namespace recwild::net

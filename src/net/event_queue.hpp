@@ -2,20 +2,29 @@
 //
 // Events fire in (time, sequence) order: ties break by scheduling order so
 // runs are fully deterministic. Events can be cancelled through the handle
-// returned by push() — cancellation is lazy (the callback entry is erased and
-// the heap slot skipped on pop), keeping push/pop at O(log n).
+// returned by push().
+//
+// Storage is a slab of event slots plus a flat binary heap of (time, seq)
+// keys — no per-event hash lookups on the hot path. Handles carry a slot
+// generation, so cancel() is O(1): it retires the slot and the stale heap
+// entry is skipped when it surfaces. A retired slot can be reused
+// immediately; its bumped generation makes any outstanding handle or heap
+// entry for the old event harmless.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <vector>
 
 #include "net/time.hpp"
 
 namespace recwild::net {
 
 using EventFn = std::function<void()>;
+
+/// Opaque cancellation handle: (generation << 32) | slot. Live events always
+/// have an odd generation, so the zero-initialized "no event" sentinel that
+/// callers rely on never aliases a live event.
 using EventId = std::uint64_t;
 
 class EventQueue {
@@ -26,11 +35,12 @@ class EventQueue {
   /// Cancels a pending event; no-op if it already fired or was cancelled.
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
-  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
-  /// Time of the earliest pending event; only valid when !empty().
-  [[nodiscard]] SimTime next_time() const;
+  /// Time of the earliest pending event; drops stale heap entries off the
+  /// front, hence non-const. Precondition: !empty().
+  [[nodiscard]] SimTime next_time();
 
   /// Pops the earliest live event.
   /// Precondition: !empty().
@@ -41,23 +51,44 @@ class EventQueue {
   Fired pop();
 
  private:
+  struct Slot {
+    EventFn fn;
+    /// Odd while the slot holds a live event, even while free/retired.
+    std::uint32_t gen = 0;
+    /// Next slot in the free list (kNoSlot terminates).
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Heap key; a stale entry is one whose generation no longer matches its
+  /// slot's.
   struct Entry {
     SimTime at;
-    EventId id;
-    // std::priority_queue is a max-heap; invert to get earliest-first, with
-    // lower id (earlier scheduling) winning ties.
-    bool operator<(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return id > o.id;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    [[nodiscard]] bool before(const Entry& o) const noexcept {
+      if (at != o.at) return at < o.at;
+      return seq < o.seq;
     }
   };
 
-  /// Drops heap entries whose callbacks were cancelled.
-  void skip_cancelled();
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
 
-  std::priority_queue<Entry> heap_;
-  std::unordered_map<EventId, EventFn> callbacks_;
-  EventId next_id_ = 1;
+  [[nodiscard]] bool live(const Entry& e) const noexcept {
+    return slots_[e.slot].gen == e.gen;
+  }
+
+  /// Pops heap entries whose events were cancelled, exposing a live head.
+  void drop_stale_head();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace recwild::net

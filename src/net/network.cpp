@@ -11,7 +11,16 @@ namespace recwild::net {
 Network::Network(Simulation& sim, LatencyParams params)
     : sim_(sim),
       latency_(params, sim.rng().fork("latency-model")),
-      packet_rng_(sim.rng().fork("packet-rng")) {}
+      flow_rng_parent_(sim.rng().fork("packet-rng")) {}
+
+stats::Rng& Network::flow_rng(NodeId from, NodeId to) {
+  const std::uint64_t key = (std::uint64_t{from} << 32) | to;
+  auto it = flow_rngs_.find(key);
+  if (it == flow_rngs_.end()) {
+    it = flow_rngs_.emplace(key, flow_rng_parent_.fork(key)).first;
+  }
+  return it->second;
+}
 
 NodeId Network::add_node(std::string name, GeoPoint point) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
@@ -82,14 +91,15 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
     ++unroutable_;
     return false;
   }
-  if (latency_.drop(packet_rng_)) {
+  stats::Rng& frng = flow_rng(from_node, binding->node);
+  if (latency_.drop(frng)) {
     ++dropped_;
     return true;  // sent, but lost in transit
   }
   const NodeInfo& a = nodes_[from_node];
   const NodeInfo& b = nodes_[binding->node];
   const Duration delay =
-      latency_.one_way(a.id, a.point, b.id, b.point, packet_rng_);
+      latency_.one_way(a.id, a.point, b.id, b.point, frng);
   Datagram dgram{src, dst, sim_.now(), std::move(payload)};
   // Copy the handler: the binding may be replaced/unbound before delivery.
   DatagramHandler handler = binding->handler;
@@ -118,9 +128,10 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
   // message is in the receiver's hands.
   const NodeInfo& a = nodes_[from_node];
   const NodeInfo& b = nodes_[binding->node];
+  stats::Rng& frng = flow_rng(from_node, binding->node);
   Duration delay = Duration::zero();
   for (int leg = 0; leg < 3; ++leg) {
-    delay += latency_.one_way(a.id, a.point, b.id, b.point, packet_rng_);
+    delay += latency_.one_way(a.id, a.point, b.id, b.point, frng);
   }
   Datagram dgram{src, dst, sim_.now(), std::move(payload), true};
   DatagramHandler handler = binding->handler;

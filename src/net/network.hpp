@@ -122,9 +122,18 @@ class Network {
   /// Picks the lowest-RTT binding for `dst` as seen from `from`.
   const Binding* select_binding(NodeId from, Endpoint dst);
 
+  /// Per-packet randomness (jitter, loss) is drawn from a stream private to
+  /// the directed (from, to) node pair, forked lazily off a parent that
+  /// never advances. Packets of one flow therefore see the same jitter/loss
+  /// sequence no matter how unrelated traffic interleaves with them — the
+  /// property the sharded campaign engine relies on for byte-identical
+  /// results at any shard count.
+  stats::Rng& flow_rng(NodeId from, NodeId to);
+
   Simulation& sim_;
   LatencyModel latency_;
-  stats::Rng packet_rng_;
+  stats::Rng flow_rng_parent_;
+  std::unordered_map<std::uint64_t, stats::Rng> flow_rngs_;
   std::vector<NodeInfo> nodes_;
   std::unordered_map<Endpoint, std::vector<Binding>> bindings_;
   std::uint32_t next_addr_ = 1;

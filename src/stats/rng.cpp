@@ -59,6 +59,10 @@ Rng Rng::fork(std::uint64_t tag) const noexcept {
   return Rng{splitmix64_next(seed)};
 }
 
+Rng Rng::fork(std::string_view tag, std::uint64_t index) const noexcept {
+  return fork(hash_string(tag)).fork(index);
+}
+
 double Rng::uniform() noexcept {
   // 53 random mantissa bits -> double in [0, 1).
   return static_cast<double>(next() >> 11) * 0x1.0p-53;

@@ -46,6 +46,12 @@ class Rng {
   /// parent's own sequence.
   [[nodiscard]] Rng fork(std::string_view tag) const noexcept;
   [[nodiscard]] Rng fork(std::uint64_t tag) const noexcept;
+  /// Indexed stream: fork("vp", 7) without building "vp-7". Equivalent to
+  /// fork(tag).fork(index), so families of streams (one per vantage point,
+  /// per flow, ...) are keyed by identity rather than by draw order —
+  /// adding, removing or reordering siblings never perturbs a stream.
+  [[nodiscard]] Rng fork(std::string_view tag,
+                         std::uint64_t index) const noexcept;
 
   /// Uniform double in [0, 1).
   double uniform() noexcept;

@@ -61,6 +61,20 @@ TEST(Rng, DistinctTagsGiveDistinctStreams) {
   EXPECT_NE(c1.next(), c2.next());
 }
 
+TEST(Rng, IndexedForkMatchesTwoStepFork) {
+  const Rng parent{7};
+  Rng direct = parent.fork("stream", 42);
+  Rng two_step = parent.fork("stream").fork(std::uint64_t{42});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(direct.next(), two_step.next());
+}
+
+TEST(Rng, IndexedForkSeparatesIndices) {
+  const Rng parent{7};
+  Rng c1 = parent.fork("stream", 0);
+  Rng c2 = parent.fork("stream", 1);
+  EXPECT_NE(c1.next(), c2.next());
+}
+
 TEST(Rng, UniformInUnitInterval) {
   Rng rng{3};
   for (int i = 0; i < 10'000; ++i) {
