@@ -5,12 +5,16 @@
 //   --seed S     simulation seed (default 42)
 //   --policy P   run with a single-policy population instead of the
 //                calibrated wild() mixture (ablation; P = bind_srtt, ...)
+//   --obs FILE   export the run's metric registry as merge-safe JSON
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 #include "experiment/analysis.hpp"
 #include "experiment/campaign.hpp"
@@ -22,7 +26,8 @@ namespace recwild::benchutil {
 struct Options {
   std::size_t probes = 2'000;
   std::uint64_t seed = 42;
-  std::string policy;  // empty = wild mixture
+  std::string policy;    // empty = wild mixture
+  std::string obs_path;  // empty = no metrics export
 
   static Options parse(int argc, char** argv) {
     Options opt;
@@ -39,6 +44,8 @@ struct Options {
         opt.seed = std::strtoull(v2, nullptr, 10);
       } else if (const char* v3 = arg("--policy")) {
         opt.policy = v3;
+      } else if (const char* v4 = arg("--obs")) {
+        opt.obs_path = v4;
       }
     }
     return opt;
@@ -63,6 +70,16 @@ inline experiment::Testbed make_testbed(const Options& opt,
     cfg.population.public_resolver_fraction = 0.0;
   }
   return experiment::Testbed{cfg};
+}
+
+/// Honours --obs: writes the snapshot as merge-safe JSON (byte-identical
+/// for every shard count) and reports the path on stdout.
+inline void export_obs(const Options& opt, const obs::MetricsSnapshot& m) {
+  if (opt.obs_path.empty()) return;
+  std::ofstream out{opt.obs_path};
+  m.write_json(out, obs::SnapshotStyle::MergeSafe);
+  out << "\n";
+  std::printf("metrics -> %s\n", opt.obs_path.c_str());
 }
 
 /// The paper's 1-hour 2-minute campaign.

@@ -25,6 +25,9 @@ std::string export_bytes(const CampaignResult& result) {
   write_campaign_csv(out, result);
   write_preferences_csv(out, result);
   write_shares_csv(out, result);
+  // The observability export is under the same determinism guarantee as
+  // the analysis CSVs, so it joins the byte-identity cross-check.
+  result.metrics.write_json(out, obs::SnapshotStyle::MergeSafe);
   return out.str();
 }
 
@@ -92,6 +95,9 @@ int main(int argc, char** argv) {
     }
     std::printf("%8zu %10.2fs %8.2fx %s\n", shards, secs,
                 serial_s > 0 ? serial_s / secs : 1.0, verdict);
+    if (shards == shard_counts.front()) {
+      benchutil::export_obs(opt, result.metrics);
+    }
   }
   return 0;
 }

@@ -4,32 +4,56 @@
 // per-recursive preference exactly as §4 does.
 //
 //   ./build/examples/atlas_campaign [combo] [probes] [shards]
-//   e.g. ./build/examples/atlas_campaign 2C 3000 4
+//       [--obs metrics.json] [--trace decisions.tsv]
+//   e.g. ./build/examples/atlas_campaign 2C 3000 4 --obs run.json
 //
 // `shards` spreads the campaign over worker threads (0 = one per hardware
-// thread); the result is byte-identical for every value.
+// thread); the result is byte-identical for every value. `--obs` exports
+// the run's metric registry as merge-safe JSON, `--trace` enables decision
+// tracing and writes the canonical tab-separated trace (see docs/METRICS.md);
+// both files are byte-identical for every shard count too.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "experiment/analysis.hpp"
 #include "experiment/campaign.hpp"
 #include "experiment/report.hpp"
 #include "experiment/testbed.hpp"
+#include "obs/decision_trace.hpp"
+#include "obs/metrics.hpp"
 
 using namespace recwild;
 using namespace recwild::experiment;
 
 int main(int argc, char** argv) {
-  const std::string combo_id = argc > 1 ? argv[1] : "2C";
+  const char* positional[3] = {nullptr, nullptr, nullptr};
+  std::size_t n_positional = 0;
+  std::string obs_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (n_positional < 3) {
+      positional[n_positional++] = argv[i];
+    }
+  }
+  const std::string combo_id = positional[0] != nullptr ? positional[0] : "2C";
   const std::size_t probes =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1'000;
+      positional[1] != nullptr ? std::strtoull(positional[1], nullptr, 10)
+                               : 1'000;
   const std::size_t shards =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+      positional[2] != nullptr ? std::strtoull(positional[2], nullptr, 10)
+                               : 1;
 
   TestbedConfig cfg;
   cfg.seed = 1;
   cfg.population.probes = probes;
   cfg.test_sites = combination(combo_id).sites;
+  cfg.trace_decisions = !trace_path.empty();
   Testbed testbed{cfg};
 
   std::printf("combination %s:", combo_id.c_str());
@@ -82,6 +106,19 @@ int main(int argc, char** argv) {
                   cp.query_share[s] * 100, cp.median_rtt_ms[s]);
     }
     std::printf("\n");
+  }
+
+  if (!obs_path.empty()) {
+    std::ofstream out{obs_path};
+    result.metrics.write_json(out, obs::SnapshotStyle::MergeSafe);
+    out << "\n";
+    std::printf("\nmetrics -> %s\n", obs_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out{trace_path};
+    obs::write_trace(out, testbed.trace().canonical());
+    std::printf("decision trace (%zu events) -> %s\n",
+                testbed.trace().size(), trace_path.c_str());
   }
   return 0;
 }

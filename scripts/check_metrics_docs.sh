@@ -1,0 +1,68 @@
+#!/bin/sh
+# Cross-checks the observability surface against its documentation:
+#
+#   1. every metric name declared in src/obs/names.hpp appears (backticked)
+#      in docs/METRICS.md;
+#   2. every backticked dotted metric name in docs/METRICS.md exists in
+#      src/obs/names.hpp (no docs for phantom metrics);
+#   3. every trace-kind wire name in src/obs/decision_trace.cpp appears in
+#      docs/METRICS.md;
+#   4. no instrumentation site under src/ registers a metric with a raw
+#      string literal — all registrations go through obs::names constants,
+#      so check 1 is exhaustive by construction.
+#
+# Run from the repository root (CI does; ctest registers it as
+# ObsDocs.MetricsDocumented). Exits non-zero with one line per violation.
+set -u
+
+root=$(dirname "$0")/..
+names_hpp="$root/src/obs/names.hpp"
+trace_cpp="$root/src/obs/decision_trace.cpp"
+metrics_md="$root/docs/METRICS.md"
+fail=0
+
+[ -f "$names_hpp" ] || { echo "missing $names_hpp"; exit 1; }
+[ -f "$metrics_md" ] || { echo "missing $metrics_md"; exit 1; }
+
+# 1. declared names must be documented.
+for name in $(sed -n 's/.*= "\([a-z0-9_.]*\)";.*/\1/p' "$names_hpp"); do
+    if ! grep -q "\`$name\`" "$metrics_md"; then
+        echo "undocumented metric: $name (declared in src/obs/names.hpp," \
+             "missing from docs/METRICS.md)"
+        fail=1
+    fi
+done
+
+# 2. documented dotted names must be declared.
+for name in $(grep -o '`[a-z0-9_]*\.[a-z0-9_.]*`' "$metrics_md" \
+                  | tr -d '\`' | sort -u); do
+    case "$name" in
+        *.hpp|*.cpp|*.md|*.sh|*.json|*.tsv|*.csv|*.yml) continue ;;
+    esac
+    if ! grep -q "\"$name\"" "$names_hpp"; then
+        echo "phantom metric: $name (documented in docs/METRICS.md," \
+             "not declared in src/obs/names.hpp)"
+        fail=1
+    fi
+done
+
+# 3. trace kinds must be documented.
+for kind in $(sed -n 's/.*"\([a-z_][a-z_]*\)",.*/\1/p' "$trace_cpp"); do
+    if ! grep -q "\`$kind\`" "$metrics_md"; then
+        echo "undocumented trace kind: $kind (src/obs/decision_trace.cpp," \
+             "missing from docs/METRICS.md)"
+        fail=1
+    fi
+done
+
+# 4. registrations must use obs::names constants, not string literals.
+if grep -rn --include='*.cpp' --include='*.hpp' \
+        -e '\.counter("' -e '\.gauge("' -e '\.histogram("' \
+        "$root/src" | grep -v 'src/obs/'; then
+    echo "raw metric-name literal above: use an obs::names constant" \
+         "(and document it in docs/METRICS.md)"
+    fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "metrics documentation: OK"
+exit "$fail"

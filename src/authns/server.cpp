@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
+
 namespace recwild::authns {
 
 AuthServer::AuthServer(net::Network& network, net::NodeId node,
@@ -9,7 +11,13 @@ AuthServer::AuthServer(net::Network& network, net::NodeId node,
     : network_(network),
       node_(node),
       endpoint_(endpoint),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  obs::MetricRegistry& m = network_.sim().metrics();
+  trace_ = &network_.sim().trace();
+  obs_queries_ = &m.counter(obs::names::kAuthnsQueries);
+  obs_responses_ = &m.counter(obs::names::kAuthnsResponses);
+  obs_truncated_ = &m.counter(obs::names::kAuthnsTruncated);
+}
 
 AuthServer::~AuthServer() {
   if (listening_) {
@@ -210,19 +218,30 @@ void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
   }
 
   if (!query.questions.empty()) {
+    obs_queries_->add(1, network_.sim().now());
     log_.record(QueryLogEntry{network_.sim().now(), dgram.src.addr,
                               query.question().qname,
                               query.question().qtype, dns::Rcode::NoError});
+    if (trace_->enabled()) {
+      trace_->record({network_.sim().now(), obs::TraceKind::AuthQuery,
+                      config_.identity, query.question().qname.to_string(),
+                      std::string{dns::to_string(query.question().qtype)},
+                      0.0});
+    }
   }
   if (down_) return;  // crashed process: receives but never answers
 
   dns::Message resp = answer(query, dgram.via_stream);
+  if (resp.header.tc && !dgram.via_stream) {
+    obs_truncated_->add(1, network_.sim().now());
+  }
   auto wire = dns::encode_message(resp);
   const bool via_stream = dgram.via_stream;
   network_.sim().after(
       config_.processing_delay,
       [this, wire = std::move(wire), dgram, via_stream]() mutable {
         ++responses_sent_;
+        obs_responses_->add(1, network_.sim().now());
         // Reply from the endpoint that received the query (matters for
         // dual-stack servers listening on several addresses).
         if (via_stream) {

@@ -127,6 +127,11 @@ class AuthServer {
   bool down_ = false;
   std::uint64_t queries_received_ = 0;
   std::uint64_t responses_sent_ = 0;
+  // Observability: cached handles into the simulation's registry/trace.
+  obs::DecisionTrace* trace_ = nullptr;
+  obs::Counter* obs_queries_ = nullptr;
+  obs::Counter* obs_responses_ = nullptr;
+  obs::Counter* obs_truncated_ = nullptr;
 };
 
 }  // namespace recwild::authns

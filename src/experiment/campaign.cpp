@@ -8,6 +8,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/names.hpp"
+
 namespace recwild::experiment {
 
 namespace {
@@ -34,6 +36,17 @@ std::vector<VpObservation> run_campaign_shard(
   };
   std::vector<VpState> states(vps.size());
 
+  obs::MetricRegistry& m = sim.metrics();
+  obs::Counter* q_sent = &m.counter(obs::names::kCampaignQueriesSent);
+  obs::Counter* q_answered = &m.counter(obs::names::kCampaignQueriesAnswered);
+  obs::Counter* q_unanswered =
+      &m.counter(obs::names::kCampaignQueriesUnanswered);
+  // Stamped at the origin: every shard schedules before any event runs.
+  m.counter(obs::names::kCampaignVps)
+      .add(vp_indices.size(), net::SimTime::origin());
+  obs::DecisionTrace* trace = &sim.trace();
+  const std::size_t queries_per_vp = config.queries_per_vp;
+
   const stats::Rng campaign_rng = sim.rng().fork("campaign");
 
   for (const std::size_t v : vp_indices) {
@@ -46,20 +59,37 @@ std::vector<VpObservation> run_campaign_shard(
     for (std::size_t k = 0; k < config.queries_per_vp; ++k) {
       const net::SimTime at =
           net::SimTime::origin() + phase + config.interval * double(k);
-      sim.at(at, [&world, &states, &vp, v, k, domain] {
+      sim.at(at, [&world, &states, &vp, v, k, domain, q_sent, q_answered,
+                  q_unanswered, trace, queries_per_vp] {
+        q_sent->add(1, world.sim().now());
         const dns::Name qname = domain.prefixed(
             "q" + std::to_string(vp.probe_id) + "x" + std::to_string(k));
         vp.stub->query(
             qname, dns::RRType::TXT,
-            [&world, &states, &vp, v](const client::StubResult& r) {
+            [&world, &states, &vp, v, q_answered, q_unanswered, trace,
+             queries_per_vp](const client::StubResult& r) {
+              const net::SimTime now = world.sim().now();
               int idx = -1;
               if (!r.timed_out && !r.txt.empty()) {
                 idx = world.test_index_of(r.txt.front());
+              }
+              if (idx >= 0) {
+                q_answered->add(1, now);
+              } else {
+                q_unanswered->add(1, now);
               }
               states[v].sequence.push_back(idx);
               if (r.recursive_index < vp.stub->recursives().size()) {
                 states[v].recursive_use
                     [vp.stub->recursives()[r.recursive_index]]++;
+              }
+              // Per-VP progress (never per-shard: the trace must not know
+              // how the schedule was partitioned).
+              if (states[v].sequence.size() == queries_per_vp &&
+                  trace->enabled()) {
+                trace->record({now, obs::TraceKind::Progress, "campaign",
+                               "probe" + std::to_string(vp.probe_id), "done",
+                               static_cast<double>(queries_per_vp)});
               }
             });
       });
@@ -205,6 +235,7 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
     std::vector<std::size_t> all(vps.size());
     std::iota(all.begin(), all.end(), 0);
     result.vps = run_campaign_shard(testbed, config, all);
+    result.metrics = testbed.sim().metrics().snapshot();
     return result;
   }
 
@@ -214,16 +245,31 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
   // callers, exactly like the serial path); the rest replay on replicas
   // built from the same config, hence bit-identical worlds.
   std::vector<std::vector<VpObservation>> per_shard(parts.size());
+  // What each replica shard adds to the caller's registry/trace: metric
+  // deltas relative to a post-build baseline (the caller already carries
+  // one copy of the build-phase contribution), and the trace events
+  // recorded after the replica finished building.
+  std::vector<obs::MetricsSnapshot> shard_metrics(parts.size());
+  std::vector<std::vector<obs::TraceEvent>> shard_events(parts.size());
   std::exception_ptr error;
   std::mutex error_mu;
   std::vector<std::thread> workers;
   workers.reserve(parts.size() - 1);
   for (std::size_t i = 1; i < parts.size(); ++i) {
-    workers.emplace_back([&testbed, &config, &parts, &per_shard, &error,
-                          &error_mu, i] {
+    workers.emplace_back([&testbed, &config, &parts, &per_shard,
+                          &shard_metrics, &shard_events, &error, &error_mu,
+                          i] {
       try {
         Testbed replica{testbed.config()};
+        replica.sim().sync_obs();  // fold build-time event tallies in
+        const obs::MetricsSnapshot baseline =
+            replica.sim().metrics().snapshot();
+        const std::size_t trace_base = replica.sim().trace().size();
         per_shard[i] = run_campaign_shard(replica, config, parts[i]);
+        shard_metrics[i] =
+            replica.sim().metrics().snapshot().delta_since(baseline);
+        const auto& events = replica.sim().trace().events();
+        shard_events[i].assign(events.begin() + trace_base, events.end());
       } catch (...) {
         const std::scoped_lock lock{error_mu};
         if (!error) error = std::current_exception();
@@ -246,6 +292,17 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
       result.vps[parts[i][j]] = std::move(per_shard[i][j]);
     }
   }
+  // Fold replica observability into the caller's world. Counters and
+  // histogram bins sum and timestamps take the max, so the merged registry
+  // matches the serial run exactly; the trace multiset likewise (export
+  // DecisionTrace::canonical() for byte-stable ordering).
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    testbed.sim().metrics().merge_sum(shard_metrics[i]);
+    for (const auto& event : shard_events[i]) {
+      testbed.sim().trace().record(event);
+    }
+  }
+  result.metrics = testbed.sim().metrics().snapshot();
   return result;
 }
 

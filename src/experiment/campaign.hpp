@@ -53,6 +53,10 @@ struct VpObservation {
 struct CampaignResult {
   std::vector<std::string> service_codes;
   std::vector<VpObservation> vps;
+  /// Snapshot of the caller testbed's registry after the run, replica-shard
+  /// contributions merged in. Its MergeSafe JSON export is byte-identical
+  /// for every shard count (the obs_campaign tests pin this).
+  obs::MetricsSnapshot metrics;
 
   [[nodiscard]] std::size_t service_count() const noexcept {
     return service_codes.size();

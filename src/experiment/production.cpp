@@ -7,6 +7,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/names.hpp"
 #include "stats/distributions.hpp"
 
 namespace recwild::experiment {
@@ -28,12 +29,15 @@ struct Source {
 };
 
 /// Schedules Poisson arrivals of cache-busting lookups until `end`.
+/// `lookups` is the world's kProductionLookups counter, threaded through so
+/// the recursion pays no registry lookup per arrival.
 void schedule_next(net::Simulation& sim, Source& src, net::SimTime end,
-                   ProductionTarget target) {
+                   ProductionTarget target, obs::Counter* lookups) {
   const double gap_s = src.sched_rng.exponential(1.0 / src.rate_per_sec);
   const net::SimTime at = sim.now() + net::Duration::seconds(gap_s);
   if (at > end) return;
-  sim.at(at, [&sim, &src, end, target] {
+  sim.at(at, [&sim, &src, end, target, lookups] {
+    lookups->add(1, sim.now());
     const std::string label =
         "x" + std::to_string(src.resolver->address().bits()) + "n" +
         std::to_string(src.counter++);
@@ -43,7 +47,7 @@ void schedule_next(net::Simulation& sim, Source& src, net::SimTime end,
     src.resolver->resolve(
         dns::Question{std::move(qname), dns::RRType::A, dns::RRClass::IN},
         [](const resolver::ResolveOutcome&) {});
-    schedule_next(sim, src, end, target);
+    schedule_next(sim, src, end, target, lookups);
   });
 }
 
@@ -153,8 +157,10 @@ ClientCounts run_production_shard(
   const net::SimTime end =
       net::SimTime::origin() +
       net::Duration::hours(config.duration_hours);
+  obs::Counter* lookups =
+      &sim.metrics().counter(obs::names::kProductionLookups);
   for (const std::size_t i : source_indices) {
-    schedule_next(sim, *sources[i], end, config.target);
+    schedule_next(sim, *sources[i], end, config.target, lookups);
   }
   sim.run();
 
@@ -242,18 +248,32 @@ ProductionResult run_production(Testbed& testbed,
   } else {
     const auto parts = pack_sources(sources, shards);
     std::vector<ClientCounts> per_shard(parts.size());
+    // Replica observability contributions: metric deltas against a
+    // post-build baseline (build runs on every world, the caller already
+    // counts it once) and trace events recorded after building.
+    std::vector<obs::MetricsSnapshot> shard_metrics(parts.size());
+    std::vector<std::vector<obs::TraceEvent>> shard_events(parts.size());
     std::exception_ptr error;
     std::mutex error_mu;
     std::vector<std::thread> workers;
     workers.reserve(parts.size() - 1);
     for (std::size_t i = 1; i < parts.size(); ++i) {
-      workers.emplace_back([&testbed, &config, &parts, &per_shard, &observed,
-                            &error, &error_mu, i] {
+      workers.emplace_back([&testbed, &config, &parts, &per_shard,
+                            &shard_metrics, &shard_events, &observed, &error,
+                            &error_mu, i] {
         try {
           Testbed replica{testbed.config()};
           auto replica_sources = build_sources(replica, config);
+          replica.sim().sync_obs();  // fold build-time event tallies in
+          const obs::MetricsSnapshot baseline =
+              replica.sim().metrics().snapshot();
+          const std::size_t trace_base = replica.sim().trace().size();
           per_shard[i] = run_production_shard(replica, replica_sources,
                                               config, parts[i], observed);
+          shard_metrics[i] =
+              replica.sim().metrics().snapshot().delta_since(baseline);
+          const auto& events = replica.sim().trace().events();
+          shard_events[i].assign(events.begin() + trace_base, events.end());
         } catch (...) {
           const std::scoped_lock lock{error_mu};
           if (!error) error = std::current_exception();
@@ -278,12 +298,19 @@ ProductionResult run_production(Testbed& testbed,
         }
       }
     }
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      testbed.sim().metrics().merge_sum(shard_metrics[i]);
+      for (const auto& event : shard_events[i]) {
+        testbed.sim().trace().record(event);
+      }
+    }
   }
 
   // Reconstruct per-recursive traffic from the authoritative-side logs,
   // exactly as the paper does from DITL/ENTRADA captures.
   ProductionResult result;
   result.sources_total = sources.size();
+  result.metrics = testbed.sim().metrics().snapshot();
   std::unordered_map<net::IpAddress, RecursiveTraffic> traffic;
   for (std::size_t oi = 0; oi < observed.size(); ++oi) {
     result.service_labels.push_back(group[observed[oi]].name());

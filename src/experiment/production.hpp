@@ -86,6 +86,9 @@ struct ProductionResult {
   std::vector<std::string> service_labels;  // observed services only
   std::vector<RecursiveTraffic> recursives; // >= min_queries only
   std::size_t sources_total = 0;            // all simulated recursives
+  /// Caller-registry snapshot after the run, replica-shard deltas merged;
+  /// MergeSafe JSON is byte-identical for every shard count.
+  obs::MetricsSnapshot metrics;
 
   /// Figure 7 aggregates.
   std::vector<double> mean_rank_share;   // mean share of 1st/2nd/... choice

@@ -22,6 +22,7 @@ Testbed::Testbed(TestbedConfig config)
       sim_(config_.seed),
       network_(std::make_unique<net::Network>(sim_, config_.latency)),
       test_domain_(dns::Name::parse(config_.test_domain)) {
+  sim_.trace().set_enabled(config_.trace_decisions);
   if (!config_.test_sites.empty() && !config_.build_nl) {
     throw std::invalid_argument{
         "Testbed: a test domain requires the .nl deployment"};

@@ -37,6 +37,10 @@ struct TestbedConfig {
   /// or resolver AddressFamily to exercise v6 resolution (paper §3.1
   /// verified its findings hold over IPv6).
   bool dual_stack = false;
+  /// Enables the simulation's obs::DecisionTrace from construction on.
+  /// Replica worlds built from config() inherit it, so sharded campaign
+  /// runs trace exactly what the serial run traces. Metrics are always on.
+  bool trace_decisions = false;
 };
 
 class Testbed {
@@ -48,6 +52,12 @@ class Testbed {
 
   [[nodiscard]] net::Simulation& sim() noexcept { return sim_; }
   [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  /// The world's metric registry (shorthand for sim().metrics()).
+  [[nodiscard]] obs::MetricRegistry& metrics() noexcept {
+    return sim_.metrics();
+  }
+  /// The world's decision trace (shorthand for sim().trace()).
+  [[nodiscard]] obs::DecisionTrace& trace() noexcept { return sim_.trace(); }
   [[nodiscard]] client::Population& population() noexcept {
     return population_;
   }

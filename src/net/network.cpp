@@ -11,7 +11,13 @@ namespace recwild::net {
 Network::Network(Simulation& sim, LatencyParams params)
     : sim_(sim),
       latency_(params, sim.rng().fork("latency-model")),
-      flow_rng_parent_(sim.rng().fork("packet-rng")) {}
+      flow_rng_parent_(sim.rng().fork("packet-rng")),
+      obs_sent_(&sim.metrics().counter(obs::names::kNetPacketsSent)),
+      obs_delivered_(&sim.metrics().counter(obs::names::kNetPacketsDelivered)),
+      obs_dropped_(&sim.metrics().counter(obs::names::kNetPacketsDropped)),
+      obs_unroutable_(
+          &sim.metrics().counter(obs::names::kNetPacketsUnroutable)),
+      obs_stream_sent_(&sim.metrics().counter(obs::names::kNetStreamSent)) {}
 
 stats::Rng& Network::flow_rng(NodeId from, NodeId to) {
   const std::uint64_t key = (std::uint64_t{from} << 32) | to;
@@ -86,14 +92,22 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
                    std::vector<std::uint8_t> payload) {
   if (from_node >= nodes_.size()) throw std::out_of_range{"Network::send"};
   ++sent_;
+  obs_sent_->add(1, sim_.now());
   const Binding* binding = select_binding(from_node, dst);
   if (binding == nullptr) {
     ++unroutable_;
+    obs_unroutable_->add(1, sim_.now());
     return false;
   }
   stats::Rng& frng = flow_rng(from_node, binding->node);
   if (latency_.drop(frng)) {
     ++dropped_;
+    obs_dropped_->add(1, sim_.now());
+    if (sim_.trace().enabled()) {
+      sim_.trace().record({sim_.now(), obs::TraceKind::PacketDrop,
+                           nodes_[from_node].name, nodes_[binding->node].name,
+                           "loss_model", 0.0});
+    }
     return true;  // sent, but lost in transit
   }
   const NodeInfo& a = nodes_[from_node];
@@ -107,6 +121,7 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
   sim_.after(delay, [handler = std::move(handler), dgram = std::move(dgram),
                      at_node, this]() mutable {
     ++delivered_;
+    obs_delivered_->add(1, sim_.now());
     handler(dgram, at_node);
   });
   return true;
@@ -118,9 +133,12 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
     throw std::out_of_range{"Network::send_stream"};
   }
   ++sent_;
+  obs_sent_->add(1, sim_.now());
+  obs_stream_sent_->add(1, sim_.now());
   const Binding* binding = select_binding(from_node, dst);
   if (binding == nullptr) {
     ++unroutable_;
+    obs_unroutable_->add(1, sim_.now());
     return false;
   }
   // TCP is reliable: no drop. Cost model: SYN (one way) + SYN/ACK (one
@@ -139,6 +157,7 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
   sim_.after(delay, [handler = std::move(handler), dgram = std::move(dgram),
                      at_node, this]() mutable {
     ++delivered_;
+    obs_delivered_->add(1, sim_.now());
     handler(dgram, at_node);
   });
   return true;

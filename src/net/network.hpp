@@ -141,6 +141,13 @@ class Network {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t unroutable_ = 0;
+  // Cached registry handles (see obs/metrics.hpp); mirror the counters above
+  // into the simulation's MetricRegistry without per-packet name lookups.
+  obs::Counter* obs_sent_;
+  obs::Counter* obs_delivered_;
+  obs::Counter* obs_dropped_;
+  obs::Counter* obs_unroutable_;
+  obs::Counter* obs_stream_sent_;
 };
 
 }  // namespace recwild::net

@@ -9,6 +9,7 @@ void Simulation::run() {
     ++steps_;
     fired.fn();
   }
+  sync_obs();
 }
 
 void Simulation::run_until(SimTime t) {
@@ -19,6 +20,19 @@ void Simulation::run_until(SimTime t) {
     fired.fn();
   }
   if (now_ < t) now_ = t;
+  sync_obs();
+}
+
+void Simulation::sync_obs() {
+  // Fold only the unsynced remainder: shard merges add replica deltas into
+  // these same counters, so "counter value == tally" does not hold here.
+  scheduled_->add(pushes_ - synced_pushes_, now_);
+  synced_pushes_ = pushes_;
+  cancelled_->add(cancels_ - synced_cancels_, now_);
+  synced_cancels_ = cancels_;
+  processed_->add(steps_ - synced_steps_, now_);
+  synced_steps_ = steps_;
+  peak_pending_->max_of(static_cast<double>(peak_raw_), now_);
 }
 
 }  // namespace recwild::net

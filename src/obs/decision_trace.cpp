@@ -1,0 +1,169 @@
+#include "obs/decision_trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace recwild::obs {
+
+namespace {
+
+struct KindName {
+  TraceKind kind;
+  std::string_view name;
+};
+
+constexpr std::array<KindName, 13> kKindNames{{
+    {TraceKind::SelectServer, "select_server"},
+    {TraceKind::PrimeServer, "prime_server"},
+    {TraceKind::StickyLatch, "sticky_latch"},
+    {TraceKind::CacheHit, "cache_hit"},
+    {TraceKind::CacheMiss, "cache_miss"},
+    {TraceKind::NegCacheHit, "neg_cache_hit"},
+    {TraceKind::UpstreamTimeout, "upstream_timeout"},
+    {TraceKind::Failover, "failover"},
+    {TraceKind::TcpFallback, "tcp_fallback"},
+    {TraceKind::PacketDrop, "packet_drop"},
+    {TraceKind::AuthQuery, "auth_query"},
+    {TraceKind::Servfail, "servfail"},
+    {TraceKind::Progress, "progress"},
+}};
+
+/// Deterministic value rendering: integers without a point, otherwise up to
+/// six significant digits (matches the metrics JSON bound format).
+std::string format_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return std::string{buf};
+}
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error{"decision trace line " + std::to_string(line_no) +
+                           ": " + why};
+}
+
+}  // namespace
+
+std::string_view to_string(TraceKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+TraceKind trace_kind_from_string(std::string_view name) {
+  for (const auto& [kind, n] : kKindNames) {
+    if (n == name) return kind;
+  }
+  throw std::runtime_error{"unknown trace kind '" + std::string{name} + "'"};
+}
+
+void DecisionTrace::append(const DecisionTrace& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+std::vector<TraceEvent> DecisionTrace::canonical() const {
+  std::vector<TraceEvent> sorted = events_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceEvent>& events) {
+  out << "# t_us\tkind\tactor\tsubject\tdetail\tvalue\n";
+  for (const TraceEvent& e : events) {
+    out << e.at.count_micros() << '\t' << to_string(e.kind) << '\t' << e.actor
+        << '\t' << e.subject << '\t' << e.detail << '\t'
+        << format_value(e.value) << '\n';
+  }
+}
+
+std::vector<TraceEvent> read_trace(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::array<std::string_view, 6> fields;
+    std::string_view rest = line;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::size_t tab = rest.find('\t');
+      if (tab == std::string_view::npos) {
+        bad_line(line_no, "expected 6 tab-separated fields");
+      }
+      fields[i] = rest.substr(0, tab);
+      rest.remove_prefix(tab + 1);
+    }
+    if (rest.find('\t') != std::string_view::npos) {
+      bad_line(line_no, "expected 6 tab-separated fields");
+    }
+    fields[5] = rest;
+
+    TraceEvent e;
+    std::int64_t us = 0;
+    auto [tp, tec] =
+        std::from_chars(fields[0].data(), fields[0].data() + fields[0].size(), us);
+    if (tec != std::errc{} || tp != fields[0].data() + fields[0].size()) {
+      bad_line(line_no, "bad timestamp '" + std::string{fields[0]} + "'");
+    }
+    e.at = net::SimTime::from_micros(us);
+    try {
+      e.kind = trace_kind_from_string(fields[1]);
+    } catch (const std::runtime_error& err) {
+      bad_line(line_no, err.what());
+    }
+    e.actor = std::string{fields[2]};
+    e.subject = std::string{fields[3]};
+    e.detail = std::string{fields[4]};
+    char* end = nullptr;
+    const std::string value_str{fields[5]};
+    e.value = std::strtod(value_str.c_str(), &end);
+    if (end == value_str.c_str() || *end != '\0') {
+      bad_line(line_no, "bad value '" + value_str + "'");
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+void write_trace_json(std::ostream& out,
+                      const std::vector<TraceEvent>& events) {
+  auto escape = [&out](const std::string& s) {
+    out << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default: out << c; break;
+      }
+    }
+    out << '"';
+  };
+  out << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"at_us\": " << e.at.count_micros()
+        << ", \"kind\": \"" << to_string(e.kind) << "\", \"actor\": ";
+    escape(e.actor);
+    out << ", \"subject\": ";
+    escape(e.subject);
+    out << ", \"detail\": ";
+    escape(e.detail);
+    out << ", \"value\": " << format_value(e.value) << "}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace recwild::obs

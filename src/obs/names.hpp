@@ -1,0 +1,116 @@
+/// \file
+/// \brief Canonical metric names — the single source of truth.
+///
+/// Every counter, gauge and histogram the library emits is registered under
+/// a name defined here; instrumentation sites must use these constants
+/// instead of string literals (`scripts/check_metrics_docs.sh` enforces
+/// this, and cross-checks that each name is documented in docs/METRICS.md).
+/// Names are dotted paths, `<subsystem>.<object>.<aspect>`, and stable: a
+/// renamed metric is a new metric.
+#pragma once
+
+#include <string_view>
+
+namespace recwild::obs::names {
+
+// --- simulation kernel (src/net/simulation.cpp) -------------------------
+/// Events pushed onto the queue via at()/after().
+inline constexpr std::string_view kSimEventsScheduled = "sim.events.scheduled";
+/// cancel() calls (counted whether or not the event was still pending).
+inline constexpr std::string_view kSimEventsCancelled = "sim.events.cancelled";
+/// Events popped and executed by run()/run_until().
+inline constexpr std::string_view kSimEventsProcessed = "sim.events.processed";
+/// High-water mark of pending events (gauge; excluded from shard merges).
+inline constexpr std::string_view kSimQueuePeakPending =
+    "sim.queue.peak_pending";
+
+// --- simulated network (src/net/network.cpp) ----------------------------
+/// Datagrams handed to Network::send (whether or not deliverable).
+inline constexpr std::string_view kNetPacketsSent = "net.packets.sent";
+/// Datagrams delivered to a bound handler.
+inline constexpr std::string_view kNetPacketsDelivered =
+    "net.packets.delivered";
+/// Datagrams dropped by the loss model.
+inline constexpr std::string_view kNetPacketsDropped = "net.packets.dropped";
+/// Datagrams to addresses with no binding (silently discarded, like UDP).
+inline constexpr std::string_view kNetPacketsUnroutable =
+    "net.packets.unroutable";
+/// Whole messages sent over the reliable stream transport (simulated TCP).
+inline constexpr std::string_view kNetStreamSent = "net.stream.sent";
+
+// --- recursive resolver (src/resolver/resolver.cpp) ---------------------
+/// Questions accepted by RecursiveResolver::resolve (network + local).
+inline constexpr std::string_view kResolverClientQueries =
+    "resolver.client.queries";
+/// Upstream query transmissions (UDP and TCP, retries included).
+inline constexpr std::string_view kResolverUpstreamSent =
+    "resolver.upstream.sent";
+/// Upstream transmissions that hit the retransmission timeout.
+inline constexpr std::string_view kResolverUpstreamTimeouts =
+    "resolver.upstream.timeouts";
+/// Histogram of upstream UDP response RTTs, ms.
+inline constexpr std::string_view kResolverUpstreamRttMs =
+    "resolver.upstream.rtt_ms";
+/// Histogram of end-to-end resolution times, ms.
+inline constexpr std::string_view kResolverResolveMs = "resolver.resolve_ms";
+/// Resolutions that ended in SERVFAIL.
+inline constexpr std::string_view kResolverServfails = "resolver.servfails";
+/// Truncated UDP answers retried over the stream transport.
+inline constexpr std::string_view kResolverTcpFallbacks =
+    "resolver.tcp_fallbacks";
+/// Failovers to another server after a lame or useless response.
+inline constexpr std::string_view kResolverFailovers = "resolver.failovers";
+
+// --- record cache (src/resolver/record_cache.cpp) -----------------------
+/// Positive RRset lookups served from cache.
+inline constexpr std::string_view kRrcacheHits = "resolver.rrcache.hits";
+/// Positive RRset lookups that missed (absent, expired or negative).
+inline constexpr std::string_view kRrcacheMisses = "resolver.rrcache.misses";
+/// Negative (NXDOMAIN/NODATA) entries served.
+inline constexpr std::string_view kRrcacheNegativeHits =
+    "resolver.rrcache.negative_hits";
+/// LRU evictions under max_entries pressure.
+inline constexpr std::string_view kRrcacheEvictions =
+    "resolver.rrcache.evictions";
+
+// --- infrastructure cache (src/resolver/infra_cache.cpp) ----------------
+/// RTT samples fed into the EWMA (BIND priming included).
+inline constexpr std::string_view kInfraRttUpdates =
+    "resolver.infra.rtt_updates";
+/// Timeouts reported against a server.
+inline constexpr std::string_view kInfraTimeouts = "resolver.infra.timeouts";
+/// Servers placed on probation after the timeout streak.
+inline constexpr std::string_view kInfraBackoffs = "resolver.infra.backoffs";
+
+// --- selection policies (src/resolver/selection.cpp) --------------------
+/// Unknown servers primed with a random SRTT (BIND behaviour).
+inline constexpr std::string_view kSelectionPrimed =
+    "resolver.selection.primed";
+/// Sticky-forwarder latch moves (initial latch and re-latches).
+inline constexpr std::string_view kSelectionLatchMoves =
+    "resolver.selection.latch_moves";
+
+// --- authoritative servers (src/authns/server.cpp) ----------------------
+/// Queries received across all AuthServer instances (NOTIFY excluded).
+inline constexpr std::string_view kAuthnsQueries = "authns.queries";
+/// Responses sent (down servers receive but never respond).
+inline constexpr std::string_view kAuthnsResponses = "authns.responses";
+/// UDP responses truncated past the client's advertised size (TC=1).
+inline constexpr std::string_view kAuthnsTruncated = "authns.truncated";
+
+// --- experiment engines (src/experiment/{campaign,production}.cpp) ------
+/// Vantage points whose probe schedule was placed on a shard.
+inline constexpr std::string_view kCampaignVps = "campaign.vps";
+/// Campaign probe queries issued by stubs.
+inline constexpr std::string_view kCampaignQueriesSent =
+    "campaign.queries.sent";
+/// Probe queries answered by a test authoritative.
+inline constexpr std::string_view kCampaignQueriesAnswered =
+    "campaign.queries.answered";
+/// Probe queries that timed out or returned no TXT payload.
+inline constexpr std::string_view kCampaignQueriesUnanswered =
+    "campaign.queries.unanswered";
+/// Cache-busting lookups issued by the production traffic synthesizer.
+inline constexpr std::string_view kProductionLookups = "production.lookups";
+
+}  // namespace recwild::obs::names

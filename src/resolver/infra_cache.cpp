@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/names.hpp"
+
 namespace recwild::resolver {
 
 const ServerStats* InfraCache::get(net::IpAddress server,
@@ -14,6 +16,7 @@ const ServerStats* InfraCache::get(net::IpAddress server,
 
 void InfraCache::report_rtt(net::IpAddress server, net::Duration rtt,
                             net::SimTime now) {
+  if (obs_rtt_updates_ != nullptr) obs_rtt_updates_->add(1, now);
   const double sample = rtt.ms();
   auto it = entries_.find(server);
   if (it == entries_.end() || expired(it->second, now)) {
@@ -37,6 +40,7 @@ void InfraCache::report_rtt(net::IpAddress server, net::Duration rtt,
 }
 
 void InfraCache::report_timeout(net::IpAddress server, net::SimTime now) {
+  if (obs_timeouts_ != nullptr) obs_timeouts_->add(1, now);
   auto it = entries_.find(server);
   if (it == entries_.end() || expired(it->second, now)) {
     ServerStats fresh;
@@ -46,6 +50,8 @@ void InfraCache::report_timeout(net::IpAddress server, net::SimTime now) {
     fresh.last_update = now;
     if (fresh.consecutive_timeouts >= config_.backoff_threshold) {
       fresh.backoff_until = now + config_.backoff_duration;
+      // Entering probation (not an extension of it): count it.
+      if (obs_backoffs_ != nullptr) obs_backoffs_->add(1, now);
     }
     entries_[server] = fresh;
     return;
@@ -57,6 +63,11 @@ void InfraCache::report_timeout(net::IpAddress server, net::SimTime now) {
   s.last_update = now;
   if (s.consecutive_timeouts >= config_.backoff_threshold) {
     s.backoff_until = now + config_.backoff_duration;
+    // Count entering probation once per streak, not every extension.
+    if (s.consecutive_timeouts == config_.backoff_threshold &&
+        obs_backoffs_ != nullptr) {
+      obs_backoffs_->add(1, now);
+    }
   }
 }
 
@@ -66,6 +77,12 @@ void InfraCache::decay(net::IpAddress server, double factor,
   if (it == entries_.end() || expired(it->second, now)) return;
   it->second.srtt_ms *= factor;
   // Aging does not refresh last_update: an unused entry still expires.
+}
+
+void InfraCache::attach_metrics(obs::MetricRegistry& registry) {
+  obs_rtt_updates_ = &registry.counter(obs::names::kInfraRttUpdates);
+  obs_timeouts_ = &registry.counter(obs::names::kInfraTimeouts);
+  obs_backoffs_ = &registry.counter(obs::names::kInfraBackoffs);
 }
 
 std::size_t InfraCache::size(net::SimTime now) const {

@@ -13,6 +13,7 @@
 
 #include "net/address.hpp"
 #include "net/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace recwild::resolver {
 
@@ -76,6 +77,10 @@ class InfraCache {
     return config_;
   }
 
+  /// Mirrors RTT updates, timeouts and probation events into `registry`
+  /// (obs::names::kInfra*) from this call on. Optional.
+  void attach_metrics(obs::MetricRegistry& registry);
+
  private:
   [[nodiscard]] bool expired(const ServerStats& s, net::SimTime now) const {
     return now - s.last_update > config_.entry_ttl;
@@ -83,6 +88,10 @@ class InfraCache {
 
   InfraCacheConfig config_;
   std::unordered_map<net::IpAddress, ServerStats> entries_;
+  // Optional registry mirrors (null until attach_metrics).
+  obs::Counter* obs_rtt_updates_ = nullptr;
+  obs::Counter* obs_timeouts_ = nullptr;
+  obs::Counter* obs_backoffs_ = nullptr;
 };
 
 }  // namespace recwild::resolver

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
+
 namespace recwild::resolver {
 
 CacheEntry* RecordCache::find_live(const Key& key, net::SimTime now) {
@@ -28,9 +30,11 @@ std::optional<dns::RRset> RecordCache::get(const dns::Name& name,
   CacheEntry* e = find_live(Key{name, type}, now);
   if (e == nullptr || e->negative) {
     ++misses_;
+    if (obs_misses_ != nullptr) obs_misses_->add(1, now);
     return std::nullopt;
   }
   ++hits_;
+  if (obs_hits_ != nullptr) obs_hits_->add(1, now);
   dns::RRset out = e->rrset;
   const double remaining = (e->expires_at - now).sec();
   out.ttl = static_cast<dns::Ttl>(std::max(0.0, remaining));
@@ -42,6 +46,7 @@ std::optional<dns::Rcode> RecordCache::get_negative(const dns::Name& name,
                                                     net::SimTime now) {
   CacheEntry* e = find_live(Key{name, type}, now);
   if (e == nullptr || !e->negative) return std::nullopt;
+  if (obs_negative_hits_ != nullptr) obs_negative_hits_->add(1, now);
   return e->negative_rcode;
 }
 
@@ -52,7 +57,7 @@ void RecordCache::put(const dns::RRset& rrset, net::SimTime now) {
   entry.rrset = rrset;
   entry.rrset.ttl = ttl;
   entry.expires_at = now + net::Duration::seconds(ttl);
-  insert(Key{rrset.name, rrset.type}, std::move(entry));
+  insert(Key{rrset.name, rrset.type}, std::move(entry), now);
 }
 
 void RecordCache::put_negative(const dns::Name& name, dns::RRType type,
@@ -66,27 +71,35 @@ void RecordCache::put_negative(const dns::Name& name, dns::RRType type,
   entry.expires_at =
       now + net::Duration::seconds(
                 std::clamp(ttl, config_.min_ttl, config_.max_ttl));
-  insert(Key{name, type}, std::move(entry));
+  insert(Key{name, type}, std::move(entry), now);
 }
 
-void RecordCache::insert(Key key, CacheEntry entry) {
+void RecordCache::insert(Key key, CacheEntry entry, net::SimTime now) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.entry = std::move(entry);
     touch(it->second, key);
     return;
   }
-  while (entries_.size() >= config_.max_entries) evict_one();
+  while (entries_.size() >= config_.max_entries) evict_one(now);
   lru_.push_front(key);
   entries_.emplace(std::move(key), Slot{std::move(entry), lru_.begin()});
 }
 
-void RecordCache::evict_one() {
+void RecordCache::evict_one(net::SimTime now) {
   if (lru_.empty()) return;
   const Key victim = lru_.back();
   lru_.pop_back();
   entries_.erase(victim);
   ++evictions_;
+  if (obs_evictions_ != nullptr) obs_evictions_->add(1, now);
+}
+
+void RecordCache::attach_metrics(obs::MetricRegistry& registry) {
+  obs_hits_ = &registry.counter(obs::names::kRrcacheHits);
+  obs_misses_ = &registry.counter(obs::names::kRrcacheMisses);
+  obs_negative_hits_ = &registry.counter(obs::names::kRrcacheNegativeHits);
+  obs_evictions_ = &registry.counter(obs::names::kRrcacheEvictions);
 }
 
 void RecordCache::clear() {

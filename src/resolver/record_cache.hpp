@@ -14,6 +14,7 @@
 
 #include "dnscore/record.hpp"
 #include "net/time.hpp"
+#include "obs/metrics.hpp"
 
 namespace recwild::resolver {
 
@@ -60,6 +61,10 @@ class RecordCache {
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
+  /// Mirrors hit/miss/eviction counts into `registry` (obs::names::kRrcache*)
+  /// from this call on. Optional; without it the cache records nothing.
+  void attach_metrics(obs::MetricRegistry& registry);
+
  private:
   struct Key {
     dns::Name name;
@@ -80,8 +85,8 @@ class RecordCache {
 
   CacheEntry* find_live(const Key& key, net::SimTime now);
   void touch(Slot& slot, const Key& key);
-  void insert(Key key, CacheEntry entry);
-  void evict_one();
+  void insert(Key key, CacheEntry entry, net::SimTime now);
+  void evict_one(net::SimTime now);
 
   RecordCacheConfig config_;
   std::unordered_map<Key, Slot, KeyHash> entries_;
@@ -89,6 +94,11 @@ class RecordCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  // Optional registry mirrors (null until attach_metrics).
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_negative_hits_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
 };
 
 }  // namespace recwild::resolver

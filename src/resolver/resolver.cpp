@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/names.hpp"
+
 namespace recwild::resolver {
 
 namespace {
@@ -53,7 +55,24 @@ RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
       infra_(config_.infra),
       cache_(config_.cache),
       client_ep_{address, net::kDnsPort},
-      upstream_ep_{address, kUpstreamPort} {}
+      upstream_ep_{address, kUpstreamPort} {
+  obs::MetricRegistry& m = network_.sim().metrics();
+  trace_ = &network_.sim().trace();
+  obs_client_queries_ = &m.counter(obs::names::kResolverClientQueries);
+  obs_upstream_sent_ = &m.counter(obs::names::kResolverUpstreamSent);
+  obs_upstream_timeouts_ = &m.counter(obs::names::kResolverUpstreamTimeouts);
+  obs_servfails_ = &m.counter(obs::names::kResolverServfails);
+  obs_tcp_fallbacks_ = &m.counter(obs::names::kResolverTcpFallbacks);
+  obs_failovers_ = &m.counter(obs::names::kResolverFailovers);
+  // 10 ms bins to 1 s for upstream RTTs; 50 ms bins to 5 s end-to-end.
+  obs_rtt_hist_ =
+      &m.histogram(obs::names::kResolverUpstreamRttMs, 0.0, 1000.0, 100);
+  obs_resolve_hist_ =
+      &m.histogram(obs::names::kResolverResolveMs, 0.0, 5000.0, 100);
+  infra_.attach_metrics(m);
+  cache_.attach_metrics(m);
+  selector_->attach_obs(trace_, &m, config_.name);
+}
 
 RecursiveResolver::~RecursiveResolver() { stop(); }
 
@@ -83,6 +102,7 @@ void RecursiveResolver::flush_caches() {
 }
 
 void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
+  obs_client_queries_->add(1, network_.sim().now());
   // Coalesce identical in-flight questions.
   const PendingKey key{q.qname, q.qtype};
   if (const auto it = inflight_.find(key); it != inflight_.end()) {
@@ -196,10 +216,22 @@ void RecursiveResolver::step(const std::shared_ptr<Job>& job) {
   for (;;) {
     if (auto neg = cache_.get_negative(job->current_name,
                                        job->original.qtype, now)) {
+      if (trace_->enabled()) {
+        trace_->record({now, obs::TraceKind::NegCacheHit, config_.name,
+                        job->current_name.to_string(),
+                        std::string{dns::to_string(job->original.qtype)},
+                        0.0});
+      }
       finish(job, *neg);
       return;
     }
     if (auto set = cache_.get(job->current_name, job->original.qtype, now)) {
+      if (trace_->enabled()) {
+        trace_->record({now, obs::TraceKind::CacheHit, config_.name,
+                        job->current_name.to_string(),
+                        std::string{dns::to_string(job->original.qtype)},
+                        0.0});
+      }
       for (auto& rr : set->to_records()) job->chain.push_back(std::move(rr));
       finish(job, dns::Rcode::NoError);
       return;
@@ -256,8 +288,19 @@ void RecursiveResolver::step(const std::shared_ptr<Job>& job) {
       candidates = servers;
     }
   }
+  if (trace_->enabled()) {
+    trace_->record({now, obs::TraceKind::CacheMiss, config_.name,
+                    job->current_name.to_string(),
+                    std::string{dns::to_string(job->original.qtype)}, 0.0});
+  }
   const net::IpAddress server =
       selector_->select(zone, candidates, infra_, now, rng_);
+  if (trace_->enabled()) {
+    const ServerStats* st = infra_.get(server, now);
+    trace_->record({now, obs::TraceKind::SelectServer, config_.name,
+                    server.to_string(), zone.to_string(),
+                    st != nullptr ? st->srtt_ms : -1.0});
+  }
   send_upstream(job, zone, server);
 }
 
@@ -290,6 +333,7 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
 
   ++job->upstream_count;
   ++upstream_sent_;
+  obs_upstream_sent_->add(1, now);
 
   // Adaptive retransmission timeout from the infra cache.
   net::Duration timeout = config_.initial_timeout;
@@ -331,6 +375,13 @@ void RecursiveResolver::on_upstream_timeout(std::uint64_t txkey) {
   outstanding_.erase(it);
   ++upstream_timeouts_;
   const net::SimTime now = network_.sim().now();
+  obs_upstream_timeouts_->add(1, now);
+  if (trace_->enabled()) {
+    trace_->record({now, obs::TraceKind::UpstreamTimeout, config_.name,
+                    out.server.to_string(),
+                    out.job->current_zone.to_string(),
+                    (now - out.sent_at).ms()});
+  }
   infra_.report_timeout(out.server, now);
   selector_->on_timeout(out.job->current_zone, out.server);
   out.job->failed_servers.push_back(out.server);
@@ -363,12 +414,21 @@ void RecursiveResolver::on_upstream_datagram(const net::Datagram& dgram) {
   const net::SimTime now = network_.sim().now();
   // TCP exchanges include handshake time; don't let them poison the
   // (UDP) SRTT estimate the selection policies rely on.
-  if (!out.via_tcp) infra_.report_rtt(out.server, now - out.sent_at, now);
+  if (!out.via_tcp) {
+    infra_.report_rtt(out.server, now - out.sent_at, now);
+    obs_rtt_hist_->observe((now - out.sent_at).ms(), now);
+  }
   if (out.job->done) return;
 
   // Truncated over UDP: retry the same server over TCP (RFC 1035 §4.2.2).
   if (resp.header.tc && !out.via_tcp) {
     ++tcp_retries_;
+    obs_tcp_fallbacks_->add(1, now);
+    if (trace_->enabled()) {
+      trace_->record({now, obs::TraceKind::TcpFallback, config_.name,
+                      out.server.to_string(),
+                      out.job->current_zone.to_string(), 0.0});
+    }
     if (out.job->upstream_count < config_.max_upstream_queries) {
       send_upstream(out.job, out.job->current_zone, out.server,
                     /*via_tcp=*/true);
@@ -412,6 +472,12 @@ void RecursiveResolver::handle_response(const std::shared_ptr<Job>& job,
       resp.header.rcode == dns::Rcode::Refused ||
       resp.header.rcode == dns::Rcode::NotImp ||
       resp.header.rcode == dns::Rcode::FormErr) {
+    obs_failovers_->add(1, now);
+    if (trace_->enabled()) {
+      trace_->record({now, obs::TraceKind::Failover, config_.name,
+                      server.to_string(),
+                      std::string{dns::to_string(resp.header.rcode)}, 0.0});
+    }
     selector_->on_timeout(job->current_zone, server);
     job->failed_servers.push_back(server);
     step(job);
@@ -469,6 +535,11 @@ void RecursiveResolver::handle_response(const std::shared_ptr<Job>& job,
       return;
     }
     // Sideways/upwards referral: lame.
+    obs_failovers_->add(1, now);
+    if (trace_->enabled()) {
+      trace_->record({now, obs::TraceKind::Failover, config_.name,
+                      server.to_string(), "lame_referral", 0.0});
+    }
     selector_->on_timeout(job->current_zone, server);
     job->failed_servers.push_back(server);
     step(job);
@@ -500,6 +571,11 @@ void RecursiveResolver::handle_response(const std::shared_ptr<Job>& job,
     return;
   }
   // Empty, non-authoritative, no referral: useless answer; failover.
+  obs_failovers_->add(1, now);
+  if (trace_->enabled()) {
+    trace_->record({now, obs::TraceKind::Failover, config_.name,
+                    server.to_string(), "useless_answer", 0.0});
+  }
   selector_->on_timeout(job->current_zone, server);
   job->failed_servers.push_back(server);
   step(job);
@@ -509,7 +585,18 @@ void RecursiveResolver::finish(const std::shared_ptr<Job>& job,
                                dns::Rcode rcode) {
   if (job->done) return;
   job->done = true;
-  if (rcode == dns::Rcode::ServFail) ++servfails_;
+  const net::SimTime now = network_.sim().now();
+  if (rcode == dns::Rcode::ServFail) {
+    ++servfails_;
+    obs_servfails_->add(1, now);
+    if (trace_->enabled()) {
+      trace_->record({now, obs::TraceKind::Servfail, config_.name,
+                      job->original.qname.to_string(),
+                      std::string{dns::to_string(job->original.qtype)},
+                      0.0});
+    }
+  }
+  obs_resolve_hist_->observe((now - job->started_at).ms(), now);
   ResolveOutcome outcome;
   outcome.rcode = rcode;
   outcome.answers = job->chain;

@@ -196,6 +196,18 @@ class RecursiveResolver {
   std::uint64_t upstream_timeouts_ = 0;
   std::uint64_t servfails_ = 0;
   std::uint64_t tcp_retries_ = 0;
+
+  // Observability: cached handles into the simulation's MetricRegistry and
+  // its DecisionTrace (see src/obs). Set once in the constructor.
+  obs::DecisionTrace* trace_ = nullptr;
+  obs::Counter* obs_client_queries_ = nullptr;
+  obs::Counter* obs_upstream_sent_ = nullptr;
+  obs::Counter* obs_upstream_timeouts_ = nullptr;
+  obs::Counter* obs_servfails_ = nullptr;
+  obs::Counter* obs_tcp_fallbacks_ = nullptr;
+  obs::Counter* obs_failovers_ = nullptr;
+  obs::Histogram* obs_rtt_hist_ = nullptr;
+  obs::Histogram* obs_resolve_hist_ = nullptr;
 };
 
 }  // namespace recwild::resolver

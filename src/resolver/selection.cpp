@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/names.hpp"
+
 namespace recwild::resolver {
 
 std::string_view to_string(PolicyKind k) noexcept {
@@ -32,6 +34,25 @@ void ServerSelector::on_timeout(const dns::Name& zone,
                                 net::IpAddress server) {
   (void)zone;
   (void)server;
+}
+
+void ServerSelector::attach_obs(obs::DecisionTrace* trace,
+                                obs::MetricRegistry* registry,
+                                std::string actor) {
+  trace_ = trace;
+  actor_ = std::move(actor);
+  if (registry != nullptr) {
+    primed_counter_ = &registry->counter(obs::names::kSelectionPrimed);
+    latch_counter_ = &registry->counter(obs::names::kSelectionLatchMoves);
+  }
+}
+
+void ServerSelector::trace_event(obs::TraceKind kind, net::SimTime at,
+                                 const dns::Name& zone, net::IpAddress server,
+                                 double value) const {
+  if (trace_ == nullptr || !trace_->enabled()) return;
+  trace_->record(
+      {at, kind, actor_, server.to_string(), zone.to_string(), value});
 }
 
 namespace {
@@ -70,6 +91,8 @@ class BindSrttSelector final : public ServerSelector {
         // every server is probed early on.
         srtt = rng.uniform(1.0, cfg_.bind_unknown_srtt_ms);
         infra.report_rtt(s, net::Duration::millis(srtt), now);
+        if (primed_counter_ != nullptr) primed_counter_->add(1, now);
+        trace_event(obs::TraceKind::PrimeServer, now, zone, s, srtt);
       } else {
         srtt = st->srtt_ms;
       }
@@ -224,6 +247,8 @@ class StickyFirstSelector final : public ServerSelector {
     const net::IpAddress chosen = candidates[rng.index(candidates.size())];
     latch_[zone] = chosen;
     failures_[zone] = 0;
+    if (latch_counter_ != nullptr) latch_counter_->add(1, now);
+    trace_event(obs::TraceKind::StickyLatch, now, zone, chosen, 0.0);
     return chosen;
   }
 

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "dnscore/name.hpp"
+#include "obs/decision_trace.hpp"
+#include "obs/metrics.hpp"
 #include "resolver/infra_cache.hpp"
 #include "stats/rng.hpp"
 
@@ -90,6 +92,26 @@ class ServerSelector {
   [[nodiscard]] std::string_view name() const noexcept {
     return to_string(kind());
   }
+
+  /// Connects this selector to the run's observability: `trace` receives
+  /// PrimeServer/StickyLatch events attributed to `actor` (the owning
+  /// resolver's name), `registry` the kSelection* counters. Optional; a
+  /// detached selector records nothing.
+  void attach_obs(obs::DecisionTrace* trace, obs::MetricRegistry* registry,
+                  std::string actor);
+
+ protected:
+  /// Records a decision event if tracing is attached and enabled.
+  void trace_event(obs::TraceKind kind, net::SimTime at,
+                   const dns::Name& zone, net::IpAddress server,
+                   double value) const;
+
+  obs::Counter* primed_counter_ = nullptr;  ///< kSelectionPrimed, or null.
+  obs::Counter* latch_counter_ = nullptr;   ///< kSelectionLatchMoves, or null.
+
+ private:
+  obs::DecisionTrace* trace_ = nullptr;
+  std::string actor_;
 };
 
 /// Creates a selector of the given kind.
