@@ -1,0 +1,182 @@
+// Chaos campaign: a measurement campaign under a deterministic fault
+// schedule (src/fault). Generates a seeded random schedule over the
+// deployed world — or loads one from disk — arms it on the testbed, runs
+// the campaign for shard counts 1, 2 and 4, and verifies the merged
+// metrics and decision trace are byte-identical across all three: the
+// chaos harness's determinism check, runnable by hand.
+//
+//   ./build/examples/chaos_campaign [seed] [probes]
+//       [--schedule faults.tsv]        load instead of generating
+//       [--emit-schedule faults.tsv]   write the schedule used and exit
+//       [--obs metrics.json] [--trace decisions.tsv]
+//   e.g. ./build/examples/chaos_campaign 1009 300
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiment/campaign.hpp"
+#include "experiment/testbed.hpp"
+#include "fault/chaos.hpp"
+#include "obs/decision_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+using namespace recwild;
+using namespace recwild::experiment;
+
+namespace {
+
+TestbedConfig base_config(std::size_t probes) {
+  TestbedConfig cfg;
+  cfg.seed = 77;
+  cfg.population.probes = probes;
+  cfg.test_sites = {"DUB", "FRA", "GRU"};
+  cfg.trace_decisions = true;
+  return cfg;
+}
+
+/// Harvests fault targets (server identities, node names, service
+/// addresses) from a throwaway build of the world.
+fault::ChaosSpace world_space(std::size_t probes) {
+  Testbed scout{base_config(probes)};
+  fault::ChaosSpace space;
+  space.horizon = net::Duration::minutes(20);
+  space.events = 6;
+  for (auto& svc : scout.test_services()) {
+    for (auto& site : svc.sites()) {
+      space.server_targets.push_back(site.server->identity());
+      space.node_targets.push_back(scout.network().node(site.node).name);
+    }
+    space.address_targets.push_back(svc.address().to_string());
+  }
+  return space;
+}
+
+struct RunOutput {
+  std::string metrics_json;
+  std::string trace_tsv;
+};
+
+RunOutput run_once(const fault::FaultSchedule& schedule, std::size_t probes,
+                   std::size_t shards) {
+  auto cfg = base_config(probes);
+  cfg.faults = schedule;
+  Testbed testbed{cfg};
+  CampaignConfig cc;
+  cc.interval = net::Duration::minutes(2);
+  cc.queries_per_vp = 8;
+  cc.shards = shards;
+  const auto result = run_campaign(testbed, cc);
+
+  RunOutput out;
+  out.metrics_json = result.metrics.to_json(obs::SnapshotStyle::MergeSafe);
+  std::ostringstream trace_out;
+  obs::write_trace(trace_out, testbed.trace().canonical());
+  out.trace_tsv = trace_out.str();
+
+  const auto snap = result.metrics;
+  std::printf(
+      "  shards=%zu: %llu sent, %llu answered, %llu unanswered; "
+      "%llu pkts dropped, %llu delayed by faults\n",
+      shards,
+      static_cast<unsigned long long>(
+          snap.counter_value(obs::names::kCampaignQueriesSent)),
+      static_cast<unsigned long long>(
+          snap.counter_value(obs::names::kCampaignQueriesAnswered)),
+      static_cast<unsigned long long>(
+          snap.counter_value(obs::names::kCampaignQueriesUnanswered)),
+      static_cast<unsigned long long>(
+          snap.counter_value(obs::names::kFaultPacketsDropped)),
+      static_cast<unsigned long long>(
+          snap.counter_value(obs::names::kFaultPacketsDelayed)));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* positional[2] = {nullptr, nullptr};
+  std::size_t n_positional = 0;
+  std::string schedule_path;
+  std::string emit_path;
+  std::string obs_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
+      schedule_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--emit-schedule") == 0 && i + 1 < argc) {
+      emit_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (n_positional < 2) {
+      positional[n_positional++] = argv[i];
+    }
+  }
+  const std::uint64_t seed =
+      positional[0] != nullptr ? std::strtoull(positional[0], nullptr, 10)
+                               : 1009;
+  const std::size_t probes =
+      positional[1] != nullptr ? std::strtoull(positional[1], nullptr, 10)
+                               : 120;
+
+  fault::FaultSchedule schedule;
+  if (!schedule_path.empty()) {
+    std::ifstream in{schedule_path};
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", schedule_path.c_str());
+      return 1;
+    }
+    schedule = fault::read_schedule(in);
+    std::printf("loaded %zu fault events from %s\n", schedule.size(),
+                schedule_path.c_str());
+  } else {
+    schedule = fault::random_schedule(world_space(probes), stats::Rng{seed});
+    std::printf("seed %llu -> %zu fault events\n",
+                static_cast<unsigned long long>(seed), schedule.size());
+  }
+  for (const auto& e : schedule.events()) {
+    std::printf("  %-13s %6.1f..%6.1f min  %s%s%s  magnitude %.3g%s\n",
+                std::string{to_string(e.kind)}.c_str(), e.start.minutes(),
+                e.end.minutes(), e.target_a.c_str(),
+                e.target_b.empty() ? "" : " <-> ", e.target_b.c_str(),
+                e.magnitude,
+                e.magnitude_end < 0 ? "" : " (ramped)");
+  }
+  if (!emit_path.empty()) {
+    std::ofstream out{emit_path};
+    fault::write_schedule(out, schedule);
+    std::printf("schedule -> %s\n", emit_path.c_str());
+    return 0;
+  }
+
+  std::printf("\ncampaign under faults (%zu probes):\n", probes);
+  const RunOutput serial = run_once(schedule, probes, 1);
+  const RunOutput two = run_once(schedule, probes, 2);
+  const RunOutput four = run_once(schedule, probes, 4);
+
+  const bool metrics_ok = serial.metrics_json == two.metrics_json &&
+                          serial.metrics_json == four.metrics_json;
+  const bool trace_ok = serial.trace_tsv == two.trace_tsv &&
+                        serial.trace_tsv == four.trace_tsv;
+  std::printf("\nmetrics byte-identical across shards 1/2/4: %s\n",
+              metrics_ok ? "yes" : "NO");
+  std::printf("trace   byte-identical across shards 1/2/4: %s\n",
+              trace_ok ? "yes" : "NO");
+
+  if (!obs_path.empty()) {
+    std::ofstream out{obs_path};
+    out << serial.metrics_json << "\n";
+    std::printf("metrics -> %s\n", obs_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out{trace_path};
+    out << serial.trace_tsv;
+    std::printf("trace -> %s\n", trace_path.c_str());
+  }
+  return metrics_ok && trace_ok ? 0 : 1;
+}

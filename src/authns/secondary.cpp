@@ -2,10 +2,6 @@
 
 namespace recwild::authns {
 
-namespace {
-constexpr net::Port kXfrClientPort = 10'055;
-}
-
 SecondaryZone::SecondaryZone(net::Network& network, AuthServer& server,
                              dns::Name origin, net::Endpoint primary,
                              SecondaryConfig config, stats::Rng rng)
@@ -31,17 +27,28 @@ void SecondaryZone::start() {
         // implementation would also verify `from` is a configured
         // primary.)
         (void)from;
-        if (zone == origin_ && pending_ == Pending::None) check_soa();
+        if (listening_ && zone == origin_ && pending_ == Pending::None) {
+          check_soa();
+        }
       });
   listening_ = true;
   check_soa();
 }
 
 void SecondaryZone::stop() {
-  if (!listening_) return;
-  network_.unlisten(server_.node(), ep_);
+  // Cancel unconditionally, not only when listening: a NOTIFY handled
+  // after a previous stop() could have re-armed these events, and the
+  // destructor must never leave a scheduled callback into a destroyed
+  // object (the sim would fire it into freed memory).
   network_.sim().cancel(timeout_event_);
   network_.sim().cancel(refresh_event_);
+  timeout_event_ = 0;
+  refresh_event_ = 0;
+  pending_ = Pending::None;
+  // Release the server's NOTIFY handler: it captures `this`.
+  server_.set_notify_handler(nullptr);
+  if (!listening_) return;
+  network_.unlisten(server_.node(), ep_);
   listening_ = false;
 }
 

@@ -20,6 +20,11 @@
 
 namespace recwild::authns {
 
+/// Source port of all SOA-check and AXFR traffic a SecondaryZone sends.
+/// Exported so the fault layer can starve zone transfers without touching
+/// ordinary resolution traffic (fault::FaultKind::XferStarve).
+inline constexpr net::Port kXfrClientPort = 10'055;
+
 struct SecondaryConfig {
   /// Use these instead of the SOA refresh/retry timers when nonzero.
   net::Duration refresh_override = net::Duration::zero();

@@ -17,6 +17,7 @@ AuthServer::AuthServer(net::Network& network, net::NodeId node,
   obs_queries_ = &m.counter(obs::names::kAuthnsQueries);
   obs_responses_ = &m.counter(obs::names::kAuthnsResponses);
   obs_truncated_ = &m.counter(obs::names::kAuthnsTruncated);
+  obs_fault_refused_ = &m.counter(obs::names::kFaultAuthRefused);
 }
 
 AuthServer::~AuthServer() {
@@ -231,14 +232,29 @@ void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
   }
   if (down_) return;  // crashed process: receives but never answers
 
-  dns::Message resp = answer(query, dgram.via_stream);
+  // Pull-based fault injection: ask the provider (if any) how this server
+  // misbehaves right now. Severity at the provider: crash > refuse > slow.
+  AuthFaultState fault;
+  if (fault_provider_) fault = fault_provider_(network_.sim().now());
+  if (fault.mode == AuthFailMode::Unresponsive) return;
+
+  dns::Message resp;
+  if (fault.mode == AuthFailMode::Refused) {
+    resp = dns::Message::make_response(query);
+    resp.header.rcode = dns::Rcode::Refused;
+    obs_fault_refused_->add(1, network_.sim().now());
+  } else {
+    resp = answer(query, dgram.via_stream);
+  }
   if (resp.header.tc && !dgram.via_stream) {
     obs_truncated_->add(1, network_.sim().now());
   }
+  net::Duration processing = config_.processing_delay;
+  if (fault.mode == AuthFailMode::Slow) processing += fault.extra_delay;
   auto wire = dns::encode_message(resp);
   const bool via_stream = dgram.via_stream;
   network_.sim().after(
-      config_.processing_delay,
+      processing,
       [this, wire = std::move(wire), dgram, via_stream]() mutable {
         ++responses_sent_;
         obs_responses_->add(1, network_.sim().now());

@@ -36,6 +36,27 @@ struct AuthServerConfig {
   std::size_t plain_udp_limit = 512;
 };
 
+/// How an authoritative misbehaves under an active fault (src/fault).
+/// Evaluated pull-style per datagram by the provider installed via
+/// AuthServer::set_fault_provider — no scheduled transition events, which
+/// is what keeps sharded replica worlds merge-identical.
+enum class AuthFailMode : unsigned char {
+  None,          ///< Healthy.
+  Unresponsive,  ///< Receives and logs, never answers (crashed process).
+  Refused,       ///< Answers every query with rcode REFUSED (lame server).
+  Slow,          ///< Answers after extra_delay on top of processing_delay.
+};
+
+struct AuthFaultState {
+  AuthFailMode mode = AuthFailMode::None;
+  /// Additional processing delay while mode == Slow.
+  net::Duration extra_delay = net::Duration::zero();
+};
+
+/// Returns the server's fault state at `now`. Must be deterministic in
+/// sim time alone (same contract as net::PacketFaultHook).
+using AuthFaultProvider = std::function<AuthFaultState(net::SimTime)>;
+
 class AuthServer {
  public:
   /// Creates a server on `node`, listening on {address, port}.
@@ -83,6 +104,13 @@ class AuthServer {
   void set_down(bool down) noexcept { down_ = down; }
   [[nodiscard]] bool is_down() const noexcept { return down_; }
 
+  /// Installs (or, with nullptr, removes) the fault provider consulted on
+  /// every query. Independent of set_down; whichever says "don't answer"
+  /// wins. The caller keeps the provider's captures alive while installed.
+  void set_fault_provider(AuthFaultProvider provider) {
+    fault_provider_ = std::move(provider);
+  }
+
   [[nodiscard]] const net::Endpoint& endpoint() const noexcept {
     return endpoint_;
   }
@@ -122,6 +150,7 @@ class AuthServer {
   std::vector<Zone> zones_;
   std::vector<std::pair<dns::Name, net::Endpoint>> notify_targets_;
   NotifyHandler notify_handler_;
+  AuthFaultProvider fault_provider_;
   QueryLog log_;
   bool listening_ = false;
   bool down_ = false;
@@ -132,6 +161,7 @@ class AuthServer {
   obs::Counter* obs_queries_ = nullptr;
   obs::Counter* obs_responses_ = nullptr;
   obs::Counter* obs_truncated_ = nullptr;
+  obs::Counter* obs_fault_refused_ = nullptr;
 };
 
 }  // namespace recwild::authns

@@ -2,21 +2,14 @@
 
 #include <algorithm>
 
+#include "fault/injector.hpp"
 #include "stats/distributions.hpp"
 #include "stats/summary.hpp"
 
 namespace recwild::experiment {
 
-namespace {
-
-struct Sample {
-  double at_min = 0;
-  bool success = false;
-  double latency_ms = 0;
-};
-
-PhaseStats aggregate(const std::vector<Sample>& samples, double from_min,
-                     double to_min) {
+PhaseStats aggregate_phase(const std::vector<FailureSample>& samples,
+                           double from_min, double to_min) {
   PhaseStats out;
   stats::Sample latencies;
   std::size_t ok = 0;
@@ -36,7 +29,36 @@ PhaseStats aggregate(const std::vector<Sample>& samples, double from_min,
   return out;
 }
 
-}  // namespace
+fault::FaultSchedule failure_schedule(Testbed& testbed,
+                                      const FailureScenarioConfig& config) {
+  const net::SimTime start =
+      net::SimTime::origin() +
+      net::Duration::minutes(config.duration_minutes *
+                             config.event_start_frac);
+  const net::SimTime end =
+      net::SimTime::origin() +
+      net::Duration::minutes(config.duration_minutes * config.event_end_frac);
+
+  fault::FaultSchedule schedule;
+  for (const std::size_t t : config.targets) {
+    auto& svc = testbed.roots().at(t);
+    const auto n_sites = svc.site_count();
+    std::size_t hit = n_sites;
+    if (config.kind == FailureKind::SitesDown) {
+      hit = static_cast<std::size_t>(
+          std::max(1.0, config.site_fraction * double(n_sites)));
+    }
+    for (std::size_t s = 0; s < hit && s < n_sites; ++s) {
+      fault::FaultEvent e;
+      e.kind = fault::FaultKind::ServerCrash;
+      e.start = start;
+      e.end = end;
+      e.target_a = svc.sites()[s].server->identity();
+      schedule.add(std::move(e));
+    }
+  }
+  return schedule;
+}
 
 FailureResult run_failure_scenario(Testbed& testbed,
                                    const FailureScenarioConfig& config) {
@@ -69,16 +91,18 @@ FailureResult run_failure_scenario(Testbed& testbed,
 
   const net::SimTime end = net::SimTime::origin() +
                            net::Duration::minutes(config.duration_minutes);
-  auto samples = std::make_shared<std::vector<Sample>>();
+  auto samples = std::make_shared<std::vector<FailureSample>>();
 
   // Poisson arrivals of unique (cache-defeating) TLD lookups.
   struct Scheduler {
     static void next(net::Simulation& sim, Source& src, net::SimTime end,
                      stats::Rng& rng, double per_min,
-                     std::shared_ptr<std::vector<Sample>> samples) {
+                     std::shared_ptr<std::vector<FailureSample>> samples) {
       const double gap_min = rng.exponential(1.0 / per_min);
       const net::SimTime at = sim.now() + net::Duration::minutes(gap_min);
-      if (at > end) return;
+      // Strictly before `end`: the phases partition [0, duration), so a
+      // query started exactly at the run's end would belong to no phase.
+      if (at >= end) return;
       sim.at(at, [&sim, &src, end, &rng, per_min, samples] {
         const std::string label =
             "f" + std::to_string(src.resolver->address().bits()) + "q" +
@@ -88,7 +112,7 @@ FailureResult run_failure_scenario(Testbed& testbed,
             dns::Question{dns::Name::parse(label), dns::RRType::A,
                           dns::RRClass::IN},
             [samples, started_min](const resolver::ResolveOutcome& out) {
-              Sample s;
+              FailureSample s;
               s.at_min = started_min;
               // Junk TLDs resolve to NXDOMAIN on success; SERVFAIL (or a
               // timeout-driven SERVFAIL) means the root was unreachable.
@@ -104,41 +128,32 @@ FailureResult run_failure_scenario(Testbed& testbed,
     Scheduler::next(sim, *src, end, rng, config.queries_per_minute, samples);
   }
 
-  // The failure event.
-  const double start_min = config.duration_minutes * config.event_start_frac;
-  const double end_min = config.duration_minutes * config.event_end_frac;
-  auto set_targets_down = [&testbed, &config](bool down) {
-    for (const std::size_t t : config.targets) {
-      auto& svc = testbed.roots().at(t);
-      if (config.kind == FailureKind::ServiceDown) {
-        svc.set_all_down(down);
-      } else {
-        const auto n_sites = svc.site_count();
-        const auto hit = static_cast<std::size_t>(
-            std::max(1.0, config.site_fraction * double(n_sites)));
-        for (std::size_t s = 0; s < hit && s < n_sites; ++s) {
-          svc.set_site_down(s, down);
-        }
-      }
+  // The failure event, expressed as a fault schedule (one ServerCrash per
+  // affected site) and enforced by a scenario-local injector. Server-only
+  // faults install no packet hook, so this composes with any injector the
+  // testbed itself armed.
+  fault::FaultInjector injector{network, failure_schedule(testbed, config)};
+  for (const std::size_t t : config.targets) {
+    for (auto& site : testbed.roots().at(t).sites()) {
+      injector.bind_server(*site.server);
     }
-  };
-  sim.at(net::SimTime::origin() + net::Duration::minutes(start_min),
-         [set_targets_down] { set_targets_down(true); });
-  sim.at(net::SimTime::origin() + net::Duration::minutes(end_min),
-         [set_targets_down] { set_targets_down(false); });
+  }
+  injector.arm();
 
   sim.run();
 
   // Aggregate.
+  const double start_min = config.duration_minutes * config.event_start_frac;
+  const double end_min = config.duration_minutes * config.event_end_frac;
   FailureResult result;
-  result.before = aggregate(*samples, 0, start_min);
-  result.during = aggregate(*samples, start_min, end_min);
-  result.after = aggregate(*samples, end_min, config.duration_minutes);
+  result.before = aggregate_phase(*samples, 0, start_min);
+  result.during = aggregate_phase(*samples, start_min, end_min);
+  result.after = aggregate_phase(*samples, end_min, config.duration_minutes);
 
   const auto minutes = static_cast<std::size_t>(config.duration_minutes);
   for (std::size_t m = 0; m < minutes; ++m) {
     const auto phase =
-        aggregate(*samples, double(m), double(m + 1));
+        aggregate_phase(*samples, double(m), double(m + 1));
     result.minute_success.push_back(phase.queries ? phase.success_rate
                                                   : -1.0);
     result.minute_latency_ms.push_back(

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "experiment/testbed.hpp"
+#include "fault/schedule.hpp"
 
 namespace recwild::experiment {
 
@@ -61,6 +62,29 @@ struct FailureResult {
   std::vector<double> letter_share_during;
   std::vector<std::string> letter_labels;
 };
+
+/// One resolution attempt, timestamped by when it STARTED (minutes): a
+/// query spanning an event-window boundary belongs to the phase it started
+/// in, deterministically.
+struct FailureSample {
+  double at_min = 0;
+  bool success = false;
+  double latency_ms = 0;
+};
+
+/// Aggregates the samples started in the half-open window
+/// [from_min, to_min). The three scenario phases partition [0, duration):
+/// every sample lands in exactly one.
+[[nodiscard]] PhaseStats aggregate_phase(
+    const std::vector<FailureSample>& samples, double from_min,
+    double to_min);
+
+/// The scenario's failure event expressed as a fault schedule: one
+/// ServerCrash per affected site over the event window. What
+/// run_failure_scenario arms; exposed so the same outage can be replayed,
+/// serialised, or composed with other faults.
+[[nodiscard]] fault::FaultSchedule failure_schedule(
+    Testbed& testbed, const FailureScenarioConfig& config);
 
 /// Runs the scenario on a testbed built WITHOUT a VP population.
 FailureResult run_failure_scenario(Testbed& testbed,

@@ -41,6 +41,17 @@ Testbed::Testbed(TestbedConfig config)
         *network_, config_.population, hints_,
         sim_.rng().fork("population"));
   }
+
+  if (!config_.faults.empty()) {
+    injector_ =
+        std::make_unique<fault::FaultInjector>(*network_, config_.faults);
+    for (auto* services : {&roots_, &nl_, &test_}) {
+      for (auto& svc : *services) {
+        for (auto& site : svc.sites()) injector_->bind_server(*site.server);
+      }
+    }
+    injector_->arm();
+  }
 }
 
 void Testbed::build_roots() {

@@ -12,6 +12,8 @@
 #include "client/population.hpp"
 #include "experiment/deployments.hpp"
 #include "experiment/zones.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 #include "net/network.hpp"
 
 namespace recwild::experiment {
@@ -41,6 +43,10 @@ struct TestbedConfig {
   /// Replica worlds built from config() inherit it, so sharded campaign
   /// runs trace exactly what the serial run traces. Metrics are always on.
   bool trace_decisions = false;
+  /// Fault schedule armed over the world at construction (src/fault). An
+  /// empty schedule costs nothing: no injector is built, no hook installed.
+  /// Replica worlds built from config() arm the identical schedule.
+  fault::FaultSchedule faults{};
 };
 
 class Testbed {
@@ -98,6 +104,11 @@ class Testbed {
   /// kInvalidNode. Used by analyses that need recursive->authoritative RTT.
   [[nodiscard]] net::NodeId recursive_node(net::IpAddress addr) const;
 
+  /// The armed fault injector, or nullptr when config().faults is empty.
+  [[nodiscard]] fault::FaultInjector* injector() noexcept {
+    return injector_.get();
+  }
+
  private:
   void build_roots();
   void build_nl();
@@ -117,6 +128,9 @@ class Testbed {
   std::vector<NsHost> nl_apex_;
   std::vector<NsHost> test_ns_;
   client::Population population_;
+  /// Declared last: destroyed first, so it disarms (clearing the network
+  /// hook and the servers' fault providers) while both still exist.
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace recwild::experiment

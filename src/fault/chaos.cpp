@@ -1,0 +1,88 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+
+namespace recwild::fault {
+
+FaultSchedule random_schedule(const ChaosSpace& space, stats::Rng rng) {
+  // Kinds whose target pool is populated.
+  std::vector<FaultKind> kinds;
+  if (!space.server_targets.empty()) {
+    kinds.insert(kinds.end(), {FaultKind::ServerCrash, FaultKind::ServerRefuse,
+                               FaultKind::ServerSlow});
+  }
+  if (space.node_targets.size() >= 2) {
+    kinds.insert(kinds.end(), {FaultKind::LossBurst, FaultKind::LatencySpike,
+                               FaultKind::Partition});
+  }
+  if (!space.address_targets.empty()) kinds.push_back(FaultKind::Blackhole);
+  if (!space.xfer_targets.empty()) kinds.push_back(FaultKind::XferStarve);
+
+  FaultSchedule schedule;
+  if (kinds.empty() || space.events == 0) return schedule;
+
+  const double horizon_s = space.horizon.sec();
+  const double min_window_s =
+      std::min(space.min_window.sec(), horizon_s / 2.0);
+
+  std::vector<FaultEvent> events;
+  for (std::size_t i = 0; i < space.events; ++i) {
+    FaultEvent e;
+    e.kind = kinds[rng.index(kinds.size())];
+
+    const double start_s = rng.uniform(0.0, horizon_s - min_window_s);
+    const double len_s = rng.uniform(min_window_s, horizon_s - start_s);
+    e.start = net::SimTime::origin() + net::Duration::seconds(start_s);
+    e.end = e.start + net::Duration::seconds(len_s);
+
+    const auto pick = [&rng](const std::vector<std::string>& pool) {
+      return pool[rng.index(pool.size())];
+    };
+    const bool ramp = rng.chance(0.25);
+    switch (e.kind) {
+      case FaultKind::LossBurst:
+        e.target_a = pick(space.node_targets);
+        e.target_b = pick(space.node_targets);
+        e.magnitude = rng.uniform(0.05, space.max_loss);
+        if (ramp) e.magnitude_end = rng.uniform(0.0, space.max_loss);
+        break;
+      case FaultKind::LatencySpike:
+        e.target_a = pick(space.node_targets);
+        e.target_b = pick(space.node_targets);
+        e.magnitude = rng.uniform(1.0, space.max_latency_ms);
+        if (ramp) e.magnitude_end = rng.uniform(0.0, space.max_latency_ms);
+        break;
+      case FaultKind::Partition:
+        e.target_a = pick(space.node_targets);
+        e.target_b = pick(space.node_targets);
+        break;
+      case FaultKind::Blackhole:
+        e.target_a = pick(space.address_targets);
+        break;
+      case FaultKind::ServerCrash:
+        e.target_a = pick(space.server_targets);
+        break;
+      case FaultKind::ServerRefuse:
+        e.target_a = pick(space.server_targets);
+        break;
+      case FaultKind::ServerSlow:
+        e.target_a = pick(space.server_targets);
+        e.magnitude = rng.uniform(1.0, space.max_slow_ms);
+        if (ramp) e.magnitude_end = rng.uniform(0.0, space.max_slow_ms);
+        break;
+      case FaultKind::XferStarve:
+        e.target_a = pick(space.xfer_targets);
+        break;
+    }
+    events.push_back(std::move(e));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.start < b.start;
+                   });
+  for (auto& e : events) schedule.add(std::move(e));
+  schedule.validate();
+  return schedule;
+}
+
+}  // namespace recwild::fault

@@ -1,0 +1,42 @@
+// Chaos schedules: seeded random FaultSchedules over a described world.
+//
+// ChaosSpace lists the identities a generated schedule may target (server
+// identities, node names, addresses) plus bounds on windows and magnitudes;
+// random_schedule() draws a schedule deterministically from an Rng. The
+// chaos invariant harness (tests/fault) runs campaigns under such schedules
+// and asserts the engine's guarantees hold regardless of what broke.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/schedule.hpp"
+#include "stats/rng.hpp"
+
+namespace recwild::fault {
+
+struct ChaosSpace {
+  /// Sim-time horizon events are placed in.
+  net::Duration horizon = net::Duration::minutes(60);
+  /// Number of fault events to draw.
+  std::size_t events = 6;
+
+  /// Target pools; kinds whose pool is empty are never drawn.
+  std::vector<std::string> server_targets;   // server identities
+  std::vector<std::string> node_targets;     // node names (path faults)
+  std::vector<std::string> address_targets;  // dotted quads (blackhole)
+  std::vector<std::string> xfer_targets;     // dotted quads (xfer starve)
+
+  double max_loss = 0.9;           // loss-burst probability ceiling
+  double max_latency_ms = 400.0;   // latency-spike ceiling (one-way ms)
+  double max_slow_ms = 1000.0;     // server-slow ceiling (ms)
+  net::Duration min_window = net::Duration::seconds(30);
+};
+
+/// Draws a valid schedule from the space; deterministic in (space, rng
+/// state). Events are emitted in start-time order. Returns an empty
+/// schedule when every target pool is empty or events == 0.
+[[nodiscard]] FaultSchedule random_schedule(const ChaosSpace& space,
+                                            stats::Rng rng);
+
+}  // namespace recwild::fault

@@ -1,0 +1,280 @@
+#include "fault/injector.hpp"
+
+#include <charconv>
+#include <optional>
+#include <stdexcept>
+
+#include "authns/secondary.hpp"
+#include "obs/names.hpp"
+
+namespace recwild::fault {
+
+namespace {
+
+/// Parses a dotted-quad address ("10.0.0.7"); nullopt on anything else.
+std::optional<net::IpAddress> parse_address(std::string_view s) {
+  std::array<std::uint32_t, 4> octets{};
+  const char* p = s.data();
+  const char* const end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    std::uint32_t v = 0;
+    const auto [ptr, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || ptr == p || v > 255) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = v;
+    p = ptr;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return net::IpAddress{(octets[0] << 24) | (octets[1] << 16) |
+                        (octets[2] << 8) | octets[3]};
+}
+
+[[noreturn]] void target_error(std::size_t event, const std::string& what) {
+  throw std::invalid_argument("fault event " + std::to_string(event) + ": " +
+                              what);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(net::Network& network, FaultSchedule schedule)
+    : network_(network),
+      schedule_(std::move(schedule)),
+      rng_parent_(network.sim().rng().fork("fault-injector")) {
+  auto& registry = network_.sim().metrics();
+  obs_dropped_ = &registry.counter(obs::names::kFaultPacketsDropped);
+  obs_delayed_ = &registry.counter(obs::names::kFaultPacketsDelayed);
+}
+
+FaultInjector::~FaultInjector() { disarm(); }
+
+void FaultInjector::bind_server(authns::AuthServer& server) {
+  servers_.emplace_back(server.identity(), &server);
+}
+
+void FaultInjector::disarm() {
+  if (hook_installed_) {
+    if (network_.fault_hook() == this) network_.set_fault_hook(nullptr);
+    hook_installed_ = false;
+  }
+  for (authns::AuthServer* server : provided_) {
+    server->set_fault_provider(nullptr);
+  }
+  provided_.clear();
+  loss_.clear();
+  spikes_.clear();
+  partitions_.clear();
+  blackholes_.clear();
+  starves_.clear();
+  loss_rngs_.clear();
+  armed_ = false;
+}
+
+void FaultInjector::arm() {
+  disarm();
+  schedule_.validate();
+
+  // Per-server list of targeting events, built while compiling.
+  std::vector<std::vector<FaultEvent>> server_events(servers_.size());
+
+  const auto& events = schedule_.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    switch (e.kind) {
+      case FaultKind::LossBurst:
+      case FaultKind::LatencySpike:
+      case FaultKind::Partition: {
+        PathFault pf;
+        pf.event = i;
+        if (e.target_a != "*") {
+          pf.a = network_.find_node(e.target_a);
+          if (pf.a == net::kInvalidNode) {
+            target_error(i, "unknown node '" + e.target_a + "'");
+          }
+        }
+        if (e.target_b != "*") {
+          pf.b = network_.find_node(e.target_b);
+          if (pf.b == net::kInvalidNode) {
+            target_error(i, "unknown node '" + e.target_b + "'");
+          }
+        }
+        if (e.kind == FaultKind::LossBurst) {
+          loss_.push_back(pf);
+        } else if (e.kind == FaultKind::LatencySpike) {
+          spikes_.push_back(pf);
+        } else {
+          partitions_.push_back(pf);
+        }
+        break;
+      }
+      case FaultKind::Blackhole:
+      case FaultKind::XferStarve: {
+        AddressFault af;
+        af.event = i;
+        if (e.target_a == "*") {
+          af.wildcard = true;
+        } else {
+          const auto addr = parse_address(e.target_a);
+          if (!addr) {
+            target_error(i, "bad address '" + e.target_a + "'");
+          }
+          af.address = *addr;
+        }
+        (e.kind == FaultKind::Blackhole ? blackholes_ : starves_)
+            .push_back(af);
+        break;
+      }
+      case FaultKind::ServerCrash:
+      case FaultKind::ServerRefuse:
+      case FaultKind::ServerSlow: {
+        bool matched = false;
+        for (std::size_t s = 0; s < servers_.size(); ++s) {
+          if (e.target_a == "*" || servers_[s].first == e.target_a) {
+            server_events[s].push_back(e);
+            matched = true;
+          }
+        }
+        if (!matched) {
+          target_error(i, "unknown server identity '" + e.target_a + "'");
+        }
+        break;
+      }
+    }
+  }
+
+  // Install composed per-server providers: the worst active mode wins
+  // (Crash > Refuse > Slow); concurrent Slow delays sum.
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (server_events[s].empty()) continue;
+    authns::AuthServer* server = servers_[s].second;
+    server->set_fault_provider(
+        [evs = std::move(server_events[s])](net::SimTime now) {
+          authns::AuthFaultState state;
+          for (const FaultEvent& e : evs) {
+            if (!e.active(now)) continue;
+            if (e.kind == FaultKind::ServerCrash) {
+              state.mode = authns::AuthFailMode::Unresponsive;
+              return state;
+            }
+            if (e.kind == FaultKind::ServerRefuse) {
+              state.mode = authns::AuthFailMode::Refused;
+            } else if (state.mode == authns::AuthFailMode::None) {
+              state.mode = authns::AuthFailMode::Slow;
+            }
+            if (e.kind == FaultKind::ServerSlow) {
+              state.extra_delay +=
+                  net::Duration::millis(e.magnitude_at(now));
+            }
+          }
+          if (state.mode == authns::AuthFailMode::Refused) {
+            state.extra_delay = net::Duration::zero();
+          }
+          return state;
+        });
+    provided_.push_back(server);
+  }
+
+  if (!loss_.empty() || !spikes_.empty() || !partitions_.empty() ||
+      !blackholes_.empty() || !starves_.empty()) {
+    network_.set_fault_hook(this);
+    hook_installed_ = true;
+  }
+
+  emit_arm_obs();
+  armed_ = true;
+}
+
+void FaultInjector::emit_arm_obs() {
+  auto& sim = network_.sim();
+  obs::Counter& armed = sim.metrics().counter(obs::names::kFaultEventsArmed);
+  for (const FaultEvent& e : schedule_.events()) {
+    // Stamped with the event's own window times, not now(): replicas arm
+    // during world build, and export stamps must match the serial run.
+    armed.add(1, e.start);
+    if (sim.trace().enabled()) {
+      std::string subject = e.target_a;
+      if (!e.target_b.empty()) subject += "|" + e.target_b;
+      sim.trace().record({e.start, obs::TraceKind::FaultOn, "fault-injector",
+                          subject, std::string(to_string(e.kind)),
+                          e.magnitude});
+      sim.trace().record({e.end, obs::TraceKind::FaultOff, "fault-injector",
+                          subject, std::string(to_string(e.kind)),
+                          e.magnitude_end < 0 ? e.magnitude
+                                              : e.magnitude_end});
+    }
+  }
+}
+
+stats::Rng& FaultInjector::loss_rng(std::size_t event, net::NodeId from,
+                                    net::NodeId to) {
+  const std::uint64_t flow =
+      (std::uint64_t{from} << 32) | std::uint64_t{to};
+  const auto key = std::make_pair(std::uint64_t{event}, flow);
+  auto it = loss_rngs_.find(key);
+  if (it == loss_rngs_.end()) {
+    it = loss_rngs_
+             .emplace(key, rng_parent_.fork("loss", event).fork(flow))
+             .first;
+  }
+  return it->second;
+}
+
+net::FaultVerdict FaultInjector::on_packet(net::NodeId from, net::NodeId to,
+                                           const net::Endpoint& src,
+                                           const net::Endpoint& dst,
+                                           bool via_stream, net::SimTime now) {
+  net::FaultVerdict verdict;
+  const auto& events = schedule_.events();
+
+  for (const AddressFault& bh : blackholes_) {
+    if (!events[bh.event].active(now)) continue;
+    if (bh.wildcard || dst.addr == bh.address) {
+      verdict.drop = true;
+      obs_dropped_->add(1, now);
+      return verdict;
+    }
+  }
+  for (const PathFault& pf : partitions_) {
+    if (!events[pf.event].active(now)) continue;
+    if (pf.matches(from, to)) {
+      verdict.drop = true;
+      obs_dropped_->add(1, now);
+      return verdict;
+    }
+  }
+  if (src.port == authns::kXfrClientPort ||
+      dst.port == authns::kXfrClientPort) {
+    for (const AddressFault& st : starves_) {
+      if (!events[st.event].active(now)) continue;
+      if (st.wildcard || src.addr == st.address || dst.addr == st.address) {
+        verdict.drop = true;
+        obs_dropped_->add(1, now);
+        return verdict;
+      }
+    }
+  }
+  if (!via_stream) {
+    for (const PathFault& pf : loss_) {
+      const FaultEvent& e = events[pf.event];
+      if (!e.active(now) || !pf.matches(from, to)) continue;
+      if (loss_rng(pf.event, from, to).chance(e.magnitude_at(now))) {
+        verdict.drop = true;
+        obs_dropped_->add(1, now);
+        return verdict;
+      }
+    }
+  }
+  for (const PathFault& pf : spikes_) {
+    const FaultEvent& e = events[pf.event];
+    if (!e.active(now) || !pf.matches(from, to)) continue;
+    verdict.extra_delay += net::Duration::millis(e.magnitude_at(now));
+  }
+  if (verdict.extra_delay > net::Duration::zero()) {
+    obs_delayed_->add(1, now);
+  }
+  return verdict;
+}
+
+}  // namespace recwild::fault

@@ -1,0 +1,120 @@
+// FaultInjector: compiles a FaultSchedule against a concrete world and
+// enforces it, deterministically.
+//
+// Two enforcement channels, both pull-based (nothing is ever scheduled on
+// the event queue — scheduled transitions would fire once per campaign
+// replica and break the sharded engines' merge identity):
+//  * a net::PacketFaultHook the network consults per packet (path,
+//    blackhole, partition, loss, latency-spike and transfer-starvation
+//    faults);
+//  * an authns::AuthFaultProvider installed on each bound server
+//    (crash / refuse / slow faults), evaluated per received query.
+//
+// All fault observability — the fault.events.armed counter and the
+// FaultOn/FaultOff trace events — is emitted once at arm() time (world
+// construction) but stamped with each event's window times. Campaign
+// replicas snapshot their baseline AFTER world construction, so arm-time
+// emissions land in the baseline and are excluded from per-shard deltas:
+// the serial world emits them exactly once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "authns/server.hpp"
+#include "fault/schedule.hpp"
+#include "net/network.hpp"
+#include "stats/rng.hpp"
+
+namespace recwild::fault {
+
+class FaultInjector final : public net::PacketFaultHook {
+ public:
+  /// Binds to `network`; call bind_server() for every authoritative the
+  /// schedule may target, then arm(). The injector must outlive arm() and
+  /// be destroyed (or disarm()ed) before the network and servers.
+  FaultInjector(net::Network& network, FaultSchedule schedule);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers a server as a potential target of server faults, keyed by
+  /// its identity(). Call before arm().
+  void bind_server(authns::AuthServer& server);
+
+  /// Resolves every event's symbolic targets against the world (node names
+  /// via Network::find_node, server identities via bind_server, dotted-quad
+  /// addresses parsed), installs the packet hook (only when a packet-level
+  /// fault exists) and the per-server providers, and emits the arm-time
+  /// observability. Throws std::invalid_argument on an unknown target.
+  /// Idempotent via disarm(): arming twice disarms first.
+  void arm();
+
+  /// Removes the packet hook and all installed providers. Safe to call
+  /// repeatedly; the destructor calls it.
+  void disarm();
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  // net::PacketFaultHook
+  [[nodiscard]] net::FaultVerdict on_packet(net::NodeId from, net::NodeId to,
+                                            const net::Endpoint& src,
+                                            const net::Endpoint& dst,
+                                            bool via_stream,
+                                            net::SimTime now) override;
+
+ private:
+  struct PathFault {
+    std::size_t event;         // index into schedule_.events()
+    net::NodeId a = net::kInvalidNode;  // kInvalidNode = wildcard
+    net::NodeId b = net::kInvalidNode;
+    [[nodiscard]] bool matches(net::NodeId from, net::NodeId to) const {
+      const bool fwd = (a == net::kInvalidNode || a == from) &&
+                       (b == net::kInvalidNode || b == to);
+      const bool rev = (a == net::kInvalidNode || a == to) &&
+                       (b == net::kInvalidNode || b == from);
+      return fwd || rev;
+    }
+  };
+  struct AddressFault {
+    std::size_t event;
+    net::IpAddress address;  // unspecified = wildcard
+    bool wildcard = false;
+  };
+
+  /// Per-(event, directed flow) loss stream, forked lazily off a parent
+  /// that never advances — the same identity-keying discipline as
+  /// Network::flow_rng, so loss draws are independent of unrelated traffic.
+  stats::Rng& loss_rng(std::size_t event, net::NodeId from, net::NodeId to);
+
+  void emit_arm_obs();
+
+  net::Network& network_;
+  FaultSchedule schedule_;
+  bool armed_ = false;
+  bool hook_installed_ = false;
+
+  std::vector<std::pair<std::string, authns::AuthServer*>> servers_;
+  std::vector<authns::AuthServer*> provided_;  // providers installed
+
+  std::vector<PathFault> loss_;
+  std::vector<PathFault> spikes_;
+  std::vector<PathFault> partitions_;
+  std::vector<AddressFault> blackholes_;
+  std::vector<AddressFault> starves_;
+
+  stats::Rng rng_parent_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, stats::Rng> loss_rngs_;
+
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_delayed_ = nullptr;
+};
+
+}  // namespace recwild::fault

@@ -1,0 +1,348 @@
+#include "fault/schedule.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace recwild::fault {
+
+namespace {
+
+struct KindName {
+  FaultKind kind;
+  std::string_view name;
+};
+
+constexpr std::array<KindName, 8> kKindNames{{
+    {FaultKind::LossBurst, "loss_burst"},
+    {FaultKind::LatencySpike, "latency_spike"},
+    {FaultKind::Blackhole, "blackhole"},
+    {FaultKind::Partition, "partition"},
+    {FaultKind::ServerCrash, "server_crash"},
+    {FaultKind::ServerRefuse, "server_refuse"},
+    {FaultKind::ServerSlow, "server_slow"},
+    {FaultKind::XferStarve, "xfer_starve"},
+}};
+
+[[nodiscard]] bool is_path_kind(FaultKind kind) noexcept {
+  return kind == FaultKind::LossBurst || kind == FaultKind::LatencySpike ||
+         kind == FaultKind::Partition;
+}
+
+/// Formats a double the way the trace writer does: shortest round-trip
+/// representation via to_chars, so exports are bit-stable.
+std::string format_double(double v) {
+  std::array<char, 32> buf{};
+  const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf.data(), end);
+}
+
+[[noreturn]] void line_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("fault schedule line " + std::to_string(line) +
+                           ": " + what);
+}
+
+double parse_double(const std::string& s, std::size_t line,
+                    const char* field) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    line_error(line, std::string("bad ") + field + " '" + s + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& s, std::size_t line,
+                       const char* field) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    line_error(line, std::string("bad ") + field + " '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+FaultKind fault_kind_from_string(std::string_view name) {
+  for (const auto& [k, n] : kKindNames) {
+    if (n == name) return k;
+  }
+  throw std::invalid_argument("unknown fault kind '" + std::string(name) +
+                              "'");
+}
+
+void FaultSchedule::validate() const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    const auto fail = [i](const std::string& what) {
+      throw std::invalid_argument("fault event " + std::to_string(i) + ": " +
+                                  what);
+    };
+    if (e.end <= e.start) fail("window must satisfy end > start");
+    if (e.target_a.empty()) fail("target_a must be non-empty");
+    if (is_path_kind(e.kind) && e.target_b.empty()) {
+      fail("path faults need target_b");
+    }
+    if (e.kind == FaultKind::LossBurst) {
+      if (e.magnitude < 0.0 || e.magnitude > 1.0 || e.magnitude_end > 1.0) {
+        fail("loss probability must be in [0, 1]");
+      }
+    }
+    if ((e.kind == FaultKind::LatencySpike ||
+         e.kind == FaultKind::ServerSlow) &&
+        e.magnitude < 0.0) {
+      fail("delay magnitude must be >= 0");
+    }
+  }
+}
+
+void write_schedule(std::ostream& out, const FaultSchedule& schedule) {
+  out << "# kind\tstart_us\tend_us\ttarget_a\ttarget_b\tmagnitude\t"
+         "magnitude_end\n";
+  for (const FaultEvent& e : schedule.events()) {
+    out << to_string(e.kind) << '\t' << e.start.count_micros() << '\t'
+        << e.end.count_micros() << '\t'
+        << (e.target_a.empty() ? "-" : e.target_a) << '\t'
+        << (e.target_b.empty() ? "-" : e.target_b) << '\t'
+        << format_double(e.magnitude) << '\t'
+        << format_double(e.magnitude_end) << '\n';
+  }
+}
+
+FaultSchedule read_schedule(std::istream& in) {
+  FaultSchedule schedule;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t tab = line.find('\t', pos);
+      fields.push_back(line.substr(pos, tab - pos));
+      if (tab == std::string::npos) break;
+      pos = tab + 1;
+    }
+    if (fields.size() != 7) {
+      line_error(line_no, "expected 7 tab-separated fields, got " +
+                              std::to_string(fields.size()));
+    }
+    FaultEvent e;
+    try {
+      e.kind = fault_kind_from_string(fields[0]);
+    } catch (const std::invalid_argument& ex) {
+      line_error(line_no, ex.what());
+    }
+    e.start =
+        net::SimTime::from_micros(parse_int(fields[1], line_no, "start_us"));
+    e.end = net::SimTime::from_micros(parse_int(fields[2], line_no, "end_us"));
+    e.target_a = fields[3] == "-" ? "" : fields[3];
+    e.target_b = fields[4] == "-" ? "" : fields[4];
+    e.magnitude = parse_double(fields[5], line_no, "magnitude");
+    e.magnitude_end = parse_double(fields[6], line_no, "magnitude_end");
+    schedule.add(std::move(e));
+  }
+  return schedule;
+}
+
+namespace {
+
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+/// Minimal recursive-descent reader for the exact shape write_schedule_json
+/// emits (the repo deliberately carries no JSON dependency).
+class JsonReader {
+ public:
+  explicit JsonReader(std::istream& in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text_ = buf.str();
+  }
+
+  FaultSchedule parse() {
+    FaultSchedule schedule;
+    skip_ws();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return schedule;
+    }
+    while (true) {
+      schedule.add(parse_event());
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' after event");
+      skip_ws();
+    }
+    return schedule;
+  }
+
+ private:
+  FaultEvent parse_event() {
+    FaultEvent e;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return e;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "kind") {
+        e.kind = fault_kind_from_string(parse_string());
+      } else if (key == "start_us") {
+        e.start = net::SimTime::from_micros(
+            static_cast<std::int64_t>(parse_number()));
+      } else if (key == "end_us") {
+        e.end = net::SimTime::from_micros(
+            static_cast<std::int64_t>(parse_number()));
+      } else if (key == "target_a") {
+        e.target_a = parse_string();
+      } else if (key == "target_b") {
+        e.target_b = parse_string();
+      } else if (key == "magnitude") {
+        e.magnitude = parse_number();
+      } else if (key == "magnitude_end") {
+        e.magnitude_end = parse_number();
+      } else {
+        fail("unknown key '" + key + "'");
+      }
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' after value");
+    }
+    return e;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+  }
+
+  double parse_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == begin) fail("expected a number");
+    const std::string tok = text_.substr(begin, pos_ - begin);
+    try {
+      return std::stod(tok);
+    } catch (const std::exception&) {
+      fail("bad number '" + tok + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (take() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("fault schedule JSON, offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_schedule_json(std::ostream& out, const FaultSchedule& schedule) {
+  out << "[";
+  bool first = true;
+  for (const FaultEvent& e : schedule.events()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"kind\": ";
+    write_json_string(out, std::string(to_string(e.kind)));
+    out << ", \"start_us\": " << e.start.count_micros()
+        << ", \"end_us\": " << e.end.count_micros() << ", \"target_a\": ";
+    write_json_string(out, e.target_a);
+    out << ", \"target_b\": ";
+    write_json_string(out, e.target_b);
+    out << ", \"magnitude\": " << format_double(e.magnitude)
+        << ", \"magnitude_end\": " << format_double(e.magnitude_end) << "}";
+  }
+  out << "\n]\n";
+}
+
+FaultSchedule read_schedule_json(std::istream& in) {
+  return JsonReader(in).parse();
+}
+
+}  // namespace recwild::fault

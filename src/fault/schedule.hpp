@@ -1,0 +1,139 @@
+// Deterministic fault schedules (the tentpole of the robustness work).
+//
+// A FaultSchedule is an ordered list of typed fault events, each active over
+// a half-open sim-time window [start, end). Faults describe *what degrades*
+// — a lossy path, a blackholed address, a crashed or lame server, a starved
+// zone transfer — declaratively; fault::FaultInjector compiles a schedule
+// against a concrete world and enforces it.
+//
+// Determinism contract: a schedule is pure data (no clocks, no RNG). All
+// randomness a fault needs (per-packet loss draws) is derived by the
+// injector from identity-keyed streams, so the same schedule over the same
+// world produces byte-identical metrics and traces at any shard count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace recwild::fault {
+
+/// What kind of degradation a FaultEvent injects.
+enum class FaultKind : std::uint8_t {
+  /// Path fault: UDP datagrams between nodes `target_a` and `target_b`
+  /// (either may be "*") are dropped with probability `magnitude` ([0,1],
+  /// optionally ramping to `magnitude_end`). Stream sends are unaffected —
+  /// the simulated TCP retransmits through loss.
+  LossBurst,
+  /// Path fault: traffic between the two node targets gains `magnitude`
+  /// extra one-way milliseconds (optionally ramping).
+  LatencySpike,
+  /// Address fault: every packet TO address `target_a` (dotted quad) is
+  /// dropped — the route to it has vanished.
+  Blackhole,
+  /// Path fault: ALL traffic (streams included) between the two node
+  /// targets is dropped symmetrically.
+  Partition,
+  /// Server fault: the authoritative with identity `target_a` (or "*")
+  /// receives queries but never answers (crashed process).
+  ServerCrash,
+  /// Server fault: the server answers every query with rcode REFUSED.
+  ServerRefuse,
+  /// Server fault: the server answers after `magnitude` extra milliseconds
+  /// of processing delay (optionally ramping — a response-delay ramp).
+  ServerSlow,
+  /// Transfer fault: zone-transfer traffic (SOA refresh / AXFR, identified
+  /// by the secondary's well-known client port) involving address
+  /// `target_a` (or "*") is dropped, starving secondaries of refreshes.
+  XferStarve,
+};
+
+/// Canonical lower-snake name ("loss_burst", ...).
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+/// Parses to_string's output back; throws std::invalid_argument.
+[[nodiscard]] FaultKind fault_kind_from_string(std::string_view name);
+
+/// One scheduled fault. Active over [start, end). Target semantics depend
+/// on the kind (see FaultKind): node names for path faults, dotted-quad
+/// addresses for Blackhole/XferStarve, server identities for server faults;
+/// "*" is a wildcard where documented. `magnitude` units also depend on the
+/// kind: probability for LossBurst, milliseconds for LatencySpike and
+/// ServerSlow, unused otherwise. When `magnitude_end` >= 0 the effective
+/// magnitude ramps linearly from `magnitude` at start to `magnitude_end`
+/// at end; negative (the default) means flat.
+struct FaultEvent {
+  FaultKind kind = FaultKind::LossBurst;
+  net::SimTime start;
+  net::SimTime end;
+  std::string target_a;
+  std::string target_b;
+  double magnitude = 0.0;
+  double magnitude_end = -1.0;
+
+  [[nodiscard]] bool active(net::SimTime now) const noexcept {
+    return start <= now && now < end;
+  }
+  /// The effective magnitude at `now` (linear ramp when magnitude_end >= 0;
+  /// callers must only ask while active()).
+  [[nodiscard]] double magnitude_at(net::SimTime now) const noexcept {
+    if (magnitude_end < 0.0 || end <= start) return magnitude;
+    const double f = (now - start).sec() / (end - start).sec();
+    return magnitude + (magnitude_end - magnitude) * f;
+  }
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// An ordered collection of fault events; plain data, copyable.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEvent> events)
+      : events_(std::move(events)) {}
+
+  FaultSchedule& add(FaultEvent event) {
+    events_.push_back(std::move(event));
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Checks structural sanity of every event: end > start, loss probability
+  /// in [0,1], non-negative delays, non-empty target_a, a target_b for path
+  /// kinds. Throws std::invalid_argument naming the offending event index.
+  void validate() const;
+
+  bool operator==(const FaultSchedule&) const = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Writes a schedule in the repo's tab-separated discipline, one event per
+/// line: `kind<TAB>start_us<TAB>end_us<TAB>target_a<TAB>target_b<TAB>
+/// magnitude<TAB>magnitude_end`. Empty targets are stored as "-".
+void write_schedule(std::ostream& out, const FaultSchedule& schedule);
+
+/// Parses write_schedule's format. Skips blank and `#` lines; throws
+/// std::runtime_error naming the line number on malformed input.
+[[nodiscard]] FaultSchedule read_schedule(std::istream& in);
+
+/// Writes the schedule as a deterministic JSON array of event objects
+/// (kind, start_us, end_us, target_a, target_b, magnitude, magnitude_end).
+void write_schedule_json(std::ostream& out, const FaultSchedule& schedule);
+
+/// Parses write_schedule_json's output (a strict subset of JSON: an array
+/// of flat objects with string/number fields). Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] FaultSchedule read_schedule_json(std::istream& in);
+
+}  // namespace recwild::fault

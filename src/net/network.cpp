@@ -99,6 +99,23 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
     obs_unroutable_->add(1, sim_.now());
     return false;
   }
+  Duration fault_delay = Duration::zero();
+  if (fault_hook_ != nullptr) {
+    const FaultVerdict verdict = fault_hook_->on_packet(
+        from_node, binding->node, src, dst, /*via_stream=*/false, sim_.now());
+    if (verdict.drop) {
+      ++dropped_;
+      obs_dropped_->add(1, sim_.now());
+      if (sim_.trace().enabled()) {
+        sim_.trace().record({sim_.now(), obs::TraceKind::PacketDrop,
+                             nodes_[from_node].name,
+                             nodes_[binding->node].name, "fault_injector",
+                             0.0});
+      }
+      return true;  // sent, but eaten by an active fault
+    }
+    fault_delay = verdict.extra_delay;
+  }
   stats::Rng& frng = flow_rng(from_node, binding->node);
   if (latency_.drop(frng)) {
     ++dropped_;
@@ -113,7 +130,7 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
   const NodeInfo& a = nodes_[from_node];
   const NodeInfo& b = nodes_[binding->node];
   const Duration delay =
-      latency_.one_way(a.id, a.point, b.id, b.point, frng);
+      fault_delay + latency_.one_way(a.id, a.point, b.id, b.point, frng);
   Datagram dgram{src, dst, sim_.now(), std::move(payload)};
   // Copy the handler: the binding may be replaced/unbound before delivery.
   DatagramHandler handler = binding->handler;
@@ -141,13 +158,33 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
     obs_unroutable_->add(1, sim_.now());
     return false;
   }
+  // Faults hit streams too: a blackholed/partitioned connection never
+  // completes (the sender sees silence, like a SYN into a null route), and
+  // latency spikes stretch the handshake.
+  Duration fault_delay = Duration::zero();
+  if (fault_hook_ != nullptr) {
+    const FaultVerdict verdict = fault_hook_->on_packet(
+        from_node, binding->node, src, dst, /*via_stream=*/true, sim_.now());
+    if (verdict.drop) {
+      ++dropped_;
+      obs_dropped_->add(1, sim_.now());
+      if (sim_.trace().enabled()) {
+        sim_.trace().record({sim_.now(), obs::TraceKind::PacketDrop,
+                             nodes_[from_node].name,
+                             nodes_[binding->node].name, "fault_injector",
+                             0.0});
+      }
+      return true;
+    }
+    fault_delay = verdict.extra_delay;
+  }
   // TCP is reliable: no drop. Cost model: SYN (one way) + SYN/ACK (one
   // way back) + payload (one way) = three one-way delays before the
   // message is in the receiver's hands.
   const NodeInfo& a = nodes_[from_node];
   const NodeInfo& b = nodes_[binding->node];
   stats::Rng& frng = flow_rng(from_node, binding->node);
-  Duration delay = Duration::zero();
+  Duration delay = fault_delay;
   for (int leg = 0; leg < 3; ++leg) {
     delay += latency_.one_way(a.id, a.point, b.id, b.point, frng);
   }
@@ -185,6 +222,13 @@ NodeId Network::route(NodeId from, IpAddress addr) {
       const Binding* alt = select_binding(from, ep);
       if (alt != nullptr) return alt->node;
     }
+  }
+  return kInvalidNode;
+}
+
+NodeId Network::find_node(std::string_view name) const {
+  for (const NodeInfo& n : nodes_) {
+    if (n.name == name) return n.id;
   }
   return kInvalidNode;
 }

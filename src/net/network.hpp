@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +46,31 @@ struct Datagram {
 /// Called on the receiving node. `at_node` identifies which node got the
 /// packet (relevant for anycast, where one address maps to several nodes).
 using DatagramHandler = std::function<void(const Datagram&, NodeId at_node)>;
+
+/// What a fault hook decided about one packet.
+struct FaultVerdict {
+  bool drop = false;
+  Duration extra_delay = Duration::zero();
+};
+
+/// Interface of the fault-injection layer (implemented by
+/// fault::FaultInjector; the network sees only this vtable so src/net
+/// stays free of fault headers). Consulted once per send()/send_stream()
+/// after routing, before the loss model; with no hook installed the cost
+/// is one null check per packet.
+class PacketFaultHook {
+ public:
+  virtual ~PacketFaultHook() = default;
+  /// Decides the fate of one packet already routed from node `from` to
+  /// node `to`. Must be deterministic in the packet's identity and sim
+  /// time — no wall clock, no dependence on unrelated traffic — or the
+  /// sharded engines' byte-identity guarantee breaks.
+  [[nodiscard]] virtual FaultVerdict on_packet(NodeId from, NodeId to,
+                                               const Endpoint& src,
+                                               const Endpoint& dst,
+                                               bool via_stream,
+                                               SimTime now) = 0;
+};
 
 class Network {
  public:
@@ -102,6 +128,18 @@ class Network {
   /// Nodes currently bound to an address (any port).
   [[nodiscard]] std::vector<NodeId> bound_nodes(IpAddress addr) const;
 
+  /// First node with this name, or kInvalidNode. Linear scan — meant for
+  /// symbolic target resolution at fault-schedule arm time, not per packet.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+
+  /// Installs (or, with nullptr, removes) the fault hook consulted on
+  /// every send. One hook per network; the caller keeps ownership and must
+  /// clear the hook before destroying it.
+  void set_fault_hook(PacketFaultHook* hook) noexcept { fault_hook_ = hook; }
+  [[nodiscard]] PacketFaultHook* fault_hook() const noexcept {
+    return fault_hook_;
+  }
+
   // Counters for tests and reports.
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
@@ -131,6 +169,7 @@ class Network {
   stats::Rng& flow_rng(NodeId from, NodeId to);
 
   Simulation& sim_;
+  PacketFaultHook* fault_hook_ = nullptr;
   LatencyModel latency_;
   stats::Rng flow_rng_parent_;
   std::unordered_map<std::uint64_t, stats::Rng> flow_rngs_;

@@ -17,7 +17,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 13> kKindNames{{
+constexpr std::array<KindName, 15> kKindNames{{
     {TraceKind::SelectServer, "select_server"},
     {TraceKind::PrimeServer, "prime_server"},
     {TraceKind::StickyLatch, "sticky_latch"},
@@ -31,6 +31,8 @@ constexpr std::array<KindName, 13> kKindNames{{
     {TraceKind::AuthQuery, "auth_query"},
     {TraceKind::Servfail, "servfail"},
     {TraceKind::Progress, "progress"},
+    {TraceKind::FaultOn, "fault_on"},
+    {TraceKind::FaultOff, "fault_off"},
 }};
 
 /// Deterministic value rendering: integers without a point, otherwise up to

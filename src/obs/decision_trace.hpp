@@ -39,6 +39,8 @@ enum class TraceKind : std::uint8_t {
   AuthQuery,        ///< An authoritative server answered (or swallowed) a query.
   Servfail,         ///< A resolution finished with SERVFAIL.
   Progress,         ///< A campaign vantage point finished its probe schedule.
+  FaultOn,          ///< A scheduled fault's window opens (src/fault).
+  FaultOff,         ///< A scheduled fault's window closes.
 };
 
 /// Canonical lower-snake name of a TraceKind (what the TSV format stores).

@@ -82,6 +82,27 @@ inline constexpr std::string_view kInfraTimeouts = "resolver.infra.timeouts";
 /// Servers placed on probation after the timeout streak.
 inline constexpr std::string_view kInfraBackoffs = "resolver.infra.backoffs";
 
+// --- resolver failure hardening (src/resolver) --------------------------
+/// Upstream transmissions whose timeout carried an exponential-backoff
+/// multiplier (at least one consecutive timeout already charged).
+inline constexpr std::string_view kResolverBackoffApplied =
+    "resolver.backoff.applied";
+/// Backed-off transmissions whose timeout hit the max_timeout ceiling.
+inline constexpr std::string_view kResolverBackoffCapped =
+    "resolver.backoff.capped";
+/// Servers placed in hold-down after repeated probations (InfraCache).
+inline constexpr std::string_view kResolverHolddownEntered =
+    "resolver.holddown.entered";
+/// Live queries routed to a held-down server as recovery probes.
+inline constexpr std::string_view kResolverHolddownProbes =
+    "resolver.holddown.probes";
+/// Held-down servers that answered a probe and left hold-down early.
+inline constexpr std::string_view kResolverHolddownRecovered =
+    "resolver.holddown.recovered";
+/// Resolutions terminated by the bounded-work deadline (SERVFAIL).
+inline constexpr std::string_view kResolverDeadlineExpired =
+    "resolver.deadline.expired";
+
 // --- selection policies (src/resolver/selection.cpp) --------------------
 /// Unknown servers primed with a random SRTT (BIND behaviour).
 inline constexpr std::string_view kSelectionPrimed =
@@ -97,6 +118,21 @@ inline constexpr std::string_view kAuthnsQueries = "authns.queries";
 inline constexpr std::string_view kAuthnsResponses = "authns.responses";
 /// UDP responses truncated past the client's advertised size (TC=1).
 inline constexpr std::string_view kAuthnsTruncated = "authns.truncated";
+
+// --- fault injection (src/fault/injector.cpp) ---------------------------
+/// Schedule events resolved and armed by a FaultInjector. Counted at
+/// arm() time (world construction) but stamped with each event's
+/// window-start time, so sharded runs merge to the serial bytes.
+inline constexpr std::string_view kFaultEventsArmed = "fault.events.armed";
+/// Datagrams eaten by an active fault (blackhole, partition, loss burst,
+/// transfer starvation). Also counted in net.packets.dropped.
+inline constexpr std::string_view kFaultPacketsDropped =
+    "fault.packets.dropped";
+/// Datagrams delayed by an active latency-spike fault.
+inline constexpr std::string_view kFaultPacketsDelayed =
+    "fault.packets.delayed";
+/// Queries answered REFUSED because of an active server-refuse fault.
+inline constexpr std::string_view kFaultAuthRefused = "fault.auth.refused";
 
 // --- experiment engines (src/experiment/{campaign,production}.cpp) ------
 /// Vantage points whose probe schedule was placed on a shard.

@@ -37,6 +37,12 @@ void InfraCache::report_rtt(net::IpAddress server, net::Duration rtt,
   s.consecutive_timeouts = 0;
   s.last_update = now;
   if (s.backoff_until > now) s.backoff_until = now;  // recovered
+  if (s.in_holddown(now) && obs_holddown_recovered_ != nullptr) {
+    obs_holddown_recovered_->add(1, now);  // a probe got through
+  }
+  s.probation_streak = 0;
+  s.holddown_until = now;
+  s.next_probe_at = net::SimTime{};
 }
 
 void InfraCache::report_timeout(net::IpAddress server, net::SimTime now) {
@@ -68,6 +74,21 @@ void InfraCache::report_timeout(net::IpAddress server, net::SimTime now) {
         obs_backoffs_ != nullptr) {
       obs_backoffs_->add(1, now);
     }
+    // Every backoff_threshold-th timeout is one more probation without an
+    // intervening success; enough of those escalate to hold-down.
+    if (s.consecutive_timeouts % config_.backoff_threshold == 0) {
+      s.probation_streak += 1;
+    }
+    if (s.probation_streak >= config_.holddown_threshold) {
+      const bool entering = !s.in_holddown(now);
+      s.holddown_until = now + config_.holddown_duration;
+      if (entering) {
+        s.next_probe_at = now + config_.holddown_probe_interval;
+        if (obs_holddown_entered_ != nullptr) {
+          obs_holddown_entered_->add(1, now);
+        }
+      }
+    }
   }
 }
 
@@ -79,10 +100,23 @@ void InfraCache::decay(net::IpAddress server, double factor,
   // Aging does not refresh last_update: an unused entry still expires.
 }
 
+void InfraCache::note_probe(net::IpAddress server, net::SimTime now) {
+  auto it = entries_.find(server);
+  if (it == entries_.end()) return;
+  it->second.next_probe_at = now + config_.holddown_probe_interval;
+  if (obs_holddown_probes_ != nullptr) obs_holddown_probes_->add(1, now);
+}
+
 void InfraCache::attach_metrics(obs::MetricRegistry& registry) {
   obs_rtt_updates_ = &registry.counter(obs::names::kInfraRttUpdates);
   obs_timeouts_ = &registry.counter(obs::names::kInfraTimeouts);
   obs_backoffs_ = &registry.counter(obs::names::kInfraBackoffs);
+  obs_holddown_entered_ =
+      &registry.counter(obs::names::kResolverHolddownEntered);
+  obs_holddown_probes_ =
+      &registry.counter(obs::names::kResolverHolddownProbes);
+  obs_holddown_recovered_ =
+      &registry.counter(obs::names::kResolverHolddownRecovered);
 }
 
 std::size_t InfraCache::size(net::SimTime now) const {

@@ -30,17 +30,40 @@ struct InfraCacheConfig {
   int backoff_threshold = 3;
   /// Probation length once the threshold is hit.
   net::Duration backoff_duration = net::Duration::seconds(60);
+
+  /// Probations in a row (no intervening success) before a server is held
+  /// down: removed from selection entirely until a probe query recovers it
+  /// or the hold-down lapses. The escalation above probation.
+  int holddown_threshold = 2;
+  /// Hold-down length, refreshed by every further failure (failed probes
+  /// keep a dead server held down).
+  net::Duration holddown_duration = net::Duration::seconds(300);
+  /// Spacing of probe queries let through while a server is held down.
+  net::Duration holddown_probe_interval = net::Duration::seconds(30);
 };
 
 struct ServerStats {
   double srtt_ms = 0.0;
   double rttvar_ms = 0.0;
   int consecutive_timeouts = 0;
+  /// Probations entered since the last successful answer.
+  int probation_streak = 0;
   net::SimTime last_update;
   net::SimTime backoff_until;
+  net::SimTime holddown_until;
+  net::SimTime next_probe_at;
 
   [[nodiscard]] bool in_backoff(net::SimTime now) const noexcept {
     return now < backoff_until;
+  }
+  /// Held down: persistently failing, excluded from selection (stronger
+  /// than probation; see InfraCacheConfig::holddown_threshold).
+  [[nodiscard]] bool in_holddown(net::SimTime now) const noexcept {
+    return now < holddown_until;
+  }
+  /// A probe query may be routed to this held-down server now.
+  [[nodiscard]] bool probe_due(net::SimTime now) const noexcept {
+    return in_holddown(now) && now >= next_probe_at;
   }
   /// TCP-style retransmission timeout estimate (Unbound's RTO).
   [[nodiscard]] double rto_ms() const noexcept {
@@ -67,6 +90,11 @@ class InfraCache {
   /// a slightly-slower server is retried eventually.
   void decay(net::IpAddress server, double factor, net::SimTime now);
 
+  /// Records that a probe query was routed to a held-down server: pushes
+  /// its probe timer out by holddown_probe_interval. The probe's outcome
+  /// arrives through report_rtt (recovery) or report_timeout (extension).
+  void note_probe(net::IpAddress server, net::SimTime now);
+
   /// Number of live (non-expired) entries.
   [[nodiscard]] std::size_t size(net::SimTime now) const;
 
@@ -92,6 +120,9 @@ class InfraCache {
   obs::Counter* obs_rtt_updates_ = nullptr;
   obs::Counter* obs_timeouts_ = nullptr;
   obs::Counter* obs_backoffs_ = nullptr;
+  obs::Counter* obs_holddown_entered_ = nullptr;
+  obs::Counter* obs_holddown_probes_ = nullptr;
+  obs::Counter* obs_holddown_recovered_ = nullptr;
 };
 
 }  // namespace recwild::resolver

@@ -38,6 +38,8 @@ struct RecursiveResolver::Job {
   bool done = false;
   dns::Name current_zone;
   std::vector<net::IpAddress> failed_servers;
+  /// Bounded-work safety net (ResolverConfig::max_resolution_time).
+  net::EventId deadline_event = 0;
 };
 
 RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
@@ -64,6 +66,9 @@ RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
   obs_servfails_ = &m.counter(obs::names::kResolverServfails);
   obs_tcp_fallbacks_ = &m.counter(obs::names::kResolverTcpFallbacks);
   obs_failovers_ = &m.counter(obs::names::kResolverFailovers);
+  obs_backoff_applied_ = &m.counter(obs::names::kResolverBackoffApplied);
+  obs_backoff_capped_ = &m.counter(obs::names::kResolverBackoffCapped);
+  obs_deadline_expired_ = &m.counter(obs::names::kResolverDeadlineExpired);
   // 10 ms bins to 1 s for upstream RTTs; 50 ms bins to 5 s end-to-end.
   obs_rtt_hist_ =
       &m.histogram(obs::names::kResolverUpstreamRttMs, 0.0, 1000.0, 100);
@@ -118,6 +123,17 @@ void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
   job->callbacks.push_back(std::move(cb));
   job->started_at = network_.sim().now();
   inflight_[key] = job;
+  // Bounded work: no resolution outlives max_resolution_time, whatever a
+  // fault schedule does to the servers. Cancelled in finish(); the weak
+  // capture keeps the deadline from extending the job's lifetime.
+  std::weak_ptr<Job> weak = job;
+  job->deadline_event =
+      network_.sim().after(config_.max_resolution_time, [this, weak] {
+        const auto j = weak.lock();
+        if (!j || j->done) return;
+        obs_deadline_expired_->add(1, network_.sim().now());
+        finish(j, dns::Rcode::ServFail);
+      });
   step(job);
 }
 
@@ -293,6 +309,40 @@ void RecursiveResolver::step(const std::shared_ptr<Job>& job) {
                     job->current_name.to_string(),
                     std::string{dns::to_string(job->original.qtype)}, 0.0});
   }
+  // Hold-down (see InfraCache): servers that kept failing through repeated
+  // probations are removed from selection; when one's probe timer is due,
+  // this query is routed to it as the probe — which is how a recovered
+  // server gets noticed before the hold-down lapses. Lowest address wins
+  // so the choice is deterministic. When every candidate is held down and
+  // no probe is due, selection proceeds over the full list (a resolver
+  // must send somewhere; the selectors' own usable() filter agrees).
+  net::IpAddress probe_target{};
+  bool probe_due = false;
+  {
+    std::vector<net::IpAddress> healthy;
+    healthy.reserve(candidates.size());
+    for (const auto& s : candidates) {
+      const ServerStats* st = infra_.get(s, now);
+      if (st == nullptr || !st->in_holddown(now)) {
+        healthy.push_back(s);
+      } else if (st->probe_due(now) && (!probe_due || s < probe_target)) {
+        probe_target = s;
+        probe_due = true;
+      }
+    }
+    if (!healthy.empty()) candidates = std::move(healthy);
+  }
+  if (probe_due) {
+    infra_.note_probe(probe_target, now);
+    if (trace_->enabled()) {
+      const ServerStats* st = infra_.get(probe_target, now);
+      trace_->record({now, obs::TraceKind::SelectServer, config_.name,
+                      probe_target.to_string(), zone.to_string(),
+                      st != nullptr ? st->srtt_ms : -1.0});
+    }
+    send_upstream(job, zone, probe_target);
+    return;
+  }
   const net::IpAddress server =
       selector_->select(zone, candidates, infra_, now, rng_);
   if (trace_->enabled()) {
@@ -335,16 +385,11 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
   ++upstream_sent_;
   obs_upstream_sent_->add(1, now);
 
-  // Adaptive retransmission timeout from the infra cache.
-  net::Duration timeout = config_.initial_timeout;
-  if (const ServerStats* st = infra_.get(server, now)) {
-    timeout = net::Duration::millis(st->srtt_ms * config_.retrans_factor);
-  }
-  timeout = std::clamp(timeout, config_.min_timeout, config_.max_timeout);
+  // Adaptive retransmission timeout from the infra cache (one funnel for
+  // all paths, clamped inside — see retransmit_timeout).
+  const net::Duration timeout = retransmit_timeout(server, now, via_tcp);
 
   (void)zone;  // the selector keys its own per-zone state
-
-  if (via_tcp) timeout += timeout;  // handshake costs an extra round trip
 
   Outstanding out;
   out.job = job;
@@ -366,6 +411,30 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
   } else {
     network_.send(node_, upstream_ep_, dst, wire);
   }
+}
+
+net::Duration RecursiveResolver::retransmit_timeout(net::IpAddress server,
+                                                    net::SimTime now,
+                                                    bool via_tcp) {
+  // max_timeout is the authoritative hard ceiling; guard against a
+  // misconfigured min above it (std::clamp requires lo <= hi).
+  const net::Duration hi = config_.max_timeout;
+  const net::Duration lo = std::min(config_.min_timeout, hi);
+  net::Duration timeout = config_.initial_timeout;
+  int streak = 0;
+  if (const ServerStats* st = infra_.get(server, now)) {
+    timeout = net::Duration::millis(st->srtt_ms * config_.retrans_factor);
+    streak = st->consecutive_timeouts;
+  }
+  if (via_tcp) timeout += timeout;  // handshake costs an extra round trip
+  if (streak > 0) {
+    // Jitterless exponential backoff: each consecutive timeout against
+    // this address doubles the next timeout, up to the ceiling.
+    obs_backoff_applied_->add(1, now);
+    for (int i = 0; i < streak && timeout < hi; ++i) timeout += timeout;
+    if (timeout > hi) obs_backoff_capped_->add(1, now);
+  }
+  return std::clamp(timeout, lo, hi);
 }
 
 void RecursiveResolver::on_upstream_timeout(std::uint64_t txkey) {
@@ -585,6 +654,8 @@ void RecursiveResolver::finish(const std::shared_ptr<Job>& job,
                                dns::Rcode rcode) {
   if (job->done) return;
   job->done = true;
+  network_.sim().cancel(job->deadline_event);
+  job->deadline_event = 0;
   const net::SimTime now = network_.sim().now();
   if (rcode == dns::Rcode::ServFail) {
     ++servfails_;

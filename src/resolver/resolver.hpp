@@ -46,12 +46,21 @@ struct ResolverConfig {
   InfraCacheConfig infra{};
   RecordCacheConfig cache{};
 
-  /// Per-transmission timeout bounds. With SRTT knowledge the timeout is
-  /// max(min_timeout, srtt*retrans_factor); without it, initial_timeout.
+  /// Per-transmission timeout bounds. With SRTT knowledge the base timeout
+  /// is srtt*retrans_factor; without it, initial_timeout. Consecutive
+  /// timeouts against the same address double it (jitterless exponential
+  /// backoff). Every path — SRTT, no-SRTT failover, the TCP retry — is
+  /// clamped to [min_timeout, max_timeout]; max_timeout is a hard ceiling.
   net::Duration initial_timeout = net::Duration::millis(750);
   net::Duration min_timeout = net::Duration::millis(500);
   net::Duration max_timeout = net::Duration::seconds(2);
   double retrans_factor = 3.0;
+
+  /// Bounded work: a hard deadline on one client resolution. Whatever a
+  /// fault schedule does to the servers, the job finishes (SERVFAIL) at
+  /// this age. Far above the normal worst case — max_upstream_queries
+  /// transmissions of max_timeout each — so it only fires as a safety net.
+  net::Duration max_resolution_time = net::Duration::seconds(60);
 
   /// Upper bound on upstream transmissions for one client query.
   int max_upstream_queries = 16;
@@ -140,6 +149,13 @@ class RecursiveResolver {
   struct Outstanding;
   void send_upstream(const std::shared_ptr<Job>& job, const dns::Name& zone,
                      net::IpAddress server, bool via_tcp = false);
+  /// The per-transmission timeout for `server` right now: base (SRTT or
+  /// initial), TCP handshake doubling, exponential backoff per consecutive
+  /// timeout, then one final clamp to [min_timeout, max_timeout]. The
+  /// single funnel for all timeout arithmetic.
+  [[nodiscard]] net::Duration retransmit_timeout(net::IpAddress server,
+                                                 net::SimTime now,
+                                                 bool via_tcp);
   void on_upstream_timeout(std::uint64_t txkey);
   void handle_response(const std::shared_ptr<Job>& job,
                        const dns::Message& resp, const Outstanding& out);
@@ -206,6 +222,9 @@ class RecursiveResolver {
   obs::Counter* obs_servfails_ = nullptr;
   obs::Counter* obs_tcp_fallbacks_ = nullptr;
   obs::Counter* obs_failovers_ = nullptr;
+  obs::Counter* obs_backoff_applied_ = nullptr;
+  obs::Counter* obs_backoff_capped_ = nullptr;
+  obs::Counter* obs_deadline_expired_ = nullptr;
   obs::Histogram* obs_rtt_hist_ = nullptr;
   obs::Histogram* obs_resolve_hist_ = nullptr;
 };

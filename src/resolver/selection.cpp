@@ -57,15 +57,17 @@ void ServerSelector::trace_event(obs::TraceKind kind, net::SimTime at,
 
 namespace {
 
-/// Servers not in backoff; falls back to all when everything is on
-/// probation (a resolver must send *somewhere*).
+/// Servers neither on probation nor held down; falls back to all when
+/// everything is excluded (a resolver must send *somewhere*).
 std::vector<net::IpAddress> usable(std::span<const net::IpAddress> servers,
                                    const InfraCache& infra,
                                    net::SimTime now) {
   std::vector<net::IpAddress> out;
   for (const auto& s : servers) {
     const ServerStats* st = infra.get(s, now);
-    if (st == nullptr || !st->in_backoff(now)) out.push_back(s);
+    if (st == nullptr || (!st->in_backoff(now) && !st->in_holddown(now))) {
+      out.push_back(s);
+    }
   }
   if (out.empty()) out.assign(servers.begin(), servers.end());
   return out;

@@ -165,6 +165,46 @@ TEST(Secondary, OnTransferredCallbackFires) {
   EXPECT_EQ(serials[0], 1u);
 }
 
+TEST(Secondary, TeardownWithInflightSoaCheckIsClean) {
+  World w;
+  // start() sends the initial SOA check synchronously and arms its
+  // query-timeout event. Destroy the SecondaryZone while both are live:
+  // the destructor must cancel the timeout (it used to leak, firing into
+  // a dead object) and the world must still drain.
+  w.secondary->start();
+  w.secondary.reset();
+  w.sim.run();
+  EXPECT_EQ(w.sim.pending(), 0u);
+}
+
+TEST(Secondary, StopCancelsARunningRefreshLoop) {
+  World w;
+  w.secondary->start();
+  w.sim.run_until(w.sim.now() + net::Duration::seconds(30));
+  ASSERT_TRUE(w.secondary->has_zone());
+  w.secondary->stop();
+  // Neither the refresh timer nor a query timeout survives stop().
+  w.sim.run();
+  EXPECT_EQ(w.sim.pending(), 0u);
+}
+
+TEST(Secondary, NotifyAfterStopDoesNotRearmTheLoop) {
+  World w;
+  w.primary->add_notify_target(dns::Name::parse("example.nl"),
+                               w.secondary_server->endpoint());
+  w.secondary->start();
+  w.sim.run_until(w.sim.now() + net::Duration::seconds(30));
+  ASSERT_EQ(w.secondary->serial(), 1u);
+  w.secondary->stop();
+  const auto checks = w.secondary->soa_checks();
+
+  w.primary->replace_zone(make_zone(9, "v9"));  // sends NOTIFY
+  w.sim.run();
+  EXPECT_EQ(w.secondary->soa_checks(), checks);  // nothing re-armed
+  EXPECT_EQ(w.secondary->serial(), 1u);
+  EXPECT_EQ(w.sim.pending(), 0u);
+}
+
 TEST(Axfr, OverUdpIsTruncated) {
   World w;
   const auto resp = w.primary->answer(

@@ -1,5 +1,8 @@
 #include "experiment/failure.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace recwild::experiment {
@@ -71,6 +74,73 @@ TEST(FailureScenario, PartialSiteFailureMilderThanFullFailure) {
   const auto full =
       run_failure_scenario(tb2, quick(FailureKind::ServiceDown));
   EXPECT_GE(partial.during.success_rate, full.during.success_rate - 0.02);
+}
+
+TEST(PhaseAccounting, BoundarySamplesLandInExactlyOnePhase) {
+  // Samples exactly on the window edges: [from, to) semantics mean a query
+  // started precisely at the event start belongs to "during", and one
+  // started precisely at the event end belongs to "after".
+  std::vector<FailureSample> samples = {
+      {0.0, true, 10.0},    // first instant of "before"
+      {9.999, true, 10.0},  // just before the event
+      {10.0, false, 0.0},   // exactly at event start -> during
+      {19.999, false, 0.0},
+      {20.0, true, 30.0},  // exactly at event end -> after
+      {29.999, true, 30.0},
+  };
+  const auto before = aggregate_phase(samples, 0, 10);
+  const auto during = aggregate_phase(samples, 10, 20);
+  const auto after = aggregate_phase(samples, 20, 30);
+  EXPECT_EQ(before.queries, 2u);
+  EXPECT_EQ(during.queries, 2u);
+  EXPECT_EQ(after.queries, 2u);
+  EXPECT_EQ(before.queries + during.queries + after.queries, samples.size());
+  EXPECT_DOUBLE_EQ(before.success_rate, 1.0);
+  EXPECT_DOUBLE_EQ(during.success_rate, 0.0);
+  EXPECT_DOUBLE_EQ(after.success_rate, 1.0);
+}
+
+TEST(PhaseAccounting, OnlySuccessesFeedTheLatencyQuantiles) {
+  std::vector<FailureSample> samples = {
+      {1.0, true, 100.0},
+      {2.0, false, 9'000.0},  // a timeout's elapsed must not pollute p50
+      {3.0, true, 200.0},
+  };
+  const auto phase = aggregate_phase(samples, 0, 10);
+  EXPECT_EQ(phase.queries, 3u);
+  EXPECT_NEAR(phase.median_latency_ms, 150.0, 1e-9);
+}
+
+TEST(FailureSchedule, OneServerCrashPerAffectedSite) {
+  auto tb = root_testbed();
+  auto cfg = quick(FailureKind::ServiceDown);
+  const auto schedule = failure_schedule(tb, cfg);
+  std::size_t expected = 0;
+  for (const std::size_t t : cfg.targets) {
+    expected += tb.roots().at(t).site_count();
+  }
+  ASSERT_EQ(schedule.size(), expected);
+  const auto start = net::SimTime::origin() + net::Duration::minutes(4);
+  const auto end = net::SimTime::origin() + net::Duration::minutes(8);
+  for (const auto& e : schedule.events()) {
+    EXPECT_EQ(e.kind, fault::FaultKind::ServerCrash);
+    EXPECT_EQ(e.start, start);  // 12 min run, event over [1/3, 2/3]
+    EXPECT_EQ(e.end, end);
+    EXPECT_FALSE(e.target_a.empty());
+  }
+  EXPECT_NO_THROW(schedule.validate());
+}
+
+TEST(FailureSchedule, SitesDownTakesTheConfiguredFraction) {
+  auto tb = root_testbed();
+  auto cfg = quick(FailureKind::SitesDown);
+  cfg.site_fraction = 0.5;
+  cfg.targets = {0};
+  const auto schedule = failure_schedule(tb, cfg);
+  const auto n_sites = tb.roots().at(0).site_count();
+  const auto expected = static_cast<std::size_t>(
+      std::max(1.0, 0.5 * static_cast<double>(n_sites)));
+  EXPECT_EQ(schedule.size(), expected);
 }
 
 TEST(FailureScenario, LetterSharesSumToOne) {

@@ -1,0 +1,149 @@
+// Chaos invariant harness (the tentpole's acceptance tests): seeded random
+// fault schedules over full campaigns must never break the engine's core
+// guarantees, whatever they take down —
+//  * every client query completes with SOME outcome (bounded work);
+//  * the event queue drains at teardown (no leaked events);
+//  * sim-time stamps are monotone in recording order on the serial run;
+//  * metrics JSON and canonical trace stay byte-identical for shard
+//    counts 1, 2 and 4.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "experiment/campaign.hpp"
+#include "fault/chaos.hpp"
+#include "obs/names.hpp"
+
+namespace recwild::fault {
+namespace {
+
+using experiment::CampaignConfig;
+using experiment::CampaignResult;
+using experiment::Testbed;
+using experiment::TestbedConfig;
+
+constexpr std::uint64_t kSeeds[] = {1009, 2027, 3041};
+
+TestbedConfig base_config() {
+  TestbedConfig cfg;
+  cfg.seed = 77;
+  cfg.population.probes = 48;
+  cfg.test_sites = {"DUB", "FRA", "GRU"};
+  cfg.trace_decisions = true;
+  return cfg;
+}
+
+/// Describes the world's fault surface by scouting a throwaway testbed:
+/// real server identities, node names and service addresses.
+ChaosSpace world_space() {
+  Testbed scout{base_config()};
+  ChaosSpace space;
+  space.horizon = net::Duration::minutes(20);
+  space.events = 5;
+  for (auto& svc : scout.test_services()) {
+    for (auto& site : svc.sites()) {
+      space.server_targets.push_back(site.server->identity());
+      space.node_targets.push_back(
+          scout.network().node(site.node).name);
+    }
+    space.address_targets.push_back(svc.address().to_string());
+  }
+  // One root letter in the mix: faults above the test domain.
+  auto& root = scout.roots().front();
+  space.server_targets.push_back(root.sites().front().server->identity());
+  return space;
+}
+
+struct ChaosRun {
+  CampaignResult result;
+  std::string metrics_json;
+  std::string trace_tsv;
+  std::size_t pending_after = 0;
+  bool trace_monotone = true;
+};
+
+ChaosRun run_chaos(const FaultSchedule& schedule, std::size_t shards) {
+  auto cfg = base_config();
+  cfg.faults = schedule;
+  Testbed tb{cfg};
+  CampaignConfig cc;
+  cc.interval = net::Duration::minutes(2);
+  cc.queries_per_vp = 4;
+  cc.shards = shards;
+
+  ChaosRun run;
+  run.result = run_campaign(tb, cc);
+  run.metrics_json =
+      run.result.metrics.to_json(obs::SnapshotStyle::MergeSafe);
+  std::ostringstream trace_out;
+  obs::write_trace(trace_out, tb.trace().canonical());
+  run.trace_tsv = trace_out.str();
+  run.pending_after = tb.sim().pending();
+  if (shards == 1) {
+    // On the serial run the RAW recording order must be time-monotone for
+    // every runtime event: decisions are recorded at their own sim time.
+    // FaultOn/FaultOff are exempt — they are declarative window markers
+    // emitted at arm time, stamped with (future) window times.
+    net::SimTime last;
+    for (const auto& e : tb.trace().events()) {
+      if (e.kind == obs::TraceKind::FaultOn ||
+          e.kind == obs::TraceKind::FaultOff) {
+        continue;
+      }
+      if (e.at < last) {
+        run.trace_monotone = false;
+        break;
+      }
+      last = e.at;
+    }
+  }
+  return run;
+}
+
+class ChaosInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosInvariants, HoldUnderRandomFaultSchedules) {
+  const ChaosSpace space = world_space();
+  const FaultSchedule schedule =
+      random_schedule(space, stats::Rng{GetParam()});
+  ASSERT_FALSE(schedule.empty());
+
+  const ChaosRun serial = run_chaos(schedule, 1);
+  const ChaosRun two = run_chaos(schedule, 2);
+  const ChaosRun four = run_chaos(schedule, 4);
+
+  // Byte-identity across shard counts, faults and all.
+  EXPECT_EQ(serial.metrics_json, two.metrics_json);
+  EXPECT_EQ(serial.metrics_json, four.metrics_json);
+  EXPECT_FALSE(serial.trace_tsv.empty());
+  EXPECT_EQ(serial.trace_tsv, two.trace_tsv);
+  EXPECT_EQ(serial.trace_tsv, four.trace_tsv);
+
+  // Bounded work: every VP query has an outcome (an answer slot or a
+  // recorded timeout; never a hole).
+  for (const auto& vp : serial.result.vps) {
+    EXPECT_EQ(vp.sequence.size(), 4u) << "vp " << vp.probe_id;
+  }
+  const auto& m = serial.result.metrics;
+  EXPECT_EQ(m.counter_value(obs::names::kCampaignQueriesSent),
+            m.counter_value(obs::names::kCampaignQueriesAnswered) +
+                m.counter_value(obs::names::kCampaignQueriesUnanswered));
+
+  // No event-queue leaks at teardown; clean sim-time bookkeeping.
+  EXPECT_EQ(serial.pending_after, 0u);
+  EXPECT_EQ(two.pending_after, 0u);
+  EXPECT_EQ(four.pending_after, 0u);
+  EXPECT_TRUE(serial.trace_monotone);
+
+  // The schedule was armed: every event shows up in the merged metrics.
+  EXPECT_EQ(m.counter_value(obs::names::kFaultEventsArmed),
+            schedule.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedSeeds, ChaosInvariants,
+                         ::testing::ValuesIn(kSeeds));
+
+}  // namespace
+}  // namespace recwild::fault

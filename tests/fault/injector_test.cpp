@@ -1,0 +1,347 @@
+// Behavioural coverage of the FaultInjector: every FaultKind enforced over
+// a tiny hand-built world, plus the arm-time observability contract.
+#include "fault/injector.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "authns/secondary.hpp"
+#include "obs/names.hpp"
+
+namespace recwild::fault {
+namespace {
+
+constexpr const char* kZoneText = R"(
+$TTL 3600
+@    IN SOA ns1 hostmaster 1 14400 3600 1209600 300
+@    IN NS  ns1
+ns1  IN A   192.0.2.1
+*    5 IN TXT "FRA"
+)";
+
+net::SimTime at_s(double s) {
+  return net::SimTime::origin() + net::Duration::seconds(s);
+}
+
+struct World {
+  net::Simulation sim{91};
+  net::LatencyParams params;
+  std::unique_ptr<net::Network> net;
+  net::NodeId server_node = net::kInvalidNode;
+  net::NodeId client_node = net::kInvalidNode;
+  net::Endpoint server_ep;
+  net::Endpoint client_ep;
+  std::unique_ptr<authns::AuthServer> server;
+  std::vector<dns::Message> received;
+  std::vector<net::SimTime> received_at;
+
+  World() {
+    params.loss_rate = 0.0;
+    net = std::make_unique<net::Network>(sim, params);
+    server_node = net->add_node("auth-node", net::find_location("FRA")->point);
+    client_node = net->add_node("client-node",
+                                net::find_location("AMS")->point);
+    server_ep = net::Endpoint{net->allocate_address(), net::kDnsPort};
+    client_ep = net::Endpoint{net->allocate_address(), 5555};
+    authns::AuthServerConfig cfg;
+    cfg.identity = "testsrv.fra";
+    server = std::make_unique<authns::AuthServer>(*net, server_node,
+                                                  server_ep, cfg);
+    server->add_zone(authns::Zone::from_text(
+        dns::Name::parse("ourtestdomain.nl"), kZoneText));
+    server->start();
+    net->listen(client_node, client_ep,
+                [this](const net::Datagram& d, net::NodeId) {
+                  received.push_back(dns::decode_message(d.payload));
+                  received_at.push_back(sim.now());
+                });
+  }
+
+  /// Schedules a TXT query at sim time `at` and runs the world dry.
+  void query_at(net::SimTime at, std::uint16_t id) {
+    sim.at(at, [this, id] {
+      net->send(client_node, client_ep, server_ep,
+                dns::encode_message(dns::Message::make_query(
+                    id, dns::Name::parse("x.ourtestdomain.nl"),
+                    dns::RRType::TXT)));
+    });
+    sim.run();
+  }
+
+  std::unique_ptr<FaultInjector> make_injector(FaultSchedule schedule) {
+    auto injector =
+        std::make_unique<FaultInjector>(*net, std::move(schedule));
+    injector->bind_server(*server);
+    return injector;
+  }
+};
+
+TEST(FaultInjector, ServerCrashSwallowsQueriesOnlyInsideTheWindow) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::ServerCrash, at_s(10), at_s(20), "testsrv.fra", "", 0.0,
+         -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  w.query_at(at_s(1), 1);    // before: answered
+  w.query_at(at_s(15), 2);   // during: swallowed
+  w.query_at(at_s(25), 3);   // after: answered
+  ASSERT_EQ(w.received.size(), 2u);
+  EXPECT_EQ(w.received[0].header.id, 1);
+  EXPECT_EQ(w.received[1].header.id, 3);
+  // The crashed server still receives and logs (a dead process's host
+  // still gets the packets).
+  EXPECT_EQ(w.server->queries_received(), 3u);
+}
+
+TEST(FaultInjector, ServerRefuseAnswersRefusedAndCounts) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::ServerRefuse, at_s(0), at_s(100), "testsrv.fra", "", 0.0,
+         -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  w.query_at(at_s(5), 7);
+  ASSERT_EQ(w.received.size(), 1u);
+  EXPECT_EQ(w.received[0].header.rcode, dns::Rcode::Refused);
+  EXPECT_EQ(w.sim.metrics().snapshot().counter_value(obs::names::kFaultAuthRefused), 1u);
+}
+
+TEST(FaultInjector, ServerSlowDelaysTheAnswer) {
+  // Same world/seed twice: identical path latency draws, so the only
+  // difference between the runs is the injected processing delay.
+  net::SimTime healthy_at;
+  {
+    World w;
+    w.query_at(at_s(5), 1);
+    ASSERT_EQ(w.received_at.size(), 1u);
+    healthy_at = w.received_at[0];
+  }
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::ServerSlow, at_s(0), at_s(100), "testsrv.fra", "", 250.0,
+         -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  w.query_at(at_s(5), 1);
+  ASSERT_EQ(w.received_at.size(), 1u);
+  EXPECT_NEAR((w.received_at[0] - healthy_at).ms(), 250.0, 1.0);
+}
+
+TEST(FaultInjector, WildcardTargetsEveryBoundServer) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::ServerCrash, at_s(0), at_s(100), "*", "", 0.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  w.query_at(at_s(5), 1);
+  EXPECT_TRUE(w.received.empty());
+}
+
+TEST(FaultInjector, BlackholeDropsPacketsToTheAddress) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::Blackhole, at_s(0), at_s(100),
+         w.server_ep.addr.to_string(), "", 0.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  w.query_at(at_s(5), 1);
+  EXPECT_TRUE(w.received.empty());
+  EXPECT_EQ(w.server->queries_received(), 0u);  // never arrived
+  EXPECT_EQ(
+      w.sim.metrics().snapshot().counter_value(obs::names::kFaultPacketsDropped), 1u);
+  EXPECT_EQ(w.net->dropped(), 1u);
+}
+
+TEST(FaultInjector, PartitionDropsBothDirectionsIncludingStreams) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::Partition, at_s(0), at_s(100), "auth-node",
+         "client-node", 0.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  w.query_at(at_s(5), 1);
+  EXPECT_TRUE(w.received.empty());
+  EXPECT_EQ(w.server->queries_received(), 0u);
+
+  // Streams don't cross a partition either.
+  bool stream_delivered = false;
+  w.net->listen(w.server_node, net::Endpoint{w.server_ep.addr, 999},
+                [&](const net::Datagram&, net::NodeId) {
+                  stream_delivered = true;
+                });
+  w.sim.at(at_s(6), [&w] {
+    w.net->send_stream(w.client_node, w.client_ep,
+                       net::Endpoint{w.server_ep.addr, 999}, {1, 2, 3});
+  });
+  w.sim.run();
+  EXPECT_FALSE(stream_delivered);
+}
+
+TEST(FaultInjector, FullLossBurstEatsUdpButNotStreams) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::LossBurst, at_s(0), at_s(100), "client-node",
+         "auth-node", 1.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  w.query_at(at_s(5), 1);
+  EXPECT_TRUE(w.received.empty());
+
+  bool stream_delivered = false;
+  w.net->listen(w.server_node, net::Endpoint{w.server_ep.addr, 999},
+                [&](const net::Datagram& d, net::NodeId) {
+                  stream_delivered = d.via_stream;
+                });
+  w.sim.at(at_s(6), [&w] {
+    w.net->send_stream(w.client_node, w.client_ep,
+                       net::Endpoint{w.server_ep.addr, 999}, {1, 2, 3});
+  });
+  w.sim.run();
+  EXPECT_TRUE(stream_delivered);
+}
+
+TEST(FaultInjector, ZeroLossBurstDropsNothing) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::LossBurst, at_s(0), at_s(100), "client-node",
+         "auth-node", 0.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  w.query_at(at_s(5), 1);
+  EXPECT_EQ(w.received.size(), 1u);
+}
+
+TEST(FaultInjector, LatencySpikeDelaysDelivery) {
+  net::SimTime healthy_at;
+  {
+    World w;
+    w.query_at(at_s(5), 1);
+    ASSERT_EQ(w.received_at.size(), 1u);
+    healthy_at = w.received_at[0];
+  }
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::LatencySpike, at_s(0), at_s(100), "client-node",
+         "auth-node", 80.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  w.query_at(at_s(5), 1);
+  ASSERT_EQ(w.received_at.size(), 1u);
+  // Both legs (query + response) gained 80 ms one-way.
+  EXPECT_NEAR((w.received_at[0] - healthy_at).ms(), 160.0, 1.0);
+  EXPECT_EQ(
+      w.sim.metrics().snapshot().counter_value(obs::names::kFaultPacketsDelayed), 2u);
+}
+
+TEST(FaultInjector, XferStarveDropsTransferPortTraffic) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::XferStarve, at_s(0), at_s(100),
+         w.server_ep.addr.to_string(), "", 0.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  // A "secondary" SOA refresh from the well-known transfer client port
+  // is starved...
+  w.sim.at(at_s(1), [&w] {
+    w.net->send(w.client_node,
+                net::Endpoint{w.client_ep.addr, authns::kXfrClientPort},
+                w.server_ep,
+                dns::encode_message(dns::Message::make_query(
+                    1, dns::Name::parse("ourtestdomain.nl"),
+                    dns::RRType::SOA)));
+  });
+  w.sim.run();
+  EXPECT_EQ(w.server->queries_received(), 0u);
+
+  // ...while ordinary resolver traffic to the same address flows.
+  w.query_at(at_s(2), 2);
+  EXPECT_EQ(w.received.size(), 1u);
+}
+
+TEST(FaultInjector, ArmEmitsCountersAndTraceStampedWithWindowTimes) {
+  World w;
+  w.sim.trace().set_enabled(true);
+  FaultSchedule s;
+  s.add({FaultKind::ServerCrash, at_s(10), at_s(20), "testsrv.fra", "", 0.0,
+         -1.0});
+  s.add({FaultKind::LossBurst, at_s(30), at_s(40), "client-node",
+         "auth-node", 0.25, 0.75});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  EXPECT_EQ(w.sim.metrics().snapshot().counter_value(obs::names::kFaultEventsArmed), 2u);
+  const auto& events = w.sim.trace().events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, obs::TraceKind::FaultOn);
+  EXPECT_EQ(events[0].at, at_s(10));
+  EXPECT_EQ(events[0].detail, "server_crash");
+  EXPECT_EQ(events[1].kind, obs::TraceKind::FaultOff);
+  EXPECT_EQ(events[1].at, at_s(20));
+  EXPECT_EQ(events[2].subject, "client-node|auth-node");
+  EXPECT_DOUBLE_EQ(events[2].value, 0.25);
+  EXPECT_DOUBLE_EQ(events[3].value, 0.75);  // ramp end magnitude
+}
+
+TEST(FaultInjector, UnknownTargetsThrow) {
+  World w;
+  {
+    FaultSchedule s;
+    s.add({FaultKind::ServerCrash, at_s(0), at_s(10), "no-such-server", "",
+           0.0, -1.0});
+    auto injector = w.make_injector(std::move(s));
+    EXPECT_THROW(injector->arm(), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;
+    s.add({FaultKind::Partition, at_s(0), at_s(10), "no-such-node",
+           "client-node", 0.0, -1.0});
+    auto injector = w.make_injector(std::move(s));
+    EXPECT_THROW(injector->arm(), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;
+    s.add({FaultKind::Blackhole, at_s(0), at_s(10), "not-an-address", "",
+           0.0, -1.0});
+    auto injector = w.make_injector(std::move(s));
+    EXPECT_THROW(injector->arm(), std::invalid_argument);
+  }
+}
+
+TEST(FaultInjector, ServerOnlyScheduleInstallsNoPacketHook) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::ServerCrash, at_s(0), at_s(10), "testsrv.fra", "", 0.0,
+         -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  EXPECT_EQ(w.net->fault_hook(), nullptr);
+}
+
+TEST(FaultInjector, DisarmRestoresTheWorld) {
+  World w;
+  FaultSchedule s;
+  s.add({FaultKind::Blackhole, at_s(0), at_s(100),
+         w.server_ep.addr.to_string(), "", 0.0, -1.0});
+  s.add({FaultKind::ServerCrash, at_s(0), at_s(100), "testsrv.fra", "", 0.0,
+         -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  EXPECT_EQ(w.net->fault_hook(), injector.get());
+  injector->disarm();
+  EXPECT_EQ(w.net->fault_hook(), nullptr);
+  w.query_at(at_s(5), 1);
+  EXPECT_EQ(w.received.size(), 1u);  // both faults gone
+}
+
+}  // namespace
+}  // namespace recwild::fault

@@ -1,0 +1,168 @@
+#include "fault/schedule.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace recwild::fault {
+namespace {
+
+FaultSchedule sample_schedule() {
+  FaultSchedule s;
+  s.add({FaultKind::LossBurst, net::SimTime::from_micros(1'000'000),
+         net::SimTime::from_micros(5'000'000), "node-a", "node-b", 0.5,
+         -1.0});
+  s.add({FaultKind::ServerCrash, net::SimTime::from_micros(2'000'000),
+         net::SimTime::from_micros(9'000'000), "a-root.FRA", "", 0.0, -1.0});
+  s.add({FaultKind::ServerSlow, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10'000'000), "*", "", 100.0, 900.0});
+  s.add({FaultKind::Blackhole, net::SimTime::from_micros(3'000'000),
+         net::SimTime::from_micros(4'000'000), "10.0.0.7", "", 0.0, -1.0});
+  s.add({FaultKind::XferStarve, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(60'000'000), "10.0.0.9", "", 0.0, -1.0});
+  return s;
+}
+
+TEST(FaultKindNames, RoundTripEveryKind) {
+  for (const FaultKind k :
+       {FaultKind::LossBurst, FaultKind::LatencySpike, FaultKind::Blackhole,
+        FaultKind::Partition, FaultKind::ServerCrash, FaultKind::ServerRefuse,
+        FaultKind::ServerSlow, FaultKind::XferStarve}) {
+    EXPECT_EQ(fault_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(fault_kind_from_string("earthquake"), std::invalid_argument);
+}
+
+TEST(FaultEvent, ActiveIsHalfOpen) {
+  FaultEvent e;
+  e.start = net::SimTime::from_micros(100);
+  e.end = net::SimTime::from_micros(200);
+  EXPECT_FALSE(e.active(net::SimTime::from_micros(99)));
+  EXPECT_TRUE(e.active(net::SimTime::from_micros(100)));
+  EXPECT_TRUE(e.active(net::SimTime::from_micros(199)));
+  EXPECT_FALSE(e.active(net::SimTime::from_micros(200)));
+}
+
+TEST(FaultEvent, FlatMagnitudeWithoutRamp) {
+  FaultEvent e;
+  e.start = net::SimTime::from_micros(0);
+  e.end = net::SimTime::from_micros(1'000'000);
+  e.magnitude = 0.4;
+  EXPECT_DOUBLE_EQ(e.magnitude_at(net::SimTime::from_micros(0)), 0.4);
+  EXPECT_DOUBLE_EQ(e.magnitude_at(net::SimTime::from_micros(999'999)), 0.4);
+}
+
+TEST(FaultEvent, LinearRampInterpolates) {
+  FaultEvent e;
+  e.start = net::SimTime::from_micros(0);
+  e.end = net::SimTime::from_micros(1'000'000);
+  e.magnitude = 100.0;
+  e.magnitude_end = 300.0;
+  EXPECT_DOUBLE_EQ(e.magnitude_at(net::SimTime::from_micros(0)), 100.0);
+  EXPECT_DOUBLE_EQ(e.magnitude_at(net::SimTime::from_micros(500'000)), 200.0);
+  EXPECT_NEAR(e.magnitude_at(net::SimTime::from_micros(1'000'000)), 300.0,
+              1e-9);
+}
+
+TEST(FaultScheduleValidate, AcceptsSaneSchedule) {
+  EXPECT_NO_THROW(sample_schedule().validate());
+}
+
+TEST(FaultScheduleValidate, RejectsEmptyWindow) {
+  FaultSchedule s;
+  s.add({FaultKind::ServerCrash, net::SimTime::from_micros(5),
+         net::SimTime::from_micros(5), "x", "", 0.0, -1.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, RejectsLossOutOfRange) {
+  FaultSchedule s;
+  s.add({FaultKind::LossBurst, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10), "a", "b", 1.5, -1.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, RejectsMissingTargets) {
+  FaultSchedule no_a;
+  no_a.add({FaultKind::ServerCrash, net::SimTime::from_micros(0),
+            net::SimTime::from_micros(10), "", "", 0.0, -1.0});
+  EXPECT_THROW(no_a.validate(), std::invalid_argument);
+
+  FaultSchedule no_b;
+  no_b.add({FaultKind::Partition, net::SimTime::from_micros(0),
+            net::SimTime::from_micros(10), "a", "", 0.0, -1.0});
+  EXPECT_THROW(no_b.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, NamesTheOffendingEvent) {
+  auto s = sample_schedule();
+  s.add({FaultKind::LatencySpike, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10), "a", "b", -3.0, -1.0});
+  try {
+    s.validate();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find("event 5"), std::string::npos)
+        << ex.what();
+  }
+}
+
+TEST(FaultScheduleTsv, RoundTripsExactly) {
+  const auto original = sample_schedule();
+  std::ostringstream out;
+  write_schedule(out, original);
+  std::istringstream in{out.str()};
+  const auto parsed = read_schedule(in);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(FaultScheduleTsv, ReportsLineNumberOnBadInput) {
+  std::istringstream in{"# comment\nloss_burst\t0\tnot-a-number\ta\tb\t0.5\t-1\n"};
+  try {
+    (void)read_schedule(in);
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& ex) {
+    EXPECT_NE(std::string(ex.what()).find("line 2"), std::string::npos)
+        << ex.what();
+  }
+}
+
+TEST(FaultScheduleTsv, RejectsWrongFieldCount) {
+  std::istringstream in{"loss_burst\t0\t10\ta\tb\t0.5\n"};
+  EXPECT_THROW((void)read_schedule(in), std::runtime_error);
+}
+
+TEST(FaultScheduleJson, RoundTripsExactly) {
+  const auto original = sample_schedule();
+  std::ostringstream out;
+  write_schedule_json(out, original);
+  std::istringstream in{out.str()};
+  const auto parsed = read_schedule_json(in);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(FaultScheduleJson, EmptyScheduleRoundTrips) {
+  std::ostringstream out;
+  write_schedule_json(out, FaultSchedule{});
+  std::istringstream in{out.str()};
+  EXPECT_TRUE(read_schedule_json(in).empty());
+}
+
+TEST(FaultScheduleJson, RejectsMalformedInput) {
+  std::istringstream truncated{"[{\"kind\": \"loss_burst\""};
+  EXPECT_THROW((void)read_schedule_json(truncated), std::runtime_error);
+  std::istringstream junk_key{"[{\"kindly\": \"loss_burst\"}]"};
+  EXPECT_THROW((void)read_schedule_json(junk_key), std::runtime_error);
+}
+
+TEST(FaultScheduleJson, DeterministicBytes) {
+  std::ostringstream a;
+  std::ostringstream b;
+  write_schedule_json(a, sample_schedule());
+  write_schedule_json(b, sample_schedule());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace recwild::fault

@@ -1,0 +1,251 @@
+// Failure hardening (the robustness satellites): the timeout funnel's hard
+// ceiling, jitterless exponential backoff, the InfraCache hold-down state
+// machine with probe-query recovery, and the bounded-work deadline.
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "obs/names.hpp"
+#include "resolver/infra_cache.hpp"
+#include "resolver/resolver.hpp"
+
+namespace recwild::resolver {
+namespace {
+
+net::SimTime at_s(double s) {
+  return net::SimTime::origin() + net::Duration::seconds(s);
+}
+
+// --- InfraCache hold-down state machine ------------------------------------
+
+struct HolddownFixture {
+  InfraCacheConfig cfg;
+  obs::MetricRegistry registry;
+  InfraCache cache;
+  net::IpAddress server{net::IpAddress::from_octets(10, 0, 0, 9)};
+
+  HolddownFixture() : cache{make_cfg()} { cache.attach_metrics(registry); }
+
+  static InfraCacheConfig make_cfg() {
+    InfraCacheConfig c;
+    c.backoff_threshold = 3;
+    c.backoff_duration = net::Duration::seconds(60);
+    c.holddown_threshold = 2;
+    c.holddown_duration = net::Duration::seconds(300);
+    c.holddown_probe_interval = net::Duration::seconds(30);
+    return c;
+  }
+
+  void timeouts(int n, net::SimTime at) {
+    for (int i = 0; i < n; ++i) cache.report_timeout(server, at);
+  }
+};
+
+TEST(InfraCacheHolddown, RepeatedProbationsEscalateToHolddown) {
+  HolddownFixture f;
+  // One probation (3 timeouts) is not enough...
+  f.timeouts(3, at_s(1));
+  const ServerStats* st = f.cache.get(f.server, at_s(1));
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->in_backoff(at_s(1)));
+  EXPECT_FALSE(st->in_holddown(at_s(1)));
+  // ...two probations in a row are.
+  f.timeouts(3, at_s(2));
+  st = f.cache.get(f.server, at_s(2));
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->in_holddown(at_s(2)));
+  EXPECT_EQ(
+      f.registry.snapshot().counter_value(obs::names::kResolverHolddownEntered), 1u);
+  // Held down for the configured duration; not forever.
+  EXPECT_TRUE(st->in_holddown(at_s(2 + 299)));
+  EXPECT_FALSE(st->in_holddown(at_s(2 + 301)));
+}
+
+TEST(InfraCacheHolddown, ProbeCadenceIsRateLimited) {
+  HolddownFixture f;
+  f.timeouts(6, at_s(0));
+  const ServerStats* st = f.cache.get(f.server, at_s(0));
+  ASSERT_NE(st, nullptr);
+  ASSERT_TRUE(st->in_holddown(at_s(0)));
+  // No probe before the interval elapses; due after it.
+  EXPECT_FALSE(st->probe_due(at_s(10)));
+  EXPECT_TRUE(st->probe_due(at_s(31)));
+  // Routing a probe pushes the next one out by a full interval.
+  f.cache.note_probe(f.server, at_s(31));
+  st = f.cache.get(f.server, at_s(31));
+  EXPECT_FALSE(st->probe_due(at_s(40)));
+  EXPECT_TRUE(st->probe_due(at_s(62)));
+  EXPECT_EQ(
+      f.registry.snapshot().counter_value(obs::names::kResolverHolddownProbes), 1u);
+}
+
+TEST(InfraCacheHolddown, FailedProbesRefreshTheHolddown) {
+  HolddownFixture f;
+  f.timeouts(6, at_s(0));
+  // A timeout near the end of the window pushes holddown_until out again
+  // (every further multiple-of-threshold failure keeps the streak going).
+  f.timeouts(3, at_s(290));
+  const ServerStats* st = f.cache.get(f.server, at_s(290));
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->in_holddown(at_s(400)));
+  // Still only ONE holddown entry counted: refresh, not re-entry.
+  EXPECT_EQ(
+      f.registry.snapshot().counter_value(obs::names::kResolverHolddownEntered), 1u);
+}
+
+TEST(InfraCacheHolddown, SuccessfulAnswerRecoversImmediately) {
+  HolddownFixture f;
+  f.timeouts(6, at_s(0));
+  ASSERT_TRUE(f.cache.get(f.server, at_s(5))->in_holddown(at_s(5)));
+  // A probe answer clears hold-down, probation and the streak at once.
+  f.cache.report_rtt(f.server, net::Duration::millis(30), at_s(40));
+  const ServerStats* st = f.cache.get(f.server, at_s(40));
+  ASSERT_NE(st, nullptr);
+  EXPECT_FALSE(st->in_holddown(at_s(40)));
+  EXPECT_FALSE(st->in_backoff(at_s(40)));
+  EXPECT_EQ(st->consecutive_timeouts, 0);
+  EXPECT_EQ(st->probation_streak, 0);
+  EXPECT_EQ(
+      f.registry.snapshot().counter_value(obs::names::kResolverHolddownRecovered), 1u);
+  // Recovered for good: it takes full re-escalation to hold it down again.
+  f.timeouts(3, at_s(50));
+  EXPECT_FALSE(f.cache.get(f.server, at_s(50))->in_holddown(at_s(50)));
+}
+
+TEST(InfraCacheHolddown, RecoveryOutsideHolddownCountsNothing) {
+  HolddownFixture f;
+  f.timeouts(2, at_s(0));  // not even probation
+  f.cache.report_rtt(f.server, net::Duration::millis(20), at_s(1));
+  EXPECT_EQ(
+      f.registry.snapshot().counter_value(obs::names::kResolverHolddownRecovered), 0u);
+}
+
+// --- Retransmission timeout funnel (resolver end-to-end) --------------------
+
+/// A world whose only authoritative address is unroutable: every upstream
+/// transmission times out, so the UpstreamTimeout trace events expose the
+/// exact timeout the funnel computed (their value is elapsed-at-expiry).
+struct DeadWorld {
+  net::Simulation sim{31};
+  net::LatencyParams params;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<RecursiveResolver> resolver;
+
+  explicit DeadWorld(ResolverConfig rcfg) {
+    params.loss_rate = 0.0;
+    net_ = std::make_unique<net::Network>(sim, params);
+    const net::NodeId rnode =
+        net_->add_node("recursive", net::find_location("AMS")->point);
+    sim.trace().set_enabled(true);
+    rcfg.name = "hardened";
+    resolver = std::make_unique<RecursiveResolver>(
+        *net_, rnode, net_->allocate_address(), rcfg,
+        std::vector<RootHint>{{dns::Name::parse("a.root-servers.net"),
+                               net_->allocate_address()}},
+        stats::Rng{555});
+    resolver->start();
+  }
+
+  ResolveOutcome resolve(const char* name) {
+    ResolveOutcome out;
+    resolver->resolve(
+        dns::Question{dns::Name::parse(name), dns::RRType::A,
+                      dns::RRClass::IN},
+        [&](const ResolveOutcome& o) { out = o; });
+    sim.run();
+    return out;
+  }
+
+  [[nodiscard]] std::vector<double> timeout_values() const {
+    std::vector<double> out;
+    for (const auto& e : sim.trace().events()) {
+      if (e.kind == obs::TraceKind::UpstreamTimeout) out.push_back(e.value);
+    }
+    return out;
+  }
+};
+
+TEST(TimeoutFunnel, EveryTimeoutRespectsTheHardCeiling) {
+  ResolverConfig cfg;
+  cfg.max_timeout = net::Duration::seconds(2);
+  DeadWorld w{cfg};
+  const auto out = w.resolve("x.test.nl");
+  EXPECT_EQ(out.rcode, dns::Rcode::ServFail);
+  const auto values = w.timeout_values();
+  ASSERT_FALSE(values.empty());
+  for (const double v : values) {
+    EXPECT_LE(v, cfg.max_timeout.ms() + 1e-6);
+    EXPECT_GE(v, cfg.min_timeout.ms() - 1e-6);
+  }
+}
+
+TEST(TimeoutFunnel, BackoffGrowsTimeoutsMonotonically) {
+  ResolverConfig cfg;
+  cfg.initial_timeout = net::Duration::millis(100);
+  cfg.min_timeout = net::Duration::millis(50);
+  cfg.max_timeout = net::Duration::seconds(2);
+  DeadWorld w{cfg};
+  (void)w.resolve("x.test.nl");
+  const auto values = w.timeout_values();
+  // Single dead server: consecutive timeouts against the same address, so
+  // the funnel's exponential backoff must be non-decreasing up to the cap.
+  ASSERT_GE(values.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  EXPECT_GT(values.back(), values.front());
+  const auto& m = w.sim.metrics();
+  EXPECT_GT(m.snapshot().counter_value(obs::names::kResolverBackoffApplied), 0u);
+  EXPECT_GT(m.snapshot().counter_value(obs::names::kResolverBackoffCapped), 0u);
+}
+
+TEST(TimeoutFunnel, MisconfiguredMinAboveMaxIsSafe) {
+  // min > max must not UB (std::clamp requires lo <= hi); max wins.
+  ResolverConfig cfg;
+  cfg.min_timeout = net::Duration::seconds(5);
+  cfg.max_timeout = net::Duration::seconds(2);
+  DeadWorld w{cfg};
+  const auto out = w.resolve("x.test.nl");
+  EXPECT_EQ(out.rcode, dns::Rcode::ServFail);
+  for (const double v : w.timeout_values()) {
+    EXPECT_LE(v, cfg.max_timeout.ms() + 1e-6);
+  }
+}
+
+// --- Bounded-work deadline --------------------------------------------------
+
+TEST(ResolutionDeadline, FiresWhenEverythingIsDead) {
+  ResolverConfig cfg;
+  cfg.max_resolution_time = net::Duration::seconds(3);
+  DeadWorld w{cfg};
+  const auto out = w.resolve("x.test.nl");
+  EXPECT_EQ(out.rcode, dns::Rcode::ServFail);
+  // The job cannot have outlived the deadline.
+  EXPECT_LE(out.elapsed.ms(), cfg.max_resolution_time.ms() + 1e-6);
+  // The queue drained: no leaked retransmission or deadline events.
+  EXPECT_EQ(w.sim.pending(), 0u);
+}
+
+TEST(ResolutionDeadline, DoesNotFireOnNormalFailure) {
+  // With the default 60 s deadline, the retransmission budget (16 tries of
+  // <= 2 s) exhausts first: deadline expiries stay at zero.
+  DeadWorld w{ResolverConfig{}};
+  (void)w.resolve("x.test.nl");
+  EXPECT_EQ(
+      w.sim.metrics().snapshot().counter_value(obs::names::kResolverDeadlineExpired),
+      0u);
+  EXPECT_EQ(w.sim.pending(), 0u);
+}
+
+TEST(ResolutionDeadline, CountsEveryExpiry) {
+  ResolverConfig cfg;
+  cfg.max_resolution_time = net::Duration::millis(700);
+  DeadWorld w{cfg};
+  (void)w.resolve("a.test.nl");
+  (void)w.resolve("b.test.nl");
+  EXPECT_EQ(
+      w.sim.metrics().snapshot().counter_value(obs::names::kResolverDeadlineExpired),
+      2u);
+}
+
+}  // namespace
+}  // namespace recwild::resolver
