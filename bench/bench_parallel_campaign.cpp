@@ -7,9 +7,12 @@
 //
 //   ./build/bench/bench_parallel_campaign --probes 10000 --seed 42
 //   ./build/bench/bench_parallel_campaign --shards 1,2,4,8 --queries 31
+//   ./build/bench/bench_parallel_campaign --json BENCH_campaign.json
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -19,6 +22,14 @@ using namespace recwild;
 using namespace recwild::experiment;
 
 namespace {
+
+// Pre-fastpath wall-clock for the canonical configuration (10k probes,
+// 31 queries/VP, seed 42, shards=1), measured on the seed revision of this
+// repo on the same class of machine. The speedup gate in BENCH_campaign.json
+// is computed against this constant.
+constexpr double kBaselineWallS = 11.32;
+constexpr std::size_t kBaselineProbes = 10'000;
+constexpr std::size_t kBaselineQueries = 31;
 
 std::string export_bytes(const CampaignResult& result) {
   std::ostringstream out;
@@ -31,6 +42,12 @@ std::string export_bytes(const CampaignResult& result) {
   return out.str();
 }
 
+struct RunRecord {
+  std::size_t shards = 0;
+  double wall_s = 0.0;
+  bool byte_identical = true;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -38,8 +55,11 @@ int main(int argc, char** argv) {
   if (opt.probes == 2'000) opt.probes = 10'000;  // bigger default here
   std::vector<std::size_t> shard_counts{1, 2, 4};
   std::size_t queries = 31;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shard_counts.clear();
       for (const char* p = argv[i + 1]; *p != '\0'; ++p) {
         if (*p >= '0' && *p <= '9') {
@@ -72,6 +92,7 @@ int main(int argc, char** argv) {
               "result");
   double serial_s = 0.0;
   std::string reference;
+  std::vector<RunRecord> runs;
   for (const std::size_t shards : shard_counts) {
     auto tb = benchutil::make_testbed(opt, "2C");
     CampaignConfig cc;
@@ -95,9 +116,53 @@ int main(int argc, char** argv) {
     }
     std::printf("%8zu %10.2fs %8.2fx %s\n", shards, secs,
                 serial_s > 0 ? serial_s / secs : 1.0, verdict);
+    runs.push_back(RunRecord{shards, secs, bytes == reference});
     if (shards == shard_counts.front()) {
       benchutil::export_obs(opt, result.metrics);
     }
+  }
+
+  if (!json_path.empty()) {
+    // The speedup-vs-baseline field is only meaningful on the canonical
+    // configuration the baseline was measured with.
+    const bool canonical =
+        opt.probes == kBaselineProbes && queries == kBaselineQueries;
+    const std::size_t total_queries = opt.probes * queries;
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"parallel_campaign\",\n"
+                 "  \"combination\": \"2C\",\n"
+                 "  \"probes\": %zu,\n"
+                 "  \"queries_per_vp\": %zu,\n"
+                 "  \"total_queries\": %zu,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"baseline\": {\"wall_s\": %.2f, \"note\": "
+                 "\"seed revision, shards=1, canonical config\"},\n"
+                 "  \"runs\": [\n",
+                 opt.probes, queries, total_queries,
+                 static_cast<unsigned long long>(opt.seed), kBaselineWallS);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& r = runs[i];
+      std::fprintf(f,
+                   "    {\"shards\": %zu, \"wall_s\": %.2f, "
+                   "\"queries_per_s\": %.0f, ",
+                   r.shards, r.wall_s, double(total_queries) / r.wall_s);
+      if (canonical) {
+        std::fprintf(f, "\"speedup_vs_baseline\": %.2f, ",
+                     kBaselineWallS / r.wall_s);
+      }
+      std::fprintf(f, "\"byte_identical\": %s}%s\n",
+                   r.byte_identical ? "true" : "false",
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("json -> %s\n", json_path.c_str());
   }
   return 0;
 }

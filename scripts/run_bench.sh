@@ -1,0 +1,28 @@
+#!/bin/sh
+# Canonical datapath benchmark runner. Builds (if needed) and runs the two
+# datapath benchmarks with their canonical arguments, leaving
+# BENCH_datapath.json and BENCH_campaign.json at the repo root. These are
+# the numbers quoted in EXPERIMENTS.md and gated by CI's nightly bench job.
+#
+#   scripts/run_bench.sh [build-dir]      # default: ./build
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" --target bench_datapath bench_parallel_campaign
+
+echo "== bench_datapath (codec allocations, differential vs legacy) =="
+"$BUILD/bench/bench_datapath" --iters 20000 \
+  --json "$ROOT/BENCH_datapath.json"
+
+echo
+echo "== bench_parallel_campaign (canonical: 10k probes, 31 q/VP, seed 42) =="
+"$BUILD/bench/bench_parallel_campaign" --probes 10000 --shards 1 \
+  --queries 31 --seed 42 --json "$ROOT/BENCH_campaign.json"
+
+echo
+echo "wrote $ROOT/BENCH_datapath.json and $ROOT/BENCH_campaign.json"

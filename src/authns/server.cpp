@@ -141,8 +141,8 @@ dns::Message AuthServer::answer_chaos(const dns::Message& query) const {
   return resp;
 }
 
-dns::Message AuthServer::answer(const dns::Message& query,
-                                bool via_stream) const {
+dns::Message AuthServer::answer(const dns::Message& query, bool via_stream,
+                                net::WireBuffer* wire_out) const {
   if (query.questions.empty()) {
     dns::Message resp;
     resp.header = query.header;
@@ -182,16 +182,21 @@ dns::Message AuthServer::answer(const dns::Message& query,
 
   // UDP size handling: if the encoded response exceeds what the client
   // can take, truncate sections and set TC; the client then retries over
-  // TCP (Network::send_stream), where no limit applies.
+  // TCP (Network::send_stream), where no limit applies. The size check IS
+  // the final encode — the bytes go out through wire_out instead of being
+  // thrown away and produced a second time by the caller.
   if (!via_stream) {
     const std::size_t limit =
         query.edns ? query.edns->udp_payload_size : config_.plain_udp_limit;
-    if (dns::encode_message(resp).size() > limit) {
+    net::WireBuffer wire = dns::encode_message(resp);
+    if (wire.size() > limit) {
       resp.header.tc = true;
       resp.answers.clear();
       resp.authorities.clear();
       resp.additionals.clear();
+      wire = dns::encode_message(resp);
     }
+    if (wire_out != nullptr) *wire_out = std::move(wire);
   }
   return resp;
 }
@@ -239,32 +244,38 @@ void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
   if (fault.mode == AuthFailMode::Unresponsive) return;
 
   dns::Message resp;
+  net::WireBuffer wire;
   if (fault.mode == AuthFailMode::Refused) {
     resp = dns::Message::make_response(query);
     resp.header.rcode = dns::Rcode::Refused;
     obs_fault_refused_->add(1, network_.sim().now());
   } else {
-    resp = answer(query, dgram.via_stream);
+    resp = answer(query, dgram.via_stream, &wire);
   }
   if (resp.header.tc && !dgram.via_stream) {
     obs_truncated_->add(1, network_.sim().now());
   }
   net::Duration processing = config_.processing_delay;
   if (fault.mode == AuthFailMode::Slow) processing += fault.extra_delay;
-  auto wire = dns::encode_message(resp);
+  // answer() hands back the bytes its UDP size check produced; only the
+  // paths that never ran the check (stream, fault-refused) encode here.
+  if (wire.empty()) wire = dns::encode_message(resp);
   const bool via_stream = dgram.via_stream;
+  // Capture only the reply endpoints, not the whole query datagram: the
+  // payload is dead weight and its buffer should go back to the pool now.
+  const net::Endpoint reply_src = dgram.dst;
+  const net::Endpoint reply_dst = dgram.src;
   network_.sim().after(
-      processing,
-      [this, wire = std::move(wire), dgram, via_stream]() mutable {
+      processing, [this, wire = std::move(wire), reply_src, reply_dst,
+                   via_stream]() mutable {
         ++responses_sent_;
         obs_responses_->add(1, network_.sim().now());
         // Reply from the endpoint that received the query (matters for
         // dual-stack servers listening on several addresses).
         if (via_stream) {
-          network_.send_stream(node_, dgram.dst, dgram.src,
-                               std::move(wire));
+          network_.send_stream(node_, reply_src, reply_dst, std::move(wire));
         } else {
-          network_.send(node_, dgram.dst, dgram.src, std::move(wire));
+          network_.send(node_, reply_src, reply_dst, std::move(wire));
         }
       });
 }

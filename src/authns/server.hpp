@@ -131,9 +131,12 @@ class AuthServer {
 
   /// Builds the response for `query` (exposed for unit tests; the network
   /// path calls this internally). Responses to stream (TCP) queries are
-  /// never truncated.
+  /// never truncated. When `wire_out` is non-null and the UDP size check
+  /// already encoded the response, the encoded bytes are handed back so the
+  /// caller does not encode a second time (empty = caller must encode).
   [[nodiscard]] dns::Message answer(const dns::Message& query,
-                                    bool via_stream = false) const;
+                                    bool via_stream = false,
+                                    net::WireBuffer* wire_out = nullptr) const;
 
  private:
   void on_datagram(const net::Datagram& dgram, net::NodeId at_node);

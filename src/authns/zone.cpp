@@ -7,6 +7,29 @@ namespace recwild::authns {
 Zone::Zone(Name origin, RRClass rrclass)
     : origin_(std::move(origin)), rrclass_(rrclass) {}
 
+Zone::Zone(const Zone& o)
+    : origin_(o.origin_), rrclass_(o.rrclass_), names_(o.names_) {
+  rebuild_index();
+}
+
+Zone& Zone::operator=(const Zone& o) {
+  if (this != &o) {
+    origin_ = o.origin_;
+    rrclass_ = o.rrclass_;
+    names_ = o.names_;
+    rebuild_index();
+  }
+  return *this;
+}
+
+void Zone::rebuild_index() {
+  owners_ = dns::NameTable{};
+  by_ref_.clear();
+  for (auto& [name, sets] : names_) {
+    by_ref_[owners_.intern(name).value] = &sets;
+  }
+}
+
 Zone Zone::from_text(Name origin, std::string_view master_text,
                      dns::Ttl default_ttl) {
   dns::ZoneFileOptions opts;
@@ -28,6 +51,7 @@ void Zone::add(ResourceRecord rr) {
     throw std::invalid_argument{"Zone::add: class mismatch"};
   }
   auto& sets = names_[rr.name];
+  by_ref_[owners_.intern(rr.name).value] = &sets;
   const RRType t = rr.type();
   for (auto& s : sets) {
     if (s.type == t) {
@@ -40,22 +64,23 @@ void Zone::add(ResourceRecord rr) {
 }
 
 const RRset* Zone::find(const Name& name, RRType type) const {
-  const auto it = names_.find(name);
-  if (it == names_.end()) return nullptr;
-  for (const auto& s : it->second) {
+  const std::vector<RRset>* sets = find_all(name);
+  if (sets == nullptr) return nullptr;
+  for (const auto& s : *sets) {
     if (s.type == type) return &s;
   }
   return nullptr;
 }
 
 const std::vector<RRset>* Zone::find_all(const Name& name) const {
-  const auto it = names_.find(name);
-  if (it == names_.end()) return nullptr;
-  return &it->second;
+  const auto ref = owners_.find(name);
+  if (!ref) return nullptr;
+  const auto it = by_ref_.find(ref->value);
+  return it == by_ref_.end() ? nullptr : it->second;
 }
 
 bool Zone::name_exists(const Name& name) const {
-  if (names_.contains(name)) return true;
+  if (owners_.find(name)) return true;
   // Empty non-terminal: any stored name that descends from `name`.
   // names_ is in canonical order, so descendants sort directly after it.
   const auto it = names_.lower_bound(name);

@@ -8,8 +8,10 @@
 #include <map>
 #include <optional>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "dnscore/name_table.hpp"
 #include "dnscore/record.hpp"
 #include "dnscore/zonefile.hpp"
 
@@ -25,6 +27,13 @@ class Zone {
  public:
   /// An empty zone rooted at `origin`. Records are added with add().
   explicit Zone(Name origin, RRClass rrclass = RRClass::IN);
+
+  // Copies rebuild the interned-name index (it points into names_); moves
+  // keep it — std::map moves preserve its nodes, so the pointers survive.
+  Zone(const Zone& o);
+  Zone& operator=(const Zone& o);
+  Zone(Zone&&) noexcept = default;
+  Zone& operator=(Zone&&) noexcept = default;
 
   /// Loads a zone from master-file text. The zone origin is `origin`
   /// unless the text overrides it with $ORIGIN before the first record.
@@ -92,9 +101,17 @@ class Zone {
     }
   };
 
+  void rebuild_index();
+
   Name origin_;
   RRClass rrclass_;
   std::map<Name, std::vector<RRset>, NameCompare> names_;
+  // Exact-match fast path: owner names are interned once at add() time and
+  // the per-query lookup is one hash probe + 32-bit id compare instead of
+  // an O(log n) walk of label-by-label compares. names_ stays the source
+  // of truth (and keeps canonical order for the ancestor/ENT walks).
+  dns::NameTable owners_;
+  std::unordered_map<std::uint32_t, std::vector<RRset>*> by_ref_;
 };
 
 }  // namespace recwild::authns

@@ -92,7 +92,7 @@ ResourceRecord decode_record(WireReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_message(const Message& m) {
+net::WireBuffer encode_message(const Message& m) {
   WireWriter w;
   check_count(m.questions.size(), "questions");
   check_count(m.answers.size(), "answers");

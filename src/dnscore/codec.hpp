@@ -3,16 +3,18 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "dnscore/message.hpp"
+#include "net/wire_buffer.hpp"
 
 namespace recwild::dns {
 
 /// Serializes a message, applying name compression across all sections and
-/// emitting the EDNS OPT record last in the additional section.
+/// emitting the EDNS OPT record last in the additional section. The result
+/// is a pooled buffer ready to move into Network::send — one encode, zero
+/// copies, no heap allocation when the pool is warm.
 /// Throws WireError on structural problems (e.g. >65535 records).
-std::vector<std::uint8_t> encode_message(const Message& m);
+net::WireBuffer encode_message(const Message& m);
 
 /// Parses a wire-format message. Throws WireError on malformed input.
 /// An OPT record in the additional section is lifted into Message::edns.

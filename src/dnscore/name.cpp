@@ -144,6 +144,8 @@ Name Name::concat(const Name& suffix) const {
 }
 
 std::size_t Name::hash() const noexcept {
+  const std::size_t cached = hash_cache_.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   // FNV-1a over lowered labels with separators.
   std::size_t h = 0xcbf29ce484222325ULL;
   for (const auto& l : labels_) {
@@ -154,6 +156,8 @@ std::size_t Name::hash() const noexcept {
     h ^= 0xff;
     h *= 0x100000001b3ULL;
   }
+  if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 free as the sentinel
+  hash_cache_.store(h, std::memory_order_relaxed);
   return h;
 }
 

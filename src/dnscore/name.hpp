@@ -6,6 +6,7 @@
 // construction: labels of 1..63 octets, total wire length <= 255.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -20,6 +21,28 @@ class Name {
  public:
   /// The root name (".").
   Name() = default;
+
+  // Copies/moves must be spelled out because of the cached-hash atomic;
+  // the cache travels with the labels (same labels, same hash).
+  Name(const Name& o)
+      : labels_(o.labels_),
+        hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)) {}
+  Name(Name&& o) noexcept
+      : labels_(std::move(o.labels_)),
+        hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)) {}
+  Name& operator=(const Name& o) {
+    labels_ = o.labels_;
+    hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+  Name& operator=(Name&& o) noexcept {
+    labels_ = std::move(o.labels_);
+    hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+  ~Name() = default;
 
   /// Parses presentation format: "www.example.nl" or "www.example.nl.".
   /// Accepts escaped dots ("\.") inside labels. Throws std::invalid_argument
@@ -79,6 +102,11 @@ class Name {
   void validate() const;
 
   std::vector<std::string> labels_;
+  /// Lazily computed hash(); 0 = not yet computed (the computed value is
+  /// remapped off 0). Relaxed atomic: labels_ never changes once a Name is
+  /// visible, so concurrent shard threads at worst both compute the same
+  /// value — no torn reads, no TSan findings, no locking.
+  mutable std::atomic<std::size_t> hash_cache_{0};
 };
 
 inline constexpr std::size_t kMaxLabelLength = 63;

@@ -6,18 +6,49 @@ namespace {
 
 constexpr std::uint16_t kPointerMask = 0xc000;
 constexpr std::size_t kMaxCompressionOffset = 0x3fff;
+constexpr std::uint16_t kNoOffset = 0xffff;
+constexpr std::size_t kInitialTableSlots = 64;  // power of two
+// A name is at most 255 wire octets, so at most 127 labels.
+constexpr std::size_t kMaxLabelsPerName = 128;
 
-/// Canonical (lower-case) text of the suffix starting at label `from`.
-std::string suffix_key(const Name& n, std::size_t from) {
-  std::string key;
-  for (std::size_t i = from; i < n.label_count(); ++i) {
-    for (const char c : n.label(i)) key.push_back(Name::to_lower(c));
-    key.push_back('.');
+constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kRootHash = 0x9e3779b97f4a7c15ull;
+
+/// FNV-1a over the label's length byte and case-folded characters.
+std::uint64_t label_hash(const std::uint8_t* p, std::size_t len) {
+  std::uint64_t h = (kFnvBasis ^ len) * kFnvPrime;
+  for (std::size_t i = 0; i < len; ++i) {
+    h = (h ^ static_cast<std::uint8_t>(
+                 Name::to_lower(static_cast<char>(p[i])))) *
+        kFnvPrime;
   }
-  return key;
+  return h;
+}
+
+/// Folds a label hash into the hash of the suffix to its right. Suffix
+/// hashes are built back-to-front so one backward pass yields every
+/// suffix of a name.
+std::uint64_t fold_label(std::uint64_t suffix_h, std::uint64_t lh) {
+  return (suffix_h ^ lh) * kFnvPrime;
 }
 
 }  // namespace
+
+WireWriter::WireWriter()
+    : buf_(net::WireBufferPool::acquire()),
+      table_(net::WireBufferPool::acquire_scratch16()) {}
+
+WireWriter::~WireWriter() {
+  net::WireBufferPool::release(std::move(buf_));
+  net::WireBufferPool::release_scratch16(std::move(table_));
+}
+
+net::WireBuffer WireWriter::take() && {
+  net::WireBuffer out{std::move(buf_)};
+  buf_.clear();  // moved-from: make the dtor's release well-defined
+  return out;
+}
 
 void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
 
@@ -37,19 +68,123 @@ void WireWriter::bytes(std::span<const std::uint8_t> b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
+bool WireWriter::suffix_matches(std::size_t pos, const Name& n,
+                                std::size_t from) const {
+  // Walks the already-written bytes; every recorded offset points at a
+  // well-formed name whose pointers target earlier recorded names, so the
+  // walk terminates without bounds checks.
+  std::size_t j = from;
+  for (;;) {
+    std::uint8_t len = buf_[pos];
+    while ((len & 0xc0) == 0xc0) {
+      pos = (static_cast<std::size_t>(len & 0x3f) << 8) | buf_[pos + 1];
+      len = buf_[pos];
+    }
+    if (len == 0) return j == n.label_count();
+    if (j == n.label_count()) return false;
+    const std::string& lab = n.label(j);
+    if (lab.size() != len) return false;
+    for (std::size_t k = 0; k < len; ++k) {
+      if (Name::to_lower(static_cast<char>(buf_[pos + 1 + k])) !=
+          Name::to_lower(lab[k])) {
+        return false;
+      }
+    }
+    pos += 1 + std::size_t{len};
+    ++j;
+  }
+}
+
+std::uint64_t WireWriter::hash_at(std::size_t pos) const {
+  // Labels come off the buffer front-to-back but the suffix hash folds
+  // back-to-front; stage positions on the stack, then fold in reverse.
+  std::uint16_t lpos[kMaxLabelsPerName];
+  std::uint8_t llen[kMaxLabelsPerName];
+  std::size_t count = 0;
+  for (;;) {
+    std::uint8_t len = buf_[pos];
+    while ((len & 0xc0) == 0xc0) {
+      pos = (static_cast<std::size_t>(len & 0x3f) << 8) | buf_[pos + 1];
+      len = buf_[pos];
+    }
+    if (len == 0) break;
+    lpos[count] = static_cast<std::uint16_t>(pos);
+    llen[count] = len;
+    ++count;
+    pos += 1 + std::size_t{len};
+  }
+  std::uint64_t h = kRootHash;
+  for (std::size_t j = count; j-- > 0;) {
+    h = fold_label(h, label_hash(buf_.data() + lpos[j] + 1, llen[j]));
+  }
+  return h;
+}
+
+std::uint16_t WireWriter::find_suffix(std::uint64_t h, const Name& n,
+                                      std::size_t from) const {
+  if (table_entries_ == 0) return kNoOffset;
+  const std::size_t mask = table_.size() - 1;
+  for (std::size_t idx = h & mask;; idx = (idx + 1) & mask) {
+    const std::uint16_t off = table_[idx];
+    if (off == kNoOffset) return kNoOffset;
+    if (suffix_matches(off, n, from)) return off;
+  }
+}
+
+void WireWriter::insert_suffix(std::uint64_t h, std::uint16_t offset) {
+  if (table_.empty()) table_.assign(kInitialTableSlots, kNoOffset);
+  if ((table_entries_ + 1) * 2 > table_.size()) grow_table();
+  const std::size_t mask = table_.size() - 1;
+  std::size_t idx = h & mask;
+  while (table_[idx] != kNoOffset) idx = (idx + 1) & mask;
+  table_[idx] = offset;
+  ++table_entries_;
+}
+
+void WireWriter::grow_table() {
+  std::vector<std::uint16_t> old = std::move(table_);
+  table_ = net::WireBufferPool::acquire_scratch16();
+  table_.assign(old.size() * 2, kNoOffset);
+  const std::size_t mask = table_.size() - 1;
+  for (const std::uint16_t off : old) {
+    if (off == kNoOffset) continue;
+    std::size_t idx = hash_at(off) & mask;
+    while (table_[idx] != kNoOffset) idx = (idx + 1) & mask;
+    table_[idx] = off;
+  }
+  net::WireBufferPool::release_scratch16(std::move(old));
+}
+
 void WireWriter::name(const Name& n, bool compress) {
-  for (std::size_t i = 0; i < n.label_count(); ++i) {
-    if (compress) {
-      const std::string key = suffix_key(n, i);
-      const auto it = suffix_offsets_.find(key);
-      if (it != suffix_offsets_.end()) {
-        u16(static_cast<std::uint16_t>(kPointerMask | it->second));
-        return;
-      }
-      if (buf_.size() <= kMaxCompressionOffset) {
-        suffix_offsets_.emplace(key,
-                                static_cast<std::uint16_t>(buf_.size()));
-      }
+  const std::size_t count = n.label_count();
+  if (!compress || count == 0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string& label = n.label(i);
+      u8(static_cast<std::uint8_t>(label.size()));
+      bytes({reinterpret_cast<const std::uint8_t*>(label.data()),
+             label.size()});
+    }
+    u8(0);  // root
+    return;
+  }
+  // One backward pass yields the hash of every suffix of the name.
+  std::uint64_t suffix_hash[kMaxLabelsPerName + 1];
+  suffix_hash[count] = kRootHash;
+  for (std::size_t i = count; i-- > 0;) {
+    const std::string& lab = n.label(i);
+    suffix_hash[i] = fold_label(
+        suffix_hash[i + 1],
+        label_hash(reinterpret_cast<const std::uint8_t*>(lab.data()),
+                   lab.size()));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint16_t off = find_suffix(suffix_hash[i], n, i);
+    if (off != kNoOffset) {
+      u16(static_cast<std::uint16_t>(kPointerMask | off));
+      return;
+    }
+    if (buf_.size() <= kMaxCompressionOffset) {
+      insert_suffix(suffix_hash[i], static_cast<std::uint16_t>(buf_.size()));
     }
     const std::string& label = n.label(i);
     u8(static_cast<std::uint8_t>(label.size()));

@@ -4,16 +4,26 @@
 // RFC 1035 §4.1.4 compression pointers. WireReader is the inverse, with
 // strict bounds checking and compression-loop protection — a parser fed by
 // the (simulated) network must never read out of bounds or loop forever.
+//
+// The writer is allocation-free on the hot path: its byte storage and its
+// compression table both come from the thread-local WireBufferPool, and
+// the finished message leaves as a pooled net::WireBuffer that the
+// Datagram carries through the network without a copy. Compression
+// bookkeeping is an open-addressed table of buffer offsets verified by
+// walking the already-written bytes — no per-suffix key strings (the old
+// map-of-strings scheme allocated one heap string per label of every name
+// written, which dominated the encode profile; it also conflated labels
+// containing literal dots, a corner this scheme compares correctly).
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dnscore/name.hpp"
+#include "net/wire_buffer.hpp"
 
 namespace recwild::dns {
 
@@ -25,10 +35,17 @@ class WireError : public std::runtime_error {
 
 class WireWriter {
  public:
+  WireWriter();
+  ~WireWriter();
+  WireWriter(const WireWriter&) = delete;
+  WireWriter& operator=(const WireWriter&) = delete;
+
   [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
     return buf_;
   }
-  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  /// Finishes the message: the bytes move out as a pooled WireBuffer,
+  /// ready to hand to Network::send without copying.
+  [[nodiscard]] net::WireBuffer take() &&;
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
   void u8(std::uint8_t v);
@@ -49,9 +66,24 @@ class WireWriter {
   void patch_u16(std::size_t offset, std::uint16_t v);
 
  private:
-  std::vector<std::uint8_t> buf_;
-  // Canonical (lower-cased) suffix text -> offset of its first occurrence.
-  std::unordered_map<std::string, std::uint16_t> suffix_offsets_;
+  /// Offset of the first occurrence of the suffix, or kNoOffset. `h` is the
+  /// suffix's case-folded hash; matches are confirmed by walking the buffer.
+  [[nodiscard]] std::uint16_t find_suffix(std::uint64_t h, const Name& n,
+                                          std::size_t from) const;
+  void insert_suffix(std::uint64_t h, std::uint16_t offset);
+  void grow_table();
+  /// Case-insensitive compare of the name starting at buffer `pos`
+  /// (following pointers) against labels [from..) of `n`.
+  [[nodiscard]] bool suffix_matches(std::size_t pos, const Name& n,
+                                    std::size_t from) const;
+  /// Recomputes the suffix hash of the name at buffer `pos` (rehash path).
+  [[nodiscard]] std::uint64_t hash_at(std::size_t pos) const;
+
+  std::vector<std::uint8_t> buf_;  // pooled; becomes the WireBuffer
+  // Open-addressed set of name-start offsets (pooled scratch). A slot is
+  // kNoOffset when empty; offsets are <= 0x3fff so the sentinel is safe.
+  std::vector<std::uint16_t> table_;
+  std::size_t table_entries_ = 0;
 };
 
 class WireReader {

@@ -1,5 +1,6 @@
 #include "net/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -84,10 +85,15 @@ EventQueue::Fired EventQueue::pop() {
   return fired;
 }
 
+// 4-ary heap: half the depth of a binary heap and the four children sit in
+// one cache line of Entries, so sift_down touches far less memory per pop.
+// Pop ORDER is unchanged — (time, seq) is a strict total order (seq is
+// unique), and any heap shape surfaces that order's minimum first.
+
 void EventQueue::sift_up(std::size_t i) {
   Entry e = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
+    const std::size_t parent = (i - 1) / 4;
     if (!e.before(heap_[parent])) break;
     heap_[i] = heap_[parent];
     i = parent;
@@ -99,12 +105,16 @@ void EventQueue::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
   Entry e = heap_[i];
   while (true) {
-    std::size_t child = 2 * i + 1;
-    if (child >= n) break;
-    if (child + 1 < n && heap_[child + 1].before(heap_[child])) ++child;
-    if (!heap_[child].before(e)) break;
-    heap_[i] = heap_[child];
-    i = child;
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(e)) break;
+    heap_[i] = heap_[best];
+    i = best;
   }
   heap_[i] = e;
 }

@@ -4,7 +4,7 @@
 // runs are fully deterministic. Events can be cancelled through the handle
 // returned by push().
 //
-// Storage is a slab of event slots plus a flat binary heap of (time, seq)
+// Storage is a slab of event slots plus a flat 4-ary heap of (time, seq)
 // keys — no per-event hash lookups on the hot path. Handles carry a slot
 // generation, so cancel() is O(1): it retires the slot and the stale heap
 // entry is skipped when it surfaces. A retired slot can be reused
@@ -13,14 +13,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "net/event_fn.hpp"
 #include "net/time.hpp"
 
 namespace recwild::net {
-
-using EventFn = std::function<void()>;
 
 /// Opaque cancellation handle: (generation << 32) | slot. Live events always
 /// have an odd generation, so the zero-initialized "no event" sentinel that

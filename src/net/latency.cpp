@@ -12,28 +12,65 @@ std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) noexcept {
   return (std::uint64_t{a} << 32) | b;
 }
 
+/// SplitMix64 finalizer for table probing only; path values come from the
+/// RNG forked by key, never from slot positions.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
-const LatencyModel::PathState& LatencyModel::path(std::uint32_t node_a,
-                                                  std::uint32_t node_b) {
+LatencyModel::PathState& LatencyModel::path(std::uint32_t node_a,
+                                            std::uint32_t node_b) {
   const std::uint64_t key = pair_key(node_a, node_b);
-  const auto it = paths_.find(key);
-  if (it != paths_.end()) return it->second;
+  if (paths_.empty()) paths_.resize(1024);
+  std::size_t mask = paths_.size() - 1;
+  std::size_t idx = mix64(key) & mask;
+  while (paths_[idx].key != kEmptyPathKey) {
+    if (paths_[idx].key == key) return paths_[idx].state;
+    idx = (idx + 1) & mask;
+  }
+  if ((path_count_ + 1) * 4 > paths_.size() * 3) {
+    grow_path_table();
+    mask = paths_.size() - 1;
+    idx = mix64(key) & mask;
+    while (paths_[idx].key != kEmptyPathKey) idx = (idx + 1) & mask;
+  }
   stats::Rng path_rng = rng_.fork(key);
-  PathState st;
-  st.stretch = path_rng.lognormal(params_.stretch_mu, params_.stretch_sigma);
-  st.last_mile_ms =
+  PathSlot& slot = paths_[idx];
+  slot.key = key;
+  slot.state.stretch =
+      path_rng.lognormal(params_.stretch_mu, params_.stretch_sigma);
+  slot.state.last_mile_ms =
       path_rng.lognormal(params_.last_mile_mu, params_.last_mile_sigma);
-  return paths_.emplace(key, st).first->second;
+  ++path_count_;
+  return slot.state;
+}
+
+void LatencyModel::grow_path_table() {
+  std::vector<PathSlot> old = std::move(paths_);
+  paths_.assign(old.size() * 2, PathSlot{});
+  const std::size_t mask = paths_.size() - 1;
+  for (PathSlot& s : old) {
+    if (s.key == kEmptyPathKey) continue;
+    std::size_t idx = mix64(s.key) & mask;
+    while (paths_[idx].key != kEmptyPathKey) idx = (idx + 1) & mask;
+    paths_[idx] = s;
+  }
 }
 
 Duration LatencyModel::base_rtt(std::uint32_t node_a, GeoPoint a,
                                 std::uint32_t node_b, GeoPoint b) {
-  const PathState& st = path(node_a, node_b);
-  const double km = great_circle_km(a, b);
-  const double rtt_ms =
-      st.last_mile_ms + 2.0 * km * st.stretch / params_.fiber_km_per_ms;
-  return Duration::millis(rtt_ms);
+  PathState& st = path(node_a, node_b);
+  if (st.rtt_ms < 0.0) {
+    const double km = great_circle_km(a, b);
+    st.rtt_ms =
+        st.last_mile_ms + 2.0 * km * st.stretch / params_.fiber_km_per_ms;
+  }
+  return Duration::millis(st.rtt_ms);
 }
 
 Duration LatencyModel::one_way(std::uint32_t from, GeoPoint a,

@@ -12,7 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "net/geo.hpp"
 #include "net/time.hpp"
@@ -68,13 +68,28 @@ class LatencyModel {
   struct PathState {
     double stretch = 1.0;
     double last_mile_ms = 0.0;
+    /// Stable RTT, cached on first use (< 0 = not yet computed). Node geo
+    /// points never move, so the great-circle trig runs once per pair
+    /// instead of once per packet.
+    double rtt_ms = -1.0;
   };
 
-  const PathState& path(std::uint32_t node_a, std::uint32_t node_b);
+  PathState& path(std::uint32_t node_a, std::uint32_t node_b);
+  void grow_path_table();
+
+  /// Open-addressed path table probed once per packet (the unordered_map
+  /// it replaces showed up at ~4% of a campaign profile). Path state is
+  /// forked from the pair key, so table layout affects no sampled value.
+  struct PathSlot {
+    std::uint64_t key = kEmptyPathKey;
+    PathState state;
+  };
+  static constexpr std::uint64_t kEmptyPathKey = ~std::uint64_t{0};
 
   LatencyParams params_;
   stats::Rng rng_;  // parent stream for per-path forks
-  std::unordered_map<std::uint64_t, PathState> paths_;
+  std::vector<PathSlot> paths_;
+  std::size_t path_count_ = 0;
 };
 
 }  // namespace recwild::net

@@ -17,15 +17,57 @@ Network::Network(Simulation& sim, LatencyParams params)
       obs_dropped_(&sim.metrics().counter(obs::names::kNetPacketsDropped)),
       obs_unroutable_(
           &sim.metrics().counter(obs::names::kNetPacketsUnroutable)),
-      obs_stream_sent_(&sim.metrics().counter(obs::names::kNetStreamSent)) {}
+      obs_stream_sent_(&sim.metrics().counter(obs::names::kNetStreamSent)),
+      obs_udp_bytes_(&sim.metrics().counter(obs::names::kDatapathUdpBytes)),
+      obs_stream_bytes_(
+          &sim.metrics().counter(obs::names::kDatapathStreamBytes)) {}
+
+namespace {
+
+/// SplitMix64 finalizer: spreads the packed (from, to) key across the
+/// table. Probe layout is invisible to the simulation — every stream is
+/// forked from the never-advancing parent by key alone.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 stats::Rng& Network::flow_rng(NodeId from, NodeId to) {
   const std::uint64_t key = (std::uint64_t{from} << 32) | to;
-  auto it = flow_rngs_.find(key);
-  if (it == flow_rngs_.end()) {
-    it = flow_rngs_.emplace(key, flow_rng_parent_.fork(key)).first;
+  if (flow_slots_.empty()) flow_slots_.resize(1024);
+  std::size_t mask = flow_slots_.size() - 1;
+  std::size_t idx = mix64(key) & mask;
+  while (flow_slots_[idx].key != kEmptyFlowKey) {
+    if (flow_slots_[idx].key == key) return flow_slots_[idx].rng;
+    idx = (idx + 1) & mask;
   }
-  return it->second;
+  if ((flow_count_ + 1) * 4 > flow_slots_.size() * 3) {
+    grow_flow_table();
+    mask = flow_slots_.size() - 1;
+    idx = mix64(key) & mask;
+    while (flow_slots_[idx].key != kEmptyFlowKey) idx = (idx + 1) & mask;
+  }
+  FlowSlot& s = flow_slots_[idx];
+  s.key = key;
+  s.rng = flow_rng_parent_.fork(key);
+  ++flow_count_;
+  return s.rng;
+}
+
+void Network::grow_flow_table() {
+  std::vector<FlowSlot> old = std::move(flow_slots_);
+  flow_slots_.assign(old.size() * 2, FlowSlot{});
+  const std::size_t mask = flow_slots_.size() - 1;
+  for (FlowSlot& s : old) {
+    if (s.key == kEmptyFlowKey) continue;
+    std::size_t idx = mix64(s.key) & mask;
+    while (flow_slots_[idx].key != kEmptyFlowKey) idx = (idx + 1) & mask;
+    flow_slots_[idx] = std::move(s);
+  }
 }
 
 NodeId Network::add_node(std::string name, GeoPoint point) {
@@ -52,14 +94,16 @@ IpAddress Network::allocate_address6() {
 
 void Network::listen(NodeId node, Endpoint ep, DatagramHandler handler) {
   if (node >= nodes_.size()) throw std::out_of_range{"Network::listen"};
+  auto shared = std::make_shared<const DatagramHandler>(std::move(handler));
   auto& list = bindings_[ep];
   for (auto& b : list) {
     if (b.node == node) {
-      b.handler = std::move(handler);
+      b.handler = std::move(shared);
       return;
     }
   }
-  list.push_back(Binding{node, std::move(handler)});
+  list.push_back(Binding{node, std::move(shared)});
+  endpoint_index_dirty_ = true;
 }
 
 void Network::unlisten(NodeId node, Endpoint ep) {
@@ -68,12 +112,34 @@ void Network::unlisten(NodeId node, Endpoint ep) {
   auto& list = it->second;
   std::erase_if(list, [node](const Binding& b) { return b.node == node; });
   if (list.empty()) bindings_.erase(it);
+  endpoint_index_dirty_ = true;
+}
+
+void Network::rebuild_endpoint_index() {
+  endpoint_index_dirty_ = false;
+  std::size_t slots = 64;
+  while (slots < bindings_.size() * 2) slots *= 2;
+  endpoint_slots_.assign(slots, EndpointSlot{});
+  const std::size_t mask = slots - 1;
+  for (auto& [ep, list] : bindings_) {
+    std::size_t idx = mix64(pack_endpoint(ep)) & mask;
+    while (endpoint_slots_[idx].key != kEmptyFlowKey) idx = (idx + 1) & mask;
+    endpoint_slots_[idx] = EndpointSlot{pack_endpoint(ep), &list};
+  }
 }
 
 const Network::Binding* Network::select_binding(NodeId from, Endpoint dst) {
-  const auto it = bindings_.find(dst);
-  if (it == bindings_.end() || it->second.empty()) return nullptr;
-  auto& list = it->second;
+  if (endpoint_index_dirty_) rebuild_endpoint_index();
+  if (endpoint_slots_.empty()) return nullptr;
+  const std::uint64_t key = pack_endpoint(dst);
+  const std::size_t mask = endpoint_slots_.size() - 1;
+  std::size_t idx = mix64(key) & mask;
+  while (endpoint_slots_[idx].key != key) {
+    if (endpoint_slots_[idx].key == kEmptyFlowKey) return nullptr;
+    idx = (idx + 1) & mask;
+  }
+  auto& list = *endpoint_slots_[idx].list;
+  if (list.empty()) return nullptr;
   if (list.size() == 1) return &list.front();
   // Anycast: nearest site by stable path RTT.
   const Binding* best = nullptr;
@@ -89,10 +155,11 @@ const Network::Binding* Network::select_binding(NodeId from, Endpoint dst) {
 }
 
 bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
-                   std::vector<std::uint8_t> payload) {
+                   WireBuffer payload) {
   if (from_node >= nodes_.size()) throw std::out_of_range{"Network::send"};
   ++sent_;
   obs_sent_->add(1, sim_.now());
+  obs_udp_bytes_->add(payload.size(), sim_.now());
   const Binding* binding = select_binding(from_node, dst);
   if (binding == nullptr) {
     ++unroutable_;
@@ -132,26 +199,28 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
   const Duration delay =
       fault_delay + latency_.one_way(a.id, a.point, b.id, b.point, frng);
   Datagram dgram{src, dst, sim_.now(), std::move(payload)};
-  // Copy the handler: the binding may be replaced/unbound before delivery.
-  DatagramHandler handler = binding->handler;
+  // Pin the handler: the binding may be replaced/unbound before delivery.
+  // A shared_ptr bump, not a std::function copy — no allocation per packet.
+  std::shared_ptr<const DatagramHandler> handler = binding->handler;
   const NodeId at_node = binding->node;
   sim_.after(delay, [handler = std::move(handler), dgram = std::move(dgram),
                      at_node, this]() mutable {
     ++delivered_;
     obs_delivered_->add(1, sim_.now());
-    handler(dgram, at_node);
+    (*handler)(dgram, at_node);
   });
   return true;
 }
 
 bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
-                          std::vector<std::uint8_t> payload) {
+                          WireBuffer payload) {
   if (from_node >= nodes_.size()) {
     throw std::out_of_range{"Network::send_stream"};
   }
   ++sent_;
   obs_sent_->add(1, sim_.now());
   obs_stream_sent_->add(1, sim_.now());
+  obs_stream_bytes_->add(payload.size(), sim_.now());
   const Binding* binding = select_binding(from_node, dst);
   if (binding == nullptr) {
     ++unroutable_;
@@ -189,13 +258,13 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
     delay += latency_.one_way(a.id, a.point, b.id, b.point, frng);
   }
   Datagram dgram{src, dst, sim_.now(), std::move(payload), true};
-  DatagramHandler handler = binding->handler;
+  std::shared_ptr<const DatagramHandler> handler = binding->handler;
   const NodeId at_node = binding->node;
   sim_.after(delay, [handler = std::move(handler), dgram = std::move(dgram),
                      at_node, this]() mutable {
     ++delivered_;
     obs_delivered_->add(1, sim_.now());
-    handler(dgram, at_node);
+    (*handler)(dgram, at_node);
   });
   return true;
 }

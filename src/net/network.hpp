@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -20,6 +21,7 @@
 #include "net/geo.hpp"
 #include "net/latency.hpp"
 #include "net/simulation.hpp"
+#include "net/wire_buffer.hpp"
 
 namespace recwild::net {
 
@@ -32,11 +34,14 @@ struct NodeInfo {
   GeoPoint point;
 };
 
+/// One in-flight packet. Move-only: the payload is a pooled WireBuffer
+/// that travels from the encoder through the network to the receiving
+/// handler without being copied.
 struct Datagram {
   Endpoint src;
   Endpoint dst;
   SimTime sent_at;
-  std::vector<std::uint8_t> payload;
+  WireBuffer payload;
   /// True when carried over the reliable stream transport (see
   /// Network::send_stream) — the simulated TCP used for truncated-answer
   /// retries. Stream "datagrams" are whole messages, never lost.
@@ -105,14 +110,14 @@ class Network {
   /// sender listens on if it expects a reply. Returns false when no node is
   /// bound to `dst` (packet silently discarded, as real UDP would).
   bool send(NodeId from_node, Endpoint src, Endpoint dst,
-            std::vector<std::uint8_t> payload);
+            WireBuffer payload);
 
   /// Reliable stream send — the simulated TCP path for DNS-over-TCP
   /// (RFC 1035 §4.2.2; used after a TC=1 response). Never dropped; costs a
   /// handshake plus the transfer, i.e. ~1.5x the path RTT before the first
   /// payload byte arrives. Delivered with Datagram::via_stream set.
   bool send_stream(NodeId from_node, Endpoint src, Endpoint dst,
-                   std::vector<std::uint8_t> payload);
+                   WireBuffer payload);
 
   /// Stable (jitter-free) path RTT between two nodes, from the latency model.
   Duration base_rtt(NodeId a, NodeId b);
@@ -154,11 +159,30 @@ class Network {
  private:
   struct Binding {
     NodeId node;
-    DatagramHandler handler;
+    // Shared so an in-flight delivery holds the handler alive across
+    // unlisten/re-listen for the cost of a refcount bump — copying the
+    // std::function itself per packet allocated on every send.
+    std::shared_ptr<const DatagramHandler> handler;
   };
 
   /// Picks the lowest-RTT binding for `dst` as seen from `from`.
   const Binding* select_binding(NodeId from, Endpoint dst);
+
+  /// Flat exact-match index over bindings_, keyed by the packed 48-bit
+  /// (addr, port). listen/unlisten only mark it dirty — a testbed makes
+  /// thousands of listen calls in a row, and rebuilding each time is
+  /// O(n^2) — and the first lookup after a mutation rebuilds wholesale.
+  /// Probed once per packet in place of the unordered_map find that cost
+  /// ~6% of a campaign profile. Values point at bindings_' mapped vectors,
+  /// which are stable until an erase — and every erase marks dirty.
+  struct EndpointSlot {
+    std::uint64_t key = kEmptyFlowKey;
+    std::vector<Binding>* list = nullptr;
+  };
+  static constexpr std::uint64_t pack_endpoint(Endpoint ep) noexcept {
+    return (std::uint64_t{ep.addr.bits()} << 16) | ep.port;
+  }
+  void rebuild_endpoint_index();
 
   /// Per-packet randomness (jitter, loss) is drawn from a stream private to
   /// the directed (from, to) node pair, forked lazily off a parent that
@@ -168,13 +192,27 @@ class Network {
   /// results at any shard count.
   stats::Rng& flow_rng(NodeId from, NodeId to);
 
+  /// One (from, to) flow's RNG stream in the open-addressed flow table.
+  /// This lookup runs once per packet; an unordered_map probe was ~9% of a
+  /// campaign's profile, the flat table is a mix-and-mask. Each stream is
+  /// still forked by key, so table layout cannot affect any drawn value.
+  struct FlowSlot {
+    std::uint64_t key = kEmptyFlowKey;
+    stats::Rng rng{0};
+  };
+  static constexpr std::uint64_t kEmptyFlowKey = ~std::uint64_t{0};
+  void grow_flow_table();
+
   Simulation& sim_;
   PacketFaultHook* fault_hook_ = nullptr;
   LatencyModel latency_;
   stats::Rng flow_rng_parent_;
-  std::unordered_map<std::uint64_t, stats::Rng> flow_rngs_;
+  std::vector<FlowSlot> flow_slots_;
+  std::size_t flow_count_ = 0;
   std::vector<NodeInfo> nodes_;
   std::unordered_map<Endpoint, std::vector<Binding>> bindings_;
+  std::vector<EndpointSlot> endpoint_slots_;
+  bool endpoint_index_dirty_ = true;
   std::uint32_t next_addr_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
@@ -187,6 +225,8 @@ class Network {
   obs::Counter* obs_dropped_;
   obs::Counter* obs_unroutable_;
   obs::Counter* obs_stream_sent_;
+  obs::Counter* obs_udp_bytes_;
+  obs::Counter* obs_stream_bytes_;
 };
 
 }  // namespace recwild::net

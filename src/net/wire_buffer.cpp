@@ -1,0 +1,96 @@
+#include "net/wire_buffer.hpp"
+
+namespace recwild::net {
+
+namespace {
+
+// Caps keep the per-thread pools from hoarding: a campaign shard touches a
+// handful of packets at once, and anything bigger than a truncation-limit
+// response (jumbo AXFR payloads) is cheaper to reallocate than to pin.
+constexpr std::size_t kMaxPooledBuffers = 64;
+constexpr std::size_t kMaxPooledCapacity = 1 << 16;
+constexpr std::size_t kInitialReserve = 512;  // covers typical DNS messages
+
+struct ThreadPool {
+  std::vector<std::vector<std::uint8_t>> free8;
+  std::vector<std::vector<std::uint16_t>> free16;
+  WireBufferPool::Stats stats;
+  bool enabled = true;
+};
+
+ThreadPool& pool() {
+  thread_local ThreadPool tp;
+  return tp;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> WireBufferPool::acquire() {
+  ThreadPool& tp = pool();
+  ++tp.stats.acquires;
+  if (tp.enabled && !tp.free8.empty()) {
+    ++tp.stats.hits;
+    std::vector<std::uint8_t> out = std::move(tp.free8.back());
+    tp.free8.pop_back();
+    out.clear();
+    return out;
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kInitialReserve);
+  return out;
+}
+
+void WireBufferPool::release(std::vector<std::uint8_t>&& storage) noexcept {
+  ThreadPool& tp = pool();
+  if (!tp.enabled || storage.capacity() == 0 ||
+      storage.capacity() > kMaxPooledCapacity ||
+      tp.free8.size() >= kMaxPooledBuffers) {
+    std::vector<std::uint8_t>{std::move(storage)};  // free now
+    return;
+  }
+  ++tp.stats.releases;
+  tp.free8.push_back(std::move(storage));
+}
+
+std::vector<std::uint16_t> WireBufferPool::acquire_scratch16() {
+  ThreadPool& tp = pool();
+  if (tp.enabled && !tp.free16.empty()) {
+    std::vector<std::uint16_t> out = std::move(tp.free16.back());
+    tp.free16.pop_back();
+    out.clear();
+    return out;
+  }
+  std::vector<std::uint16_t> out;
+  out.reserve(64);
+  return out;
+}
+
+void WireBufferPool::release_scratch16(
+    std::vector<std::uint16_t>&& s) noexcept {
+  ThreadPool& tp = pool();
+  if (!tp.enabled || s.capacity() == 0 ||
+      tp.free16.size() >= kMaxPooledBuffers) {
+    std::vector<std::uint16_t>{std::move(s)};
+    return;
+  }
+  tp.free16.push_back(std::move(s));
+}
+
+void WireBufferPool::set_enabled(bool enabled) noexcept {
+  pool().enabled = enabled;
+}
+
+bool WireBufferPool::enabled() noexcept { return pool().enabled; }
+
+WireBufferPool::Stats WireBufferPool::stats() noexcept {
+  return pool().stats;
+}
+
+void WireBufferPool::reset_stats() noexcept { pool().stats = Stats{}; }
+
+void WireBufferPool::clear() noexcept {
+  pool().free8.clear();
+  pool().free16.clear();
+}
+
+}  // namespace recwild::net

@@ -38,6 +38,19 @@ inline constexpr std::string_view kNetPacketsUnroutable =
 /// Whole messages sent over the reliable stream transport (simulated TCP).
 inline constexpr std::string_view kNetStreamSent = "net.stream.sent";
 
+// --- wire datapath (src/net/network.cpp) --------------------------------
+// Payload volume through the encode->send->decode fast path. Byte counts
+// are a pure function of the simulated traffic (unlike buffer-pool
+// hit/miss rates, which depend on shard layout and thread scheduling and
+// are therefore kept OUT of the registry — see net/wire_buffer.hpp), so
+// they merge byte-identically across shard counts.
+/// Octets of UDP payload handed to Network::send (deliverable or not).
+inline constexpr std::string_view kDatapathUdpBytes =
+    "datapath.wire.udp_bytes";
+/// Octets of payload handed to Network::send_stream (simulated TCP).
+inline constexpr std::string_view kDatapathStreamBytes =
+    "datapath.wire.stream_bytes";
+
 // --- recursive resolver (src/resolver/resolver.cpp) ---------------------
 /// Questions accepted by RecursiveResolver::resolve (network + local).
 inline constexpr std::string_view kResolverClientQueries =

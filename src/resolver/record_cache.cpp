@@ -6,28 +6,29 @@
 
 namespace recwild::resolver {
 
-CacheEntry* RecordCache::find_live(const Key& key, net::SimTime now) {
-  auto it = entries_.find(key);
+CacheEntry* RecordCache::find_live(const dns::Name& name, dns::RRType type,
+                                   net::SimTime now) {
+  auto it = entries_.find(KeyView{name, type});
   if (it == entries_.end()) return nullptr;
   if (it->second.entry.expires_at <= now) {
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
     return nullptr;
   }
-  touch(it->second, key);
+  touch(it->second);
   return &it->second.entry;
 }
 
-void RecordCache::touch(Slot& slot, const Key& key) {
-  lru_.erase(slot.lru_pos);
-  lru_.push_front(key);
-  slot.lru_pos = lru_.begin();
+void RecordCache::touch(Slot& slot) {
+  // splice: O(1) relink, no node alloc/free, no Key copy; slot.lru_pos
+  // stays valid (splice never invalidates list iterators).
+  lru_.splice(lru_.begin(), lru_, slot.lru_pos);
 }
 
 std::optional<dns::RRset> RecordCache::get(const dns::Name& name,
                                            dns::RRType type,
                                            net::SimTime now) {
-  CacheEntry* e = find_live(Key{name, type}, now);
+  CacheEntry* e = find_live(name, type, now);
   if (e == nullptr || e->negative) {
     ++misses_;
     if (obs_misses_ != nullptr) obs_misses_->add(1, now);
@@ -44,7 +45,7 @@ std::optional<dns::RRset> RecordCache::get(const dns::Name& name,
 std::optional<dns::Rcode> RecordCache::get_negative(const dns::Name& name,
                                                     dns::RRType type,
                                                     net::SimTime now) {
-  CacheEntry* e = find_live(Key{name, type}, now);
+  CacheEntry* e = find_live(name, type, now);
   if (e == nullptr || !e->negative) return std::nullopt;
   if (obs_negative_hits_ != nullptr) obs_negative_hits_->add(1, now);
   return e->negative_rcode;
@@ -78,7 +79,7 @@ void RecordCache::insert(Key key, CacheEntry entry, net::SimTime now) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.entry = std::move(entry);
-    touch(it->second, key);
+    touch(it->second);
     return;
   }
   while (entries_.size() >= config_.max_entries) evict_one(now);

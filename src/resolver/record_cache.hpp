@@ -73,9 +73,30 @@ class RecordCache {
       return type == o.type && name == o.name;
     }
   };
+  /// Borrowed key for transparent lookups: find() probes with the caller's
+  /// Name instead of copying its label vector into a fresh Key per lookup
+  /// (that copy used to top the campaign profile).
+  struct KeyView {
+    const dns::Name& name;
+    dns::RRType type;
+  };
   struct KeyHash {
+    using is_transparent = void;
     std::size_t operator()(const Key& k) const noexcept {
       return k.name.hash() ^ (static_cast<std::size_t>(k.type) * 0x9e3779b9);
+    }
+    std::size_t operator()(const KeyView& k) const noexcept {
+      return k.name.hash() ^ (static_cast<std::size_t>(k.type) * 0x9e3779b9);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const Key& a, const Key& b) const { return a == b; }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return b.type == a.type && b.name == a.name;
     }
   };
   struct Slot {
@@ -83,13 +104,14 @@ class RecordCache {
     std::list<Key>::iterator lru_pos;
   };
 
-  CacheEntry* find_live(const Key& key, net::SimTime now);
-  void touch(Slot& slot, const Key& key);
+  CacheEntry* find_live(const dns::Name& name, dns::RRType type,
+                        net::SimTime now);
+  void touch(Slot& slot);
   void insert(Key key, CacheEntry entry, net::SimTime now);
   void evict_one(net::SimTime now);
 
   RecordCacheConfig config_;
-  std::unordered_map<Key, Slot, KeyHash> entries_;
+  std::unordered_map<Key, Slot, KeyHash, KeyEq> entries_;
   std::list<Key> lru_;  // front = most recent
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

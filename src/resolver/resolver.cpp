@@ -109,8 +109,8 @@ void RecursiveResolver::flush_caches() {
 void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
   obs_client_queries_->add(1, network_.sim().now());
   // Coalesce identical in-flight questions.
-  const PendingKey key{q.qname, q.qtype};
-  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+  if (const auto it = inflight_.find(PendingView{q.qname, q.qtype});
+      it != inflight_.end()) {
     if (auto job = it->second.lock(); job && !job->done) {
       job->callbacks.push_back(std::move(cb));
       return;
@@ -122,7 +122,7 @@ void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
   job->current_name = q.qname;
   job->callbacks.push_back(std::move(cb));
   job->started_at = network_.sim().now();
-  inflight_[key] = job;
+  inflight_.insert_or_assign(PendingKey{q.qname, q.qtype}, job);
   // Bounded work: no resolution outlives max_resolution_time, whatever a
   // fault schedule does to the servers. Cancelled in finish(); the weak
   // capture keeps the deadline from extending the job's lifetime.
@@ -396,6 +396,7 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
   out.minimized = minimized;
   out.server = server;
   out.qname = query_name;
+  out.qname_ref = qnames_.intern(query_name);
   out.qtype = query_type;
   out.txid = txid;
   out.via_tcp = via_tcp;
@@ -404,12 +405,12 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
       timeout, [this, txkey] { on_upstream_timeout(txkey); });
   outstanding_.emplace(txkey, std::move(out));
 
-  const auto wire = dns::encode_message(query);
+  auto wire = dns::encode_message(query);
   const net::Endpoint dst{server, net::kDnsPort};
   if (via_tcp) {
-    network_.send_stream(node_, upstream_ep_, dst, wire);
+    network_.send_stream(node_, upstream_ep_, dst, std::move(wire));
   } else {
-    network_.send(node_, upstream_ep_, dst, wire);
+    network_.send(node_, upstream_ep_, dst, std::move(wire));
   }
 }
 
@@ -466,13 +467,16 @@ void RecursiveResolver::on_upstream_datagram(const net::Datagram& dgram) {
   }
   if (!resp.header.qr || resp.questions.empty()) return;
 
-  // Match an outstanding query: id + server + question.
+  // Match an outstanding query: id + server + question. The response
+  // qname is interned once (lookup-only); outstanding entries then match
+  // by 32-bit id instead of re-walking label vectors per candidate.
+  const auto ref = qnames_.find(resp.question().qname);
+  if (!ref) return;  // we never asked for this name: late or spoofed
   const auto match = std::find_if(
       outstanding_.begin(), outstanding_.end(), [&](const auto& kv) {
         const Outstanding& o = kv.second;
         return o.txid == resp.header.id && o.server == dgram.src.addr &&
-               o.qtype == resp.question().qtype &&
-               o.qname == resp.question().qname;
+               o.qtype == resp.question().qtype && o.qname_ref == *ref;
       });
   if (match == outstanding_.end()) return;  // late or spoofed: ignore
 
@@ -673,7 +677,11 @@ void RecursiveResolver::finish(const std::shared_ptr<Job>& job,
   outcome.answers = job->chain;
   outcome.elapsed = network_.sim().now() - job->started_at;
   outcome.upstream_queries = job->upstream_count;
-  inflight_.erase(PendingKey{job->original.qname, job->original.qtype});
+  if (const auto it = inflight_.find(
+          PendingView{job->original.qname, job->original.qtype});
+      it != inflight_.end()) {
+    inflight_.erase(it);
+  }
   for (auto& cb : job->callbacks) cb(outcome);
   job->callbacks.clear();
 }

@@ -19,6 +19,7 @@
 
 #include "dnscore/codec.hpp"
 #include "dnscore/message.hpp"
+#include "dnscore/name_table.hpp"
 #include "net/network.hpp"
 #include "resolver/infra_cache.hpp"
 #include "resolver/record_cache.hpp"
@@ -182,6 +183,9 @@ class RecursiveResolver {
     bool minimized = false;  // qname/qtype differ from the client question
     net::IpAddress server;
     dns::Name qname;
+    /// qname's id in qnames_ — response matching compares this 32-bit id
+    /// instead of walking label vectors per outstanding entry.
+    dns::NameRef qname_ref;
     dns::RRType qtype{};
     std::uint16_t txid = 0;
     bool via_tcp = false;
@@ -190,8 +194,14 @@ class RecursiveResolver {
   };
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;  // by txkey
   std::uint64_t next_txkey_ = 1;
+  /// Interns every upstream qname once at send time; a response's qname is
+  /// looked up once and matched against outstanding ids (a miss means no
+  /// query of ours ever asked that name — drop, like a failed scan would).
+  dns::NameTable qnames_;
 
-  // Query coalescing: (qname,type) -> job waiting upstream.
+  // Query coalescing: (qname,type) -> job waiting upstream. Lookups and
+  // erases go through the borrowed PendingView so the per-query fast path
+  // never copies a Name just to probe the map.
   struct PendingKey {
     dns::Name name;
     dns::RRType type;
@@ -199,12 +209,33 @@ class RecursiveResolver {
       return type == o.type && name == o.name;
     }
   };
+  struct PendingView {
+    const dns::Name& name;
+    dns::RRType type;
+  };
   struct PendingKeyHash {
+    using is_transparent = void;
     std::size_t operator()(const PendingKey& k) const noexcept {
       return k.name.hash() ^ (static_cast<std::size_t>(k.type) << 1);
     }
+    std::size_t operator()(const PendingView& k) const noexcept {
+      return k.name.hash() ^ (static_cast<std::size_t>(k.type) << 1);
+    }
   };
-  std::unordered_map<PendingKey, std::weak_ptr<Job>, PendingKeyHash>
+  struct PendingKeyEq {
+    using is_transparent = void;
+    bool operator()(const PendingKey& a, const PendingKey& b) const {
+      return a == b;
+    }
+    bool operator()(const PendingKey& a, const PendingView& b) const {
+      return a.type == b.type && a.name == b.name;
+    }
+    bool operator()(const PendingView& a, const PendingKey& b) const {
+      return b.type == a.type && b.name == a.name;
+    }
+  };
+  std::unordered_map<PendingKey, std::weak_ptr<Job>, PendingKeyHash,
+                     PendingKeyEq>
       inflight_;
 
   std::uint64_t client_queries_ = 0;

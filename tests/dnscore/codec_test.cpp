@@ -83,7 +83,7 @@ TEST(Codec, DuplicateOptRejected) {
   // Append a second OPT record manually: bump ARCOUNT and append bytes.
   wire[11] = 2;  // arcount low byte (was 1)
   const std::vector<std::uint8_t> opt{0, 0, 41, 4, 0xd0, 0, 0, 0, 0, 0, 0};
-  wire.insert(wire.end(), opt.begin(), opt.end());
+  wire.bytes().insert(wire.bytes().end(), opt.begin(), opt.end());
   EXPECT_THROW(decode_message(wire), WireError);
 }
 
@@ -107,7 +107,7 @@ TEST(Codec, TruncatedHeaderRejected) {
 
 TEST(Codec, TruncatedQuestionRejected) {
   auto wire = encode_message(sample_query());
-  wire.resize(wire.size() - 3);
+  wire.bytes().resize(wire.size() - 3);
   EXPECT_THROW(decode_message(wire), WireError);
 }
 

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Hand-assembles the golden DNS wire fixtures in this directory.
+
+Each fixture is a byte-exact RFC 1035 message assembled label by label,
+independent of the repo's own encoder, so codec regressions cannot
+regenerate themselves into the fixtures. Run from this directory:
+
+    python3 generate_fixtures.py
+
+and commit the resulting .bin files. The loader test
+(tests/dnscore/golden_wire_test.cpp) asserts both decoded structure and,
+for the compressed referral, byte-identical re-encoding.
+"""
+
+import struct
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def header(msg_id, flags, qd=0, an=0, ns=0, ar=0):
+    return struct.pack(">HHHHHH", msg_id, flags, qd, an, ns, ar)
+
+
+def labels(*parts):
+    out = b""
+    for p in parts:
+        raw = p.encode()
+        out += bytes([len(raw)]) + raw
+    return out
+
+
+def pointer(offset):
+    return struct.pack(">H", 0xC000 | offset)
+
+
+def question(name_bytes, qtype, qclass=1):
+    return name_bytes + struct.pack(">HH", qtype, qclass)
+
+
+def rr(name_bytes, rtype, ttl, rdata, rclass=1):
+    return name_bytes + struct.pack(">HHIH", rtype, rclass, ttl, len(rdata)) + rdata
+
+
+def ns_referral_compressed():
+    # A parent-zone referral for www.example.nl: two NS in authority with
+    # owner and target names compressed against the question, two glue A
+    # records in additional compressed against the NS targets.
+    # Offsets: www@12 example@16 nl@24 root@27; qtype/qclass to 32.
+    msg = header(0x1234, 0x8000, qd=1, ns=2, ar=2)
+    msg += question(labels("www", "example", "nl") + b"\x00", 1)  # A
+    assert len(msg) == 32
+    # Authority: example.nl NS ns1.example.nl / ns2.example.nl.
+    # RR1 at 32; its rdata ("ns1" + ptr) starts at 44.
+    msg += rr(pointer(16), 2, 3600, labels("ns1") + pointer(16))
+    assert len(msg) == 50
+    # RR2 at 50; rdata at 62.
+    msg += rr(pointer(16), 2, 3600, labels("ns2") + pointer(16))
+    assert len(msg) == 68
+    # Glue: ns1.example.nl A 10.0.0.1 (name = ptr to 44), ns2 -> ptr to 62.
+    msg += rr(pointer(44), 1, 3600, bytes([10, 0, 0, 1]))
+    msg += rr(pointer(62), 1, 3600, bytes([10, 0, 0, 2]))
+    return msg
+
+
+def truncated_udp_answer():
+    # A TC=1 UDP response with the answer section elided, as an
+    # authoritative server emits when the answer exceeds the UDP limit
+    # (the client is expected to retry over TCP). QR|TC|RD|RA.
+    msg = header(0xBEEF, 0x8380, qd=1)
+    msg += question(labels("big", "example", "nl") + b"\x00", 16)  # TXT
+    return msg
+
+
+def notify():
+    # RFC 1996 NOTIFY(SOA) from a primary: opcode 4, AA set, question only.
+    msg = header(0x7A11, 0x2400, qd=1)
+    msg += question(labels("example", "nl") + b"\x00", 6)  # SOA
+    return msg
+
+
+def pointer_loop():
+    # Malformed: the question name is a compression pointer to itself.
+    # Decoding must fail cleanly (WireError), never hang or overread.
+    msg = header(0xDEAD, 0x8000, qd=1)
+    msg += question(pointer(12), 1)
+    return msg
+
+
+FIXTURES = {
+    "ns_referral_compressed.bin": ns_referral_compressed,
+    "truncated_udp_answer.bin": truncated_udp_answer,
+    "notify.bin": notify,
+    "pointer_loop.bin": pointer_loop,
+}
+
+
+def main():
+    for filename, build in FIXTURES.items():
+        data = build()
+        (HERE / filename).write_bytes(data)
+        print(f"{filename}: {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+// Pre/post-datapath byte-identity wall.
+//
+// The canonical trace and merge-safe metrics JSON of a fixed-seed campaign
+// (and a production run) were captured on the pre-pooling codec and
+// committed under tests/experiment/fixtures/. The pooled-buffer, interned
+// -name datapath must reproduce those artifacts byte-for-byte at every
+// shard count — any drift in wire bytes, truncation decisions, RNG
+// consumption or metric accounting shows up here as a fixture diff.
+//
+// Regenerate (only when an intentional behaviour change is being made, in
+// which case the diff IS the review artifact):
+//   RECWILD_UPDATE_FIXTURES=1 ./build/tests/experiment_tests \
+//       --gtest_filter='DatapathRegression.*'
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "experiment/campaign.hpp"
+#include "experiment/production.hpp"
+#include "obs/decision_trace.hpp"
+#include "obs/metrics.hpp"
+
+#ifndef RECWILD_FIXTURE_DIR
+#error "RECWILD_FIXTURE_DIR must point at tests/experiment/fixtures"
+#endif
+
+namespace recwild::experiment {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string{RECWILD_FIXTURE_DIR} + "/" + name;
+}
+
+bool update_mode() {
+  const char* v = std::getenv("RECWILD_UPDATE_FIXTURES");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in{fixture_path(name), std::ios::binary};
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_fixture(const std::string& name, const std::string& content) {
+  std::ofstream out{fixture_path(name), std::ios::binary};
+  out << content;
+}
+
+void check_or_update(const std::string& name, const std::string& produced) {
+  if (update_mode()) {
+    write_fixture(name, produced);
+    SUCCEED() << "fixture " << name << " updated (" << produced.size()
+              << " bytes)";
+    return;
+  }
+  const std::string expected = read_fixture(name);
+  ASSERT_FALSE(expected.empty())
+      << "missing fixture " << fixture_path(name)
+      << " — run with RECWILD_UPDATE_FIXTURES=1 to create it";
+  EXPECT_EQ(produced, expected)
+      << "datapath output drifted from the committed pre-refactor fixture "
+      << name;
+}
+
+struct CampaignArtifacts {
+  std::string metrics_json;
+  std::string trace_tsv;
+};
+
+CampaignArtifacts run_campaign_shards(std::size_t shards) {
+  TestbedConfig cfg;
+  cfg.seed = 2026;
+  cfg.population.probes = 120;
+  cfg.test_sites = {"DUB", "FRA", "GRU"};
+  cfg.trace_decisions = true;
+  Testbed tb{cfg};
+  CampaignConfig cc;
+  cc.interval = net::Duration::minutes(2);
+  cc.queries_per_vp = 7;
+  cc.shards = shards;
+  const auto result = run_campaign(tb, cc);
+
+  CampaignArtifacts a;
+  a.metrics_json = result.metrics.to_json(obs::SnapshotStyle::MergeSafe);
+  std::ostringstream trace_out;
+  obs::write_trace(trace_out, tb.trace().canonical());
+  a.trace_tsv = trace_out.str();
+  return a;
+}
+
+std::string run_production_shards(std::size_t shards) {
+  TestbedConfig cfg;
+  cfg.seed = 2027;
+  cfg.population.probes = 0;
+  Testbed tb{cfg};
+  ProductionConfig pc;
+  pc.recursives = 60;
+  pc.duration_hours = 0.1;
+  pc.min_queries = 5;
+  pc.shards = shards;
+  const auto result = run_production(tb, pc);
+  return result.metrics.to_json(obs::SnapshotStyle::MergeSafe);
+}
+
+TEST(DatapathRegression, CampaignMetricsAndTraceMatchFixtureAtShards124) {
+  const auto serial = run_campaign_shards(1);
+  check_or_update("campaign_seed2026_metrics.json", serial.metrics_json);
+  check_or_update("campaign_seed2026_trace.tsv", serial.trace_tsv);
+
+  const auto two = run_campaign_shards(2);
+  const auto four = run_campaign_shards(4);
+  EXPECT_EQ(two.metrics_json, serial.metrics_json);
+  EXPECT_EQ(four.metrics_json, serial.metrics_json);
+  EXPECT_EQ(two.trace_tsv, serial.trace_tsv);
+  EXPECT_EQ(four.trace_tsv, serial.trace_tsv);
+}
+
+TEST(DatapathRegression, ProductionMetricsMatchFixtureAtShards13) {
+  const std::string serial = run_production_shards(1);
+  check_or_update("production_seed2027_metrics.json", serial);
+  EXPECT_EQ(run_production_shards(3), serial);
+}
+
+}  // namespace
+}  // namespace recwild::experiment
