@@ -29,7 +29,11 @@ class Name {
         hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)) {}
   Name(Name&& o) noexcept
       : labels_(std::move(o.labels_)),
-        hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)) {}
+        hash_cache_(o.hash_cache_.load(std::memory_order_relaxed)) {
+    // The moved-from Name's labels are gone; drop its cached hash so a
+    // reused moved-from Name recomputes instead of serving a stale value.
+    o.hash_cache_.store(0, std::memory_order_relaxed);
+  }
   Name& operator=(const Name& o) {
     labels_ = o.labels_;
     hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
@@ -40,6 +44,7 @@ class Name {
     labels_ = std::move(o.labels_);
     hash_cache_.store(o.hash_cache_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+    o.hash_cache_.store(0, std::memory_order_relaxed);
     return *this;
   }
   ~Name() = default;

@@ -71,8 +71,9 @@ void WireWriter::bytes(std::span<const std::uint8_t> b) {
 bool WireWriter::suffix_matches(std::size_t pos, const Name& n,
                                 std::size_t from) const {
   // Walks the already-written bytes; every recorded offset points at a
-  // well-formed name whose pointers target earlier recorded names, so the
-  // walk terminates without bounds checks.
+  // completed name (name() publishes offsets only after the terminator or
+  // pointer is written) whose pointers target earlier recorded names, so
+  // the walk terminates without bounds checks.
   std::size_t j = from;
   for (;;) {
     std::uint8_t len = buf_[pos];
@@ -177,14 +178,30 @@ void WireWriter::name(const Name& n, bool compress) {
         label_hash(reinterpret_cast<const std::uint8_t*>(lab.data()),
                    lab.size()));
   }
+  // Stage this name's (hash, offset) pairs locally and publish them only
+  // once its terminator (root byte or pointer) is written. Table entries
+  // must always point at completed names: find_suffix/grow_table walk the
+  // buffer from each recorded offset, and an entry for the name currently
+  // being written would send them past buf_.size(). Deferral is
+  // byte-identical to eager insertion — suffixes of one name have distinct
+  // label counts, so no suffix of the name being written can ever match a
+  // find_suffix probe for a later suffix of the same name.
+  std::uint64_t pending_hash[kMaxLabelsPerName];
+  std::uint16_t pending_off[kMaxLabelsPerName];
+  std::size_t pending = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::uint16_t off = find_suffix(suffix_hash[i], n, i);
     if (off != kNoOffset) {
       u16(static_cast<std::uint16_t>(kPointerMask | off));
+      for (std::size_t j = 0; j < pending; ++j) {
+        insert_suffix(pending_hash[j], pending_off[j]);
+      }
       return;
     }
     if (buf_.size() <= kMaxCompressionOffset) {
-      insert_suffix(suffix_hash[i], static_cast<std::uint16_t>(buf_.size()));
+      pending_hash[pending] = suffix_hash[i];
+      pending_off[pending] = static_cast<std::uint16_t>(buf_.size());
+      ++pending;
     }
     const std::string& label = n.label(i);
     u8(static_cast<std::uint8_t>(label.size()));
@@ -192,6 +209,9 @@ void WireWriter::name(const Name& n, bool compress) {
            label.size()});
   }
   u8(0);  // root
+  for (std::size_t j = 0; j < pending; ++j) {
+    insert_suffix(pending_hash[j], pending_off[j]);
+  }
 }
 
 void WireWriter::char_string(std::string_view s) {

@@ -11,6 +11,12 @@ namespace {
 
 constexpr net::Port kUpstreamPort = 10'053;
 
+/// Compact qnames_ once it holds this many names and the vast majority of
+/// them are dead (no longer referenced by any outstanding query). Keeps the
+/// intern table bounded under cache-busting workloads where every query
+/// carries a fresh random subdomain.
+constexpr std::size_t kQnameCompactMin = 4096;
+
 /// The suffix of `name` keeping `depth` labels.
 dns::Name suffix_of(const dns::Name& name, std::size_t depth) {
   std::vector<std::string> labels;
@@ -104,6 +110,15 @@ void RecursiveResolver::stop() {
 void RecursiveResolver::flush_caches() {
   cache_.clear();
   infra_.clear();
+  compact_qnames();
+}
+
+void RecursiveResolver::compact_qnames() {
+  dns::NameTable fresh;
+  for (auto& [txkey, out] : outstanding_) {
+    out.qname_ref = fresh.intern(out.qname);
+  }
+  qnames_ = std::move(fresh);
 }
 
 void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
@@ -396,6 +411,13 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
   out.minimized = minimized;
   out.server = server;
   out.qname = query_name;
+  // Compaction is deterministic per resolver (a pure function of its own
+  // table and outstanding set), and NameRef ids never leave the resolver,
+  // so renumbering cannot perturb byte-identity.
+  if (qnames_.size() >= kQnameCompactMin &&
+      qnames_.size() / 4 > outstanding_.size()) {
+    compact_qnames();
+  }
   out.qname_ref = qnames_.intern(query_name);
   out.qtype = query_type;
   out.txid = txid;

@@ -134,6 +134,11 @@ class RecursiveResolver {
   [[nodiscard]] std::uint64_t tcp_retries() const noexcept {
     return tcp_retries_;
   }
+  /// Distinct upstream qnames currently interned. Bounded: the table is
+  /// compacted down to the outstanding set once it crosses a threshold.
+  [[nodiscard]] std::size_t interned_qnames() const noexcept {
+    return qnames_.size();
+  }
 
  private:
   struct Job;
@@ -158,6 +163,10 @@ class RecursiveResolver {
                                                  net::SimTime now,
                                                  bool via_tcp);
   void on_upstream_timeout(std::uint64_t txkey);
+  /// Rebuilds qnames_ from the names still outstanding, re-interning their
+  /// qname_refs. Keeps the intern table bounded under high-cardinality
+  /// (random-subdomain) workloads where names never repeat.
+  void compact_qnames();
   void handle_response(const std::shared_ptr<Job>& job,
                        const dns::Message& resp, const Outstanding& out);
   void finish(const std::shared_ptr<Job>& job, dns::Rcode rcode);

@@ -149,6 +149,26 @@ TEST(Name, HashDistinguishesNames) {
   EXPECT_NE(Name::parse("ab.nl").hash(), Name::parse("a.bnl").hash());
 }
 
+TEST(Name, MovedFromNameDropsCachedHash) {
+  // Regression: moving out of a Name with a populated hash cache must not
+  // leave the stale cache behind — a reused moved-from Name (valid but
+  // unspecified labels) has to hash consistently with its current labels.
+  Name a = Name::parse("example.nl");
+  (void)a.hash();  // populate the cache
+  Name b{std::move(a)};
+  const Name fresh_a =
+      Name::from_labels({a.labels().begin(), a.labels().end()});
+  EXPECT_EQ(a.hash(), fresh_a.hash());
+
+  (void)b.hash();
+  Name c;
+  c = std::move(b);
+  const Name fresh_b =
+      Name::from_labels({b.labels().begin(), b.labels().end()});
+  EXPECT_EQ(b.hash(), fresh_b.hash());
+  EXPECT_EQ(c, Name::parse("example.nl"));
+}
+
 /// Property sweep: parse/print round-trip over generated names.
 class NameRoundTrip : public ::testing::TestWithParam<int> {};
 

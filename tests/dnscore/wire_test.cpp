@@ -111,6 +111,66 @@ TEST(WireName, NoCompressFlagWritesFull) {
   EXPECT_EQ(w.size() - first, 12u);  // full encoding again
 }
 
+TEST(WireName, ManyLabelNameGrowsTableMidNameSafely) {
+  // Regression: a single name with more than 32 labels makes the
+  // compression table grow while that name is being written. Offsets for
+  // the in-progress name must not be visible to the rehash (they point
+  // at bytes that do not exist yet); publication is deferred until the
+  // terminator is written.
+  std::vector<std::string> labels;
+  for (int i = 0; i < 60; ++i) labels.push_back("l" + std::to_string(i));
+  const Name big = Name::from_labels(labels);
+
+  WireWriter w;
+  w.name(big);
+  const std::size_t first = w.size();
+  // The whole name was recorded: a repeat is a pure 2-byte pointer.
+  w.name(big);
+  EXPECT_EQ(w.size() - first, 2u);
+  // So is any suffix of it.
+  const Name tail = Name::from_labels(
+      {labels.begin() + 30, labels.end()});
+  const std::size_t second = w.size();
+  w.name(tail);
+  EXPECT_EQ(w.size() - second, 2u);
+
+  WireReader r{w.data()};
+  EXPECT_EQ(r.name(), big);
+  EXPECT_EQ(r.name(), big);
+  EXPECT_EQ(r.name(), tail);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireName, ConsecutiveEqualLabelsCompressCorrectly) {
+  // Regression: equal adjacent labels give several suffixes of one name
+  // identical leading bytes; a probe-chain collision during the name's own
+  // encoding must not match a suffix of the name being written.
+  const Name deep = Name::parse("a.a.a.a.a.nl");
+  WireWriter w;
+  w.name(deep);
+  const std::size_t first = w.size();
+  w.name(Name::parse("a.a.nl"));
+  EXPECT_EQ(w.size() - first, 2u);  // suffix already on the wire: pointer
+  WireReader r{w.data()};
+  EXPECT_EQ(r.name(), deep);
+  EXPECT_EQ(r.name(), Name::parse("a.a.nl"));
+}
+
+TEST(WireName, SuffixesPublishedWhenNameEndsInPointer) {
+  // A name that terminates in a compression pointer still records its own
+  // fresh labels, so later names can point at them.
+  WireWriter w;
+  w.name(Name::parse("example.nl"));
+  w.name(Name::parse("www.example.nl"));  // ends in a pointer
+  const std::size_t first = w.size();
+  w.name(Name::parse("www.example.nl"));
+  EXPECT_EQ(w.size() - first, 2u);  // "www" suffix was published
+  WireReader r{w.data()};
+  EXPECT_EQ(r.name(), Name::parse("example.nl"));
+  EXPECT_EQ(r.name(), Name::parse("www.example.nl"));
+  EXPECT_EQ(r.name(), Name::parse("www.example.nl"));
+}
+
 TEST(WireName, PointerLoopRejected) {
   // A pointer at offset 0 pointing to itself.
   const std::vector<std::uint8_t> evil{0xc0, 0x00};

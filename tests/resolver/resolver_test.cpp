@@ -162,6 +162,24 @@ TEST(Resolver, SecondQuerySkipsRootAndTld) {
   EXPECT_EQ(world.tld->queries_received(), 1u);
 }
 
+TEST(Resolver, InternedQnameTableStaysBounded) {
+  // Regression: a cache-busting workload (every query a fresh subdomain)
+  // must not grow the interned-qname table without bound; it is compacted
+  // down to the outstanding set once it crosses the threshold.
+  MiniInternet world;
+  constexpr int kQueries = 5000;
+  for (int i = 0; i < kQueries; ++i) {
+    const std::string qname = "r" + std::to_string(i) + ".test.nl";
+    const auto out = world.resolve(qname.c_str());
+    ASSERT_EQ(out.rcode, dns::Rcode::NoError);
+  }
+  EXPECT_LE(world.resolver->interned_qnames(), 4096u);
+  // flush_caches (restart simulation) also compacts: with nothing
+  // outstanding the table empties entirely.
+  world.resolver->flush_caches();
+  EXPECT_EQ(world.resolver->interned_qnames(), 0u);
+}
+
 TEST(Resolver, AnswersFromCacheWithoutUpstream) {
   MiniInternet world;
   (void)world.resolve("fixed.test.nl", dns::RRType::A);
