@@ -5,7 +5,14 @@
 //
 //   ./build/examples/atlas_campaign [combo] [probes] [shards]
 //       [--obs metrics.json] [--trace decisions.tsv]
+//       [--dump-auth-queries queries.txt]
 //   e.g. ./build/examples/atlas_campaign 2C 3000 4 --obs run.json
+//
+// `--dump-auth-queries` writes every query the authoritative sites logged
+// as "qname qtype" lines — the input format tools/loadgen replays against
+// a live authnsd, so the real-socket bench serves the exact query mix a
+// simulated campaign produced. Use shards=1 with it: sharded runs log
+// queries in the replica worlds, not in this one.
 //
 // `shards` spreads the campaign over worker threads (0 = one per hardware
 // thread); the result is byte-identical for every value. `--obs` exports
@@ -32,11 +39,15 @@ int main(int argc, char** argv) {
   std::size_t n_positional = 0;
   std::string obs_path;
   std::string trace_path;
+  std::string dump_queries_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
       obs_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dump-auth-queries") == 0 &&
+               i + 1 < argc) {
+      dump_queries_path = argv[++i];
     } else if (n_positional < 3) {
       positional[n_positional++] = argv[i];
     }
@@ -119,6 +130,25 @@ int main(int argc, char** argv) {
     obs::write_trace(out, testbed.trace().canonical());
     std::printf("decision trace (%zu events) -> %s\n",
                 testbed.trace().size(), trace_path.c_str());
+  }
+  if (!dump_queries_path.empty()) {
+    std::ofstream out{dump_queries_path};
+    std::size_t dumped = 0;
+    for (const auto& svc : testbed.test_services()) {
+      for (const auto& site : svc.sites()) {
+        for (const auto& e : site.server->log().entries()) {
+          out << e.qname.to_string() << ' ' << dns::to_string(e.qtype)
+              << '\n';
+          ++dumped;
+        }
+      }
+    }
+    std::printf("auth query log (%zu queries) -> %s\n", dumped,
+                dump_queries_path.c_str());
+    if (dumped == 0) {
+      std::printf("  (empty: sharded runs log in replica worlds; "
+                  "rerun with shards=1)\n");
+    }
   }
   return 0;
 }

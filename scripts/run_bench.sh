@@ -1,10 +1,15 @@
 #!/bin/sh
-# Canonical datapath benchmark runner. Builds (if needed) and runs the two
-# datapath benchmarks with their canonical arguments, leaving
-# BENCH_datapath.json and BENCH_campaign.json at the repo root. These are
-# the numbers quoted in EXPERIMENTS.md and gated by CI's nightly bench job.
+# Canonical benchmark runner. Builds (if needed) and runs the datapath
+# benchmarks plus the real-socket server bench, leaving BENCH_datapath.json,
+# BENCH_campaign.json and BENCH_server.json at the repo root. These are the
+# numbers quoted in EXPERIMENTS.md and gated by CI's nightly bench job.
 #
 #   scripts/run_bench.sh [build-dir]      # default: ./build
+#
+# The server bench launches a real authnsd (SO_REUSEPORT, 2 workers) on an
+# ephemeral loopback port, replays the query log of a simulated campaign
+# (atlas_campaign --dump-auth-queries) through tools/loadgen, and records
+# the achieved qps and latency percentiles.
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -13,7 +18,8 @@ BUILD=${1:-"$ROOT/build"}
 if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD" --target bench_datapath bench_parallel_campaign
+cmake --build "$BUILD" --target bench_datapath bench_parallel_campaign \
+  authnsd loadgen atlas_campaign
 
 echo "== bench_datapath (codec allocations, differential vs legacy) =="
 "$BUILD/bench/bench_datapath" --iters 20000 \
@@ -25,4 +31,43 @@ echo "== bench_parallel_campaign (canonical: 10k probes, 31 q/VP, seed 42) =="
   --queries 31 --seed 42 --json "$ROOT/BENCH_campaign.json"
 
 echo
-echo "wrote $ROOT/BENCH_datapath.json and $ROOT/BENCH_campaign.json"
+echo "== bench_server (live authnsd + loadgen, campaign query replay) =="
+TMP=$(mktemp -d)
+trap 'kill "$AUTHNSD_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+# The query mix: what the simulated campaign's authoritatives actually saw
+# (shards=1 so the caller world logs the traffic).
+"$BUILD/examples/atlas_campaign" 2C 500 1 \
+  --dump-auth-queries "$TMP/queries.txt" > /dev/null
+QUERY_COUNT=$(wc -l < "$TMP/queries.txt")
+echo "replaying $QUERY_COUNT campaign queries"
+
+# The same wildcard zone the testbed serves for those names.
+cat > "$TMP/bench.zone" <<'EOF'
+$TTL 3600
+@    IN SOA ns1 hostmaster 1 14400 3600 1209600 300
+@    IN NS  ns1
+ns1  IN A   192.0.2.1
+*    5 IN TXT "BENCH"
+EOF
+
+"$BUILD/tools/authnsd" --zone ourtestdomain.nl="$TMP/bench.zone" \
+  --port 0 --workers 2 > "$TMP/authnsd.out" &
+AUTHNSD_PID=$!
+# Wait for the "listening on ADDR:PORT" line, then parse the port.
+i=0
+while [ ! -s "$TMP/authnsd.out" ] && [ "$i" -lt 50 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\) .*/\1/p' "$TMP/authnsd.out")
+[ -n "$PORT" ] || { echo "authnsd failed to start"; cat "$TMP/authnsd.out"; exit 1; }
+
+"$BUILD/tools/loadgen" --port "$PORT" --queries "$TMP/queries.txt" \
+  --threads 4 --duration 5 --json "$ROOT/BENCH_server.json"
+cat "$ROOT/BENCH_server.json"
+
+kill "$AUTHNSD_PID" 2>/dev/null || true
+wait "$AUTHNSD_PID" 2>/dev/null || true
+
+echo
+echo "wrote $ROOT/BENCH_datapath.json, $ROOT/BENCH_campaign.json and $ROOT/BENCH_server.json"

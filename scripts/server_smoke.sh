@@ -1,0 +1,65 @@
+#!/bin/sh
+# Server smoke test, run by CI: build artifacts assumed present. Launches
+# a real authnsd on an ephemeral loopback port and checks, via tdig, that
+#   1. an A query is answered authoritatively over UDP and TCP,
+#   2. the CHAOS identity answers,
+#   3. undecodable-but-headered garbage is answered with FORMERR.
+#
+#   scripts/server_smoke.sh [build-dir]   # default: ./build
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+TMP=$(mktemp -d)
+AUTHNSD_PID=
+cleanup() {
+  [ -n "$AUTHNSD_PID" ] && kill "$AUTHNSD_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+cat > "$TMP/smoke.zone" <<'EOF'
+$TTL 3600
+@    IN SOA ns1 hostmaster 1 14400 3600 1209600 300
+@    IN NS  ns1
+ns1  IN A   192.0.2.1
+www  IN A   192.0.2.80
+EOF
+
+"$BUILD/tools/authnsd" --zone smoke.test="$TMP/smoke.zone" \
+  --port 0 --workers 2 --identity smoked > "$TMP/authnsd.out" &
+AUTHNSD_PID=$!
+i=0
+while [ ! -s "$TMP/authnsd.out" ] && [ "$i" -lt 50 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+PORT=$(sed -n 's/^listening on [0-9.]*:\([0-9]*\) .*/\1/p' "$TMP/authnsd.out")
+[ -n "$PORT" ] || fail "authnsd did not start: $(cat "$TMP/authnsd.out")"
+echo "authnsd up on port $PORT"
+
+# 1a. UDP answer.
+OUT=$("$BUILD/tools/tdig" @127.0.0.1 -p "$PORT" www.smoke.test A)
+echo "$OUT" | grep -q 'rcode: NOERROR' || fail "UDP query not NOERROR"
+echo "$OUT" | grep -q '192\.0\.2\.80'  || fail "UDP answer missing A record"
+echo "$OUT" | grep -q 'flags:.*aa'     || fail "UDP answer not authoritative"
+
+# 1b. Same over TCP.
+OUT=$("$BUILD/tools/tdig" @127.0.0.1 -p "$PORT" www.smoke.test A +tcp)
+echo "$OUT" | grep -q '192\.0\.2\.80'  || fail "TCP answer missing A record"
+
+# 2. CHAOS identity.
+OUT=$("$BUILD/tools/tdig" @127.0.0.1 -p "$PORT" id.server TXT --class CH +short)
+[ "$OUT" = '"smoked"' ] || fail "CH identity returned: $OUT"
+
+# 3. Garbage with a full header (qdcount=1, overrunning label) => FORMERR.
+#    Reply must echo id 1234 and set QR + rcode FormErr => flags 8001.
+OUT=$("$BUILD/tools/tdig" @127.0.0.1 -p "$PORT" \
+  --raw 1234000000010000000000003f41 --hex-out)
+case "$OUT" in
+  12348001*) ;;
+  *) fail "garbage reply was '$OUT', wanted FORMERR (12348001...)" ;;
+esac
+
+echo "server smoke: OK"

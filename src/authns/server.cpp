@@ -1,7 +1,5 @@
 #include "authns/server.hpp"
 
-#include <algorithm>
-
 #include "obs/names.hpp"
 
 namespace recwild::authns {
@@ -11,13 +9,18 @@ AuthServer::AuthServer(net::Network& network, net::NodeId node,
     : network_(network),
       node_(node),
       endpoint_(endpoint),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      responder_(ResponderConfig{config_.identity, config_.plain_udp_limit}) {
   obs::MetricRegistry& m = network_.sim().metrics();
   trace_ = &network_.sim().trace();
   obs_queries_ = &m.counter(obs::names::kAuthnsQueries);
   obs_responses_ = &m.counter(obs::names::kAuthnsResponses);
   obs_truncated_ = &m.counter(obs::names::kAuthnsTruncated);
   obs_fault_refused_ = &m.counter(obs::names::kFaultAuthRefused);
+  // obs_formerr_ is resolved lazily on the first malformed datagram:
+  // registering it eagerly would add an always-zero counter to every
+  // simulation snapshot and invalidate the committed byte-identity
+  // fixtures for worlds that never see hostile input.
 }
 
 AuthServer::~AuthServer() {
@@ -36,27 +39,16 @@ void AuthServer::listen_also(net::Endpoint ep) {
   }
 }
 
-void AuthServer::add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+void AuthServer::add_zone(Zone zone) { responder_.add_zone(std::move(zone)); }
 
 void AuthServer::replace_zone(Zone zone) {
   const dns::Name origin = zone.origin();
-  bool replaced = false;
-  for (auto& z : zones_) {
-    if (z.origin() == origin) {
-      z = std::move(zone);
-      replaced = true;
-      break;
-    }
-  }
-  if (!replaced) zones_.push_back(std::move(zone));
+  responder_.replace_zone(std::move(zone));
   send_notifies(origin);
 }
 
 const Zone* AuthServer::zone_for(const dns::Name& origin) const {
-  for (const auto& z : zones_) {
-    if (z.origin() == origin) return &z;
-  }
-  return nullptr;
+  return responder_.zone_for(origin);
 }
 
 void AuthServer::add_notify_target(dns::Name origin,
@@ -76,35 +68,6 @@ void AuthServer::send_notifies(const dns::Name& origin) {
   }
 }
 
-dns::Message AuthServer::answer_axfr(const dns::Message& query,
-                                     bool via_stream) const {
-  dns::Message resp = dns::Message::make_response(query);
-  // AXFR requires the stream transport (RFC 5936 §4.2): over UDP the
-  // server replies with TC so the client retries over TCP.
-  if (!via_stream) {
-    resp.header.tc = true;
-    return resp;
-  }
-  const Zone* zone = zone_for(query.question().qname);
-  if (zone == nullptr || !zone->soa()) {
-    resp.header.rcode = dns::Rcode::Refused;
-    return resp;
-  }
-  resp.header.aa = true;
-  // SOA first and last, the full zone in between.
-  const auto all = zone->all_records();
-  const auto soa_it =
-      std::find_if(all.begin(), all.end(), [](const dns::ResourceRecord& r) {
-        return r.type() == dns::RRType::SOA;
-      });
-  resp.answers.push_back(*soa_it);
-  for (const auto& rr : all) {
-    if (rr.type() != dns::RRType::SOA) resp.answers.push_back(rr);
-  }
-  resp.answers.push_back(*soa_it);
-  return resp;
-}
-
 void AuthServer::start() {
   if (listening_) return;
   auto handler = [this](const net::Datagram& d, net::NodeId at) {
@@ -122,83 +85,9 @@ void AuthServer::stop() {
   listening_ = false;
 }
 
-dns::Message AuthServer::answer_chaos(const dns::Message& query) const {
-  // NSD-style identity: CH TXT hostname.bind and id.server return the
-  // configured identity string (RFC 4892 / RFC 8914 practice).
-  dns::Message resp = dns::Message::make_response(query);
-  const auto& q = query.question();
-  static const dns::Name kHostnameBind = dns::Name::parse("hostname.bind");
-  static const dns::Name kIdServer = dns::Name::parse("id.server");
-  if (q.qtype == dns::RRType::TXT &&
-      (q.qname == kHostnameBind || q.qname == kIdServer)) {
-    resp.header.aa = true;
-    resp.answers.push_back(dns::ResourceRecord{
-        q.qname, dns::RRClass::CH, 0,
-        dns::TxtRdata{{config_.identity}}});
-  } else {
-    resp.header.rcode = dns::Rcode::Refused;
-  }
-  return resp;
-}
-
 dns::Message AuthServer::answer(const dns::Message& query, bool via_stream,
                                 net::WireBuffer* wire_out) const {
-  if (query.questions.empty()) {
-    dns::Message resp;
-    resp.header = query.header;
-    resp.header.qr = true;
-    resp.header.rcode = dns::Rcode::FormErr;
-    return resp;
-  }
-  const auto& q = query.question();
-  if (q.qclass == dns::RRClass::CH) return answer_chaos(query);
-  if (q.qtype == dns::RRType::AXFR) return answer_axfr(query, via_stream);
-
-  // Find the most specific zone containing the qname.
-  const Zone* best = nullptr;
-  for (const auto& z : zones_) {
-    if (!q.qname.is_subdomain_of(z.origin())) continue;
-    if (best == nullptr ||
-        z.origin().label_count() > best->origin().label_count()) {
-      best = &z;
-    }
-  }
-  dns::Message resp = dns::Message::make_response(query);
-  if (query.edns) {
-    resp.edns = dns::EdnsInfo{};  // echo EDNS support, our own buffer size
-    resp.edns->udp_payload_size = 1232;
-  }
-  if (best == nullptr) {
-    resp.header.rcode = dns::Rcode::Refused;
-    return resp;
-  }
-  const QueryEngine engine{*best};
-  LookupResult result = engine.lookup(q);
-  resp.header.rcode = result.rcode;
-  resp.header.aa = result.authoritative;
-  resp.answers = std::move(result.answers);
-  resp.authorities = std::move(result.authorities);
-  resp.additionals = std::move(result.additionals);
-
-  // UDP size handling: if the encoded response exceeds what the client
-  // can take, truncate sections and set TC; the client then retries over
-  // TCP (Network::send_stream), where no limit applies. The size check IS
-  // the final encode — the bytes go out through wire_out instead of being
-  // thrown away and produced a second time by the caller.
-  if (!via_stream) {
-    const std::size_t limit =
-        query.edns ? query.edns->udp_payload_size : config_.plain_udp_limit;
-    net::WireBuffer wire = dns::encode_message(resp);
-    if (wire.size() > limit) {
-      resp.header.tc = true;
-      resp.answers.clear();
-      resp.authorities.clear();
-      resp.additionals.clear();
-      wire = dns::encode_message(resp);
-    }
-    if (wire_out != nullptr) *wire_out = std::move(wire);
-  }
-  return resp;
+  return responder_.answer(query, via_stream, wire_out);
 }
 
 void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
@@ -208,7 +97,32 @@ void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
   try {
     query = dns::decode_message(dgram.payload);
   } catch (const dns::WireError&) {
-    return;  // garbage in, silence out (NSD drops unparseable packets)
+    // Undecodable but carrying a full non-response header: answer FORMERR
+    // so the client can fail fast instead of burning its retransmit budget
+    // (RFC 1035 §4.1.1; what NSD/BIND do). Anything shorter — or a QR=1
+    // packet, which must never be answered — is dropped silently.
+    auto formerr = Responder::formerr_reply(dgram.payload);
+    if (!formerr || down_) return;
+    AuthFaultState fault;
+    if (fault_provider_) fault = fault_provider_(network_.sim().now());
+    if (fault.mode == AuthFailMode::Unresponsive) return;
+    if (obs_formerr_ == nullptr) {
+      obs_formerr_ =
+          &network_.sim().metrics().counter(obs::names::kAuthnsFormerr);
+    }
+    obs_formerr_->add(1, network_.sim().now());
+    net::Duration processing = config_.processing_delay;
+    if (fault.mode == AuthFailMode::Slow) processing += fault.extra_delay;
+    const net::Endpoint reply_src = dgram.dst;
+    const net::Endpoint reply_dst = dgram.src;
+    network_.sim().after(
+        processing, [this, wire = std::move(*formerr), reply_src,
+                     reply_dst]() mutable {
+          ++responses_sent_;
+          obs_responses_->add(1, network_.sim().now());
+          network_.send(node_, reply_src, reply_dst, std::move(wire));
+        });
+    return;
   }
   if (query.header.qr) return;  // not a query
 
@@ -250,7 +164,7 @@ void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
     resp.header.rcode = dns::Rcode::Refused;
     obs_fault_refused_->add(1, network_.sim().now());
   } else {
-    resp = answer(query, dgram.via_stream, &wire);
+    resp = responder_.answer(query, dgram.via_stream, &wire);
   }
   if (resp.header.tc && !dgram.via_stream) {
     obs_truncated_->add(1, network_.sim().now());

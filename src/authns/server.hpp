@@ -19,8 +19,8 @@
 #include <string>
 #include <vector>
 
-#include "authns/query_engine.hpp"
 #include "authns/query_log.hpp"
+#include "authns/responder.hpp"
 #include "authns/zone.hpp"
 #include "dnscore/codec.hpp"
 #include "net/network.hpp"
@@ -119,6 +119,13 @@ class AuthServer {
     return config_.identity;
   }
 
+  /// The transport-independent answer engine this server wraps. The
+  /// kernel-socket front-end (src/netio) drives the same class, which is
+  /// what the transport-equivalence test pins.
+  [[nodiscard]] const Responder& responder() const noexcept {
+    return responder_;
+  }
+
   [[nodiscard]] QueryLog& log() noexcept { return log_; }
   [[nodiscard]] const QueryLog& log() const noexcept { return log_; }
 
@@ -140,9 +147,6 @@ class AuthServer {
 
  private:
   void on_datagram(const net::Datagram& dgram, net::NodeId at_node);
-  [[nodiscard]] dns::Message answer_chaos(const dns::Message& query) const;
-  [[nodiscard]] dns::Message answer_axfr(const dns::Message& query,
-                                         bool via_stream) const;
   void send_notifies(const dns::Name& origin);
 
   net::Network& network_;
@@ -150,7 +154,7 @@ class AuthServer {
   net::Endpoint endpoint_;
   std::vector<net::Endpoint> extra_endpoints_;
   AuthServerConfig config_;
-  std::vector<Zone> zones_;
+  Responder responder_;
   std::vector<std::pair<dns::Name, net::Endpoint>> notify_targets_;
   NotifyHandler notify_handler_;
   AuthFaultProvider fault_provider_;
@@ -164,6 +168,7 @@ class AuthServer {
   obs::Counter* obs_queries_ = nullptr;
   obs::Counter* obs_responses_ = nullptr;
   obs::Counter* obs_truncated_ = nullptr;
+  obs::Counter* obs_formerr_ = nullptr;
   obs::Counter* obs_fault_refused_ = nullptr;
 };
 

@@ -1,5 +1,6 @@
 #include "dnscore/codec.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "dnscore/wire.hpp"
@@ -131,7 +132,16 @@ Message decode_message(std::span<const std::uint8_t> wire) {
   const std::uint16_t nscount = r.u16();
   const std::uint16_t arcount = r.u16();
 
-  m.questions.reserve(qdcount);
+  // Section counts are hostile input: a 12-octet datagram can advertise
+  // 65535 records per section. reserve() must be bounded by what the
+  // remaining bytes could physically hold (a question is >= 5 octets, a
+  // record >= 11), or a runt packet turns into a multi-megabyte
+  // allocation before the first parse error fires.
+  const auto bounded = [&r](std::uint16_t count, std::size_t min_octets) {
+    return std::min<std::size_t>(count, r.remaining() / min_octets);
+  };
+
+  m.questions.reserve(bounded(qdcount, 5));
   for (std::uint16_t i = 0; i < qdcount; ++i) {
     Question q;
     q.qname = r.name();
@@ -139,11 +149,11 @@ Message decode_message(std::span<const std::uint8_t> wire) {
     q.qclass = static_cast<RRClass>(r.u16());
     m.questions.push_back(std::move(q));
   }
-  m.answers.reserve(ancount);
+  m.answers.reserve(bounded(ancount, 11));
   for (std::uint16_t i = 0; i < ancount; ++i) {
     m.answers.push_back(decode_record(r));
   }
-  m.authorities.reserve(nscount);
+  m.authorities.reserve(bounded(nscount, 11));
   for (std::uint16_t i = 0; i < nscount; ++i) {
     m.authorities.push_back(decode_record(r));
   }

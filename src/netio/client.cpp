@@ -1,0 +1,113 @@
+#include "netio/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+
+#include "netio/fd.hpp"
+
+namespace recwild::netio {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+timeval to_timeval(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  return tv;
+}
+
+/// recv() exactly `len` bytes or fail (TCP framing needs whole reads).
+bool recv_all(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n <= 0) return false;  // timeout, error, or peer close
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::uint8_t* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<ExchangeResult> exchange(const std::string& host,
+                                       std::uint16_t port,
+                                       std::span<const std::uint8_t> query,
+                                       const ExchangeOptions& opts) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    throw std::system_error{EINVAL, std::generic_category(),
+                            "bad host address: " + host};
+  }
+
+  UniqueFd fd{::socket(AF_INET, (opts.tcp ? SOCK_STREAM : SOCK_DGRAM) |
+                                    SOCK_CLOEXEC,
+                       0)};
+  if (!fd) {
+    throw std::system_error{errno, std::generic_category(), "socket"};
+  }
+  const timeval tv = to_timeval(opts.timeout_ms);
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+  // connect() on UDP too: it pins the peer so recv() only yields that
+  // server's datagrams and turns unreachable-port into an error.
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    return std::nullopt;
+  }
+
+  const auto start = Clock::now();
+  ExchangeResult result;
+
+  if (opts.tcp) {
+    if (query.size() > 65535) return std::nullopt;
+    std::vector<std::uint8_t> framed;
+    framed.reserve(query.size() + 2);
+    framed.push_back(static_cast<std::uint8_t>(query.size() >> 8));
+    framed.push_back(static_cast<std::uint8_t>(query.size() & 0xff));
+    framed.insert(framed.end(), query.begin(), query.end());
+    if (!send_all(fd.get(), framed.data(), framed.size())) return std::nullopt;
+
+    std::uint8_t lenbuf[2];
+    if (!recv_all(fd.get(), lenbuf, 2)) return std::nullopt;
+    const std::size_t frame = (static_cast<std::size_t>(lenbuf[0]) << 8) |
+                              lenbuf[1];
+    result.wire.resize(frame);
+    if (frame > 0 && !recv_all(fd.get(), result.wire.data(), frame)) {
+      return std::nullopt;
+    }
+  } else {
+    if (!send_all(fd.get(), query.data(), query.size())) return std::nullopt;
+    result.wire.resize(65535);
+    const ssize_t n =
+        ::recv(fd.get(), result.wire.data(), result.wire.size(), 0);
+    if (n < 0) return std::nullopt;
+    result.wire.resize(static_cast<std::size_t>(n));
+  }
+
+  result.rtt_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace recwild::netio

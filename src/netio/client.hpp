@@ -1,0 +1,34 @@
+// Blocking DNS exchange over real sockets — the client side of src/netio.
+//
+// One call, one query, one response: tdig, the load generator's warm-up
+// path, the smoke script and the transport-equivalence test all use this
+// instead of hand-rolling sockets. UDP by default; TCP adds the 2-byte
+// length framing of RFC 1035 §4.2.2 on both directions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace recwild::netio {
+
+struct ExchangeOptions {
+  bool tcp = false;
+  int timeout_ms = 3000;
+};
+
+struct ExchangeResult {
+  std::vector<std::uint8_t> wire;  ///< Raw response bytes (frame stripped).
+  double rtt_ms = 0.0;             ///< send() to full response, wall clock.
+};
+
+/// Sends `query` to host:port and waits for one response. Returns nullopt
+/// on timeout, refused connection, or a malformed TCP frame. Throws
+/// std::system_error only for local setup failures (bad host string).
+[[nodiscard]] std::optional<ExchangeResult> exchange(
+    const std::string& host, std::uint16_t port,
+    std::span<const std::uint8_t> query, const ExchangeOptions& opts = {});
+
+}  // namespace recwild::netio

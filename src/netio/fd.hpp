@@ -1,0 +1,49 @@
+// RAII wrapper for a kernel file descriptor.
+//
+// src/netio is the only module that touches real sockets; everything else
+// in the tree runs on the simulated net::Network. Keeping fd ownership in
+// one move-only type means a worker that throws mid-setup leaks nothing.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace recwild::netio {
+
+class UniqueFd {
+ public:
+  UniqueFd() noexcept = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+
+  UniqueFd(UniqueFd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  ~UniqueFd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Closes the held descriptor (if any) and takes ownership of `fd`.
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace recwild::netio

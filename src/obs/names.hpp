@@ -131,6 +131,27 @@ inline constexpr std::string_view kAuthnsQueries = "authns.queries";
 inline constexpr std::string_view kAuthnsResponses = "authns.responses";
 /// UDP responses truncated past the client's advertised size (TC=1).
 inline constexpr std::string_view kAuthnsTruncated = "authns.truncated";
+/// Undecodable-but-headered datagrams answered with rcode FORMERR instead
+/// of a silent drop (src/authns/server.cpp and the kernel-socket front-end
+/// src/netio/server.cpp both count here).
+inline constexpr std::string_view kAuthnsFormerr = "authns.formerr";
+
+// --- kernel-socket front-end (src/netio/server.cpp, authnsd) ------------
+// Real-transport counters. These exist only in live-server registries
+// (authnsd's periodic stats dump); simulations never touch them, so shard
+// merge identity is unaffected.
+/// UDP datagrams received by the epoll workers.
+inline constexpr std::string_view kNetioUdpDatagrams = "netio.udp.datagrams";
+/// TCP connections accepted.
+inline constexpr std::string_view kNetioTcpConnections =
+    "netio.tcp.connections";
+/// Whole 2-byte-length-framed DNS messages received over TCP.
+inline constexpr std::string_view kNetioTcpMessages = "netio.tcp.messages";
+/// Responses written back to a kernel socket (UDP + TCP).
+inline constexpr std::string_view kNetioResponses = "netio.responses";
+/// Inputs dropped without a reply: QR=1 packets, sub-header runts,
+/// oversized TCP frames, connection errors.
+inline constexpr std::string_view kNetioDropped = "netio.dropped";
 
 // --- fault injection (src/fault/injector.cpp) ---------------------------
 /// Schedule events resolved and armed by a FaultInjector. Counted at

@@ -423,12 +423,13 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
   out.txid = txid;
   out.via_tcp = via_tcp;
   out.sent_at = now;
+  const net::Endpoint dst{server, net::kDnsPort};
+  out.server_port = dst.port;
   out.timeout_event = network_.sim().after(
       timeout, [this, txkey] { on_upstream_timeout(txkey); });
   outstanding_.emplace(txkey, std::move(out));
 
   auto wire = dns::encode_message(query);
-  const net::Endpoint dst{server, net::kDnsPort};
   if (via_tcp) {
     network_.send_stream(node_, upstream_ep_, dst, std::move(wire));
   } else {
@@ -489,15 +490,20 @@ void RecursiveResolver::on_upstream_datagram(const net::Datagram& dgram) {
   }
   if (!resp.header.qr || resp.questions.empty()) return;
 
-  // Match an outstanding query: id + server + question. The response
-  // qname is interned once (lookup-only); outstanding entries then match
-  // by 32-bit id instead of re-walking label vectors per candidate.
+  // Match an outstanding query: id + server endpoint + question. The
+  // source PORT is part of the key — a response from the right address but
+  // the wrong port did not come from the socket we queried, so it is
+  // off-path injection (or a confused middlebox) and must not be accepted.
+  // The response qname is interned once (lookup-only); outstanding entries
+  // then match by 32-bit id instead of re-walking label vectors per
+  // candidate.
   const auto ref = qnames_.find(resp.question().qname);
   if (!ref) return;  // we never asked for this name: late or spoofed
   const auto match = std::find_if(
       outstanding_.begin(), outstanding_.end(), [&](const auto& kv) {
         const Outstanding& o = kv.second;
         return o.txid == resp.header.id && o.server == dgram.src.addr &&
+               o.server_port == dgram.src.port &&
                o.qtype == resp.question().qtype && o.qname_ref == *ref;
       });
   if (match == outstanding_.end()) return;  // late or spoofed: ignore

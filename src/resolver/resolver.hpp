@@ -191,6 +191,11 @@ class RecursiveResolver {
     std::shared_ptr<Job> job;
     bool minimized = false;  // qname/qtype differ from the client question
     net::IpAddress server;
+    /// The destination port the query was sent to. Response matching
+    /// requires the source endpoint — address AND port — to be the one we
+    /// queried; accepting any port on the right address lets an off-path
+    /// host that never saw the query inject from an unprivileged socket.
+    net::Port server_port = net::kDnsPort;
     dns::Name qname;
     /// qname's id in qnames_ — response matching compares this 32-bit id
     /// instead of walking label vectors per outstanding entry.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/names.hpp"
+
 namespace recwild::authns {
 namespace {
 
@@ -14,6 +16,27 @@ ns1  IN A   192.0.2.1
 big  IN TXT "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
 big  IN TXT "yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy"
 big  IN TXT "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz"
+huge IN TXT "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+huge IN TXT "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+huge IN TXT "cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc"
+huge IN TXT "dddddddddddddddddddddddddddddddddddddddddddddddddddddddddddd"
+huge IN TXT "eeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeee"
+huge IN TXT "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+huge IN TXT "gggggggggggggggggggggggggggggggggggggggggggggggggggggggggggg"
+huge IN TXT "hhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhh"
+huge IN TXT "iiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiiii"
+huge IN TXT "jjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjjj"
+huge IN TXT "kkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkk"
+huge IN TXT "llllllllllllllllllllllllllllllllllllllllllllllllllllllllllll"
+huge IN TXT "mmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmmm"
+huge IN TXT "nnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnn"
+huge IN TXT "oooooooooooooooooooooooooooooooooooooooooooooooooooooooooooo"
+huge IN TXT "pppppppppppppppppppppppppppppppppppppppppppppppppppppppppppp"
+huge IN TXT "qqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqqq"
+huge IN TXT "rrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrrr"
+huge IN TXT "ssssssssssssssssssssssssssssssssssssssssssssssssssssssssssss"
+huge IN TXT "tttttttttttttttttttttttttttttttttttttttttttttttttttttttttttt"
+huge IN TXT "uuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuuu"
 )";
 
 struct Fixture {
@@ -227,6 +250,71 @@ ns1.ourtestdomain IN A 192.0.2.1
   // Served from the child zone's wildcard, not the parent's delegation.
   ASSERT_EQ(w.received[0].answers.size(), 1u);
   EXPECT_TRUE(w.received[0].header.aa);
+}
+
+
+TEST(AuthServer, TinyEdnsAdvertisementClampedUpTo512) {
+  World w;
+  // RFC 6891 Â§6.2.3: an advertised payload size below 512 is treated as
+  // 512. The ~300-byte TXT answer must NOT truncate for a client that
+  // advertises 100 octets (before the clamp it would have).
+  dns::Message q = dns::Message::make_query(
+      20, dns::Name::parse("big.ourtestdomain.nl"), dns::RRType::TXT);
+  q.edns = dns::EdnsInfo{};
+  q.edns->udp_payload_size = 100;
+  w.send(q);
+  ASSERT_EQ(w.received.size(), 1u);
+  EXPECT_FALSE(w.received[0].header.tc);
+  EXPECT_EQ(w.received[0].answers.size(), 3u);
+}
+
+TEST(AuthServer, HugeEdnsAdvertisementCappedAt1232) {
+  World w;
+  // The other side of the clamp: advertising 65535 does not talk us into
+  // sending past our 1232-octet fragmentation-safe ceiling.
+  dns::Message q = dns::Message::make_query(
+      21, dns::Name::parse("huge.ourtestdomain.nl"), dns::RRType::TXT);
+  q.edns = dns::EdnsInfo{};
+  q.edns->udp_payload_size = 65535;
+  w.send(q);
+  ASSERT_EQ(w.received.size(), 1u);
+  EXPECT_TRUE(w.received[0].header.tc);
+  EXPECT_TRUE(w.received[0].answers.empty());
+  ASSERT_TRUE(w.received[0].edns.has_value());
+  EXPECT_EQ(w.received[0].edns->udp_payload_size, 1232);
+}
+
+TEST(AuthServer, MalformedQueryAnsweredWithFormErr) {
+  World w;
+  // A full header claiming one question, then a label that overruns the
+  // datagram: decode fails, but there is enough to address a reply.
+  w.net.send(w.client_node, w.client_ep, w.server_ep,
+             net::WireBuffer{{0x12, 0x34, 0x00, 0x00, 0x00, 0x01, 0x00,
+                              0x00, 0x00, 0x00, 0x00, 0x00, 0x3f, 0x41}});
+  w.f.sim.run();
+  ASSERT_EQ(w.received.size(), 1u);
+  EXPECT_TRUE(w.received[0].header.qr);
+  EXPECT_EQ(w.received[0].header.id, 0x1234);
+  EXPECT_EQ(w.received[0].header.rcode, dns::Rcode::FormErr);
+  EXPECT_TRUE(w.received[0].questions.empty());
+  EXPECT_EQ(w.f.sim.metrics().snapshot().counter_value(
+                obs::names::kAuthnsFormerr),
+            1u);
+}
+
+TEST(AuthServer, MalformedResponseNeverAnswered) {
+  World w;
+  // Same overrun, but QR=1: answering would let two broken servers (or a
+  // spoofed victim) bounce FORMERRs at each other forever.
+  w.net.send(w.client_node, w.client_ep, w.server_ep,
+             net::WireBuffer{{0x12, 0x34, 0x80, 0x00, 0x00, 0x01, 0x00,
+                              0x00, 0x00, 0x00, 0x00, 0x00, 0x3f, 0x41}});
+  w.f.sim.run();
+  EXPECT_TRUE(w.received.empty());
+  // And the lazy formerr counter was never even registered.
+  EXPECT_EQ(w.f.sim.metrics().snapshot().counter_value(
+                obs::names::kAuthnsFormerr),
+            0u);
 }
 
 }  // namespace

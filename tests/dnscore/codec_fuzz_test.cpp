@@ -1,0 +1,117 @@
+// Hostile-input hardening for decode_message: a datagram from the network
+// is attacker-controlled from the first byte, and the decoder's only
+// acceptable failure mode is WireError. These tests drive it with every
+// truncation and thousands of seeded mutations of the golden fixtures —
+// the closest thing to a fuzzer that still runs deterministically in CI.
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dnscore/codec.hpp"
+#include "dnscore/message.hpp"
+#include "dnscore/wire.hpp"
+
+namespace recwild::dns {
+namespace {
+
+const char* const kFixtures[] = {
+    "ns_referral_compressed.bin",
+    "truncated_udp_answer.bin",
+    "notify.bin",
+    "pointer_loop.bin",
+};
+
+std::vector<std::uint8_t> load_fixture(const std::string& name) {
+  const std::string path = std::string{RECWILD_GOLDEN_DIR} + "/" + name;
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.is_open()) << "missing golden fixture: " << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// decode_message must either produce a Message or throw WireError; any
+/// other exception (or a crash/sanitizer report) fails the test.
+void must_decode_or_reject(std::span<const std::uint8_t> wire) {
+  try {
+    const Message m = decode_message(wire);
+    (void)m;
+  } catch (const WireError&) {
+    // rejected cleanly
+  }
+}
+
+TEST(CodecFuzz, EveryPrefixOfEveryFixtureDecodesOrRejects) {
+  for (const char* name : kFixtures) {
+    const auto wire = load_fixture(name);
+    for (std::size_t len = 0; len <= wire.size(); ++len) {
+      must_decode_or_reject(std::span{wire.data(), len});
+    }
+  }
+}
+
+TEST(CodecFuzz, SeededMutationsOfFixturesDecodeOrReject) {
+  std::mt19937 rng{0xC0DEC};
+  for (const char* name : kFixtures) {
+    const auto original = load_fixture(name);
+    if (original.empty()) continue;
+    std::uniform_int_distribution<std::size_t> pos{0, original.size() - 1};
+    std::uniform_int_distribution<int> byte{0, 255};
+    std::uniform_int_distribution<int> muts{1, 8};
+    for (int iter = 0; iter < 2000; ++iter) {
+      std::vector<std::uint8_t> wire = original;
+      const int n = muts(rng);
+      for (int m = 0; m < n; ++m) {
+        wire[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+      }
+      must_decode_or_reject(wire);
+    }
+  }
+}
+
+TEST(CodecFuzz, MutatedAndTruncatedTogether) {
+  // Both corruptions at once: flip bytes, then cut the tail — the shape a
+  // fragmented/garbled datagram actually arrives in.
+  std::mt19937 rng{0xF00D};
+  for (const char* name : kFixtures) {
+    const auto original = load_fixture(name);
+    if (original.size() < 2) continue;
+    std::uniform_int_distribution<std::size_t> pos{0, original.size() - 1};
+    std::uniform_int_distribution<int> byte{0, 255};
+    for (int iter = 0; iter < 1000; ++iter) {
+      std::vector<std::uint8_t> wire = original;
+      wire[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+      wire[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+      wire.resize(pos(rng));
+      must_decode_or_reject(wire);
+    }
+  }
+}
+
+TEST(CodecFuzz, PureGarbageDecodesOrRejects) {
+  std::mt19937 rng{0xBAD};
+  std::uniform_int_distribution<std::size_t> len{0, 600};
+  std::uniform_int_distribution<int> byte{0, 255};
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::vector<std::uint8_t> wire(len(rng));
+    for (auto& b : wire) b = static_cast<std::uint8_t>(byte(rng));
+    must_decode_or_reject(wire);
+  }
+}
+
+TEST(CodecFuzz, RuntAdvertisingMaxCountsRejectsWithoutPreallocating) {
+  // 12 octets claiming 65535 records in every section. The bounded
+  // reserve() in decode_message must keep this from allocating megabytes
+  // before the parse error fires; the vectors never grow past what the
+  // remaining zero bytes could hold.
+  const std::vector<std::uint8_t> runt{0x00, 0x01, 0x00, 0x00,
+                                       0xff, 0xff, 0xff, 0xff,
+                                       0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW((void)decode_message(runt), WireError);
+}
+
+}  // namespace
+}  // namespace recwild::dns

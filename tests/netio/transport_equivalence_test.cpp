@@ -1,0 +1,230 @@
+// Transport equivalence: the kernel-socket server and the simulated
+// server answer with IDENTICAL bytes, because both are thin transports
+// over the same authns::Responder. A live authnsd-style netio::Server is
+// started on a loopback ephemeral port and driven through netio::exchange
+// (the tdig client path); a simulated AuthServer with the same
+// configuration receives the same query wire; the raw reply bytes must
+// match for every case — answer, referral, truncation, NOTIFY, CHAOS
+// identity, FORMERR, and the TCP path.
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "authns/responder.hpp"
+#include "authns/server.hpp"
+#include "dnscore/codec.hpp"
+#include "netio/client.hpp"
+#include "netio/server.hpp"
+
+namespace recwild::netio {
+namespace {
+
+constexpr const char* kIdentity = "eq-test";
+
+constexpr const char* kZoneText = R"(
+$TTL 3600
+@    IN SOA ns1 hostmaster 1 14400 3600 1209600 300
+@    IN NS  ns1
+ns1  IN A   192.0.2.1
+www  IN A   192.0.2.10
+www  IN A   192.0.2.11
+big  IN TXT "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+big  IN TXT "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+big  IN TXT "cccccccccccccccccccccccccccccccccccccccccccccccccccccccccccc"
+big  IN TXT "dddddddddddddddddddddddddddddddddddddddddddddddddddddddddddd"
+big  IN TXT "eeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeee"
+big  IN TXT "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+big  IN TXT "gggggggggggggggggggggggggggggggggggggggggggggggggggggggggggg"
+big  IN TXT "hhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhhh"
+child     IN NS ns1.child
+ns1.child IN A  192.0.2.53
+)";
+
+authns::Zone make_zone() {
+  return authns::Zone::from_text(dns::Name::parse("eq.test"), kZoneText);
+}
+
+/// The simulated transport: one AuthServer, one capturing client.
+struct SimWorld {
+  net::Simulation sim{99};
+  net::LatencyParams params{};
+  net::Network netw;
+  net::NodeId server_node;
+  net::NodeId client_node;
+  net::Endpoint server_ep;
+  net::Endpoint client_ep;
+  std::unique_ptr<authns::AuthServer> server;
+  std::vector<std::vector<std::uint8_t>> replies;
+
+  SimWorld() : netw{(params.loss_rate = 0.0, sim), params} {
+    server_node = netw.add_node("auth", net::find_location("FRA")->point);
+    client_node = netw.add_node("client", net::find_location("AMS")->point);
+    server_ep = net::Endpoint{netw.allocate_address(), net::kDnsPort};
+    client_ep = net::Endpoint{netw.allocate_address(), 5555};
+    authns::AuthServerConfig cfg;
+    cfg.identity = kIdentity;
+    server = std::make_unique<authns::AuthServer>(netw, server_node,
+                                                  server_ep, cfg);
+    server->add_zone(make_zone());
+    server->start();
+    netw.listen(client_node, client_ep,
+                [this](const net::Datagram& d, net::NodeId) {
+                  replies.emplace_back(d.payload.data(),
+                                       d.payload.data() + d.payload.size());
+                });
+  }
+
+  /// Sends raw bytes and returns the raw reply (empty when unanswered).
+  std::vector<std::uint8_t> ask(std::span<const std::uint8_t> wire,
+                                bool via_stream = false) {
+    replies.clear();
+    std::vector<std::uint8_t> copy{wire.begin(), wire.end()};
+    if (via_stream) {
+      netw.send_stream(client_node, client_ep, server_ep,
+                       net::WireBuffer{std::move(copy)});
+    } else {
+      netw.send(client_node, client_ep, server_ep,
+                net::WireBuffer{std::move(copy)});
+    }
+    sim.run();
+    return replies.empty() ? std::vector<std::uint8_t>{} : replies.front();
+  }
+};
+
+/// The kernel transport: a live netio::Server on an ephemeral port.
+struct LiveWorld {
+  authns::Responder responder;
+  Server server;
+
+  LiveWorld()
+      : responder{[] {
+          authns::ResponderConfig cfg;
+          cfg.identity = kIdentity;
+          return cfg;
+        }()},
+        server{responder, [] {
+                 ServerConfig cfg;
+                 cfg.port = 0;  // ephemeral
+                 cfg.workers = 2;
+                 return cfg;
+               }()} {
+    responder.add_zone(make_zone());
+    server.start();
+  }
+
+  std::vector<std::uint8_t> ask(std::span<const std::uint8_t> wire,
+                                bool tcp = false) {
+    ExchangeOptions opts;
+    opts.tcp = tcp;
+    const auto result = exchange("127.0.0.1", server.port(), wire, opts);
+    return result ? result->wire : std::vector<std::uint8_t>{};
+  }
+};
+
+struct TransportEquivalence : ::testing::Test {
+  SimWorld sim;
+  LiveWorld live;
+
+  void expect_equal(const dns::Message& query, bool stream = false) {
+    const auto wire = dns::encode_message(query);
+    const std::vector<std::uint8_t> qbytes{wire.data(),
+                                           wire.data() + wire.size()};
+    const auto sim_reply = sim.ask(qbytes, stream);
+    const auto live_reply = live.ask(qbytes, stream);
+    ASSERT_FALSE(sim_reply.empty());
+    EXPECT_EQ(sim_reply, live_reply)
+        << "simulated and live replies diverge for:\n"
+        << query.to_string();
+  }
+};
+
+TEST_F(TransportEquivalence, OrdinaryAnswer) {
+  dns::Message q = dns::Message::make_query(
+      0x4242, dns::Name::parse("www.eq.test"), dns::RRType::A);
+  q.edns = dns::EdnsInfo{};
+  expect_equal(q);
+}
+
+TEST_F(TransportEquivalence, Referral) {
+  expect_equal(dns::Message::make_query(
+      0x1111, dns::Name::parse("foo.child.eq.test"), dns::RRType::A));
+}
+
+TEST_F(TransportEquivalence, TruncatedAnswer) {
+  // ~700 bytes of TXT against the 512-byte plain-UDP limit: both
+  // transports must truncate identically.
+  expect_equal(dns::Message::make_query(
+      0x2222, dns::Name::parse("big.eq.test"), dns::RRType::TXT));
+}
+
+TEST_F(TransportEquivalence, TcpCarriesTheFullAnswer) {
+  // Same oversized answer over the stream transport: no truncation,
+  // identical full bytes on both sides.
+  expect_equal(dns::Message::make_query(0x3333,
+                                        dns::Name::parse("big.eq.test"),
+                                        dns::RRType::TXT),
+               /*stream=*/true);
+}
+
+TEST_F(TransportEquivalence, Notify) {
+  dns::Message notify;
+  notify.header.id = 0x5555;
+  notify.header.opcode = dns::Opcode::Notify;
+  notify.header.aa = true;
+  notify.questions.push_back(dns::Question{dns::Name::parse("eq.test"),
+                                           dns::RRType::SOA,
+                                           dns::RRClass::IN});
+  expect_equal(notify);
+}
+
+TEST_F(TransportEquivalence, ChaosIdentity) {
+  dns::Message q = dns::Message::make_query(
+      0x6666, dns::Name::parse("id.server"), dns::RRType::TXT);
+  q.questions[0].qclass = dns::RRClass::CH;
+  expect_equal(q);
+}
+
+TEST_F(TransportEquivalence, FormErrForGarbage) {
+  // Raw bytes, not a Message: full header + an overrunning label.
+  const std::vector<std::uint8_t> garbage{0xab, 0xcd, 0x00, 0x00, 0x00,
+                                          0x01, 0x00, 0x00, 0x00, 0x00,
+                                          0x00, 0x00, 0x3f, 0x41};
+  const auto sim_reply = sim.ask(garbage);
+  const auto live_reply = live.ask(garbage);
+  ASSERT_FALSE(sim_reply.empty());
+  EXPECT_EQ(sim_reply, live_reply);
+  const dns::Message decoded = dns::decode_message(sim_reply);
+  EXPECT_EQ(decoded.header.rcode, dns::Rcode::FormErr);
+  EXPECT_EQ(decoded.header.id, 0xabcd);
+}
+
+TEST_F(TransportEquivalence, UdpAndTcpAgreeWhenNothingTruncates) {
+  const auto wire = dns::encode_message(dns::Message::make_query(
+      0x7777, dns::Name::parse("www.eq.test"), dns::RRType::A));
+  const std::vector<std::uint8_t> qbytes{wire.data(),
+                                         wire.data() + wire.size()};
+  const auto udp = live.ask(qbytes, /*tcp=*/false);
+  const auto tcp = live.ask(qbytes, /*tcp=*/true);
+  EXPECT_EQ(udp, tcp);
+}
+
+TEST_F(TransportEquivalence, LiveStatsCount) {
+  const auto wire = dns::encode_message(dns::Message::make_query(
+      0x8888, dns::Name::parse("www.eq.test"), dns::RRType::A));
+  const std::vector<std::uint8_t> qbytes{wire.data(),
+                                         wire.data() + wire.size()};
+  (void)live.ask(qbytes, false);
+  (void)live.ask(qbytes, true);
+  const ServerStats s = live.server.stats();
+  EXPECT_EQ(s.udp_datagrams, 1u);
+  EXPECT_EQ(s.tcp_connections, 1u);
+  EXPECT_EQ(s.tcp_messages, 1u);
+  EXPECT_EQ(s.responses, 2u);
+  EXPECT_EQ(s.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace recwild::netio

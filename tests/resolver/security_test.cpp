@@ -267,5 +267,80 @@ TEST(Security, LateResponseAfterTimeoutIgnored) {
                    .has_value());
 }
 
+
+TEST(Security, ResponseFromWrongSourcePortIgnored) {
+  net::Simulation sim{2026};
+  net::LatencyParams lp;
+  lp.loss_rate = 0;
+  net::Network network{sim, lp};
+  const auto loc = [](const char* c) {
+    return net::find_location(c)->point;
+  };
+
+  // An off-path attacker who shares the server's address (NAT sibling,
+  // compromised unprivileged process on the server host) can forge the
+  // txid and the question by sniffing NEITHER — here it gets both for
+  // free by echoing the real query. The ONLY thing it cannot fake from an
+  // unprivileged socket is the source port 53 the query was sent to, so
+  // response matching must require it.
+  const net::IpAddress auth_addr = network.allocate_address();
+  const net::IpAddress res_addr = network.allocate_address();
+  const net::NodeId auth_node = network.add_node("auth", loc("FRA"));
+  int queries_seen = 0;
+  network.listen(
+      auth_node, net::Endpoint{auth_addr, net::kDnsPort},
+      [&](const net::Datagram& d, net::NodeId) {
+        dns::Message q;
+        try {
+          q = dns::decode_message(d.payload);
+        } catch (const dns::WireError&) {
+          return;
+        }
+        if (q.header.qr || q.questions.empty()) return;
+        ++queries_seen;
+        dns::Message resp = dns::Message::make_response(q);
+        resp.header.aa = true;
+        resp.answers.push_back(dns::ResourceRecord{
+            q.question().qname, dns::RRClass::IN, 300,
+            dns::TxtRdata{{queries_seen == 1 ? "forged" : "legit"}}});
+        if (queries_seen == 1) {
+          // Perfect forgery — right address, right txid, right question —
+          // except the source port: 9999 instead of the 53 we queried.
+          network.send(auth_node, net::Endpoint{auth_addr, 9999}, d.src,
+                       dns::encode_message(resp));
+        } else {
+          // The retransmit gets a genuine answer from port 53.
+          network.send(auth_node, d.dst, d.src, dns::encode_message(resp));
+        }
+      });
+
+  ResolverConfig rc;
+  rc.name = "res";
+  RecursiveResolver res{network, network.add_node("res", loc("AMS")),
+                        res_addr, rc,
+                        {{dns::Name::parse("ns.test"), auth_addr}},
+                        stats::Rng{20}};
+  res.start();
+
+  std::string answer;
+  res.resolve(dns::Question{dns::Name::parse("target.test"),
+                            dns::RRType::TXT, dns::RRClass::IN},
+              [&](const ResolveOutcome& out) {
+                for (const auto& rr : out.answers) {
+                  if (rr.type() == dns::RRType::TXT) {
+                    answer =
+                        std::get<dns::TxtRdata>(rr.rdata).strings.at(0);
+                  }
+                }
+              });
+  sim.run();
+
+  // The wrong-port forgery was ignored; the transaction survived to its
+  // timeout and completed via the retransmit.
+  EXPECT_EQ(answer, "legit");
+  EXPECT_EQ(queries_seen, 2);
+  EXPECT_GE(res.upstream_timeouts(), 1u);
+}
+
 }  // namespace
 }  // namespace recwild::resolver

@@ -1,0 +1,178 @@
+// authnsd — the authoritative server as a real daemon.
+//
+// Serves master-file zones over kernel UDP+TCP sockets through
+// netio::Server; every answer comes from the same authns::Responder the
+// simulated AuthServer uses ("one engine, two transports",
+// docs/ARCHITECTURE.md). Prints one "listening on ADDR:PORT" line to
+// stdout on startup — scripts parse it to discover an ephemeral port —
+// and, at --stats-interval, folds the socket-layer counters into an
+// obs::MetricRegistry and dumps the JSON snapshot to stderr.
+//
+//   authnsd --zone example.com=example.zone --port 5300 --workers 4
+
+#include <csignal>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "authns/responder.hpp"
+#include "authns/zone.hpp"
+#include "netio/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " --zone ORIGIN=FILE [--zone ...]\n"
+      << "       [--addr A.B.C.D]      bind address (default 127.0.0.1)\n"
+      << "       [--port N]            port (default 5300; 0 = ephemeral)\n"
+      << "       [--workers N]         SO_REUSEPORT shards (default 2)\n"
+      << "       [--identity NAME]     CH TXT id.server (default authnsd)\n"
+      << "       [--plain-udp-limit N] non-EDNS UDP limit (default 512)\n"
+      << "       [--stats-interval S]  stderr stats every S sec (0 = off)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using recwild::authns::Responder;
+  using recwild::authns::ResponderConfig;
+  using recwild::authns::Zone;
+
+  std::vector<std::pair<std::string, std::string>> zone_args;
+  recwild::netio::ServerConfig net_cfg;
+  net_cfg.port = 5300;
+  net_cfg.workers = 2;
+  ResponderConfig resp_cfg;
+  resp_cfg.identity = "authnsd";
+  int stats_interval_s = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--zone") {
+      const std::string v = next();
+      const auto eq = v.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "--zone wants ORIGIN=FILE, got: " << v << "\n";
+        return usage(argv[0]);
+      }
+      zone_args.emplace_back(v.substr(0, eq), v.substr(eq + 1));
+    } else if (arg == "--addr") {
+      net_cfg.bind_address = next();
+    } else if (arg == "--port") {
+      net_cfg.port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--workers") {
+      net_cfg.workers = std::stoi(next());
+    } else if (arg == "--identity") {
+      resp_cfg.identity = next();
+    } else if (arg == "--plain-udp-limit") {
+      resp_cfg.plain_udp_limit = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--stats-interval") {
+      stats_interval_s = std::stoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (zone_args.empty()) {
+    std::cerr << "at least one --zone ORIGIN=FILE is required\n";
+    return usage(argv[0]);
+  }
+
+  Responder responder{resp_cfg};
+  for (const auto& [origin, file] : zone_args) {
+    std::ifstream in{file};
+    if (!in) {
+      std::cerr << "cannot open zone file: " << file << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      Zone zone = Zone::from_text(recwild::dns::Name::parse(origin),
+                                  text.str());
+      const auto problems = zone.validate();
+      for (const auto& p : problems) {
+        std::cerr << "zone " << origin << ": " << p << "\n";
+      }
+      if (!problems.empty()) return 1;
+      responder.add_zone(std::move(zone));
+    } catch (const std::exception& e) {
+      std::cerr << "zone " << origin << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  recwild::netio::Server server{responder, net_cfg};
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "start failed: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << net_cfg.bind_address << ":" << server.port()
+            << " (" << net_cfg.workers << " workers, " << zone_args.size()
+            << " zones)" << std::endl;  // flush: scripts parse this line
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // Stats fold: the socket layer counts in plain atomics; here the deltas
+  // become obs counters stamped with wall-clock-since-start as "sim time",
+  // so the snapshot JSON has the same shape as a simulation's.
+  recwild::obs::MetricRegistry metrics;
+  recwild::netio::ServerStats prev;
+  const auto started = std::chrono::steady_clock::now();
+  auto next_dump = started + std::chrono::seconds(
+                                 stats_interval_s > 0 ? stats_interval_s : 1);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (stats_interval_s <= 0) continue;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_dump) continue;
+    next_dump = now + std::chrono::seconds(stats_interval_s);
+    const auto stamp = recwild::net::SimTime::from_micros(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - started)
+            .count());
+    const recwild::netio::ServerStats s = server.stats();
+    namespace names = recwild::obs::names;
+    metrics.counter(names::kNetioUdpDatagrams)
+        .add(s.udp_datagrams - prev.udp_datagrams, stamp);
+    metrics.counter(names::kNetioTcpConnections)
+        .add(s.tcp_connections - prev.tcp_connections, stamp);
+    metrics.counter(names::kNetioTcpMessages)
+        .add(s.tcp_messages - prev.tcp_messages, stamp);
+    metrics.counter(names::kNetioResponses)
+        .add(s.responses - prev.responses, stamp);
+    metrics.counter(names::kNetioDropped).add(s.dropped - prev.dropped, stamp);
+    metrics.counter(names::kAuthnsFormerr).add(s.formerr - prev.formerr,
+                                               stamp);
+    prev = s;
+    metrics.snapshot().write_json(std::cerr);
+    std::cerr << "\n";
+  }
+
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,260 @@
+// loadgen — closed-loop UDP load generator for authnsd.
+//
+// Replays a query list ("qname qtype" per line — the format
+// atlas_campaign --dump-auth-queries writes, so real campaign traffic can
+// be replayed against the live server) from N threads, each with its own
+// connected UDP socket: send, wait for the reply, send the next. Reports
+// achieved qps and p50/p99 latency as JSON — scripts/run_bench.sh commits
+// the result as BENCH_server.json next to the simulated numbers.
+//
+//   loadgen --port 5300 --queries queries.txt --threads 4 --duration 5
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dnscore/codec.hpp"
+#include "dnscore/message.hpp"
+#include "netio/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "netio/fd.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --queries FILE [--server A.B.C.D] [--port N]\n"
+               "       [--threads N] [--duration SEC] [--timeout MS]\n"
+               "       [--json FILE]   write the report there instead of "
+               "stdout\n"
+               "FILE has one \"qname qtype\" per line.\n";
+  return 2;
+}
+
+struct ThreadResult {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t mismatched = 0;
+  std::vector<double> latencies_ms;
+};
+
+void run_thread(const sockaddr_in& peer, int timeout_ms,
+                const std::vector<std::vector<std::uint8_t>>& wires,
+                std::size_t start_index, const std::atomic<bool>& stop,
+                ThreadResult& out) {
+  recwild::netio::UniqueFd fd{
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0)};
+  if (!fd) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&peer),
+                sizeof peer) != 0) {
+    return;
+  }
+
+  std::vector<std::uint8_t> query;
+  std::uint8_t reply[65535];
+  std::size_t i = start_index % wires.size();
+  std::uint16_t txid = static_cast<std::uint16_t>(start_index * 7919 + 1);
+  out.latencies_ms.reserve(1 << 18);
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    query = wires[i];
+    i = (i + 1) % wires.size();
+    ++txid;
+    query[0] = static_cast<std::uint8_t>(txid >> 8);
+    query[1] = static_cast<std::uint8_t>(txid & 0xff);
+
+    const auto t0 = Clock::now();
+    if (::send(fd.get(), query.data(), query.size(), 0) < 0) continue;
+    ++out.sent;
+    const ssize_t n = ::recv(fd.get(), reply, sizeof reply, 0);
+    if (n < 0) {
+      ++out.timeouts;
+      continue;
+    }
+    if (n < 2 || reply[0] != query[0] || reply[1] != query[1]) {
+      ++out.mismatched;  // stale reply from an earlier timed-out exchange
+      continue;
+    }
+    ++out.received;
+    out.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace dns = recwild::dns;
+
+  std::string server = "127.0.0.1";
+  std::uint16_t port = 5300;
+  std::string queries_file;
+  int threads = 4;
+  double duration_s = 5.0;
+  int timeout_ms = 250;
+  std::string json_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--server") {
+      server = next();
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::stoi(next()));
+    } else if (arg == "--queries") {
+      queries_file = next();
+    } else if (arg == "--threads") {
+      threads = std::stoi(next());
+    } else if (arg == "--duration") {
+      duration_s = std::stod(next());
+    } else if (arg == "--timeout") {
+      timeout_ms = std::stoi(next());
+    } else if (arg == "--json") {
+      json_file = next();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (queries_file.empty()) return usage(argv[0]);
+  if (threads < 1) threads = 1;
+
+  // Pre-encode every query once; the send loop only patches the txid.
+  std::vector<std::vector<std::uint8_t>> wires;
+  {
+    std::ifstream in{queries_file};
+    if (!in) {
+      std::cerr << "cannot open " << queries_file << "\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls{line};
+      std::string qname, qtype_str;
+      ls >> qname >> qtype_str;
+      if (qname.empty()) continue;
+      if (qtype_str.empty()) qtype_str = "A";
+      const auto qtype = dns::rrtype_from_string(qtype_str);
+      if (!qtype) {
+        std::cerr << "skipping unknown type: " << line << "\n";
+        continue;
+      }
+      try {
+        dns::Message q =
+            dns::Message::make_query(0, dns::Name::parse(qname), *qtype);
+        q.edns = dns::EdnsInfo{};
+        auto buf = dns::encode_message(q);
+        wires.emplace_back(buf.data(), buf.data() + buf.size());
+      } catch (const std::exception& e) {
+        std::cerr << "skipping bad name (" << e.what() << "): " << line
+                  << "\n";
+      }
+    }
+  }
+  if (wires.empty()) {
+    std::cerr << "no usable queries in " << queries_file << "\n";
+    return 1;
+  }
+
+  sockaddr_in peer{};
+  peer.sin_family = AF_INET;
+  peer.sin_port = htons(port);
+  if (::inet_pton(AF_INET, server.c_str(), &peer.sin_addr) != 1) {
+    std::cerr << "bad server address: " << server << "\n";
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<ThreadResult> results(static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  const auto t0 = Clock::now();
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(run_thread, std::cref(peer), timeout_ms,
+                      std::cref(wires),
+                      (wires.size() / static_cast<std::size_t>(threads)) *
+                          static_cast<std::size_t>(t),
+                      std::cref(stop), std::ref(results[static_cast<std::size_t>(t)]));
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : pool) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  ThreadResult total;
+  for (auto& r : results) {
+    total.sent += r.sent;
+    total.received += r.received;
+    total.timeouts += r.timeouts;
+    total.mismatched += r.mismatched;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  const double qps =
+      elapsed > 0 ? static_cast<double>(total.received) / elapsed : 0.0;
+  const double p50 = percentile(total.latencies_ms, 0.50);
+  const double p99 = percentile(total.latencies_ms, 0.99);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"server\": \"" << server << ":" << port << "\",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"duration_s\": " << elapsed << ",\n"
+       << "  \"unique_queries\": " << wires.size() << ",\n"
+       << "  \"sent\": " << total.sent << ",\n"
+       << "  \"received\": " << total.received << ",\n"
+       << "  \"timeouts\": " << total.timeouts << ",\n"
+       << "  \"mismatched\": " << total.mismatched << ",\n"
+       << "  \"qps\": " << qps << ",\n"
+       << "  \"p50_ms\": " << p50 << ",\n"
+       << "  \"p99_ms\": " << p99 << "\n"
+       << "}\n";
+
+  if (json_file.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out{json_file};
+    out << json.str();
+    std::cout << "wrote " << json_file << " (qps=" << qps << ", p99=" << p99
+              << " ms)\n";
+  }
+  return total.received > 0 ? 0 : 1;
+}
