@@ -1,18 +1,34 @@
-// Extension experiment (paper §7 "Other Considerations"): anycast and NS
-// redundancy under DDoS — modelled on the November 2015 Root DNS event
-// the paper cites [18]. Not a paper figure; an ablation DESIGN.md calls
-// out.
+// DDoS benchmarks, two generations.
 //
-// Scenario A: three entire letters stop answering for the middle third of
-// the run. Scenario B: half the sites of the six largest letters go dark
-// (anycast partial failure — catchments black-hole).
+// Scenarios A/B (paper §7 "Other Considerations"): anycast and NS
+// redundancy under the November 2015 Root DNS event [18] — letters or
+// sites go dark, success barely moves, latency rises.
 //
-// Expected shape (matching the 2015 event's findings): resolution success
-// barely moves — recursives fail over across the remaining letters — at
-// the cost of extra latency during the event.
+// Attack×defense matrix (docs/ATTACKS.md): adversarial workloads from
+// src/attack — NXNS delegation-chain amplification and water-torture
+// random-subdomain floods — replayed by bot vantage points over a live
+// measurement campaign, against every defense profile:
+//   off          no defenses armed
+//   rrl          response-rate limiting w/ TC-slip on defender servers
+//   fanout_cap   referral-fanout cap (engine-wide, managed-DNS model)
+//   fetch        resolver fetch limits (per-resolution + per-zone)
+//   all          rrl + fanout_cap + fetch
+//   all+qmin     all, plus QNAME minimization at every recursive
+//
+// Per cell we report the measured amplification factor — victim-side
+// queries attributable to the attack divided by injected bot queries —
+// and the campaign's goodput (answered/sent) under attack. `--json FILE`
+// emits the matrix plus the headline off-vs-defended numbers the bench
+// workflow gates on (amplification_reduction >= 5).
 #include "bench_common.hpp"
 
+#include <cctype>
+#include <cinttypes>
+
+#include "attack/generator.hpp"
+#include "attack/schedule.hpp"
 #include "experiment/failure.hpp"
+#include "obs/names.hpp"
 
 using namespace recwild;
 using namespace recwild::experiment;
@@ -52,24 +68,231 @@ void run_scenario(const char* title, FailureScenarioConfig cfg,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Attack x defense matrix.
+
+struct DefenseProfile {
+  const char* name;
+  bool rrl = false;
+  bool fanout_cap = false;
+  bool fetch_limits = false;
+  bool qmin = false;
+};
+
+struct CellResult {
+  std::string attack;
+  std::string defense;
+  std::uint64_t injected = 0;
+  std::uint64_t victim_total = 0;   // every query the victims received
+  std::uint64_t victim_attack = 0;  // ...attributable to the attack
+  std::uint64_t rrl_dropped = 0;
+  std::uint64_t rrl_slipped = 0;
+  std::uint64_t referral_capped = 0;
+  std::uint64_t fetch_spawned = 0;
+  std::uint64_t fetch_capped = 0;
+  std::uint64_t campaign_sent = 0;
+  std::uint64_t campaign_answered = 0;
+  double amplification = 0.0;
+  double goodput = 0.0;
+};
+
+CellResult run_attack_cell(attack::AttackKind kind, const DefenseProfile& d,
+                           const benchutil::Options& opt) {
+  TestbedConfig cfg;
+  cfg.seed = opt.seed;
+  // The matrix runs many worlds; a few hundred probes keep each cell fast
+  // while leaving dozens of distinct recursives for the bots to launder
+  // their queries through.
+  cfg.population.probes = std::min<std::size_t>(opt.probes, 300);
+  cfg.test_sites = {"FRA", "DFW"};
+
+  attack::AttackSchedule sched;
+  sched.zone().chains = 8;
+  sched.zone().fanout = 16;
+  sched.zone().depth = 1;
+  attack::AttackEvent ev;
+  ev.kind = kind;
+  ev.start = net::SimTime::origin() + net::Duration::seconds(30);
+  ev.end = net::SimTime::origin() + net::Duration::seconds(180);
+  ev.interval = net::Duration::seconds(2);
+  ev.bots = 16;
+  sched.add(ev);
+  cfg.attack = sched;
+
+  if (d.rrl) {
+    cfg.rrl.rate = 10;
+    cfg.rrl.window = net::Duration::seconds(1);
+    cfg.rrl.slip = 2;
+  }
+  if (d.fanout_cap) cfg.referral_fanout_cap = 2;
+  if (d.fetch_limits) {
+    cfg.population.resolver_template.max_fetches_per_resolution = 2;
+    cfg.population.resolver_template.fetches_per_zone = 4;
+  }
+  if (d.qmin) cfg.population.resolver_template.qname_minimization = true;
+
+  Testbed tb{cfg};
+  CampaignConfig cc;
+  cc.interval = net::Duration::seconds(10);
+  cc.queries_per_vp = 18;  // ~3 simulated minutes, attack active from 0:30
+  const CampaignResult result = run_campaign(tb, cc);
+
+  CellResult cell;
+  cell.attack = attack::to_string(kind);
+  cell.defense = d.name;
+  const auto& m = result.metrics;
+  cell.injected = m.counter_value(obs::names::kAttackQueriesInjected);
+  cell.victim_total = m.counter_value(obs::names::kAttackVictimQueries);
+  cell.rrl_dropped = m.counter_value(obs::names::kRrlDropped);
+  cell.rrl_slipped = m.counter_value(obs::names::kRrlSlipped);
+  cell.referral_capped = m.counter_value(obs::names::kAuthnsReferralCapped);
+  cell.fetch_spawned = m.counter_value(obs::names::kResolverFetchSpawned);
+  cell.fetch_capped =
+      m.counter_value(obs::names::kResolverFetchResolutionCapped) +
+      m.counter_value(obs::names::kResolverFetchZoneCapped);
+  cell.campaign_sent = m.counter_value(obs::names::kCampaignQueriesSent);
+  cell.campaign_answered =
+      m.counter_value(obs::names::kCampaignQueriesAnswered);
+  for (auto& svc : tb.test_services()) {
+    for (auto& site : svc.sites()) {
+      for (const auto& entry : site.server->log().entries()) {
+        if (attack::is_attack_query_name(entry.qname)) ++cell.victim_attack;
+      }
+    }
+  }
+  cell.amplification =
+      cell.injected > 0
+          ? static_cast<double>(cell.victim_attack) /
+                static_cast<double>(cell.injected)
+          : 0.0;
+  cell.goodput = cell.campaign_sent > 0
+                     ? static_cast<double>(cell.campaign_answered) /
+                           static_cast<double>(cell.campaign_sent)
+                     : 0.0;
+  return cell;
+}
+
+void print_cell(const CellResult& c) {
+  std::printf("%-14s %-10s %9" PRIu64 " %9" PRIu64 " %7.2fx %8.1f%% %8" PRIu64
+              " %8" PRIu64 " %8" PRIu64 "\n",
+              c.attack.c_str(), c.defense.c_str(), c.injected,
+              c.victim_attack, c.amplification, c.goodput * 100,
+              c.rrl_dropped + c.rrl_slipped, c.referral_capped,
+              c.fetch_capped);
+}
+
+void write_json(const std::string& path, const std::vector<CellResult>& cells,
+                const CellResult& off, const CellResult& defended) {
+  std::ofstream out{path};
+  out << "{\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    out << "    {\"attack\": \"" << c.attack << "\", \"defense\": \""
+        << c.defense << "\", \"injected\": " << c.injected
+        << ", \"victim_total\": " << c.victim_total
+        << ", \"victim_attack\": " << c.victim_attack
+        << ", \"amplification\": " << c.amplification
+        << ", \"goodput\": " << c.goodput
+        << ", \"rrl_dropped\": " << c.rrl_dropped
+        << ", \"rrl_slipped\": " << c.rrl_slipped
+        << ", \"referral_capped\": " << c.referral_capped
+        << ", \"fetch_spawned\": " << c.fetch_spawned
+        << ", \"fetch_capped\": " << c.fetch_capped
+        << ", \"campaign_sent\": " << c.campaign_sent
+        << ", \"campaign_answered\": " << c.campaign_answered << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  const double reduction = defended.amplification > 0
+                               ? off.amplification / defended.amplification
+                               : 0.0;
+  out << "  ],\n";
+  out << "  \"amplification_off\": " << off.amplification << ",\n";
+  out << "  \"amplification_defended\": " << defended.amplification << ",\n";
+  out << "  \"amplification_reduction\": " << reduction << ",\n";
+  out << "  \"goodput_off\": " << off.goodput << ",\n";
+  out << "  \"goodput_defended\": " << defended.goodput << "\n";
+  out << "}\n";
+  std::printf("\nattack matrix -> %s\n", path.c_str());
+}
+
+void run_attack_matrix(const benchutil::Options& opt,
+                       const std::string& json_path) {
+  const DefenseProfile kProfiles[] = {
+      {"off"},
+      {"rrl", /*rrl=*/true},
+      {"fanout_cap", false, /*fanout_cap=*/true},
+      {"fetch", false, false, /*fetch_limits=*/true},
+      {"all", true, true, true},
+      {"all+qmin", true, true, true, /*qmin=*/true},
+  };
+
+  report::header("Attack x defense matrix (NXNS + water torture)");
+  std::printf("%-14s %-10s %9s %9s %8s %9s %8s %8s %8s\n", "attack",
+              "defense", "injected", "victim", "amp", "goodput", "rrl",
+              "refcap", "fetchcap");
+
+  std::vector<CellResult> cells;
+  for (const auto& d : kProfiles) {
+    cells.push_back(run_attack_cell(attack::AttackKind::Nxns, d, opt));
+    print_cell(cells.back());
+  }
+  for (const char* name : {"off", "rrl", "all"}) {
+    for (const auto& d : kProfiles) {
+      if (std::strcmp(d.name, name) != 0) continue;
+      cells.push_back(
+          run_attack_cell(attack::AttackKind::WaterTorture, d, opt));
+      print_cell(cells.back());
+    }
+  }
+
+  // Headline gate: NXNS defenses-off vs the full defense stack.
+  const CellResult& off = cells[0];
+  const CellResult* defended = nullptr;
+  for (const auto& c : cells) {
+    if (c.attack == "nxns" && c.defense == "all") defended = &c;
+  }
+  const double reduction =
+      (defended != nullptr && defended->amplification > 0)
+          ? off.amplification / defended->amplification
+          : 0.0;
+  std::printf("\nNXNS amplification: %.2fx undefended, %.2fx defended "
+              "(%.1fx reduction); goodput %.1f%% -> %.1f%%\n",
+              off.amplification, defended->amplification, reduction,
+              off.goodput * 100, defended->goodput * 100);
+
+  if (!json_path.empty()) write_json(json_path, cells, off, *defended);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto opt = benchutil::Options::parse(argc, argv);
+  std::string json_path;
+  bool matrix_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--matrix-only") == 0) matrix_only = true;
+  }
 
-  FailureScenarioConfig a;
-  a.kind = FailureKind::ServiceDown;
-  a.targets = {0, 3, 10};  // a-root, d-root, k-root fully dark
-  run_scenario("DDoS scenario A: 3 of 13 letters fully down", a, opt);
+  if (!matrix_only) {
+    FailureScenarioConfig a;
+    a.kind = FailureKind::ServiceDown;
+    a.targets = {0, 3, 10};  // a-root, d-root, k-root fully dark
+    run_scenario("DDoS scenario A: 3 of 13 letters fully down", a, opt);
 
-  FailureScenarioConfig b;
-  b.kind = FailureKind::SitesDown;
-  b.targets = {3, 5, 8, 9, 10, 11};  // the large anycast letters
-  b.site_fraction = 0.5;
-  run_scenario("DDoS scenario B: half the sites of 6 big letters dark", b,
-               opt);
+    FailureScenarioConfig b;
+    b.kind = FailureKind::SitesDown;
+    b.targets = {3, 5, 8, 9, 10, 11};  // the large anycast letters
+    b.site_fraction = 0.5;
+    run_scenario("DDoS scenario B: half the sites of 6 big letters dark", b,
+                 opt);
 
-  std::printf("\n(shape check: success stays near 100%% — NS redundancy + "
-              "anycast absorb the event; latency rises during it)\n");
+    std::printf("\n(shape check: success stays near 100%% — NS redundancy + "
+                "anycast absorb the event; latency rises during it)\n");
+  }
+
+  run_attack_matrix(opt, json_path);
   return 0;
 }

@@ -9,6 +9,11 @@
 //       [--schedule faults.tsv]        load instead of generating
 //       [--emit-schedule faults.tsv]   write the schedule used and exit
 //       [--obs metrics.json] [--trace decisions.tsv]
+//       [--attack nxns|water_torture]  arm an adversarial workload too
+//       [--assert-defense]             with --attack: run undefended vs
+//                                      defended (RRL + fanout cap + fetch
+//                                      limits) and fail unless the defended
+//                                      victim load drops (the CI smoke)
 //   e.g. ./build/examples/chaos_campaign 1009 300
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +22,8 @@
 #include <sstream>
 #include <string>
 
+#include "attack/generator.hpp"
+#include "attack/schedule.hpp"
 #include "experiment/campaign.hpp"
 #include "experiment/testbed.hpp"
 #include "fault/chaos.hpp"
@@ -36,6 +43,38 @@ TestbedConfig base_config(std::size_t probes) {
   cfg.test_sites = {"DUB", "FRA", "GRU"};
   cfg.trace_decisions = true;
   return cfg;
+}
+
+struct AttackOptions {
+  bool enabled = false;
+  attack::AttackKind kind = attack::AttackKind::Nxns;
+  bool defended = false;
+};
+
+/// Arms an attack wave over minutes 2..12 of the campaign and, when
+/// `defended`, the full layered defense stack (docs/ATTACKS.md): RRL with
+/// TC-slip on the defender authoritatives, the engine-wide referral-fanout
+/// cap, and resolver-side fetch limits at every recursive.
+void apply_attack(TestbedConfig& cfg, const AttackOptions& atk) {
+  if (!atk.enabled) return;
+  attack::AttackSchedule sched;
+  sched.zone().chains = 8;
+  sched.zone().fanout = 16;
+  attack::AttackEvent ev;
+  ev.kind = atk.kind;
+  ev.start = net::SimTime::origin() + net::Duration::minutes(2);
+  ev.end = net::SimTime::origin() + net::Duration::minutes(12);
+  ev.interval = net::Duration::seconds(5);
+  ev.bots = 12;
+  sched.add(ev);
+  cfg.attack = sched;
+  if (atk.defended) {
+    cfg.rrl.rate = 10;
+    cfg.rrl.slip = 2;
+    cfg.referral_fanout_cap = 2;
+    cfg.population.resolver_template.max_fetches_per_resolution = 2;
+    cfg.population.resolver_template.fetches_per_zone = 4;
+  }
 }
 
 /// Harvests fault targets (server identities, node names, service
@@ -61,9 +100,10 @@ struct RunOutput {
 };
 
 RunOutput run_once(const fault::FaultSchedule& schedule, std::size_t probes,
-                   std::size_t shards) {
+                   std::size_t shards, const AttackOptions& atk) {
   auto cfg = base_config(probes);
   cfg.faults = schedule;
+  apply_attack(cfg, atk);
   Testbed testbed{cfg};
   CampaignConfig cc;
   cc.interval = net::Duration::minutes(2);
@@ -92,7 +132,62 @@ RunOutput run_once(const fault::FaultSchedule& schedule, std::size_t probes,
           snap.counter_value(obs::names::kFaultPacketsDropped)),
       static_cast<unsigned long long>(
           snap.counter_value(obs::names::kFaultPacketsDelayed)));
+  if (atk.enabled) {
+    std::printf(
+        "             attack: %llu injected, %llu victim-side queries\n",
+        static_cast<unsigned long long>(
+            snap.counter_value(obs::names::kAttackQueriesInjected)),
+        static_cast<unsigned long long>(
+            snap.counter_value(obs::names::kAttackVictimQueries)));
+  }
   return out;
+}
+
+/// The CI smoke behind --assert-defense: the same attacked world run
+/// serially twice — defenses off, then the full stack — comparing the
+/// victim-side queries attributable to the attack (counted from the victim
+/// authoritatives' query logs, the amplification numerator). Returns the
+/// process exit code.
+int assert_defense(std::size_t probes, attack::AttackKind kind) {
+  std::uint64_t victim_attack[2] = {0, 0};
+  std::uint64_t injected[2] = {0, 0};
+  for (int defended = 0; defended < 2; ++defended) {
+    auto cfg = base_config(probes);
+    apply_attack(cfg, AttackOptions{true, kind, defended == 1});
+    Testbed testbed{cfg};
+    CampaignConfig cc;
+    cc.interval = net::Duration::minutes(2);
+    cc.queries_per_vp = 8;
+    const auto result = run_campaign(testbed, cc);
+    injected[defended] =
+        result.metrics.counter_value(obs::names::kAttackQueriesInjected);
+    for (auto& svc : testbed.test_services()) {
+      for (auto& site : svc.sites()) {
+        for (const auto& entry : site.server->log().entries()) {
+          if (attack::is_attack_query_name(entry.qname)) {
+            ++victim_attack[defended];
+          }
+        }
+      }
+    }
+  }
+  const double amp_off =
+      injected[0] > 0 ? static_cast<double>(victim_attack[0]) /
+                            static_cast<double>(injected[0])
+                      : 0.0;
+  const double amp_def =
+      injected[1] > 0 ? static_cast<double>(victim_attack[1]) /
+                            static_cast<double>(injected[1])
+                      : 0.0;
+  std::printf(
+      "\n%s defense check: undefended %llu victim queries (amp %.2fx), "
+      "defended %llu (amp %.2fx)\n",
+      std::string{attack::to_string(kind)}.c_str(),
+      static_cast<unsigned long long>(victim_attack[0]), amp_off,
+      static_cast<unsigned long long>(victim_attack[1]), amp_def);
+  const bool ok = injected[0] > 0 && victim_attack[1] < victim_attack[0];
+  std::printf("defended victim load drops: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -104,6 +199,8 @@ int main(int argc, char** argv) {
   std::string emit_path;
   std::string obs_path;
   std::string trace_path;
+  AttackOptions atk;
+  bool check_defense = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
       schedule_path = argv[++i];
@@ -113,6 +210,16 @@ int main(int argc, char** argv) {
       obs_path = argv[++i];
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--attack") == 0 && i + 1 < argc) {
+      atk.enabled = true;
+      try {
+        atk.kind = attack::attack_kind_from_string(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--assert-defense") == 0) {
+      check_defense = true;
     } else if (n_positional < 2) {
       positional[n_positional++] = argv[i];
     }
@@ -123,6 +230,14 @@ int main(int argc, char** argv) {
   const std::size_t probes =
       positional[1] != nullptr ? std::strtoull(positional[1], nullptr, 10)
                                : 120;
+
+  if (check_defense) {
+    if (!atk.enabled) {
+      std::fprintf(stderr, "--assert-defense requires --attack\n");
+      return 2;
+    }
+    return assert_defense(probes, atk.kind);
+  }
 
   fault::FaultSchedule schedule;
   if (!schedule_path.empty()) {
@@ -154,10 +269,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("\ncampaign under faults (%zu probes):\n", probes);
-  const RunOutput serial = run_once(schedule, probes, 1);
-  const RunOutput two = run_once(schedule, probes, 2);
-  const RunOutput four = run_once(schedule, probes, 4);
+  std::printf("\ncampaign under faults (%zu probes%s):\n", probes,
+              atk.enabled ? ", attack armed" : "");
+  const RunOutput serial = run_once(schedule, probes, 1, atk);
+  const RunOutput two = run_once(schedule, probes, 2, atk);
+  const RunOutput four = run_once(schedule, probes, 4, atk);
 
   const bool metrics_ok = serial.metrics_json == two.metrics_json &&
                           serial.metrics_json == four.metrics_json;

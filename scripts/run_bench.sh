@@ -1,8 +1,9 @@
 #!/bin/sh
 # Canonical benchmark runner. Builds (if needed) and runs the datapath
-# benchmarks plus the real-socket server bench, leaving BENCH_datapath.json,
-# BENCH_campaign.json and BENCH_server.json at the repo root. These are the
-# numbers quoted in EXPERIMENTS.md and gated by CI's nightly bench job.
+# benchmarks, the attack x defense matrix and the real-socket server bench,
+# leaving BENCH_datapath.json, BENCH_campaign.json, BENCH_ddos.json and
+# BENCH_server.json at the repo root. These are the numbers quoted in
+# EXPERIMENTS.md and gated by CI's nightly bench job.
 #
 #   scripts/run_bench.sh [build-dir]      # default: ./build
 #
@@ -19,7 +20,7 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" --target bench_datapath bench_parallel_campaign \
-  authnsd loadgen atlas_campaign
+  bench_ddos authnsd loadgen atlas_campaign
 
 echo "== bench_datapath (codec allocations, differential vs legacy) =="
 "$BUILD/bench/bench_datapath" --iters 20000 \
@@ -27,8 +28,13 @@ echo "== bench_datapath (codec allocations, differential vs legacy) =="
 
 echo
 echo "== bench_parallel_campaign (canonical: 10k probes, 31 q/VP, seed 42) =="
-"$BUILD/bench/bench_parallel_campaign" --probes 10000 --shards 1 \
+"$BUILD/bench/bench_parallel_campaign" --probes 10000 --shards 1,2,4 \
   --queries 31 --seed 42 --json "$ROOT/BENCH_campaign.json"
+
+echo
+echo "== bench_ddos (attack x defense matrix, NXNS + water torture) =="
+"$BUILD/bench/bench_ddos" --seed 42 --matrix-only \
+  --json "$ROOT/BENCH_ddos.json"
 
 echo
 echo "== bench_server (live authnsd + loadgen, campaign query replay) =="
@@ -70,4 +76,4 @@ kill "$AUTHNSD_PID" 2>/dev/null || true
 wait "$AUTHNSD_PID" 2>/dev/null || true
 
 echo
-echo "wrote $ROOT/BENCH_datapath.json, $ROOT/BENCH_campaign.json and $ROOT/BENCH_server.json"
+echo "wrote $ROOT/BENCH_datapath.json, $ROOT/BENCH_campaign.json, $ROOT/BENCH_ddos.json and $ROOT/BENCH_server.json"

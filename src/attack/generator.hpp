@@ -1,0 +1,55 @@
+// Attack-workload generators: the zones an NXNS attacker serves and the
+// query names bots fire.
+//
+// make_nxns_zones materialises NxnsZoneConfig as real authns::Zone data —
+// an apex zone plus one zone per intermediate delegation step — so the
+// attacker's authoritative is just another AuthServer in the simulated
+// world (or a master file fed to a live authnsd). The amplification lives
+// entirely in zone *data*: the last delegation of every chain names
+// `fanout` glueless servers inside the victim's domain, and a standard
+// resolver has to go fetch their addresses.
+//
+// Query names take the caller's stats::Rng by reference; callers fork a
+// stream per (event, bot, query) so the names — and therefore every
+// downstream packet — are identical at any shard count.
+#pragma once
+
+#include <vector>
+
+#include "attack/schedule.hpp"
+#include "authns/zone.hpp"
+#include "net/address.hpp"
+#include "stats/rng.hpp"
+
+namespace recwild::attack {
+
+/// Builds the attacker-side zones for `cfg`: the apex zone (SOA, apex NS
+/// `apex_ns` with A glue `apex_addr`, and the chain delegations) plus, for
+/// depth > 1, the per-chain intermediate zones. All returned zones are
+/// meant to be served by the same attacker authoritative. The final
+/// delegation of chain `i` names `fanout` glueless NS hosts
+/// `v<i*fanout+j>.<victim_domain>`.
+[[nodiscard]] std::vector<authns::Zone> make_nxns_zones(
+    const NxnsZoneConfig& cfg, const dns::Name& apex_ns,
+    net::IpAddress apex_addr);
+
+/// A fresh NXNS trigger name: `x<rand>.<chain tail>` for an rng-chosen
+/// chain — below the final delegation point, so the attacker's server
+/// answers with the glueless victim referral.
+[[nodiscard]] dns::Name nxns_query_name(const NxnsZoneConfig& cfg,
+                                        stats::Rng& rng);
+
+/// A fresh water-torture name: `w<rand>.<victim_domain>` — guaranteed
+/// cache-miss, lands on the victim's authoritatives.
+[[nodiscard]] dns::Name water_torture_query_name(const dns::Name& victim,
+                                                 stats::Rng& rng);
+
+/// Recognises victim-side attack traffic by its first label: the glueless
+/// NS targets NXNS referrals name are `v<digits>.*` and water-torture
+/// labels `w<16 hex>.*`, while a measurement campaign's cache-busting
+/// labels (`q<probe>x<k>`) never match — so a victim's query log separates
+/// the two streams exactly. Used by the bench matrix and the attack tests
+/// to compute measured amplification.
+[[nodiscard]] bool is_attack_query_name(const dns::Name& qname);
+
+}  // namespace recwild::attack

@@ -1,0 +1,124 @@
+#include "attack/schedule.hpp"
+
+#include <array>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace recwild::attack {
+
+namespace {
+
+struct KindName {
+  AttackKind kind;
+  std::string_view name;
+};
+
+constexpr std::array<KindName, 2> kKindNames{{
+    {AttackKind::Nxns, "nxns"},
+    {AttackKind::WaterTorture, "water_torture"},
+}};
+
+[[noreturn]] void line_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("attack schedule line " + std::to_string(line) +
+                           ": " + what);
+}
+
+std::int64_t parse_int(const std::string& s, std::size_t line,
+                       const char* field) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    line_error(line, std::string("bad ") + field + " '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view to_string(AttackKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+AttackKind attack_kind_from_string(std::string_view name) {
+  for (const auto& [k, n] : kKindNames) {
+    if (n == name) return k;
+  }
+  throw std::invalid_argument("unknown attack kind '" + std::string(name) +
+                              "'");
+}
+
+void AttackSchedule::validate() const {
+  const auto zone_fail = [](const std::string& what) {
+    throw std::invalid_argument("attack zone config: " + what);
+  };
+  if (zone_.attacker_domain.empty()) zone_fail("attacker_domain is empty");
+  if (zone_.victim_domain.empty()) zone_fail("victim_domain is empty");
+  if (zone_.chains < 1) zone_fail("chains must be >= 1");
+  if (zone_.fanout < 1) zone_fail("fanout must be >= 1");
+  if (zone_.depth < 1) zone_fail("depth must be >= 1");
+
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const AttackEvent& e = events_[i];
+    const auto fail = [i](const std::string& what) {
+      throw std::invalid_argument("attack event " + std::to_string(i) + ": " +
+                                  what);
+    };
+    if (e.end <= e.start) fail("window must satisfy end > start");
+    if (e.interval <= net::Duration::zero()) fail("interval must be > 0");
+    if (e.bots < 1) fail("bots must be >= 1");
+  }
+}
+
+void write_schedule(std::ostream& out, const AttackSchedule& schedule) {
+  out << "# kind\tstart_us\tend_us\tinterval_us\tbots\n";
+  for (const AttackEvent& e : schedule.events()) {
+    out << to_string(e.kind) << '\t' << e.start.count_micros() << '\t'
+        << e.end.count_micros() << '\t' << e.interval.count_micros() << '\t'
+        << e.bots << '\n';
+  }
+}
+
+AttackSchedule read_schedule(std::istream& in) {
+  AttackSchedule schedule;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t tab = line.find('\t', pos);
+      fields.push_back(line.substr(pos, tab - pos));
+      if (tab == std::string::npos) break;
+      pos = tab + 1;
+    }
+    if (fields.size() != 5) {
+      line_error(line_no, "expected 5 tab-separated fields, got " +
+                              std::to_string(fields.size()));
+    }
+    AttackEvent e;
+    try {
+      e.kind = attack_kind_from_string(fields[0]);
+    } catch (const std::invalid_argument& ex) {
+      line_error(line_no, ex.what());
+    }
+    e.start =
+        net::SimTime::from_micros(parse_int(fields[1], line_no, "start_us"));
+    e.end = net::SimTime::from_micros(parse_int(fields[2], line_no, "end_us"));
+    e.interval =
+        net::Duration::micros(parse_int(fields[3], line_no, "interval_us"));
+    e.bots = static_cast<int>(parse_int(fields[4], line_no, "bots"));
+    schedule.add(e);
+  }
+  return schedule;
+}
+
+}  // namespace recwild::attack

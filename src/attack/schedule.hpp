@@ -1,0 +1,127 @@
+// Deterministic adversarial workload schedules (NXNS & water torture).
+//
+// An AttackSchedule pairs a delegation-chain zone layout (NxnsZoneConfig —
+// how much amplification the attacker infrastructure can express) with an
+// ordered list of attack events, each active over a half-open sim-time
+// window [start, end). Events describe *who floods when* — how many bot
+// vantage points participate and how often each fires — declaratively; the
+// campaign engine compiles a schedule against a concrete world and injects
+// the queries.
+//
+// Determinism contract: a schedule is pure data (no clocks, no RNG). All
+// randomness an attack needs (cache-busting labels, chain choices) is
+// derived by the campaign from identity-keyed streams forked per
+// (event, bot, query), so the same schedule over the same world produces
+// byte-identical metrics and traces at any shard count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/time.hpp"
+
+namespace recwild::attack {
+
+/// Which adversarial workload an AttackEvent injects.
+enum class AttackKind : std::uint8_t {
+  /// NXNSAttack (PAPERS.md): bots query fresh random names under the
+  /// attacker's delegation chains; the final referral lists `fanout`
+  /// glueless NS names inside the victim's domain, so every bot query
+  /// makes the recursive emit up to `fanout` address fetches at the
+  /// victim's authoritatives.
+  Nxns,
+  /// Water torture: bots query fresh random subdomains of the victim's
+  /// domain directly. Every query misses the recursive's cache and lands
+  /// on the victim's authoritatives (amplification 1x, but cache-proof).
+  WaterTorture,
+};
+
+/// Canonical lower-snake name ("nxns", "water_torture").
+[[nodiscard]] std::string_view to_string(AttackKind kind);
+/// Parses to_string's output back; throws std::invalid_argument.
+[[nodiscard]] AttackKind attack_kind_from_string(std::string_view name);
+
+/// Shape of the attacker-controlled delegation infrastructure that
+/// attack::make_nxns_zones materialises. `chains` independent delegation
+/// chains hang off `attacker_domain`; each chain is `depth` referrals deep
+/// inside attacker infrastructure and ends in a glueless delegation naming
+/// `fanout` distinct nameservers inside `victim_domain`. The maximum
+/// amplification a single bot query can express is therefore `fanout`
+/// address fetches (before resolver-side fetch limits).
+struct NxnsZoneConfig {
+  std::string attacker_domain = "atk.nl";
+  std::string victim_domain = "ourtestdomain.nl";
+  int chains = 8;
+  int fanout = 12;
+  int depth = 1;
+
+  bool operator==(const NxnsZoneConfig&) const = default;
+};
+
+/// One scheduled attack wave. Active over [start, end). The `bots` lowest
+/// probe-id vantage points participate (a stable subset, so the set is
+/// identical in every shard replica); each fires one attack query every
+/// `interval`, phase-offset by its identity-keyed RNG.
+struct AttackEvent {
+  AttackKind kind = AttackKind::Nxns;
+  net::SimTime start;
+  net::SimTime end;
+  net::Duration interval = net::Duration::seconds(2);
+  int bots = 8;
+
+  [[nodiscard]] bool active(net::SimTime now) const noexcept {
+    return start <= now && now < end;
+  }
+
+  bool operator==(const AttackEvent&) const = default;
+};
+
+/// A zone layout plus an ordered collection of attack events; plain data,
+/// copyable.
+class AttackSchedule {
+ public:
+  AttackSchedule() = default;
+  explicit AttackSchedule(std::vector<AttackEvent> events)
+      : events_(std::move(events)) {}
+
+  AttackSchedule& add(AttackEvent event) {
+    events_.push_back(std::move(event));
+    return *this;
+  }
+
+  [[nodiscard]] const NxnsZoneConfig& zone() const noexcept { return zone_; }
+  [[nodiscard]] NxnsZoneConfig& zone() noexcept { return zone_; }
+
+  [[nodiscard]] const std::vector<AttackEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() noexcept { events_.clear(); }
+
+  /// Checks structural sanity: end > start, interval > 0 and bots >= 1 for
+  /// every event; chains/fanout/depth >= 1 and non-empty domains in the
+  /// zone config. Throws std::invalid_argument naming the offence.
+  void validate() const;
+
+  bool operator==(const AttackSchedule&) const = default;
+
+ private:
+  NxnsZoneConfig zone_;
+  std::vector<AttackEvent> events_;
+};
+
+/// Writes the events in the repo's tab-separated discipline, one per line:
+/// `kind<TAB>start_us<TAB>end_us<TAB>interval_us<TAB>bots`. The zone
+/// config is programmatic (not serialised) — schedules exchange *timing*,
+/// worlds own their topology.
+void write_schedule(std::ostream& out, const AttackSchedule& schedule);
+
+/// Parses write_schedule's format. Skips blank and `#` lines; throws
+/// std::runtime_error naming the line number on malformed input.
+[[nodiscard]] AttackSchedule read_schedule(std::istream& in);
+
+}  // namespace recwild::attack

@@ -80,7 +80,8 @@ std::size_t Responder::udp_limit(const dns::Message& query) const {
 }
 
 dns::Message Responder::answer(const dns::Message& query, bool via_stream,
-                               net::WireBuffer* wire_out) const {
+                               net::WireBuffer* wire_out,
+                               AnswerInfo* info) const {
   if (query.questions.empty()) {
     dns::Message resp;
     resp.header = query.header;
@@ -89,8 +90,14 @@ dns::Message Responder::answer(const dns::Message& query, bool via_stream,
     return resp;
   }
   const auto& q = query.question();
-  if (q.qclass == dns::RRClass::CH) return answer_chaos(query);
-  if (q.qtype == dns::RRType::AXFR) return answer_axfr(query, via_stream);
+  if (q.qclass == dns::RRClass::CH) {
+    if (info != nullptr) info->disposition = Disposition::Answer;
+    return answer_chaos(query);
+  }
+  if (q.qtype == dns::RRType::AXFR) {
+    if (info != nullptr) info->disposition = Disposition::Answer;
+    return answer_axfr(query, via_stream);
+  }
 
   // Find the most specific zone containing the qname.
   const Zone* best = nullptr;
@@ -117,6 +124,27 @@ dns::Message Responder::answer(const dns::Message& query, bool via_stream,
   resp.answers = std::move(result.answers);
   resp.authorities = std::move(result.authorities);
   resp.additionals = std::move(result.additionals);
+  if (info != nullptr) info->disposition = result.disposition;
+
+  // Referral-fanout cap: keep the first `max_referral_fanout` NS records
+  // (zone order is canonical, so the kept set is deterministic) and only
+  // the glue that still has a kept NS naming it. An NXNS-style delegation
+  // listing dozens of victim servers leaves here listing at most the cap.
+  if (config_.max_referral_fanout > 0 &&
+      result.disposition == Disposition::Referral &&
+      resp.authorities.size() >
+          static_cast<std::size_t>(config_.max_referral_fanout)) {
+    resp.authorities.resize(
+        static_cast<std::size_t>(config_.max_referral_fanout));
+    std::erase_if(resp.additionals, [&](const dns::ResourceRecord& glue) {
+      for (const auto& ns : resp.authorities) {
+        const auto* rdata = std::get_if<dns::NsRdata>(&ns.rdata);
+        if (rdata != nullptr && rdata->nsdname == glue.name) return false;
+      }
+      return true;
+    });
+    if (info != nullptr) info->referral_capped = true;
+  }
 
   // UDP size handling: if the encoded response exceeds what the client
   // can take, truncate sections and set TC; the client then retries over

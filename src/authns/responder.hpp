@@ -28,6 +28,18 @@ struct ResponderConfig {
   std::string identity;
   /// Maximum UDP response size when the query carries no EDNS0 (RFC 1035).
   std::size_t plain_udp_limit = 512;
+  /// Referral-fanout cap (docs/ATTACKS.md): a referral carries at most this
+  /// many NS records (with matching glue). Bounds the per-referral work an
+  /// NXNS-style delegation can demand from a resolver. 0 = unlimited.
+  int max_referral_fanout = 0;
+};
+
+/// Out-of-band facts about an answer() call, for the transport layers:
+/// which branch the lookup took (feeds RRL categorisation) and whether the
+/// referral-fanout cap trimmed the NS set.
+struct AnswerInfo {
+  Disposition disposition = Disposition::NotAuth;
+  bool referral_capped = false;
 };
 
 class Responder {
@@ -62,13 +74,22 @@ class Responder {
     return config_;
   }
 
+  /// Reconfigures the referral-fanout cap (0 = unlimited). Exposed so the
+  /// simulated AuthServer can arm the defense after construction.
+  void set_max_referral_fanout(int cap) noexcept {
+    config_.max_referral_fanout = cap;
+  }
+
   /// Builds the response for `query`. Responses to stream (TCP) queries
   /// are never truncated. When `wire_out` is non-null and the UDP size
   /// check already encoded the response, the encoded bytes are handed back
   /// so the caller does not encode a second time (empty = caller encodes).
+  /// When `info` is non-null it receives the lookup disposition and
+  /// whether the referral-fanout cap fired.
   [[nodiscard]] dns::Message answer(const dns::Message& query,
                                     bool via_stream = false,
-                                    net::WireBuffer* wire_out = nullptr) const;
+                                    net::WireBuffer* wire_out = nullptr,
+                                    AnswerInfo* info = nullptr) const;
 
   /// The truncation limit for a UDP response to `query`: the clamped
   /// client-advertised EDNS size, or plain_udp_limit without EDNS.

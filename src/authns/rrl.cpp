@@ -1,0 +1,57 @@
+#include "authns/rrl.hpp"
+
+namespace recwild::authns {
+
+RrlCategory rrl_category(dns::Rcode rcode, Disposition disposition) noexcept {
+  if (rcode == dns::Rcode::NxDomain) return RrlCategory::NxDomain;
+  if (rcode != dns::Rcode::NoError) return RrlCategory::Error;
+  if (disposition == Disposition::Referral) return RrlCategory::Referral;
+  return RrlCategory::Answer;
+}
+
+RrlAction Rrl::check(std::uint32_t client_bits, RrlCategory category,
+                     net::SimTime now) {
+  if (!enabled()) return RrlAction::Send;
+  const std::int64_t now_us = now.count_micros();
+  const std::uint64_t key = (static_cast<std::uint64_t>(client_bits) << 2) |
+                            static_cast<std::uint64_t>(category);
+  if (buckets_.size() >= config_.max_table) sweep(now_us);
+  auto [it, inserted] = buckets_.try_emplace(key);
+  Bucket& b = it->second;
+  const std::int64_t window_us = config_.window.count_micros();
+  if (inserted || now_us - b.window_start_us >= window_us) {
+    b.window_start_us = now_us;
+    b.sent = 0;
+    // `limited` deliberately survives the window reset: the slip cadence
+    // is per-client over the flood's lifetime, not per-window.
+  }
+  if (b.sent < config_.rate) {
+    ++b.sent;
+    return RrlAction::Send;
+  }
+  ++b.limited;
+  if (config_.slip > 0 &&
+      b.limited % static_cast<std::uint64_t>(config_.slip) == 0) {
+    return RrlAction::Slip;
+  }
+  return RrlAction::Drop;
+}
+
+void Rrl::sweep(std::int64_t now_us) {
+  const std::int64_t keep_us = 2 * config_.window.count_micros();
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (now_us - it->second.window_start_us >= keep_us) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+dns::Message make_slip_reply(const dns::Message& query) {
+  dns::Message resp = dns::Message::make_response(query);
+  resp.header.tc = true;
+  return resp;
+}
+
+}  // namespace recwild::authns

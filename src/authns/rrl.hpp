@@ -1,0 +1,98 @@
+// Response-rate limiting (RRL) — the authoritative-side defense against
+// amplification and reflection floods, per the BIND/NSD design.
+//
+// Responses are accounted per (client address, response category) in fixed
+// windows. Within a window the first `rate` responses go out unchanged;
+// the rest are dropped, except that every `slip`-th limited response is
+// replaced by a minimal truncated (TC=1) reply. A real client behind the
+// spoofed address can still get service — TC makes it retry over TCP, and
+// TCP responses are never rate-limited (the transport proves the source) —
+// while an attacker reflecting off us gets at most a tiny TC packet per
+// `slip` attempts instead of a full amplified answer.
+//
+// Transport-independent like the Responder: the simulated AuthServer keys
+// buckets by sim-time and net::IpAddress bits, the kernel-socket netio
+// server by steady-clock micros and sockaddr bits. Same engine, same
+// decisions — which is what lets the transport-equivalence tests cover the
+// defense too.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "authns/query_engine.hpp"
+#include "dnscore/message.hpp"
+#include "net/time.hpp"
+
+namespace recwild::authns {
+
+struct RrlConfig {
+  /// Responses per window per (client, category). 0 disables RRL entirely.
+  int rate = 0;
+  /// Accounting window length.
+  net::Duration window = net::Duration::seconds(1);
+  /// Every slip-th limited response becomes a TC=1 slip instead of a drop;
+  /// 0 means never slip (pure drop).
+  int slip = 2;
+  /// Bucket-table size that triggers a sweep of expired buckets (bounds
+  /// memory under spoofed-source floods).
+  std::size_t max_table = 65'536;
+};
+
+/// Response categories accounted separately, BIND-style: an attacker
+/// burning the referral budget must not starve legitimate answers.
+enum class RrlCategory : std::uint8_t {
+  Answer = 0,
+  Referral = 1,
+  NxDomain = 2,
+  Error = 3,
+};
+
+/// Maps a response's (rcode, lookup disposition) to its RRL category.
+[[nodiscard]] RrlCategory rrl_category(dns::Rcode rcode,
+                                       Disposition disposition) noexcept;
+
+/// What to do with one response.
+enum class RrlAction : std::uint8_t { Send, Drop, Slip };
+
+class Rrl {
+ public:
+  Rrl() = default;
+  explicit Rrl(RrlConfig config) : config_(config) {}
+
+  void set_config(const RrlConfig& config) {
+    config_ = config;
+    buckets_.clear();
+  }
+  [[nodiscard]] const RrlConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool enabled() const noexcept { return config_.rate > 0; }
+
+  /// Accounts one would-be UDP response and decides its fate. `client_bits`
+  /// is the client address as a deterministic integer (net::IpAddress::
+  /// bits() or the raw sockaddr s_addr) — never a std::hash, whose value is
+  /// implementation-defined and would break cross-platform determinism.
+  [[nodiscard]] RrlAction check(std::uint32_t client_bits,
+                                RrlCategory category, net::SimTime now);
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+ private:
+  struct Bucket {
+    std::int64_t window_start_us = 0;
+    int sent = 0;
+    std::uint64_t limited = 0;
+  };
+
+  void sweep(std::int64_t now_us);
+
+  RrlConfig config_{};
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+};
+
+/// The slip response: a minimal TC=1 echo of the query. The client keeps
+/// nothing but the instruction to retry over TCP.
+[[nodiscard]] dns::Message make_slip_reply(const dns::Message& query);
+
+}  // namespace recwild::authns

@@ -68,6 +68,31 @@ void AuthServer::send_notifies(const dns::Name& origin) {
   }
 }
 
+void AuthServer::set_rrl(const RrlConfig& config) {
+  rrl_.set_config(config);
+  if (rrl_.enabled()) {
+    obs::MetricRegistry& m = network_.sim().metrics();
+    obs_rrl_dropped_ = &m.counter(obs::names::kRrlDropped);
+    obs_rrl_slipped_ = &m.counter(obs::names::kRrlSlipped);
+  }
+}
+
+void AuthServer::set_referral_fanout_cap(int cap) {
+  responder_.set_max_referral_fanout(cap);
+  if (cap > 0) {
+    obs_referral_capped_ =
+        &network_.sim().metrics().counter(obs::names::kAuthnsReferralCapped);
+  }
+}
+
+void AuthServer::set_victim(bool victim) {
+  victim_ = victim;
+  if (victim) {
+    obs_victim_queries_ =
+        &network_.sim().metrics().counter(obs::names::kAttackVictimQueries);
+  }
+}
+
 void AuthServer::start() {
   if (listening_) return;
   auto handler = [this](const net::Datagram& d, net::NodeId at) {
@@ -139,6 +164,7 @@ void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
 
   if (!query.questions.empty()) {
     obs_queries_->add(1, network_.sim().now());
+    if (victim_) obs_victim_queries_->add(1, network_.sim().now());
     log_.record(QueryLogEntry{network_.sim().now(), dgram.src.addr,
                               query.question().qname,
                               query.question().qtype, dns::Rcode::NoError});
@@ -159,12 +185,46 @@ void AuthServer::on_datagram(const net::Datagram& dgram, net::NodeId at_node) {
 
   dns::Message resp;
   net::WireBuffer wire;
+  AnswerInfo info;
   if (fault.mode == AuthFailMode::Refused) {
     resp = dns::Message::make_response(query);
     resp.header.rcode = dns::Rcode::Refused;
     obs_fault_refused_->add(1, network_.sim().now());
   } else {
-    resp = responder_.answer(query, dgram.via_stream, &wire);
+    resp = responder_.answer(query, dgram.via_stream, &wire, &info);
+    if (info.referral_capped) {
+      obs_referral_capped_->add(1, network_.sim().now());
+    }
+    // RRL guards the UDP answer path only: TCP carries a proven source
+    // address, and responses to it are never limited (the TC slip exists
+    // precisely to funnel real clients there).
+    if (!dgram.via_stream && rrl_.enabled() && !query.questions.empty()) {
+      const RrlAction action =
+          rrl_.check(dgram.src.addr.bits(),
+                     rrl_category(resp.header.rcode, info.disposition),
+                     network_.sim().now());
+      if (action == RrlAction::Drop) {
+        obs_rrl_dropped_->add(1, network_.sim().now());
+        if (trace_->enabled()) {
+          trace_->record({network_.sim().now(), obs::TraceKind::RrlDrop,
+                          config_.identity,
+                          query.question().qname.to_string(),
+                          dgram.src.addr.to_string(), 0.0});
+        }
+        return;
+      }
+      if (action == RrlAction::Slip) {
+        obs_rrl_slipped_->add(1, network_.sim().now());
+        if (trace_->enabled()) {
+          trace_->record({network_.sim().now(), obs::TraceKind::RrlSlip,
+                          config_.identity,
+                          query.question().qname.to_string(),
+                          dgram.src.addr.to_string(), 0.0});
+        }
+        resp = make_slip_reply(query);
+        wire = dns::encode_message(resp);
+      }
+    }
   }
   if (resp.header.tc && !dgram.via_stream) {
     obs_truncated_->add(1, network_.sim().now());

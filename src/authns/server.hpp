@@ -21,6 +21,7 @@
 
 #include "authns/query_log.hpp"
 #include "authns/responder.hpp"
+#include "authns/rrl.hpp"
 #include "authns/zone.hpp"
 #include "dnscore/codec.hpp"
 #include "net/network.hpp"
@@ -111,6 +112,22 @@ class AuthServer {
     fault_provider_ = std::move(provider);
   }
 
+  /// Arms (or, with rate 0, disarms) response-rate limiting on the UDP
+  /// answer path. Registers the rrl.* counters eagerly — callers arm RRL
+  /// at world-build time, so every shard replica registers identically.
+  void set_rrl(const RrlConfig& config);
+  [[nodiscard]] const Rrl& rrl() const noexcept { return rrl_; }
+
+  /// Caps the NS fanout of referrals this server emits (0 = unlimited).
+  /// Registers authns.referral.capped eagerly (same build-time contract).
+  void set_referral_fanout_cap(int cap);
+
+  /// Marks this server as an attack victim: every received query is also
+  /// counted under attack.victim.queries, the numerator of the measured
+  /// amplification factor. Registered eagerly at marking time.
+  void set_victim(bool victim);
+  [[nodiscard]] bool is_victim() const noexcept { return victim_; }
+
   [[nodiscard]] const net::Endpoint& endpoint() const noexcept {
     return endpoint_;
   }
@@ -159,8 +176,10 @@ class AuthServer {
   NotifyHandler notify_handler_;
   AuthFaultProvider fault_provider_;
   QueryLog log_;
+  Rrl rrl_;
   bool listening_ = false;
   bool down_ = false;
+  bool victim_ = false;
   std::uint64_t queries_received_ = 0;
   std::uint64_t responses_sent_ = 0;
   // Observability: cached handles into the simulation's registry/trace.
@@ -170,6 +189,13 @@ class AuthServer {
   obs::Counter* obs_truncated_ = nullptr;
   obs::Counter* obs_formerr_ = nullptr;
   obs::Counter* obs_fault_refused_ = nullptr;
+  // Defense/attack counters, registered eagerly by their set_* calls (which
+  // run at world-build time) so shard replicas register identically, and
+  // absent entirely from worlds that never arm the features.
+  obs::Counter* obs_rrl_dropped_ = nullptr;
+  obs::Counter* obs_rrl_slipped_ = nullptr;
+  obs::Counter* obs_referral_capped_ = nullptr;
+  obs::Counter* obs_victim_queries_ = nullptr;
 };
 
 }  // namespace recwild::authns

@@ -8,11 +8,60 @@
 #include <thread>
 #include <unordered_map>
 
+#include "attack/generator.hpp"
 #include "obs/names.hpp"
 
 namespace recwild::experiment {
 
 namespace {
+
+/// Schedules the attack traffic of world.config().attack for the bot VPs
+/// this shard owns. Bots are the `bots` lowest-index VPs of each event — a
+/// global, partition-independent set — and every attack qname is drawn at
+/// scheduling time from an RNG forked per (event, bot, query), so the
+/// stream a bot fires is byte-identical at any shard count.
+void schedule_attack_traffic(Testbed& world,
+                             const std::vector<std::size_t>& vp_indices) {
+  const attack::AttackSchedule& schedule = world.config().attack;
+  if (schedule.empty()) return;
+  auto& sim = world.sim();
+  auto& vps = world.population().vps();
+  const dns::Name victim =
+      dns::Name::parse(schedule.zone().victim_domain);
+  // Registered whenever the schedule is armed — in every shard replica,
+  // bots owned or not — so all replicas carry an identical registry.
+  obs::Counter* injected =
+      &sim.metrics().counter(obs::names::kAttackQueriesInjected);
+
+  const stats::Rng attack_rng = sim.rng().fork("attack-campaign");
+  for (std::size_t e = 0; e < schedule.events().size(); ++e) {
+    const attack::AttackEvent& ev = schedule.events()[e];
+    const stats::Rng event_rng = attack_rng.fork(e);
+    for (const std::size_t v : vp_indices) {
+      if (v >= static_cast<std::size_t>(ev.bots)) continue;
+      auto& vp = vps[v];
+      const stats::Rng bot_rng = event_rng.fork(vp.probe_id);
+      // Identity-keyed phase offset de-synchronises the bots.
+      const net::Duration phase = net::Duration::millis(
+          bot_rng.fork("phase").uniform(0.0, ev.interval.ms()));
+      std::size_t k = 0;
+      for (net::SimTime at = ev.start + phase; at < ev.end;
+           at = at + ev.interval, ++k) {
+        stats::Rng query_rng = bot_rng.fork(k);
+        const dns::Name qname =
+            ev.kind == attack::AttackKind::Nxns
+                ? attack::nxns_query_name(schedule.zone(), query_rng)
+                : attack::water_torture_query_name(victim, query_rng);
+        sim.at(at, [&world, &vp, qname, injected] {
+          injected->add(1, world.sim().now());
+          // Fire-and-forget: a bot never cares about the answer.
+          vp.stub->query(qname, dns::RRType::A,
+                         [](const client::StubResult&) {});
+        });
+      }
+    }
+  }
+}
 
 /// Schedules the campaign queries of the VPs in `vp_indices` (ascending) on
 /// `world`, runs its simulation to completion, and returns one observation
@@ -95,6 +144,8 @@ std::vector<VpObservation> run_campaign_shard(
       });
     }
   }
+
+  schedule_attack_traffic(world, vp_indices);
 
   sim.run();
 

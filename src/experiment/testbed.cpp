@@ -4,6 +4,8 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "attack/generator.hpp"
+
 namespace recwild::experiment {
 
 namespace {
@@ -27,14 +29,24 @@ Testbed::Testbed(TestbedConfig config)
     throw std::invalid_argument{
         "Testbed: a test domain requires the .nl deployment"};
   }
+  if (!config_.attack.empty()) {
+    config_.attack.validate();
+    if (!config_.build_nl) {
+      throw std::invalid_argument{
+          "Testbed: an attack schedule requires the .nl deployment"};
+    }
+  }
   build_roots();
   if (config_.build_nl) build_nl();
   if (!config_.test_sites.empty()) build_test_domain();
+  if (!config_.attack.empty()) build_attacker();
   assemble_zones();
 
   for (auto& svc : roots_) svc.start();
   for (auto& svc : nl_) svc.start();
   for (auto& svc : test_) svc.start();
+  for (auto& svc : attacker_) svc.start();
+  arm_defenses();
 
   if (config_.build_population) {
     population_ = client::build_population(
@@ -114,6 +126,55 @@ void Testbed::build_test_domain() {
   }
 }
 
+void Testbed::build_attacker() {
+  const auto& zone_cfg = config_.attack.zone();
+  const std::string& code = config_.attack_site;
+  if (!net::find_location(code)) {
+    throw std::invalid_argument{"Testbed: unknown attack site " + code};
+  }
+  const net::IpAddress addr = network_->allocate_address();
+  attacker_.push_back(anycast::AnycastService::create(
+      *network_, "ATK", addr, std::vector<std::string>{code}));
+  const dns::Name ns_name =
+      dns::Name::parse("ns." + zone_cfg.attacker_domain);
+  attacker_ns_.push_back(NsHost{ns_name, addr});
+  // The whole delegation-chain forest (apex + intermediate chain zones)
+  // is served by the one attacker authoritative.
+  for (auto& zone : attack::make_nxns_zones(zone_cfg, ns_name, addr)) {
+    attacker_.back().add_zone(std::move(zone));
+  }
+}
+
+void Testbed::arm_defenses() {
+  if (!config_.attack.empty()) {
+    // The test-domain authoritatives are the attack's victims: count their
+    // load separately (attack.victim.queries, the amplification numerator).
+    for (auto& svc : test_) {
+      for (auto& site : svc.sites()) site.server->set_victim(true);
+    }
+  }
+  if (config_.rrl.rate > 0) {
+    // RRL is the defender's: roots, .nl and the test domain arm it; the
+    // attacker's own authoritative never does.
+    for (auto* services : {&roots_, &nl_, &test_}) {
+      for (auto& svc : *services) {
+        for (auto& site : svc.sites()) site.server->set_rrl(config_.rrl);
+      }
+    }
+  }
+  if (config_.referral_fanout_cap > 0) {
+    // The fanout cap is engine-wide (managed-DNS model): every hosted
+    // zone's referrals are trimmed, the attacker's delegation included.
+    for (auto* services : {&roots_, &nl_, &test_, &attacker_}) {
+      for (auto& svc : *services) {
+        for (auto& site : svc.sites()) {
+          site.server->set_referral_fanout_cap(config_.referral_fanout_cap);
+        }
+      }
+    }
+  }
+}
+
 void Testbed::assemble_zones() {
   // Root zone: apex NS (the letters) + the .nl delegation.
   ZoneSpec root_spec;
@@ -133,6 +194,11 @@ void Testbed::assemble_zones() {
     nl_spec.apex_ns = nl_apex_;
     if (!test_ns_.empty()) {
       nl_spec.delegations.push_back(Delegation{test_domain_, test_ns_});
+    }
+    if (!attacker_ns_.empty()) {
+      nl_spec.delegations.push_back(Delegation{
+          dns::Name::parse(config_.attack.zone().attacker_domain),
+          attacker_ns_});
     }
     nl_spec.negative_ttl = 60;
     const authns::Zone nl_zone = build_zone(nl_spec);

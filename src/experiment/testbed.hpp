@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "anycast/service.hpp"
+#include "attack/schedule.hpp"
+#include "authns/rrl.hpp"
 #include "client/population.hpp"
 #include "experiment/deployments.hpp"
 #include "experiment/zones.hpp"
@@ -47,6 +49,26 @@ struct TestbedConfig {
   /// empty schedule costs nothing: no injector is built, no hook installed.
   /// Replica worlds built from config() arm the identical schedule.
   fault::FaultSchedule faults{};
+
+  // ---- Adversarial workloads & defenses (src/attack, docs/ATTACKS.md) ----
+
+  /// Attack schedule the campaign engine replays. When non-empty, the
+  /// testbed builds the attacker-controlled authoritative (serving the
+  /// NXNS delegation chains of attack.zone()), delegates its domain from
+  /// .nl, and marks the test-domain servers as victims. Empty costs
+  /// nothing; replica worlds built from config() inherit it.
+  attack::AttackSchedule attack{};
+  /// Site hosting the attacker-controlled authoritative.
+  std::string attack_site = "AMS";
+  /// Response-rate limiting armed on every *defender* authoritative
+  /// (roots, .nl, test domain — never the attacker's). rate 0 = off.
+  authns::RrlConfig rrl{};
+  /// Referral-fanout cap on every authoritative, the attacker's included
+  /// (0 = unlimited). This is the engine-wide knob: it models a managed-DNS
+  /// platform capping referral work for all hosted zones — the only
+  /// placement where a server-side cap can trim the NXNS referral itself
+  /// (docs/ATTACKS.md).
+  int referral_fanout_cap = 0;
 };
 
 class Testbed {
@@ -83,6 +105,13 @@ class Testbed {
   test_services() noexcept {
     return test_;
   }
+  /// The attacker-controlled authoritative (empty unless config().attack
+  /// is non-empty). Serves attack.zone()'s NXNS delegation chains and is
+  /// never armed with defenses — defenses are the defender's.
+  [[nodiscard]] std::vector<anycast::AnycastService>&
+  attacker_services() noexcept {
+    return attacker_;
+  }
 
   [[nodiscard]] const std::vector<resolver::RootHint>& hints()
       const noexcept {
@@ -113,6 +142,8 @@ class Testbed {
   void build_roots();
   void build_nl();
   void build_test_domain();
+  void build_attacker();
+  void arm_defenses();
   void assemble_zones();
 
   TestbedConfig config_;
@@ -121,6 +152,8 @@ class Testbed {
   std::vector<anycast::AnycastService> roots_;
   std::vector<anycast::AnycastService> nl_;
   std::vector<anycast::AnycastService> test_;
+  std::vector<anycast::AnycastService> attacker_;
+  std::vector<NsHost> attacker_ns_;
   std::vector<resolver::RootHint> hints_;
   std::vector<resolver::RootHint> hints6_;
   dns::Name test_domain_;

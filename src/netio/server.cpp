@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <optional>
 #include <system_error>
@@ -83,6 +84,11 @@ struct Server::Worker {
   std::atomic<std::uint64_t> responses{0};
   std::atomic<std::uint64_t> dropped{0};
   std::atomic<std::uint64_t> formerr{0};
+  std::atomic<std::uint64_t> rrl_dropped{0};
+  std::atomic<std::uint64_t> rrl_slipped{0};
+
+  // Worker-private, touched only by this worker's epoll thread.
+  authns::Rrl rrl;
 };
 
 Server::Server(const authns::Responder& responder, ServerConfig config)
@@ -100,6 +106,7 @@ void Server::start() {
 
   for (int i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>();
+    w->rrl.set_config(config_.rrl);
 
     w->udp = make_socket(SOCK_DGRAM);
     sockaddr_in sa = make_addr(config_.bind_address, bound_port_);
@@ -166,11 +173,24 @@ ServerStats Server::stats() const {
     s.responses += w->responses.load(std::memory_order_relaxed);
     s.dropped += w->dropped.load(std::memory_order_relaxed);
     s.formerr += w->formerr.load(std::memory_order_relaxed);
+    s.rrl_dropped += w->rrl_dropped.load(std::memory_order_relaxed);
+    s.rrl_slipped += w->rrl_slipped.load(std::memory_order_relaxed);
   }
   return s;
 }
 
 namespace {
+
+/// Facts the UDP path needs to run RRL on an answer after the fact:
+/// only Responder::answer responses are limitable (`answered`), and the
+/// category wants the rcode + lookup disposition. The decoded query is
+/// kept for building the TC slip.
+struct AnswerMeta {
+  bool answered = false;
+  dns::Rcode rcode = dns::Rcode::NoError;
+  authns::AnswerInfo info{};
+  dns::Message query{};
+};
 
 /// The transport-independent step both sockets share: decode, answer via
 /// the Responder, encode. Mirrors the simulated AuthServer::on_datagram
@@ -178,9 +198,11 @@ namespace {
 /// input) — divergence here would break transport equivalence.
 std::optional<net::WireBuffer> respond(const authns::Responder& responder,
                                        std::span<const std::uint8_t> wire,
-                                       bool via_stream, bool& was_formerr) {
+                                       bool via_stream, bool& was_formerr,
+                                       AnswerMeta* meta = nullptr) {
   was_formerr = false;
-  dns::Message query;
+  dns::Message local_query;
+  dns::Message& query = meta != nullptr ? meta->query : local_query;
   try {
     query = dns::decode_message(wire);
   } catch (const dns::WireError&) {
@@ -195,9 +217,23 @@ std::optional<net::WireBuffer> respond(const authns::Responder& responder,
     return dns::encode_message(ack);
   }
   net::WireBuffer out;
-  const dns::Message resp = responder.answer(query, via_stream, &out);
+  const dns::Message resp = responder.answer(
+      query, via_stream, &out, meta != nullptr ? &meta->info : nullptr);
   if (out.empty()) out = dns::encode_message(resp);
+  if (meta != nullptr) {
+    meta->answered = !query.questions.empty();
+    meta->rcode = resp.header.rcode;
+  }
   return out;
+}
+
+/// Monotonic micros for RRL windows — the kernel-socket analogue of the
+/// simulation's SimTime.
+net::SimTime steady_now() {
+  return net::SimTime::from_micros(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -302,14 +338,32 @@ void Server::run_worker(Worker& w) {
           if (got < 0) break;  // EAGAIN: drained
           w.udp_datagrams.fetch_add(1, std::memory_order_relaxed);
           bool was_formerr = false;
+          AnswerMeta meta;
+          AnswerMeta* meta_ptr = w.rrl.enabled() ? &meta : nullptr;
           auto reply = respond(
               responder_,
               std::span<const std::uint8_t>{udp_buf.data(),
                                             static_cast<std::size_t>(got)},
-              /*via_stream=*/false, was_formerr);
+              /*via_stream=*/false, was_formerr, meta_ptr);
           if (!reply) {
             w.dropped.fetch_add(1, std::memory_order_relaxed);
             continue;
+          }
+          // RRL: same engine and same decisions as the simulated server —
+          // UDP answer path only, client keyed by the raw source address.
+          if (meta_ptr != nullptr && meta.answered) {
+            const authns::RrlAction action = w.rrl.check(
+                ntohl(peer.sin_addr.s_addr),
+                authns::rrl_category(meta.rcode, meta.info.disposition),
+                steady_now());
+            if (action == authns::RrlAction::Drop) {
+              w.rrl_dropped.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            if (action == authns::RrlAction::Slip) {
+              w.rrl_slipped.fetch_add(1, std::memory_order_relaxed);
+              *reply = dns::encode_message(authns::make_slip_reply(meta.query));
+            }
           }
           if (was_formerr) w.formerr.fetch_add(1, std::memory_order_relaxed);
           w.responses.fetch_add(1, std::memory_order_relaxed);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "authns/responder.hpp"
+#include "authns/rrl.hpp"
 
 namespace recwild::netio {
 
@@ -39,6 +40,10 @@ struct ServerConfig {
   /// Largest TCP frame accepted; larger advertised lengths drop the
   /// connection (a hostile peer can otherwise park 64 KiB per connection).
   std::size_t max_tcp_frame = 65535;
+  /// Response-rate limiting on the UDP path (rate 0 = off). Accounting is
+  /// per worker: SO_REUSEPORT hashes a client's flows to one worker, so
+  /// per-client buckets stay coherent without cross-thread state.
+  authns::RrlConfig rrl{};
 };
 
 /// Aggregated per-worker counters; names mirror the netio.* metrics in
@@ -50,6 +55,8 @@ struct ServerStats {
   std::uint64_t responses = 0;
   std::uint64_t dropped = 0;
   std::uint64_t formerr = 0;
+  std::uint64_t rrl_dropped = 0;
+  std::uint64_t rrl_slipped = 0;
 };
 
 class Server {

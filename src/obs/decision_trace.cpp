@@ -17,7 +17,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 15> kKindNames{{
+constexpr std::array<KindName, 18> kKindNames{{
     {TraceKind::SelectServer, "select_server"},
     {TraceKind::PrimeServer, "prime_server"},
     {TraceKind::StickyLatch, "sticky_latch"},
@@ -33,6 +33,9 @@ constexpr std::array<KindName, 15> kKindNames{{
     {TraceKind::Progress, "progress"},
     {TraceKind::FaultOn, "fault_on"},
     {TraceKind::FaultOff, "fault_off"},
+    {TraceKind::RrlDrop, "rrl_drop"},
+    {TraceKind::RrlSlip, "rrl_slip"},
+    {TraceKind::NsFetch, "ns_fetch"},
 }};
 
 /// Deterministic value rendering: integers without a point, otherwise up to

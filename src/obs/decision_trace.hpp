@@ -41,6 +41,9 @@ enum class TraceKind : std::uint8_t {
   Progress,         ///< A campaign vantage point finished its probe schedule.
   FaultOn,          ///< A scheduled fault's window opens (src/fault).
   FaultOff,         ///< A scheduled fault's window closes.
+  RrlDrop,          ///< RRL suppressed a UDP response entirely.
+  RrlSlip,          ///< RRL replaced a UDP response with a TC=1 slip.
+  NsFetch,          ///< Resolver spawned a glueless-NS address fetch.
 };
 
 /// Canonical lower-snake name of a TraceKind (what the TSV format stores).

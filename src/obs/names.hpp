@@ -183,4 +183,36 @@ inline constexpr std::string_view kCampaignQueriesUnanswered =
 /// Cache-busting lookups issued by the production traffic synthesizer.
 inline constexpr std::string_view kProductionLookups = "production.lookups";
 
+// --- response-rate limiting (src/authns/server.cpp) ---------------------
+/// UDP responses suppressed by RRL (registered lazily when RRL is on).
+inline constexpr std::string_view kRrlDropped = "rrl.dropped";
+/// UDP responses replaced by a minimal TC=1 slip reply.
+inline constexpr std::string_view kRrlSlipped = "rrl.slipped";
+/// Referrals whose NS set was trimmed by the referral-fanout cap.
+inline constexpr std::string_view kAuthnsReferralCapped =
+    "authns.referral.capped";
+
+// --- adversarial workloads (src/experiment/campaign.cpp, src/attack) ----
+/// Attack queries injected by bot vantage points (registered when the
+/// world carries a non-empty attack schedule).
+inline constexpr std::string_view kAttackQueriesInjected =
+    "attack.queries.injected";
+/// Queries received by authoritatives marked as attack victims — the
+/// numerator of the amplification factor.
+inline constexpr std::string_view kAttackVictimQueries =
+    "attack.victim.queries";
+
+// --- resolver fetch limits (src/resolver/resolver.cpp) ------------------
+/// Glueless-delegation nameserver address fetches the resolver spawned.
+inline constexpr std::string_view kResolverFetchSpawned =
+    "resolver.fetchlimit.spawned";
+/// NS-address fetches suppressed by the per-resolution budget
+/// (max_fetches_per_resolution).
+inline constexpr std::string_view kResolverFetchResolutionCapped =
+    "resolver.fetchlimit.resolution_capped";
+/// Upstream queries refused because the target zone already had
+/// fetches_per_zone outstanding queries.
+inline constexpr std::string_view kResolverFetchZoneCapped =
+    "resolver.fetchlimit.zone_capped";
+
 }  // namespace recwild::obs::names

@@ -51,6 +51,15 @@ std::optional<dns::Rcode> RecordCache::get_negative(const dns::Name& name,
   return e->negative_rcode;
 }
 
+const dns::RRset* RecordCache::peek(const dns::Name& name, dns::RRType type,
+                                    net::SimTime now) const {
+  const auto it = entries_.find(KeyView{name, type});
+  if (it == entries_.end()) return nullptr;
+  const CacheEntry& e = it->second.entry;
+  if (e.expires_at <= now || e.negative) return nullptr;
+  return &e.rrset;
+}
+
 void RecordCache::put(const dns::RRset& rrset, net::SimTime now) {
   const dns::Ttl ttl =
       std::clamp(rrset.ttl, config_.min_ttl, config_.max_ttl);

@@ -47,6 +47,15 @@ class RecordCache {
   std::optional<dns::Rcode> get_negative(const dns::Name& name,
                                          dns::RRType type, net::SimTime now);
 
+  /// Metrics- and LRU-neutral probe: the live positive RRset for
+  /// (name, type), or nullptr on miss/expired/negative. Counts nothing and
+  /// never reorders the LRU — for bookkeeping checks (e.g. the resolver's
+  /// fetch-limit glue test) that must not perturb cache-metric fixtures.
+  /// The returned TTL is the stored one, not decremented to now.
+  [[nodiscard]] const dns::RRset* peek(const dns::Name& name,
+                                       dns::RRType type,
+                                       net::SimTime now) const;
+
   /// Inserts/overwrites a positive RRset (TTL clamped to config bounds).
   void put(const dns::RRset& rrset, net::SimTime now);
 

@@ -46,6 +46,13 @@ struct RecursiveResolver::Job {
   std::vector<net::IpAddress> failed_servers;
   /// Bounded-work safety net (ResolverConfig::max_resolution_time).
   net::EventId deadline_event = 0;
+  /// Glueless-NS address fetches this job is parked on; stepped again when
+  /// the last one lands (see maybe_fetch_ns_addresses).
+  int pending_fetches = 0;
+  /// NXNS defense: fetch spend shared across the whole resolution tree —
+  /// children inherit the pointer, so max_fetches_per_resolution bounds the
+  /// walk end to end. Allocated lazily at the first glueless referral.
+  std::shared_ptr<std::uint32_t> fetch_budget;
 };
 
 RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
@@ -123,6 +130,12 @@ void RecursiveResolver::compact_qnames() {
 
 void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
   obs_client_queries_->add(1, network_.sim().now());
+  resolve_internal(q, std::move(cb), nullptr);
+}
+
+void RecursiveResolver::resolve_internal(
+    const dns::Question& q, ResolveCallback cb,
+    std::shared_ptr<std::uint32_t> fetch_budget) {
   // Coalesce identical in-flight questions.
   if (const auto it = inflight_.find(PendingView{q.qname, q.qtype});
       it != inflight_.end()) {
@@ -137,6 +150,7 @@ void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
   job->current_name = q.qname;
   job->callbacks.push_back(std::move(cb));
   job->started_at = network_.sim().now();
+  job->fetch_budget = std::move(fetch_budget);
   inflight_.insert_or_assign(PendingKey{q.qname, q.qtype}, job);
   // Bounded work: no resolution outlives max_resolution_time, whatever a
   // fault schedule does to the servers. Cancelled in finish(); the weak
@@ -373,6 +387,24 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
                                       const dns::Name& zone,
                                       net::IpAddress server, bool via_tcp) {
   const net::SimTime now = network_.sim().now();
+
+  // fetches-per-zone defense: when the target zone already carries the
+  // configured number of in-flight transmissions, fail fast instead of
+  // piling on (what BIND's fetches-per-zone quota does under NXNS floods).
+  if (config_.fetches_per_zone > 0) {
+    int& in_flight = zone_outstanding_[zone];
+    if (in_flight >= config_.fetches_per_zone) {
+      if (obs_fetch_zone_capped_ == nullptr) {
+        obs_fetch_zone_capped_ = &network_.sim().metrics().counter(
+            obs::names::kResolverFetchZoneCapped);
+      }
+      obs_fetch_zone_capped_->add(1, now);
+      finish(job, dns::Rcode::ServFail);
+      return;
+    }
+    ++in_flight;
+  }
+
   const std::uint64_t txkey = next_txkey_++;
   const auto txid = static_cast<std::uint16_t>(rng_.next());
 
@@ -404,10 +436,9 @@ void RecursiveResolver::send_upstream(const std::shared_ptr<Job>& job,
   // all paths, clamped inside — see retransmit_timeout).
   const net::Duration timeout = retransmit_timeout(server, now, via_tcp);
 
-  (void)zone;  // the selector keys its own per-zone state
-
   Outstanding out;
   out.job = job;
+  if (config_.fetches_per_zone > 0) out.zone = zone;
   out.minimized = minimized;
   out.server = server;
   out.qname = query_name;
@@ -466,6 +497,7 @@ void RecursiveResolver::on_upstream_timeout(std::uint64_t txkey) {
   if (it == outstanding_.end()) return;
   Outstanding out = std::move(it->second);
   outstanding_.erase(it);
+  release_zone_slot(out.zone);
   ++upstream_timeouts_;
   const net::SimTime now = network_.sim().now();
   obs_upstream_timeouts_->add(1, now);
@@ -510,6 +542,7 @@ void RecursiveResolver::on_upstream_datagram(const net::Datagram& dgram) {
 
   Outstanding out = std::move(match->second);
   outstanding_.erase(match);
+  release_zone_slot(out.zone);
   network_.sim().cancel(out.timeout_event);
 
   const net::SimTime now = network_.sim().now();
@@ -632,6 +665,10 @@ void RecursiveResolver::handle_response(const std::shared_ptr<Job>& job,
         finish(job, dns::Rcode::ServFail);
         return;
       }
+      // Glueless referral (the NXNS lever): no cached address for any of
+      // the child zone's servers. Fetch them as bounded side-resolutions
+      // instead of bouncing off the parent until max_indirections.
+      if (maybe_fetch_ns_addresses(job, referral_ns->name, resp)) return;
       step(job);
       return;
     }
@@ -680,6 +717,128 @@ void RecursiveResolver::handle_response(const std::shared_ptr<Job>& job,
   selector_->on_timeout(job->current_zone, server);
   job->failed_servers.push_back(server);
   step(job);
+}
+
+bool RecursiveResolver::has_cached_address(const dns::Name& ns_name,
+                                           net::SimTime now) {
+  // Mirrors the family filter of find_zone_cut: an address only counts if
+  // the zone-cut walk could actually use it. peek(), not get(): this is
+  // fetch-limit bookkeeping, not a client lookup — it must not count
+  // hits/misses or reorder the LRU.
+  if (config_.family != AddressFamily::V4Only) {
+    if (const auto* aaaa_set = cache_.peek(ns_name, dns::RRType::AAAA, now)) {
+      for (const auto& rd : aaaa_set->rdatas) {
+        if (net::IpAddress::from_mapped_ipv6(
+                std::get<dns::AaaaRdata>(rd).address)) {
+          return true;
+        }
+      }
+    }
+  }
+  if (config_.family != AddressFamily::V6Only) {
+    if (cache_.peek(ns_name, dns::RRType::A, now) != nullptr) return true;
+  }
+  return false;
+}
+
+bool RecursiveResolver::maybe_fetch_ns_addresses(
+    const std::shared_ptr<Job>& job, const dns::Name& child_zone,
+    const dns::Message& resp) {
+  const net::SimTime now = network_.sim().now();
+  const dns::RRType addr_type = config_.family == AddressFamily::V6Only
+                                    ? dns::RRType::AAAA
+                                    : dns::RRType::A;
+  // Collect the referral's NS targets. Any cached address means the normal
+  // zone-cut walk proceeds on its own — the glued case, i.e. every
+  // committed fixture world; this function then changes nothing.
+  bool saw_target = false;
+  std::vector<dns::Name> targets;
+  for (const auto& rr : resp.authorities) {
+    if (rr.type() != dns::RRType::NS || !(rr.name == child_zone)) continue;
+    saw_target = true;
+    const auto& target = std::get<dns::NsRdata>(rr.rdata).nsdname;
+    if (has_cached_address(target, now)) return false;
+    // A target below the cut can only be resolved by the very servers we
+    // lack addresses for; fetching it would loop. Skip it (missing glue).
+    if (target.is_subdomain_of(child_zone)) continue;
+    targets.push_back(target);
+  }
+  if (!saw_target) return false;
+
+  // Per-resolution budget (Unbound's MAX_TARGET_COUNT): the whole walk —
+  // this job and every child fetch it spawned — shares one allowance.
+  // Truncation runs BEFORE the negative-cache filter: the allowance buys
+  // the first N servers of the NS RRset, not N fresh probes per query.
+  // Filtering first would let every repeat query march further down the
+  // attacker's target list, turning the cap into cap-per-query.
+  if (config_.max_fetches_per_resolution > 0) {
+    if (!job->fetch_budget) {
+      job->fetch_budget = std::make_shared<std::uint32_t>(0);
+    }
+    const auto cap =
+        static_cast<std::uint32_t>(config_.max_fetches_per_resolution);
+    const std::uint32_t used = *job->fetch_budget;
+    const std::size_t allowed = used >= cap ? 0 : cap - used;
+    if (targets.size() > allowed) {
+      if (obs_fetch_resolution_capped_ == nullptr) {
+        obs_fetch_resolution_capped_ = &network_.sim().metrics().counter(
+            obs::names::kResolverFetchResolutionCapped);
+      }
+      obs_fetch_resolution_capped_->add(targets.size() - allowed, now);
+      targets.resize(allowed);
+    }
+  }
+  // Already known not to exist: spawning would return instantly with the
+  // same negative entry — and re-spawning per query is exactly the
+  // amplification the negative cache kills between attack waves. Budget is
+  // only charged for fetches actually spawned.
+  std::erase_if(targets, [&](const dns::Name& t) {
+    return cache_.get_negative(t, addr_type, now).has_value();
+  });
+  if (targets.empty()) {
+    // Every usable server of the child zone is refuted knowledge:
+    // negative-cached, glueless-in-bailiwick, or beyond the fetch budget.
+    // Dead delegation; fail fast.
+    finish(job, dns::Rcode::ServFail);
+    return true;
+  }
+  if (config_.max_fetches_per_resolution > 0) {
+    *job->fetch_budget += static_cast<std::uint32_t>(targets.size());
+  }
+
+  if (obs_fetch_spawned_ == nullptr) {
+    obs_fetch_spawned_ =
+        &network_.sim().metrics().counter(obs::names::kResolverFetchSpawned);
+  }
+  // Pre-commit the full count before the first resolve_internal: a child
+  // that completes synchronously (cached CNAME chain, instant SERVFAIL)
+  // must not see pending_fetches hit zero while siblings are unspawned.
+  job->pending_fetches += static_cast<int>(targets.size());
+  for (const auto& target : targets) {
+    ++ns_fetches_spawned_;
+    obs_fetch_spawned_->add(1, now);
+    if (trace_->enabled()) {
+      trace_->record({now, obs::TraceKind::NsFetch, config_.name,
+                      target.to_string(), child_zone.to_string(), 0.0});
+    }
+    std::weak_ptr<Job> weak = job;
+    resolve_internal(
+        dns::Question{target, addr_type, dns::RRClass::IN},
+        [this, weak](const ResolveOutcome&) {
+          const auto j = weak.lock();
+          if (!j || j->done) return;
+          if (--j->pending_fetches == 0) step(j);
+        },
+        job->fetch_budget);
+  }
+  return true;
+}
+
+void RecursiveResolver::release_zone_slot(const dns::Name& zone) {
+  if (config_.fetches_per_zone <= 0) return;
+  const auto it = zone_outstanding_.find(zone);
+  if (it == zone_outstanding_.end()) return;
+  if (--it->second <= 0) zone_outstanding_.erase(it);
 }
 
 void RecursiveResolver::finish(const std::shared_ptr<Job>& job,

@@ -68,6 +68,15 @@ struct ResolverConfig {
   /// Upper bound on referral depth + CNAME chases.
   int max_indirections = 12;
 
+  /// NXNS defense (docs/ATTACKS.md), Unbound MAX_TARGET_COUNT-style: total
+  /// glueless-NS address fetches one client resolution may spawn across
+  /// its whole delegation walk (children included). 0 = unlimited.
+  int max_fetches_per_resolution = 0;
+  /// NXNS defense, BIND fetches-per-zone-style: upstream queries allowed
+  /// to be outstanding against one zone at a time; at the cap further
+  /// sends fail fast with SERVFAIL. 0 = unlimited.
+  int fetches_per_zone = 0;
+
   bool use_edns = true;
 
   /// QNAME minimization (RFC 7816): expose only one more label to each
@@ -104,6 +113,11 @@ class RecursiveResolver {
   /// Resolves a question on behalf of a local caller (no client-side
   /// network hop). Identical path to network clients otherwise.
   void resolve(const dns::Question& q, ResolveCallback cb);
+
+  // Fetch-limit counters (0 when the knobs are off).
+  [[nodiscard]] std::uint64_t ns_fetches_spawned() const noexcept {
+    return ns_fetches_spawned_;
+  }
 
   [[nodiscard]] net::IpAddress address() const noexcept { return address_; }
   [[nodiscard]] net::NodeId node() const noexcept { return node_; }
@@ -143,6 +157,12 @@ class RecursiveResolver {
  private:
   struct Job;
 
+  /// resolve() plus a shared NS-fetch budget carried into the new job, so
+  /// glueless chains nested under an NXNS-style referral spend their
+  /// parent's max_fetches_per_resolution allowance, not a fresh one.
+  void resolve_internal(const dns::Question& q, ResolveCallback cb,
+                        std::shared_ptr<std::uint32_t> fetch_budget);
+
   void on_client_datagram(const net::Datagram& dgram);
   void on_upstream_datagram(const net::Datagram& dgram);
 
@@ -172,6 +192,19 @@ class RecursiveResolver {
   void finish(const std::shared_ptr<Job>& job, dns::Rcode rcode);
   void cache_message_records(const dns::Message& resp,
                              const dns::Name& server_zone);
+  /// NXNS handling: when a referral into `child_zone` names only servers
+  /// we hold no addresses for, spawns bounded side-resolutions for their
+  /// A/AAAA records and parks the job until they land. Returns true when
+  /// it took ownership of the job (spawned fetches or finished it).
+  bool maybe_fetch_ns_addresses(const std::shared_ptr<Job>& job,
+                                const dns::Name& child_zone,
+                                const dns::Message& resp);
+  /// Family-aware: does the cache hold a usable address for this NS host?
+  [[nodiscard]] bool has_cached_address(const dns::Name& ns_name,
+                                        net::SimTime now);
+  /// Drops the fetches_per_zone slot `zone` holds (no-op when the knob is
+  /// off). Must run exactly once per tracked transmission.
+  void release_zone_slot(const dns::Name& zone);
 
   net::Network& network_;
   net::NodeId node_;
@@ -205,9 +238,20 @@ class RecursiveResolver {
     bool via_tcp = false;
     net::SimTime sent_at;
     net::EventId timeout_event = 0;
+    /// Zone the transmission targets; populated (and a slot held in
+    /// zone_outstanding_) only while fetches_per_zone > 0.
+    dns::Name zone;
   };
   std::unordered_map<std::uint64_t, Outstanding> outstanding_;  // by txkey
   std::uint64_t next_txkey_ = 1;
+  /// Outstanding transmissions per target zone, maintained only while
+  /// fetches_per_zone > 0 so default-config worlds pay nothing.
+  struct ZoneHash {
+    std::size_t operator()(const dns::Name& n) const noexcept {
+      return n.hash();
+    }
+  };
+  std::unordered_map<dns::Name, int, ZoneHash> zone_outstanding_;
   /// Interns every upstream qname once at send time; a response's qname is
   /// looked up once and matched against outstanding ids (a miss means no
   /// query of ours ever asked that name — drop, like a failed scan would).
@@ -257,6 +301,7 @@ class RecursiveResolver {
   std::uint64_t upstream_timeouts_ = 0;
   std::uint64_t servfails_ = 0;
   std::uint64_t tcp_retries_ = 0;
+  std::uint64_t ns_fetches_spawned_ = 0;
 
   // Observability: cached handles into the simulation's MetricRegistry and
   // its DecisionTrace (see src/obs). Set once in the constructor.
@@ -272,6 +317,13 @@ class RecursiveResolver {
   obs::Counter* obs_deadline_expired_ = nullptr;
   obs::Histogram* obs_rtt_hist_ = nullptr;
   obs::Histogram* obs_resolve_hist_ = nullptr;
+  // Fetch-limit counters, resolved lazily on first use (the obs_formerr_
+  // pattern): glueless referrals never occur in the committed fixture
+  // worlds, and an eagerly registered always-zero counter would invalidate
+  // their byte-identity snapshots.
+  obs::Counter* obs_fetch_spawned_ = nullptr;
+  obs::Counter* obs_fetch_resolution_capped_ = nullptr;
+  obs::Counter* obs_fetch_zone_capped_ = nullptr;
 };
 
 }  // namespace recwild::resolver

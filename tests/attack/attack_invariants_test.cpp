@@ -1,0 +1,151 @@
+// Adversarial-workload invariants over full campaigns:
+//  * metrics JSON and canonical trace stay byte-identical for shard counts
+//    1, 2 and 4 while an attack schedule is active (defenses armed or not)
+//    — the attack path must obey the engine's determinism contract;
+//  * the resolver's per-resolution fetch limit is honored against an NXNS
+//    referral wider than the cap, and measurably cuts the victim-side
+//    query load.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "attack/generator.hpp"
+#include "attack/schedule.hpp"
+#include "experiment/campaign.hpp"
+#include "experiment/testbed.hpp"
+#include "obs/names.hpp"
+
+namespace recwild::attack {
+namespace {
+
+using experiment::CampaignConfig;
+using experiment::Testbed;
+using experiment::TestbedConfig;
+
+enum class Defense { None, FetchOnly, Full };
+
+TestbedConfig attacked_config(Defense defense) {
+  TestbedConfig cfg;
+  cfg.seed = 77;
+  cfg.population.probes = 48;
+  cfg.test_sites = {"DUB", "FRA"};
+  cfg.trace_decisions = true;
+
+  AttackSchedule sched;
+  sched.zone().chains = 4;
+  sched.zone().fanout = 8;
+  AttackEvent nxns;
+  nxns.kind = AttackKind::Nxns;
+  nxns.start = net::SimTime::origin() + net::Duration::minutes(1);
+  nxns.end = net::SimTime::origin() + net::Duration::minutes(6);
+  nxns.interval = net::Duration::seconds(5);
+  nxns.bots = 8;
+  sched.add(nxns);
+  AttackEvent torture = nxns;
+  torture.kind = AttackKind::WaterTorture;
+  torture.start = net::SimTime::origin() + net::Duration::minutes(3);
+  torture.bots = 6;
+  sched.add(torture);
+  cfg.attack = sched;
+
+  if (defense != Defense::None) {
+    cfg.population.resolver_template.max_fetches_per_resolution = 2;
+    cfg.population.resolver_template.fetches_per_zone = 4;
+  }
+  if (defense == Defense::Full) {
+    cfg.rrl.rate = 10;
+    cfg.rrl.slip = 2;
+    cfg.referral_fanout_cap = 2;
+  }
+  return cfg;
+}
+
+struct AttackRun {
+  std::string metrics_json;
+  std::string trace_tsv;
+  std::uint64_t injected = 0;
+  std::uint64_t victim_attack = 0;
+  std::uint64_t fetch_spawned = 0;
+  std::uint64_t fetch_capped = 0;
+  std::size_t pending_after = 0;
+};
+
+AttackRun run_attacked(Defense defense, std::size_t shards) {
+  Testbed tb{attacked_config(defense)};
+  CampaignConfig cc;
+  cc.interval = net::Duration::minutes(2);
+  cc.queries_per_vp = 4;
+  cc.shards = shards;
+  const auto result = run_campaign(tb, cc);
+
+  AttackRun run;
+  run.metrics_json = result.metrics.to_json(obs::SnapshotStyle::MergeSafe);
+  std::ostringstream trace_out;
+  obs::write_trace(trace_out, tb.trace().canonical());
+  run.trace_tsv = trace_out.str();
+  run.injected =
+      result.metrics.counter_value(obs::names::kAttackQueriesInjected);
+  run.fetch_spawned =
+      result.metrics.counter_value(obs::names::kResolverFetchSpawned);
+  run.fetch_capped = result.metrics.counter_value(
+      obs::names::kResolverFetchResolutionCapped);
+  for (auto& svc : tb.test_services()) {
+    for (auto& site : svc.sites()) {
+      for (const auto& entry : site.server->log().entries()) {
+        if (is_attack_query_name(entry.qname)) ++run.victim_attack;
+      }
+    }
+  }
+  run.pending_after = tb.sim().pending();
+  return run;
+}
+
+class AttackInvariants : public ::testing::TestWithParam<Defense> {};
+
+TEST_P(AttackInvariants, ShardCountNeverChangesTheBytes) {
+  const Defense defense = GetParam();
+  const AttackRun serial = run_attacked(defense, 1);
+  const AttackRun two = run_attacked(defense, 2);
+  const AttackRun four = run_attacked(defense, 4);
+
+  // The attack actually ran in every replica arrangement.
+  EXPECT_GT(serial.injected, 0u);
+  EXPECT_EQ(serial.injected, two.injected);
+  EXPECT_EQ(serial.injected, four.injected);
+
+  EXPECT_EQ(serial.metrics_json, two.metrics_json);
+  EXPECT_EQ(serial.metrics_json, four.metrics_json);
+  EXPECT_FALSE(serial.trace_tsv.empty());
+  EXPECT_EQ(serial.trace_tsv, two.trace_tsv);
+  EXPECT_EQ(serial.trace_tsv, four.trace_tsv);
+
+  EXPECT_EQ(serial.pending_after, 0u);
+  EXPECT_EQ(two.pending_after, 0u);
+  EXPECT_EQ(four.pending_after, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UndefendedAndDefended, AttackInvariants,
+    ::testing::Values(Defense::None, Defense::Full),
+    [](const ::testing::TestParamInfo<Defense>& info) {
+      return std::string{info.param == Defense::None ? "undefended"
+                                                     : "defended"};
+    });
+
+TEST(FetchLimit, CapHonoredAgainstWideNxnsReferral) {
+  // fanout 8 vs max_fetches_per_resolution 2, with no server-side fanout
+  // cap in the way: the resolver itself must hit the cap, spawn strictly
+  // fewer glueless address fetches, and the victims must see strictly less
+  // attack traffic.
+  const AttackRun open = run_attacked(Defense::None, 1);
+  const AttackRun capped = run_attacked(Defense::FetchOnly, 1);
+
+  EXPECT_GT(open.victim_attack, 0u);
+  EXPECT_GT(capped.fetch_capped, 0u);
+  EXPECT_LT(capped.fetch_spawned, open.fetch_spawned);
+  EXPECT_LT(capped.victim_attack, open.victim_attack);
+}
+
+}  // namespace
+}  // namespace recwild::attack

@@ -1,0 +1,91 @@
+#include "attack/schedule.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace recwild::attack {
+namespace {
+
+AttackSchedule sample_schedule() {
+  AttackSchedule s;
+  s.add({AttackKind::Nxns, net::SimTime::from_micros(60'000'000),
+         net::SimTime::from_micros(360'000'000), net::Duration::seconds(2),
+         16});
+  s.add({AttackKind::WaterTorture, net::SimTime::from_micros(120'000'000),
+         net::SimTime::from_micros(600'000'000), net::Duration::millis(500),
+         4});
+  return s;
+}
+
+TEST(AttackKindNames, RoundTripEveryKind) {
+  for (const AttackKind k : {AttackKind::Nxns, AttackKind::WaterTorture}) {
+    EXPECT_EQ(attack_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(attack_kind_from_string("slowloris"), std::invalid_argument);
+}
+
+TEST(AttackEvent, ActiveIsHalfOpen) {
+  AttackEvent e;
+  e.start = net::SimTime::from_micros(100);
+  e.end = net::SimTime::from_micros(200);
+  EXPECT_FALSE(e.active(net::SimTime::from_micros(99)));
+  EXPECT_TRUE(e.active(net::SimTime::from_micros(100)));
+  EXPECT_TRUE(e.active(net::SimTime::from_micros(199)));
+  EXPECT_FALSE(e.active(net::SimTime::from_micros(200)));
+}
+
+TEST(AttackScheduleValidate, AcceptsSaneSchedule) {
+  EXPECT_NO_THROW(sample_schedule().validate());
+}
+
+TEST(AttackScheduleValidate, RejectsEmptyWindow) {
+  AttackSchedule s;
+  s.add({AttackKind::Nxns, net::SimTime::from_micros(5),
+         net::SimTime::from_micros(5), net::Duration::seconds(1), 1});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(AttackScheduleValidate, RejectsZeroBots) {
+  AttackSchedule s;
+  s.add({AttackKind::Nxns, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10), net::Duration::seconds(1), 0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(AttackScheduleValidate, RejectsBadZoneShape) {
+  AttackSchedule s = sample_schedule();
+  s.zone().fanout = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.zone().fanout = 12;
+  s.zone().victim_domain.clear();
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(AttackScheduleTsv, RoundTripsExactly) {
+  const AttackSchedule original = sample_schedule();
+  std::ostringstream out;
+  write_schedule(out, original);
+
+  std::istringstream in{out.str()};
+  const AttackSchedule parsed = read_schedule(in);
+  EXPECT_EQ(parsed.events(), original.events());
+}
+
+TEST(AttackScheduleTsv, SkipsCommentsAndRejectsGarbage) {
+  std::istringstream ok{
+      "# a comment\n"
+      "\n"
+      "nxns\t0\t1000000\t250000\t3\n"};
+  const AttackSchedule parsed = read_schedule(ok);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.events()[0].kind, AttackKind::Nxns);
+  EXPECT_EQ(parsed.events()[0].bots, 3);
+
+  std::istringstream bad{"nxns\tnot_a_number\t1\t1\t1\n"};
+  EXPECT_THROW(read_schedule(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace recwild::attack

@@ -1,0 +1,235 @@
+// RRL regressions: the unit-level window/slip contract, and the
+// server-level guarantees the defense rests on — a TC slip really sets TC
+// (pushing real clients to TCP), and stream (TCP) queries are never
+// rate-limited (the transport proves the source address).
+#include "authns/rrl.hpp"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "authns/server.hpp"
+#include "obs/names.hpp"
+
+namespace recwild::authns {
+namespace {
+
+constexpr std::uint32_t kClient = 0x0a00002a;
+
+net::SimTime at_ms(std::int64_t ms) {
+  return net::SimTime::from_micros(ms * 1000);
+}
+
+TEST(RrlUnit, DisabledAlwaysSends) {
+  Rrl rrl;  // default config: rate 0 = off
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rrl.check(kClient, RrlCategory::Answer, at_ms(0)),
+              RrlAction::Send);
+  }
+  EXPECT_EQ(rrl.bucket_count(), 0u);
+}
+
+TEST(RrlUnit, FirstRatePassThenSlipEverySlipth) {
+  RrlConfig cfg;
+  cfg.rate = 3;
+  cfg.slip = 2;
+  Rrl rrl{cfg};
+  std::vector<RrlAction> got;
+  for (int i = 0; i < 9; ++i) {
+    got.push_back(rrl.check(kClient, RrlCategory::Answer, at_ms(i)));
+  }
+  const std::vector<RrlAction> want{
+      RrlAction::Send, RrlAction::Send, RrlAction::Send,  // under rate
+      RrlAction::Drop, RrlAction::Slip,                   // limited 1, 2
+      RrlAction::Drop, RrlAction::Slip,                   // limited 3, 4
+      RrlAction::Drop, RrlAction::Slip};
+  EXPECT_EQ(got, want);
+}
+
+TEST(RrlUnit, ZeroSlipMeansPureDrop) {
+  RrlConfig cfg;
+  cfg.rate = 1;
+  cfg.slip = 0;
+  Rrl rrl{cfg};
+  EXPECT_EQ(rrl.check(kClient, RrlCategory::Answer, at_ms(0)),
+            RrlAction::Send);
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_EQ(rrl.check(kClient, RrlCategory::Answer, at_ms(i)),
+              RrlAction::Drop);
+  }
+}
+
+TEST(RrlUnit, WindowElapseResetsTheBudget) {
+  RrlConfig cfg;
+  cfg.rate = 2;
+  cfg.window = net::Duration::seconds(1);
+  Rrl rrl{cfg};
+  EXPECT_EQ(rrl.check(kClient, RrlCategory::Answer, at_ms(0)),
+            RrlAction::Send);
+  EXPECT_EQ(rrl.check(kClient, RrlCategory::Answer, at_ms(10)),
+            RrlAction::Send);
+  EXPECT_NE(rrl.check(kClient, RrlCategory::Answer, at_ms(20)),
+            RrlAction::Send);
+  // One full window later the client gets a fresh budget.
+  EXPECT_EQ(rrl.check(kClient, RrlCategory::Answer, at_ms(1'000)),
+            RrlAction::Send);
+}
+
+TEST(RrlUnit, CategoriesAndClientsAccountSeparately) {
+  RrlConfig cfg;
+  cfg.rate = 1;
+  Rrl rrl{cfg};
+  EXPECT_EQ(rrl.check(kClient, RrlCategory::Referral, at_ms(0)),
+            RrlAction::Send);
+  EXPECT_NE(rrl.check(kClient, RrlCategory::Referral, at_ms(1)),
+            RrlAction::Send);
+  // A different category of the same client, and the same category of a
+  // different client, both still have budget.
+  EXPECT_EQ(rrl.check(kClient, RrlCategory::NxDomain, at_ms(2)),
+            RrlAction::Send);
+  EXPECT_EQ(rrl.check(kClient + 1, RrlCategory::Referral, at_ms(3)),
+            RrlAction::Send);
+}
+
+TEST(RrlUnit, SweepBoundsTheBucketTable) {
+  RrlConfig cfg;
+  cfg.rate = 1;
+  cfg.window = net::Duration::seconds(1);
+  cfg.max_table = 8;
+  Rrl rrl{cfg};
+  // A spoofed-source flood: every query a new client address. Old buckets
+  // are swept once stale, so the table never grows without bound.
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    (void)rrl.check(i, RrlCategory::Answer, at_ms(i));
+  }
+  EXPECT_LE(rrl.bucket_count(), 2'500u);
+}
+
+TEST(MakeSlipReply, IsAMinimalTruncatedEcho) {
+  const dns::Message q = dns::Message::make_query(
+      99, dns::Name::parse("x.ourtestdomain.nl"), dns::RRType::TXT);
+  const dns::Message slip = make_slip_reply(q);
+  EXPECT_TRUE(slip.header.qr);
+  EXPECT_TRUE(slip.header.tc);
+  EXPECT_EQ(slip.header.id, 99);
+  EXPECT_TRUE(slip.answers.empty());
+}
+
+// --------------------------------------------------------------------------
+// Server level: the simulated AuthServer with RRL armed.
+
+constexpr const char* kZoneText = R"(
+$TTL 3600
+@    IN SOA ns1 hostmaster 1 14400 3600 1209600 300
+@    IN NS  ns1
+ns1  IN A   192.0.2.1
+*    5 IN TXT "FRA"
+)";
+
+struct RrlWorld {
+  net::Simulation sim{77};
+  net::LatencyParams params{};
+  std::unique_ptr<net::Network> net;
+  net::NodeId server_node;
+  net::NodeId client_node;
+  net::Endpoint server_ep;
+  net::Endpoint client_ep;
+  std::unique_ptr<AuthServer> server;
+  std::vector<dns::Message> received;
+
+  RrlWorld() {
+    params.loss_rate = 0.0;
+    net = std::make_unique<net::Network>(sim, params);
+    server_node = net->add_node("auth", net::find_location("FRA")->point);
+    client_node = net->add_node("client", net::find_location("AMS")->point);
+    server_ep = net::Endpoint{net->allocate_address(), net::kDnsPort};
+    client_ep = net::Endpoint{net->allocate_address(), 5555};
+    AuthServerConfig cfg;
+    cfg.identity = "rrl.fra";
+    server = std::make_unique<AuthServer>(*net, server_node, server_ep, cfg);
+    server->add_zone(
+        Zone::from_text(dns::Name::parse("ourtestdomain.nl"), kZoneText));
+    server->start();
+    RrlConfig rrl;
+    rrl.rate = 2;
+    rrl.slip = 2;
+    server->set_rrl(rrl);
+    net->listen(client_node, client_ep,
+                [this](const net::Datagram& d, net::NodeId) {
+                  received.push_back(dns::decode_message(d.payload));
+                });
+  }
+
+  dns::Message query(std::uint16_t id) {
+    // The SAME name every time: responses from one client in one window,
+    // one RRL category — exactly the reflection pattern RRL throttles.
+    return dns::Message::make_query(
+        id, dns::Name::parse("abc.ourtestdomain.nl"), dns::RRType::TXT);
+  }
+
+  void flood_udp(int n) {
+    for (int i = 0; i < n; ++i) {
+      net->send(client_node, client_ep, server_ep,
+                dns::encode_message(query(static_cast<std::uint16_t>(i))));
+    }
+    sim.run();
+  }
+};
+
+TEST(RrlServer, UdpFloodIsLimitedAndSlipsSetTc) {
+  RrlWorld w;
+  w.flood_udp(10);
+  // rate 2, slip 2: 2 full answers + every 2nd limited response slips.
+  // 8 limited -> 4 slips; 4 pure drops never arrive.
+  ASSERT_EQ(w.received.size(), 6u);
+  int full = 0;
+  int slips = 0;
+  for (const auto& r : w.received) {
+    if (r.header.tc) {
+      ++slips;
+      EXPECT_TRUE(r.answers.empty());  // minimal: retry over TCP, no data
+    } else {
+      ++full;
+      EXPECT_EQ(r.answers.size(), 1u);
+    }
+  }
+  EXPECT_EQ(full, 2);
+  EXPECT_EQ(slips, 4);
+  const auto snap = w.sim.metrics().snapshot();
+  EXPECT_EQ(snap.counter_value(obs::names::kRrlDropped), 4u);
+  EXPECT_EQ(snap.counter_value(obs::names::kRrlSlipped), 4u);
+}
+
+TEST(RrlServer, TcpIsNeverRateLimited) {
+  RrlWorld w;
+  // The same flood, but over the stream transport: every query must be
+  // answered in full — TCP cannot be spoofed, so limiting it would only
+  // punish the real clients the TC slips just redirected here.
+  for (int i = 0; i < 10; ++i) {
+    w.net->send_stream(
+        w.client_node, w.client_ep, w.server_ep,
+        dns::encode_message(w.query(static_cast<std::uint16_t>(100 + i))));
+  }
+  w.sim.run();
+  ASSERT_EQ(w.received.size(), 10u);
+  for (const auto& r : w.received) {
+    EXPECT_FALSE(r.header.tc);
+    EXPECT_EQ(r.answers.size(), 1u);
+  }
+  const auto snap = w.sim.metrics().snapshot();
+  EXPECT_EQ(snap.counter_value(obs::names::kRrlDropped), 0u);
+  EXPECT_EQ(snap.counter_value(obs::names::kRrlSlipped), 0u);
+}
+
+TEST(RrlServer, DisarmingRestoresFullService) {
+  RrlWorld w;
+  w.flood_udp(10);
+  w.received.clear();
+  w.server->set_rrl(RrlConfig{});  // rate 0 = off
+  w.flood_udp(5);
+  EXPECT_EQ(w.received.size(), 5u);
+}
+
+}  // namespace
+}  // namespace recwild::authns

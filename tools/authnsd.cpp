@@ -39,6 +39,13 @@ int usage(const char* argv0) {
       << "       [--workers N]         SO_REUSEPORT shards (default 2)\n"
       << "       [--identity NAME]     CH TXT id.server (default authnsd)\n"
       << "       [--plain-udp-limit N] non-EDNS UDP limit (default 512)\n"
+      << "       [--rrl-rate N]        RRL: responses/client/window on UDP\n"
+      << "                             (default 0 = off; docs/ATTACKS.md)\n"
+      << "       [--rrl-window-ms N]   RRL accounting window (default 1000)\n"
+      << "       [--rrl-slip N]        every Nth limited response is a TC\n"
+      << "                             slip instead of a drop (default 2)\n"
+      << "       [--referral-fanout N] cap NS records per referral\n"
+      << "                             (default 0 = unlimited)\n"
       << "       [--stats-interval S]  stderr stats every S sec (0 = off)\n";
   return 2;
 }
@@ -85,6 +92,14 @@ int main(int argc, char** argv) {
       resp_cfg.identity = next();
     } else if (arg == "--plain-udp-limit") {
       resp_cfg.plain_udp_limit = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--rrl-rate") {
+      net_cfg.rrl.rate = std::stoi(next());
+    } else if (arg == "--rrl-window-ms") {
+      net_cfg.rrl.window = recwild::net::Duration::millis(std::stol(next()));
+    } else if (arg == "--rrl-slip") {
+      net_cfg.rrl.slip = std::stoi(next());
+    } else if (arg == "--referral-fanout") {
+      resp_cfg.max_referral_fanout = std::stoi(next());
     } else if (arg == "--stats-interval") {
       stats_interval_s = std::stoi(next());
     } else if (arg == "--help" || arg == "-h") {
@@ -168,6 +183,10 @@ int main(int argc, char** argv) {
     metrics.counter(names::kNetioDropped).add(s.dropped - prev.dropped, stamp);
     metrics.counter(names::kAuthnsFormerr).add(s.formerr - prev.formerr,
                                                stamp);
+    metrics.counter(names::kRrlDropped)
+        .add(s.rrl_dropped - prev.rrl_dropped, stamp);
+    metrics.counter(names::kRrlSlipped)
+        .add(s.rrl_slipped - prev.rrl_slipped, stamp);
     prev = s;
     metrics.snapshot().write_json(std::cerr);
     std::cerr << "\n";

@@ -8,6 +8,15 @@
 // the result as BENCH_server.json next to the simulated numbers.
 //
 //   loadgen --port 5300 --queries queries.txt --threads 4 --duration 5
+//
+// --attack swaps the replay file for the adversarial generators
+// (docs/ATTACKS.md): `--attack nxns` pre-builds fresh random-chain trigger
+// names under the attacker's delegation zones, `--attack water_torture`
+// fresh random subdomains of the victim — the same attack::*_query_name
+// streams the simulated campaigns inject, so a live authnsd (typically
+// armed with --rrl-rate / --referral-fanout) sees byte-compatible abuse:
+//
+//   loadgen --port 5300 --attack nxns --attack-domain atk.nl --count 4096
 
 #include <algorithm>
 #include <atomic>
@@ -20,9 +29,12 @@
 #include <thread>
 #include <vector>
 
+#include "attack/generator.hpp"
+#include "attack/schedule.hpp"
 #include "dnscore/codec.hpp"
 #include "dnscore/message.hpp"
 #include "netio/client.hpp"
+#include "stats/rng.hpp"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -41,7 +53,15 @@ int usage(const char* argv0) {
                "       [--threads N] [--duration SEC] [--timeout MS]\n"
                "       [--json FILE]   write the report there instead of "
                "stdout\n"
-               "FILE has one \"qname qtype\" per line.\n";
+               "FILE has one \"qname qtype\" per line.\n"
+               "Adversarial mode (instead of --queries; docs/ATTACKS.md):\n"
+               "       --attack nxns|water_torture\n"
+               "       [--attack-domain D] attacker apex (nxns) or victim\n"
+               "                           domain (water_torture)\n"
+               "       [--chains N] [--depth N]  nxns zone shape\n"
+               "       [--count N]     unique pre-generated names "
+               "(default 1024)\n"
+               "       [--seed S]      generator seed (default 42)\n";
   return 2;
 }
 
@@ -121,6 +141,11 @@ int main(int argc, char** argv) {
   double duration_s = 5.0;
   int timeout_ms = 250;
   std::string json_file;
+  std::string attack_kind;
+  std::string attack_domain;
+  recwild::attack::NxnsZoneConfig attack_zone;
+  int attack_count = 1024;
+  std::uint64_t attack_seed = 42;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -145,6 +170,18 @@ int main(int argc, char** argv) {
       timeout_ms = std::stoi(next());
     } else if (arg == "--json") {
       json_file = next();
+    } else if (arg == "--attack") {
+      attack_kind = next();
+    } else if (arg == "--attack-domain") {
+      attack_domain = next();
+    } else if (arg == "--chains") {
+      attack_zone.chains = std::stoi(next());
+    } else if (arg == "--depth") {
+      attack_zone.depth = std::stoi(next());
+    } else if (arg == "--count") {
+      attack_count = std::stoi(next());
+    } else if (arg == "--seed") {
+      attack_seed = std::stoull(next());
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else {
@@ -152,12 +189,49 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (queries_file.empty()) return usage(argv[0]);
+  if (queries_file.empty() == attack_kind.empty()) {
+    std::cerr << "exactly one of --queries or --attack is required\n";
+    return usage(argv[0]);
+  }
   if (threads < 1) threads = 1;
+  if (attack_count < 1) attack_count = 1;
 
   // Pre-encode every query once; the send loop only patches the txid.
   std::vector<std::vector<std::uint8_t>> wires;
-  {
+  if (!attack_kind.empty()) {
+    // Adversarial mode: synthesize the wires instead of reading them. The
+    // names come from the same generators the simulated campaign injects,
+    // off one seeded stream forked per query index.
+    namespace attack = recwild::attack;
+    attack::AttackKind kind;
+    try {
+      kind = attack::attack_kind_from_string(attack_kind);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return usage(argv[0]);
+    }
+    if (!attack_domain.empty()) {
+      if (kind == attack::AttackKind::Nxns) {
+        attack_zone.attacker_domain = attack_domain;
+      } else {
+        attack_zone.victim_domain = attack_domain;
+      }
+    }
+    const recwild::stats::Rng rng{attack_seed};
+    const dns::Name victim = dns::Name::parse(attack_zone.victim_domain);
+    for (int k = 0; k < attack_count; ++k) {
+      auto query_rng = rng.fork(static_cast<std::uint64_t>(k));
+      const dns::Name qname =
+          kind == attack::AttackKind::Nxns
+              ? attack::nxns_query_name(attack_zone, query_rng)
+              : attack::water_torture_query_name(victim, query_rng);
+      dns::Message q =
+          dns::Message::make_query(0, qname, dns::RRType::A);
+      q.edns = dns::EdnsInfo{};
+      auto buf = dns::encode_message(q);
+      wires.emplace_back(buf.data(), buf.data() + buf.size());
+    }
+  } else {
     std::ifstream in{queries_file};
     if (!in) {
       std::cerr << "cannot open " << queries_file << "\n";
