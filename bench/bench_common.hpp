@@ -52,9 +52,9 @@ struct Options {
   }
 };
 
-/// Builds the standard testbed for a Table-1 combination.
-inline experiment::Testbed make_testbed(const Options& opt,
-                                        const std::string& combo_id) {
+/// The standard config for a Table-1 combination.
+inline experiment::TestbedConfig make_config(const Options& opt,
+                                             const std::string& combo_id) {
   experiment::TestbedConfig cfg;
   cfg.seed = opt.seed;
   cfg.population.probes = opt.probes;
@@ -69,7 +69,13 @@ inline experiment::Testbed make_testbed(const Options& opt,
     cfg.population.public_resolvers = 0;
     cfg.population.public_resolver_fraction = 0.0;
   }
-  return experiment::Testbed{cfg};
+  return cfg;
+}
+
+/// Builds the standard testbed for a Table-1 combination.
+inline experiment::Testbed make_testbed(const Options& opt,
+                                        const std::string& combo_id) {
+  return experiment::Testbed{make_config(opt, combo_id)};
 }
 
 /// Honours --obs: writes the snapshot as merge-safe JSON (byte-identical

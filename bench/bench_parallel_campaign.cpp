@@ -1,9 +1,12 @@
 // Shard-count scaling of the campaign engine.
 //
-// Runs the paper's 1-hour campaign on a large Atlas-like population once
-// per shard count, reports wall-clock time and speedup versus the serial
-// run, and cross-checks that every shard count exports byte-identical
-// results (the engine's determinism guarantee).
+// Builds the immutable WorldSnapshot ONCE (timed as the world-build phase),
+// then runs the paper's 1-hour campaign once per shard count on replicas
+// materialized from that shared world. Reports per-phase wall-clock
+// (world build / materialize / partition / shard run / merge), per-shard
+// VP counts and resident-set samples, and cross-checks that every shard
+// count exports byte-identical results (the engine's determinism
+// guarantee).
 //
 //   ./build/bench/bench_parallel_campaign --probes 10000 --seed 42
 //   ./build/bench/bench_parallel_campaign --shards 1,2,4,8 --queries 31
@@ -13,10 +16,12 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "experiment/export.hpp"
+#include "obs/process.hpp"
 
 using namespace recwild;
 using namespace recwild::experiment;
@@ -42,9 +47,16 @@ std::string export_bytes(const CampaignResult& result) {
   return out.str();
 }
 
+double secs_between(std::chrono::steady_clock::time_point a,
+                    std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
 struct RunRecord {
   std::size_t shards = 0;
-  double wall_s = 0.0;
+  double wall_s = 0.0;         // run_campaign() alone (comparable to baseline)
+  double materialize_s = 0.0;  // Testbed replica construction from the world
+  CampaignRunStats stats;
   bool byte_identical = true;
 };
 
@@ -74,49 +86,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  const unsigned cores = std::thread::hardware_concurrency();
   report::header("Parallel campaign scaling (combination 2C)");
-  std::printf("%zu probes, %zu queries/VP, seed %llu\n", opt.probes, queries,
-              static_cast<unsigned long long>(opt.seed));
+  std::printf("%zu probes, %zu queries/VP, seed %llu, %u cores\n", opt.probes,
+              queries, static_cast<unsigned long long>(opt.seed), cores);
+
+  // One immutable world shared by every run below.
+  const auto tw0 = std::chrono::steady_clock::now();
+  const auto world = WorldSnapshot::build(benchutil::make_config(opt, "2C"));
+  const auto tw1 = std::chrono::steady_clock::now();
+  const double world_build_s = secs_between(tw0, tw1);
   {
-    auto tb = benchutil::make_testbed(opt, "2C");
-    const auto groups = campaign_vp_groups(tb);
     std::size_t largest = 0;
-    for (const auto& g : groups) largest = std::max(largest, g.size());
+    for (const auto& g : world->vp_groups) largest = std::max(largest, g.size());
     std::printf(
-        "%zu independent VP groups; largest (public-resolver cluster) has "
-        "%zu VPs (%.1f%% of load)\n",
-        groups.size(), largest, 100.0 * double(largest) / double(opt.probes));
+        "world built in %.2fs; %zu independent VP groups; largest "
+        "(public-resolver cluster) has %zu VPs (%.1f%% of load)\n",
+        world_build_s, world->vp_groups.size(), largest,
+        100.0 * double(largest) / double(opt.probes));
   }
 
-  std::printf("\n%8s %12s %9s %s\n", "shards", "wall-clock", "speedup",
-              "result");
+  std::printf("\n%8s %12s %9s %10s %11s %s\n", "shards", "wall-clock",
+              "speedup", "merge", "max-rss/sh", "result");
   double serial_s = 0.0;
   std::string reference;
   std::vector<RunRecord> runs;
   for (const std::size_t shards : shard_counts) {
-    auto tb = benchutil::make_testbed(opt, "2C");
+    RunRecord rec;
+    rec.shards = shards;
+
+    const auto tm0 = std::chrono::steady_clock::now();
+    Testbed tb{world};
+    const auto tm1 = std::chrono::steady_clock::now();
+    rec.materialize_s = secs_between(tm0, tm1);
+
     CampaignConfig cc;
     cc.interval = net::Duration::minutes(2);
     cc.queries_per_vp = queries;
     cc.shards = shards;
+    cc.run_stats = &rec.stats;
     const auto t0 = std::chrono::steady_clock::now();
     const auto result = run_campaign(tb, cc);
     const auto t1 = std::chrono::steady_clock::now();
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    rec.wall_s = secs_between(t0, t1);
 
     const std::string bytes = export_bytes(result);
     const char* verdict;
     if (reference.empty()) {
       reference = bytes;
-      serial_s = secs;
+      serial_s = rec.wall_s;
       verdict = "reference";
     } else {
-      verdict = bytes == reference ? "byte-identical"
-                                   : "MISMATCH vs shards=1";
+      verdict = bytes == reference ? "byte-identical" : "MISMATCH vs shards=1";
     }
-    std::printf("%8zu %10.2fs %8.2fx %s\n", shards, secs,
-                serial_s > 0 ? serial_s / secs : 1.0, verdict);
-    runs.push_back(RunRecord{shards, secs, bytes == reference});
+    rec.byte_identical = bytes == reference;
+    std::size_t max_rss = 0;
+    for (const auto& s : rec.stats.shards) max_rss = std::max(max_rss, s.rss_kb);
+    std::printf("%8zu %10.2fs %8.2fx %9.3fs %9zuMB %s\n", shards, rec.wall_s,
+                serial_s > 0 ? serial_s / rec.wall_s : 1.0, rec.stats.merge_s,
+                max_rss / 1024, verdict);
+    runs.push_back(std::move(rec));
     if (shards == shard_counts.front()) {
       benchutil::export_obs(opt, result.metrics);
     }
@@ -141,11 +170,15 @@ int main(int argc, char** argv) {
                  "  \"queries_per_vp\": %zu,\n"
                  "  \"total_queries\": %zu,\n"
                  "  \"seed\": %llu,\n"
+                 "  \"cores\": %u,\n"
+                 "  \"world_build_s\": %.2f,\n"
+                 "  \"peak_rss_kb\": %zu,\n"
                  "  \"baseline\": {\"wall_s\": %.2f, \"note\": "
                  "\"seed revision, shards=1, canonical config\"},\n"
                  "  \"runs\": [\n",
                  opt.probes, queries, total_queries,
-                 static_cast<unsigned long long>(opt.seed), kBaselineWallS);
+                 static_cast<unsigned long long>(opt.seed), cores,
+                 world_build_s, obs::peak_rss_kb(), kBaselineWallS);
     for (std::size_t i = 0; i < runs.size(); ++i) {
       const auto& r = runs[i];
       std::fprintf(f,
@@ -156,7 +189,18 @@ int main(int argc, char** argv) {
         std::fprintf(f, "\"speedup_vs_baseline\": %.2f, ",
                      kBaselineWallS / r.wall_s);
       }
-      std::fprintf(f, "\"byte_identical\": %s}%s\n",
+      std::fprintf(f,
+                   "\"materialize_s\": %.2f, \"partition_s\": %.3f, "
+                   "\"run_s\": %.2f, \"merge_s\": %.3f,\n"
+                   "     \"shard_detail\": [",
+                   r.materialize_s, r.stats.partition_s, r.stats.run_s,
+                   r.stats.merge_s);
+      for (std::size_t j = 0; j < r.stats.shards.size(); ++j) {
+        const auto& s = r.stats.shards[j];
+        std::fprintf(f, "%s{\"vps\": %zu, \"wall_s\": %.2f, \"rss_kb\": %zu}",
+                     j > 0 ? ", " : "", s.vps, s.wall_s, s.rss_kb);
+      }
+      std::fprintf(f, "],\n     \"byte_identical\": %s}%s\n",
                    r.byte_identical ? "true" : "false",
                    i + 1 < runs.size() ? "," : "");
     }

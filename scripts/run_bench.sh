@@ -32,6 +32,11 @@ echo "== bench_parallel_campaign (canonical: 10k probes, 31 q/VP, seed 42) =="
   --queries 31 --seed 42 --json "$ROOT/BENCH_campaign.json"
 
 echo
+echo "== bench_parallel_campaign (memory: 100k probes, 3 q/VP, per-shard RSS) =="
+"$BUILD/bench/bench_parallel_campaign" --probes 100000 --shards 1,4 \
+  --queries 3 --seed 42 --json "$ROOT/BENCH_campaign_100k.json"
+
+echo
 echo "== bench_ddos (attack x defense matrix, NXNS + water torture) =="
 "$BUILD/bench/bench_ddos" --seed 42 --matrix-only \
   --json "$ROOT/BENCH_ddos.json"
@@ -76,4 +81,4 @@ kill "$AUTHNSD_PID" 2>/dev/null || true
 wait "$AUTHNSD_PID" 2>/dev/null || true
 
 echo
-echo "wrote $ROOT/BENCH_datapath.json, $ROOT/BENCH_campaign.json, $ROOT/BENCH_ddos.json and $ROOT/BENCH_server.json"
+echo "wrote $ROOT/BENCH_datapath.json, $ROOT/BENCH_campaign.json, $ROOT/BENCH_campaign_100k.json, $ROOT/BENCH_ddos.json and $ROOT/BENCH_server.json"

@@ -27,7 +27,29 @@ AnycastService AnycastService::create(
   return svc;
 }
 
+AnycastService AnycastService::create_at(
+    net::Network& network, std::string name, net::IpAddress address,
+    const std::vector<SitePlan>& sites) {
+  AnycastService svc{network, std::move(name), address};
+  for (const auto& plan : sites) {
+    Site site;
+    site.code = plan.code;
+    site.location = plan.location;
+    site.node = plan.node;
+    authns::AuthServerConfig cfg;
+    cfg.identity = svc.name_ + "." + plan.code;
+    site.server = std::make_unique<authns::AuthServer>(
+        network, site.node, net::Endpoint{address, net::kDnsPort}, cfg);
+    svc.sites_.push_back(std::move(site));
+  }
+  return svc;
+}
+
 void AnycastService::add_zone(const authns::Zone& zone) {
+  for (auto& site : sites_) site.server->add_zone(zone);
+}
+
+void AnycastService::add_zone(std::shared_ptr<const authns::Zone> zone) {
   for (auto& site : sites_) site.server->add_zone(zone);
 }
 

@@ -25,6 +25,15 @@ struct Site {
   std::unique_ptr<authns::AuthServer> server;
 };
 
+/// A site blueprint with its node pre-assigned in a shared NodeCatalog.
+/// World builders plan sites once; every replica then materializes servers
+/// on the same node ids (see AnycastService::create_at).
+struct SitePlan {
+  std::string code;
+  net::GeoPoint location;
+  net::NodeId node = net::kInvalidNode;
+};
+
 class AnycastService {
  public:
   /// Creates a service named `name` on `address`, with one site per
@@ -34,11 +43,21 @@ class AnycastService {
                                net::IpAddress address,
                                const std::vector<std::string>& site_codes);
 
+  /// Creates a service whose site nodes already exist (planned in the
+  /// network's shared base catalog): no nodes or addresses are allocated,
+  /// only the per-site servers are constructed. This is the replica path —
+  /// every world materialized from one plan agrees on all ids.
+  static AnycastService create_at(net::Network& network, std::string name,
+                                  net::IpAddress address,
+                                  const std::vector<SitePlan>& sites);
+
   AnycastService(AnycastService&&) = default;
   AnycastService& operator=(AnycastService&&) = default;
 
   /// Adds (a copy of) the zone to every site server.
   void add_zone(const authns::Zone& zone);
+  /// Shares one immutable zone across every site server (no copies).
+  void add_zone(std::shared_ptr<const authns::Zone> zone);
 
   /// Gives the service a second (IPv6-plane) address: every site also
   /// listens on it. Call before or after start().

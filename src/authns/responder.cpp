@@ -7,18 +7,18 @@ namespace recwild::authns {
 bool Responder::replace_zone(Zone zone) {
   const dns::Name origin = zone.origin();
   for (auto& z : zones_) {
-    if (z.origin() == origin) {
-      z = std::move(zone);
+    if (z->origin() == origin) {
+      z = std::make_shared<const Zone>(std::move(zone));
       return true;
     }
   }
-  zones_.push_back(std::move(zone));
+  zones_.push_back(std::make_shared<const Zone>(std::move(zone)));
   return false;
 }
 
 const Zone* Responder::zone_for(const dns::Name& origin) const {
   for (const auto& z : zones_) {
-    if (z.origin() == origin) return &z;
+    if (z->origin() == origin) return z.get();
   }
   return nullptr;
 }
@@ -101,7 +101,8 @@ dns::Message Responder::answer(const dns::Message& query, bool via_stream,
 
   // Find the most specific zone containing the qname.
   const Zone* best = nullptr;
-  for (const auto& z : zones_) {
+  for (const auto& zp : zones_) {
+    const Zone& z = *zp;
     if (!q.qname.is_subdomain_of(z.origin())) continue;
     if (best == nullptr ||
         z.origin().label_count() > best->origin().label_count()) {

@@ -11,6 +11,7 @@
 // equivalence golden test (live bytes == simulated bytes) meaningful.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -55,7 +56,16 @@ class Responder {
 
   explicit Responder(ResponderConfig config) : config_(std::move(config)) {}
 
-  void add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+  void add_zone(Zone zone) {
+    zones_.push_back(std::make_shared<const Zone>(std::move(zone)));
+  }
+  /// Shares a pre-built zone without copying it. The world builders hand
+  /// every shard replica (and every anycast site) the same immutable zone
+  /// object — zone data is by far the largest build artifact, and answer()
+  /// only ever reads it.
+  void add_zone(std::shared_ptr<const Zone> zone) {
+    zones_.push_back(std::move(zone));
+  }
 
   /// Replaces the zone with the same origin (adds it if absent).
   /// Returns true when an existing zone was replaced.
@@ -64,7 +74,8 @@ class Responder {
   /// The served zone with this origin, or nullptr.
   [[nodiscard]] const Zone* zone_for(const dns::Name& origin) const;
 
-  [[nodiscard]] const std::vector<Zone>& zones() const noexcept {
+  [[nodiscard]] const std::vector<std::shared_ptr<const Zone>>& zones()
+      const noexcept {
     return zones_;
   }
   [[nodiscard]] const std::string& identity() const noexcept {
@@ -109,7 +120,9 @@ class Responder {
                                          bool via_stream) const;
 
   ResponderConfig config_;
-  std::vector<Zone> zones_;
+  /// Served zones; shared immutable (replica worlds and anycast sites all
+  /// point at one copy). replace_zone swaps the pointer, never mutates.
+  std::vector<std::shared_ptr<const Zone>> zones_;
 };
 
 }  // namespace recwild::authns

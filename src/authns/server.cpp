@@ -41,6 +41,10 @@ void AuthServer::listen_also(net::Endpoint ep) {
 
 void AuthServer::add_zone(Zone zone) { responder_.add_zone(std::move(zone)); }
 
+void AuthServer::add_zone(std::shared_ptr<const Zone> zone) {
+  responder_.add_zone(std::move(zone));
+}
+
 void AuthServer::replace_zone(Zone zone) {
   const dns::Name origin = zone.origin();
   responder_.replace_zone(std::move(zone));

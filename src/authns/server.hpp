@@ -71,6 +71,8 @@ class AuthServer {
 
   /// Adds a zone. The server answers authoritatively for it.
   void add_zone(Zone zone);
+  /// Shares a pre-built immutable zone (no copy); see Responder::add_zone.
+  void add_zone(std::shared_ptr<const Zone> zone);
 
   /// Replaces the zone with the same origin (a reload / transferred copy);
   /// adds it if absent. Then notifies registered secondaries.

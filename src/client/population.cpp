@@ -1,7 +1,9 @@
 #include "client/population.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "stats/distributions.hpp"
 
@@ -26,12 +28,31 @@ net::GeoPoint scatter_city(Continent continent, double scatter_deg,
   return p;
 }
 
+std::string recursive_name(const PopulationPlan::RecursivePlan& rp) {
+  return (rp.is_public ? "public-dns-" : "isp-recursive-as") +
+         std::to_string(rp.label_id);
+}
+
 }  // namespace
+
+VantagePoint* Population::by_probe(std::size_t probe_id) noexcept {
+  const auto it = std::lower_bound(
+      vps_.begin(), vps_.end(), probe_id,
+      [](const VantagePoint& vp, std::size_t id) {
+        return vp.probe_id < id;
+      });
+  return it != vps_.end() && it->probe_id == probe_id ? &*it : nullptr;
+}
+
+const VantagePoint* Population::by_probe(
+    std::size_t probe_id) const noexcept {
+  return const_cast<Population*>(this)->by_probe(probe_id);
+}
 
 const RecursiveInfo* Population::recursive_by_address(
     net::IpAddress addr) const {
   // Middleboxes are transparent: chase a forwarder to its upstream.
-  for (const auto& f : forwarders_) {
+  for (const auto* f : forwarders_) {
     if (f->address() == addr) {
       addr = f->upstream();
       break;
@@ -47,11 +68,14 @@ void Population::flush_all_caches() {
   for (auto& r : recursives_) r.resolver->flush_caches();
 }
 
-Population build_population(net::Network& network,
-                            const PopulationConfig& config,
-                            const std::vector<resolver::RootHint>& hints,
-                            stats::Rng rng) {
-  Population pop;
+PopulationPlan plan_population(net::NodeCatalog& catalog,
+                               const PopulationConfig& config,
+                               stats::Rng rng) {
+  // The draw/allocation sequence below replicates the historical one-shot
+  // builder call for call: every rng draw, node id and address a seed used
+  // to produce stays byte-identical, which is what keeps golden fixtures
+  // and shard byte-identity stable across the plan/materialize split.
+  PopulationPlan plan;
 
   const std::vector<Continent> continents{
       Continent::Africa,       Continent::Asia,    Continent::Europe,
@@ -68,26 +92,24 @@ Population build_population(net::Network& network,
     for (std::size_t i = 0; i < config.public_resolvers; ++i) {
       const auto loc = net::find_location(
           kPublicCities[i % std::size(kPublicCities)]);
-      const net::NodeId node = network.add_node(
-          "public-dns-" + std::to_string(i), loc->point);
-      resolver::ResolverConfig rc = config.resolver_template;
-      rc.name = "public-dns-" + std::to_string(i);
+      PopulationPlan::RecursivePlan rp;
+      rp.label_id = i;
+      rp.node = catalog.add_node("public-dns-" + std::to_string(i),
+                                 loc->point);
       // Public services run modern latency-aware software.
-      rc.policy = (i % 2 == 0) ? resolver::PolicyKind::UnboundBand
+      rp.policy = (i % 2 == 0) ? resolver::PolicyKind::UnboundBand
                                : resolver::PolicyKind::BindSrtt;
-      const net::IpAddress addr = network.allocate_address();
-      RecursiveInfo info;
-      info.resolver = std::make_unique<resolver::RecursiveResolver>(
-          network, node, addr, std::move(rc), hints,
-          rng.fork("public-dns-" + std::to_string(i)));
-      info.resolver->start();
-      info.continent = loc->continent;
-      info.location = loc->point;
-      info.is_public = true;
-      public_addrs.push_back(addr);
-      pop.recursives_.push_back(std::move(info));
+      rp.address = catalog.allocate_address();
+      rp.rng = rng.fork("public-dns-" + std::to_string(i));
+      rp.is_public = true;
+      rp.continent = loc->continent;
+      rp.location = loc->point;
+      public_addrs.push_back(rp.address);
+      plan.recursives.push_back(rp);
     }
   }
+
+  plan.vp_upstream_off.push_back(0);
 
   // ASes: cluster probes, give each AS an ISP recursive near its centroid.
   std::size_t created = 0;
@@ -105,23 +127,18 @@ Population build_population(net::Network& network,
         scatter_city(continent, config.scatter_deg, rng, &city);
 
     // ISP recursive for this AS.
-    const net::NodeId rnode = network.add_node(
-        "isp-recursive-as" + std::to_string(as_id), as_center);
-    resolver::ResolverConfig rc = config.resolver_template;
-    rc.name = "isp-recursive-as" + std::to_string(as_id);
-    rc.policy = config.mixture.draw(rng);
-    if (rng.chance(config.ipv6_fraction)) {
-      rc.family = resolver::AddressFamily::Dual;
-    }
-    const net::IpAddress raddr = network.allocate_address();
-    RecursiveInfo info;
-    info.resolver = std::make_unique<resolver::RecursiveResolver>(
-        network, rnode, raddr, std::move(rc), hints,
-        rng.fork("isp-recursive-as" + std::to_string(as_id)));
-    info.resolver->start();
-    info.continent = continent;
-    info.location = as_center;
-    pop.recursives_.push_back(std::move(info));
+    PopulationPlan::RecursivePlan rp;
+    rp.label_id = as_id;
+    rp.node = catalog.add_node("isp-recursive-as" + std::to_string(as_id),
+                               as_center);
+    rp.policy = config.mixture.draw(rng);
+    rp.dual = rng.chance(config.ipv6_fraction);
+    rp.address = catalog.allocate_address();
+    rp.rng = rng.fork("isp-recursive-as" + std::to_string(as_id));
+    rp.continent = continent;
+    rp.location = as_center;
+    const net::IpAddress raddr = rp.address;
+    plan.recursives.push_back(rp);
 
     for (std::size_t i = 0; i < as_probes; ++i) {
       const std::size_t probe_id = created++;
@@ -129,49 +146,192 @@ Population build_population(net::Network& network,
       ploc.lat_deg += rng.uniform(-0.8, 0.8);
       ploc.lon_deg += rng.uniform(-0.8, 0.8);
       const net::NodeId pnode =
-          network.add_node("probe-" + std::to_string(probe_id), ploc);
+          catalog.add_node("probe-" + std::to_string(probe_id), ploc);
 
-      std::vector<net::IpAddress> upstreams;
+      std::int32_t forwarder = -1;
       const bool uses_public =
           !public_addrs.empty() &&
           rng.chance(config.public_resolver_fraction);
       if (uses_public) {
-        upstreams.push_back(public_addrs[rng.index(public_addrs.size())]);
+        plan.vp_upstreams.push_back(
+            public_addrs[rng.index(public_addrs.size())]);
       } else if (rng.chance(config.forwarder_fraction)) {
         // Home-router middlebox on the probe's own premises, relaying to
         // the ISP recursive.
-        const net::IpAddress faddr = network.allocate_address();
-        auto fwd = std::make_unique<Forwarder>(
-            network, pnode, faddr, raddr, config.forwarder,
-            rng.fork("forwarder-" + std::to_string(probe_id)));
-        fwd->start();
-        pop.forwarders_.push_back(std::move(fwd));
-        upstreams.push_back(faddr);
+        PopulationPlan::ForwarderPlan fp;
+        fp.probe_id = probe_id;
+        fp.node = pnode;
+        fp.address = catalog.allocate_address();
+        fp.upstream = raddr;
+        fp.rng = rng.fork("forwarder-" + std::to_string(probe_id));
+        forwarder = static_cast<std::int32_t>(plan.forwarders.size());
+        plan.forwarders.push_back(fp);
+        plan.vp_upstreams.push_back(fp.address);
       } else {
-        upstreams.push_back(raddr);
+        plan.vp_upstreams.push_back(raddr);
       }
       if (rng.chance(config.second_recursive_fraction)) {
         // Second configured recursive: the other kind.
         if (uses_public) {
-          upstreams.push_back(raddr);
+          plan.vp_upstreams.push_back(raddr);
         } else if (!public_addrs.empty()) {
-          upstreams.push_back(public_addrs[rng.index(public_addrs.size())]);
+          plan.vp_upstreams.push_back(
+              public_addrs[rng.index(public_addrs.size())]);
         }
       }
 
-      VantagePoint vp;
-      vp.probe_id = probe_id;
-      vp.continent = continent;
-      vp.location = ploc;
-      vp.node = pnode;
-      vp.stub = std::make_unique<StubResolver>(
-          network, pnode, network.allocate_address(), std::move(upstreams),
-          config.stub, rng.fork("probe-" + std::to_string(probe_id)));
-      vp.stub->start();
-      pop.vps_.push_back(std::move(vp));
+      plan.vp_continent.push_back(continent);
+      plan.vp_location.push_back(ploc);
+      plan.vp_node.push_back(pnode);
+      plan.vp_stub_addr.push_back(catalog.allocate_address());
+      plan.vp_rng.push_back(rng.fork("probe-" + std::to_string(probe_id)));
+      plan.vp_upstream_off.push_back(
+          static_cast<std::uint32_t>(plan.vp_upstreams.size()));
+      plan.vp_forwarder.push_back(forwarder);
     }
   }
+  return plan;
+}
+
+Population materialize_population(
+    net::Network& network, const PopulationPlan& plan,
+    const PopulationConfig& config,
+    const std::vector<resolver::RootHint>& hints,
+    const std::vector<std::size_t>* partition, bool adopt_into_network) {
+  Population pop;
+
+  if (adopt_into_network) {
+    // Standalone path (no shared catalog): replay the plan's node and
+    // address sequences onto the network so ids line up with the plan.
+    std::vector<std::pair<net::NodeId, const void*>> order;
+    struct Named {
+      std::string name;
+      net::GeoPoint point;
+    };
+    std::vector<std::pair<net::NodeId, Named>> nodes;
+    nodes.reserve(plan.recursives.size() + plan.vp_count());
+    for (const auto& rp : plan.recursives) {
+      nodes.push_back({rp.node, {recursive_name(rp), rp.location}});
+    }
+    for (std::size_t v = 0; v < plan.vp_count(); ++v) {
+      nodes.push_back({plan.vp_node[v],
+                       {"probe-" + std::to_string(v), plan.vp_location[v]}});
+    }
+    std::sort(nodes.begin(), nodes.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [id, info] : nodes) {
+      const net::NodeId got =
+          network.add_node(std::move(info.name), info.point);
+      if (got != id) {
+        throw std::logic_error{
+            "materialize_population: node id drifted from the plan"};
+      }
+    }
+    const std::size_t addr_count =
+        plan.recursives.size() + plan.forwarders.size() + plan.vp_count();
+    for (std::size_t i = 0; i < addr_count; ++i) {
+      (void)network.allocate_address();
+    }
+  }
+
+  // Partition closure: which recursives/forwarders this population needs.
+  std::vector<char> need_rec(plan.recursives.size(),
+                             partition == nullptr ? 1 : 0);
+  std::vector<char> need_fwd(plan.forwarders.size(),
+                             partition == nullptr ? 1 : 0);
+  if (partition != nullptr) {
+    std::unordered_map<net::IpAddress, std::size_t> rec_of;
+    rec_of.reserve(plan.recursives.size() * 2);
+    for (std::size_t r = 0; r < plan.recursives.size(); ++r) {
+      rec_of.emplace(plan.recursives[r].address, r);
+    }
+    std::unordered_map<net::IpAddress, std::size_t> fwd_of;
+    fwd_of.reserve(plan.forwarders.size() * 2);
+    for (std::size_t f = 0; f < plan.forwarders.size(); ++f) {
+      fwd_of.emplace(plan.forwarders[f].address, f);
+    }
+    for (const std::size_t v : *partition) {
+      if (v >= plan.vp_count()) {
+        throw std::out_of_range{"materialize_population: bad vp index"};
+      }
+      for (std::uint32_t u = plan.vp_upstream_off[v];
+           u < plan.vp_upstream_off[v + 1]; ++u) {
+        net::IpAddress addr = plan.vp_upstreams[u];
+        const auto fwd = fwd_of.find(addr);
+        if (fwd != fwd_of.end()) {
+          need_fwd[fwd->second] = 1;
+          addr = plan.forwarders[fwd->second].upstream;
+        }
+        const auto rec = rec_of.find(addr);
+        if (rec != rec_of.end()) need_rec[rec->second] = 1;
+      }
+    }
+  }
+
+  // Recursives, forwarders, then stubs, each ascending in plan order.
+  // start() only registers listeners (no events, no rng), so this order is
+  // observationally identical to the historical interleaved construction.
+  for (std::size_t r = 0; r < plan.recursives.size(); ++r) {
+    if (!need_rec[r]) continue;
+    const auto& rp = plan.recursives[r];
+    resolver::ResolverConfig rc = config.resolver_template;
+    rc.name = recursive_name(rp);
+    rc.policy = rp.policy;
+    if (rp.dual) rc.family = resolver::AddressFamily::Dual;
+    RecursiveInfo info;
+    info.resolver = pop.arena_.make<resolver::RecursiveResolver>(
+        network, rp.node, rp.address, std::move(rc), hints, rp.rng);
+    info.resolver->start();
+    info.continent = rp.continent;
+    info.location = rp.location;
+    info.is_public = rp.is_public;
+    pop.recursives_.push_back(info);
+  }
+
+  for (std::size_t f = 0; f < plan.forwarders.size(); ++f) {
+    if (!need_fwd[f]) continue;
+    const auto& fp = plan.forwarders[f];
+    Forwarder* fwd = pop.arena_.make<Forwarder>(
+        network, fp.node, fp.address, fp.upstream, config.forwarder,
+        fp.rng);
+    fwd->start();
+    pop.forwarders_.push_back(fwd);
+  }
+
+  const auto materialize_vp = [&](std::size_t v) {
+    std::vector<net::IpAddress> upstreams(
+        plan.vp_upstreams.begin() + plan.vp_upstream_off[v],
+        plan.vp_upstreams.begin() + plan.vp_upstream_off[v + 1]);
+    VantagePoint vp;
+    vp.probe_id = v;
+    vp.continent = plan.vp_continent[v];
+    vp.location = plan.vp_location[v];
+    vp.node = plan.vp_node[v];
+    vp.stub = pop.arena_.make<StubResolver>(
+        network, vp.node, plan.vp_stub_addr[v], std::move(upstreams),
+        config.stub, plan.vp_rng[v]);
+    vp.stub->start();
+    pop.vps_.push_back(vp);
+  };
+  if (partition == nullptr) {
+    for (std::size_t v = 0; v < plan.vp_count(); ++v) materialize_vp(v);
+  } else {
+    for (const std::size_t v : *partition) materialize_vp(v);
+  }
   return pop;
+}
+
+Population build_population(net::Network& network,
+                            const PopulationConfig& config,
+                            const std::vector<resolver::RootHint>& hints,
+                            stats::Rng rng) {
+  net::NodeCatalog catalog;
+  catalog.first_id = static_cast<net::NodeId>(network.node_count());
+  catalog.next_addr = network.next_host();
+  const PopulationPlan plan = plan_population(catalog, config, rng);
+  return materialize_population(network, plan, config, hints,
+                                /*partition=*/nullptr,
+                                /*adopt_into_network=*/true);
 }
 
 }  // namespace recwild::client

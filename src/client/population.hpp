@@ -13,15 +13,29 @@
 //     multiple configured recursives and treats each (probe, recursive)
 //     pair as one VP.
 //   * Each recursive runs a selection policy drawn from a PolicyMixture.
+//
+// Generation is split into two phases so sharded experiment engines can
+// share one world across replicas:
+//   * plan_population() consumes the RNG stream and a NodeCatalog exactly
+//     as construction used to, producing an immutable PopulationPlan — a
+//     struct-of-arrays record of every node id, address, upstream list and
+//     per-entity RNG fork. No live object is created; the plan draws the
+//     byte-for-byte identical sequence the old single-phase builder drew,
+//     so seeds, fixtures and node/address layouts are unchanged.
+//   * materialize_population() turns the plan (or a partition of it) into
+//     live stubs/forwarders/recursives on a concrete Network, allocated
+//     from the Population's arena. A shard replica materializes only the
+//     vantage points it simulates; the plan itself is shared read-only.
 #pragma once
 
-#include <memory>
+#include <cstdint>
 #include <vector>
 
 #include "client/forwarder.hpp"
 #include "client/stub.hpp"
 #include "net/geo.hpp"
 #include "resolver/resolver.hpp"
+#include "stats/arena.hpp"
 
 namespace recwild::client {
 
@@ -30,11 +44,13 @@ struct VantagePoint {
   net::Continent continent = net::Continent::Europe;
   net::GeoPoint location;
   net::NodeId node = net::kInvalidNode;
-  std::unique_ptr<StubResolver> stub;
+  /// Owned by the Population's arena; valid for the Population's lifetime.
+  StubResolver* stub = nullptr;
 };
 
 struct RecursiveInfo {
-  std::unique_ptr<resolver::RecursiveResolver> resolver;
+  /// Owned by the Population's arena; valid for the Population's lifetime.
+  resolver::RecursiveResolver* resolver = nullptr;
   net::Continent continent = net::Continent::Europe;
   net::GeoPoint location;
   bool is_public = false;
@@ -79,8 +95,59 @@ struct PopulationConfig {
   resolver::ResolverConfig resolver_template{};
 };
 
-/// The constructed population. Owns all stubs and recursives; nodes live in
-/// the Network.
+/// The immutable population blueprint: everything build-time randomness
+/// decided, laid out struct-of-arrays over vantage points. One plan is
+/// built per world (inside WorldSnapshot::build) and shared read-only by
+/// all shard replicas; it holds no live objects and no Network references.
+struct PopulationPlan {
+  /// One planned recursive. `label_id` reconstructs the resolver name
+  /// ("public-dns-<id>" or "isp-recursive-as<id>") at materialize time, so
+  /// a million-recursive plan does not store a million name strings twice.
+  struct RecursivePlan {
+    std::uint64_t label_id = 0;
+    net::NodeId node = net::kInvalidNode;
+    net::IpAddress address;
+    resolver::PolicyKind policy = resolver::PolicyKind::BindSrtt;
+    bool dual = false;
+    bool is_public = false;
+    net::Continent continent = net::Continent::Europe;
+    net::GeoPoint location;
+    stats::Rng rng{0};
+  };
+  /// One planned home-router middlebox, relaying probe -> ISP recursive.
+  struct ForwarderPlan {
+    std::size_t probe_id = 0;
+    net::NodeId node = net::kInvalidNode;
+    net::IpAddress address;
+    net::IpAddress upstream;
+    stats::Rng rng{0};
+  };
+
+  // Hot per-VP state, struct-of-arrays: index = probe id.
+  std::vector<net::Continent> vp_continent;
+  std::vector<net::GeoPoint> vp_location;
+  std::vector<net::NodeId> vp_node;
+  std::vector<net::IpAddress> vp_stub_addr;
+  std::vector<stats::Rng> vp_rng;
+  /// CSR layout of per-VP upstream address lists (primary first): VP v's
+  /// upstreams are vp_upstreams[vp_upstream_off[v] .. vp_upstream_off[v+1]).
+  std::vector<std::uint32_t> vp_upstream_off;
+  std::vector<net::IpAddress> vp_upstreams;
+  /// Index into `forwarders` of the VP's middlebox, or -1.
+  std::vector<std::int32_t> vp_forwarder;
+
+  std::vector<RecursivePlan> recursives;
+  std::vector<ForwarderPlan> forwarders;
+
+  [[nodiscard]] std::size_t vp_count() const noexcept {
+    return vp_node.size();
+  }
+};
+
+/// The constructed population. Owns all stubs and recursives (in its
+/// arena); nodes live in the Network / shared NodeCatalog. May be a
+/// partition of the plan: vps() then holds only the materialized vantage
+/// points, ascending by probe id — use by_probe() for identity lookups.
 class Population {
  public:
   Population() = default;
@@ -99,10 +166,16 @@ class Population {
     return recursives_;
   }
 
-  [[nodiscard]] const std::vector<std::unique_ptr<Forwarder>>& forwarders()
-      const noexcept {
+  [[nodiscard]] const std::vector<Forwarder*>& forwarders() const noexcept {
     return forwarders_;
   }
+
+  /// The vantage point with this probe id, or nullptr when it is not part
+  /// of this (possibly partition-scoped) population. Binary search: vps_
+  /// is ascending by probe id.
+  [[nodiscard]] VantagePoint* by_probe(std::size_t probe_id) noexcept;
+  [[nodiscard]] const VantagePoint* by_probe(
+      std::size_t probe_id) const noexcept;
 
   /// Finds the RecursiveInfo serving a given address. Forwarder addresses
   /// resolve through to their upstream recursive (the middlebox is
@@ -114,20 +187,47 @@ class Population {
   /// break between measurements).
   void flush_all_caches();
 
-  friend Population build_population(net::Network& network,
-                                     const PopulationConfig& config,
-                                     const std::vector<resolver::RootHint>&
-                                         hints,
-                                     stats::Rng rng);
+  friend Population materialize_population(
+      net::Network& network, const PopulationPlan& plan,
+      const PopulationConfig& config,
+      const std::vector<resolver::RootHint>& hints,
+      const std::vector<std::size_t>* partition, bool adopt_into_network);
 
  private:
+  /// Declared first so it outlives (is destroyed after) the raw pointers
+  /// below; owns every stub/forwarder/recursive of this population.
+  stats::Arena arena_;
   std::vector<VantagePoint> vps_;
   std::vector<RecursiveInfo> recursives_;
-  std::vector<std::unique_ptr<Forwarder>> forwarders_;
+  std::vector<Forwarder*> forwarders_;
 };
 
+/// Plans a population: consumes `rng` and the catalog exactly as the live
+/// builder would (same node ids, same addresses, same fork points), but
+/// creates no objects. Safe to run without any Network or Simulation.
+PopulationPlan plan_population(net::NodeCatalog& catalog,
+                               const PopulationConfig& config,
+                               stats::Rng rng);
+
+/// Materializes live stubs/forwarders/recursives from a plan onto
+/// `network`, allocated from the returned Population's arena.
+///
+/// `partition` (ascending probe ids) restricts materialization to those
+/// vantage points plus the closure of forwarders/recursives they can
+/// reach; nullptr materializes everything. `adopt_into_network` replays
+/// the plan's node additions and address allocations onto `network` (the
+/// standalone path, for networks without a shared base catalog); worlds
+/// whose Network was built over the plan's catalog pass false.
+Population materialize_population(
+    net::Network& network, const PopulationPlan& plan,
+    const PopulationConfig& config,
+    const std::vector<resolver::RootHint>& hints,
+    const std::vector<std::size_t>* partition = nullptr,
+    bool adopt_into_network = false);
+
 /// Creates probes, ISP recursives and public recursives on `network`.
-/// `hints` bootstraps every recursive (root hints file).
+/// `hints` bootstraps every recursive (root hints file). One-shot
+/// plan+materialize; kept for direct users of a plain Network.
 Population build_population(net::Network& network,
                             const PopulationConfig& config,
                             const std::vector<resolver::RootHint>& hints,

@@ -1,19 +1,29 @@
 #include "experiment/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
 #include "attack/generator.hpp"
 #include "obs/names.hpp"
+#include "obs/process.hpp"
 
 namespace recwild::experiment {
 
 namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double wall_seconds(WallClock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
 
 /// Schedules the attack traffic of world.config().attack for the bot VPs
 /// this shard owns. Bots are the `bots` lowest-index VPs of each event — a
@@ -25,7 +35,7 @@ void schedule_attack_traffic(Testbed& world,
   const attack::AttackSchedule& schedule = world.config().attack;
   if (schedule.empty()) return;
   auto& sim = world.sim();
-  auto& vps = world.population().vps();
+  auto& pop = world.population();
   const dns::Name victim =
       dns::Name::parse(schedule.zone().victim_domain);
   // Registered whenever the schedule is armed — in every shard replica,
@@ -39,8 +49,8 @@ void schedule_attack_traffic(Testbed& world,
     const stats::Rng event_rng = attack_rng.fork(e);
     for (const std::size_t v : vp_indices) {
       if (v >= static_cast<std::size_t>(ev.bots)) continue;
-      auto& vp = vps[v];
-      const stats::Rng bot_rng = event_rng.fork(vp.probe_id);
+      client::VantagePoint* vp = pop.by_probe(v);
+      const stats::Rng bot_rng = event_rng.fork(vp->probe_id);
       // Identity-keyed phase offset de-synchronises the bots.
       const net::Duration phase = net::Duration::millis(
           bot_rng.fork("phase").uniform(0.0, ev.interval.ms()));
@@ -52,11 +62,11 @@ void schedule_attack_traffic(Testbed& world,
             ev.kind == attack::AttackKind::Nxns
                 ? attack::nxns_query_name(schedule.zone(), query_rng)
                 : attack::water_torture_query_name(victim, query_rng);
-        sim.at(at, [&world, &vp, qname, injected] {
+        sim.at(at, [&world, vp, qname, injected] {
           injected->add(1, world.sim().now());
           // Fire-and-forget: a bot never cares about the answer.
-          vp.stub->query(qname, dns::RRType::A,
-                         [](const client::StubResult&) {});
+          vp->stub->query(qname, dns::RRType::A,
+                          [](const client::StubResult&) {});
         });
       }
     }
@@ -65,7 +75,8 @@ void schedule_attack_traffic(Testbed& world,
 
 /// Schedules the campaign queries of the VPs in `vp_indices` (ascending) on
 /// `world`, runs its simulation to completion, and returns one observation
-/// per scheduled VP, in `vp_indices` order.
+/// per scheduled VP, in `vp_indices` order. `world` may be a
+/// partition-scoped replica, as long as it materializes every VP listed.
 ///
 /// All randomness is keyed per VP (phase jitter forks on the probe id), so
 /// the observations a VP produces depend only on the seed and on the VPs it
@@ -75,15 +86,20 @@ std::vector<VpObservation> run_campaign_shard(
     const std::vector<std::size_t>& vp_indices) {
   auto& sim = world.sim();
   auto& network = world.network();
-  auto& vps = world.population().vps();
+  auto& pop = world.population();
   const auto& services = world.test_services();
   const dns::Name domain = world.test_domain();
 
   struct VpState {
     std::vector<int> sequence;
-    std::unordered_map<net::IpAddress, std::size_t> recursive_use;
+    /// (recursive address, queries served) pairs. VPs use 1-2 recursives;
+    /// a flat vector beats the hash map it replaced on both memory and
+    /// lookup time, and — unlike the map — iterates deterministically.
+    std::vector<std::pair<net::IpAddress, std::size_t>> recursive_use;
   };
-  std::vector<VpState> states(vps.size());
+  // Rank-indexed (position in vp_indices), NOT probe-indexed: a
+  // partition-scoped shard must not pay memory for the whole fleet.
+  std::vector<VpState> states(vp_indices.size());
 
   obs::MetricRegistry& m = sim.metrics();
   obs::Counter* q_sent = &m.counter(obs::names::kCampaignQueriesSent);
@@ -98,9 +114,14 @@ std::vector<VpObservation> run_campaign_shard(
 
   const stats::Rng campaign_rng = sim.rng().fork("campaign");
 
-  for (const std::size_t v : vp_indices) {
-    auto& vp = vps[v];
-    stats::Rng vp_rng = campaign_rng.fork(vp.probe_id);
+  for (std::size_t r = 0; r < vp_indices.size(); ++r) {
+    client::VantagePoint* vp = pop.by_probe(vp_indices[r]);
+    if (vp == nullptr) {
+      throw std::logic_error{
+          "run_campaign_shard: VP not materialized on this world"};
+    }
+    VpState* st = &states[r];
+    stats::Rng vp_rng = campaign_rng.fork(vp->probe_id);
     const net::Duration phase =
         config.phase_jitter
             ? net::Duration::millis(vp_rng.uniform(0.0, config.interval.ms()))
@@ -108,14 +129,14 @@ std::vector<VpObservation> run_campaign_shard(
     for (std::size_t k = 0; k < config.queries_per_vp; ++k) {
       const net::SimTime at =
           net::SimTime::origin() + phase + config.interval * double(k);
-      sim.at(at, [&world, &states, &vp, v, k, domain, q_sent, q_answered,
+      sim.at(at, [&world, st, vp, k, domain, q_sent, q_answered,
                   q_unanswered, trace, queries_per_vp] {
         q_sent->add(1, world.sim().now());
         const dns::Name qname = domain.prefixed(
-            "q" + std::to_string(vp.probe_id) + "x" + std::to_string(k));
-        vp.stub->query(
+            "q" + std::to_string(vp->probe_id) + "x" + std::to_string(k));
+        vp->stub->query(
             qname, dns::RRType::TXT,
-            [&world, &states, &vp, v, q_answered, q_unanswered, trace,
+            [&world, st, vp, q_answered, q_unanswered, trace,
              queries_per_vp](const client::StubResult& r) {
               const net::SimTime now = world.sim().now();
               int idx = -1;
@@ -127,17 +148,26 @@ std::vector<VpObservation> run_campaign_shard(
               } else {
                 q_unanswered->add(1, now);
               }
-              states[v].sequence.push_back(idx);
-              if (r.recursive_index < vp.stub->recursives().size()) {
-                states[v].recursive_use
-                    [vp.stub->recursives()[r.recursive_index]]++;
+              st->sequence.push_back(idx);
+              if (r.recursive_index < vp->stub->recursives().size()) {
+                const net::IpAddress raddr =
+                    vp->stub->recursives()[r.recursive_index];
+                auto it = std::find_if(
+                    st->recursive_use.begin(), st->recursive_use.end(),
+                    [raddr](const auto& p) { return p.first == raddr; });
+                if (it == st->recursive_use.end()) {
+                  st->recursive_use.emplace_back(raddr, 1);
+                } else {
+                  ++it->second;
+                }
               }
               // Per-VP progress (never per-shard: the trace must not know
               // how the schedule was partitioned).
-              if (states[v].sequence.size() == queries_per_vp &&
+              if (st->sequence.size() == queries_per_vp &&
                   trace->enabled()) {
                 trace->record({now, obs::TraceKind::Progress, "campaign",
-                               "probe" + std::to_string(vp.probe_id), "done",
+                               "probe" + std::to_string(vp->probe_id),
+                               "done",
                                static_cast<double>(queries_per_vp)});
               }
             });
@@ -151,18 +181,19 @@ std::vector<VpObservation> run_campaign_shard(
 
   std::vector<VpObservation> observations;
   observations.reserve(vp_indices.size());
-  for (const std::size_t v : vp_indices) {
+  for (std::size_t r = 0; r < vp_indices.size(); ++r) {
+    const client::VantagePoint* vp = pop.by_probe(vp_indices[r]);
     VpObservation obs;
-    obs.probe_id = vps[v].probe_id;
-    obs.continent = vps[v].continent;
-    obs.sequence = std::move(states[v].sequence);
+    obs.probe_id = vp->probe_id;
+    obs.continent = vp->continent;
+    obs.sequence = std::move(states[r].sequence);
 
     // Primary recursive: the one that served the most queries. Equal counts
-    // break by lowest address — unordered_map iteration order differs
-    // between standard libraries, so the count alone is not deterministic.
+    // break by lowest address, a total order, so the choice never depends
+    // on the pairs' insertion order.
     net::IpAddress primary{};
     std::size_t best = 0;
-    for (const auto& [addr, n] : states[v].recursive_use) {
+    for (const auto& [addr, n] : states[r].recursive_use) {
       if (n > best || (n == best && n > 0 && addr < primary)) {
         best = n;
         primary = addr;
@@ -184,26 +215,25 @@ std::vector<VpObservation> run_campaign_shard(
 }
 
 /// Deterministic LPT bin-packing of VP groups onto `shards` bins, weighted
-/// by VP count. Returns per-shard ascending VP index lists; empty shards
-/// are dropped.
+/// by estimated query volume (see campaign_group_weights). Returns
+/// per-shard ascending VP index lists; empty shards are dropped.
 std::vector<std::vector<std::size_t>> pack_groups(
-    std::vector<std::vector<std::size_t>> groups, std::size_t shards) {
+    const std::vector<std::vector<std::size_t>>& groups,
+    const std::vector<double>& weights, std::size_t shards) {
   std::vector<std::size_t> order(groups.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
-            [&groups](std::size_t a, std::size_t b) {
-              if (groups[a].size() != groups[b].size()) {
-                return groups[a].size() > groups[b].size();
-              }
+            [&](std::size_t a, std::size_t b) {
+              if (weights[a] != weights[b]) return weights[a] > weights[b];
               return groups[a].front() < groups[b].front();
             });
 
   std::vector<std::vector<std::size_t>> bins(shards);
-  std::vector<std::size_t> load(shards, 0);
+  std::vector<double> load(shards, 0.0);
   for (const std::size_t g : order) {
     const std::size_t lightest = static_cast<std::size_t>(
         std::min_element(load.begin(), load.end()) - load.begin());
-    load[lightest] += groups[g].size();
+    load[lightest] += weights[g];
     auto& bin = bins[lightest];
     bin.insert(bin.end(), groups[g].begin(), groups[g].end());
   }
@@ -215,57 +245,28 @@ std::vector<std::vector<std::size_t>> pack_groups(
 }  // namespace
 
 std::vector<std::vector<std::size_t>> campaign_vp_groups(Testbed& testbed) {
-  const auto& pop = testbed.population();
-  const auto& vps = pop.vps();
+  return testbed.world()->vp_groups;
+}
 
-  // Forwarders are transparent middleboxes: chase them to their upstream
-  // recursive, which is what actually holds shared state.
-  std::unordered_map<net::IpAddress, net::IpAddress> via_forwarder;
-  for (const auto& f : pop.forwarders()) {
-    via_forwarder.emplace(f->address(), f->upstream());
-  }
-
-  // Union-find over recursive addresses; each VP unions all its upstreams.
-  std::unordered_map<net::IpAddress, std::size_t> addr_index;
-  std::vector<std::size_t> parent;
-  auto find = [&parent](std::size_t x) {
-    while (parent[x] != x) {
-      parent[x] = parent[parent[x]];
-      x = parent[x];
+std::vector<double> campaign_group_weights(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const CampaignConfig& config, const attack::AttackSchedule& schedule) {
+  std::vector<double> weights(groups.size(), 0.0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    double w = static_cast<double>(groups[g].size()) *
+               static_cast<double>(config.queries_per_vp);
+    for (const attack::AttackEvent& ev : schedule.events()) {
+      // Shots per bot, ignoring the sub-interval phase offset: the exact
+      // count per bot is phase-dependent but within ±1 of this.
+      const double shots =
+          std::floor((ev.end - ev.start).ms() / ev.interval.ms()) + 1.0;
+      for (const std::size_t v : groups[g]) {
+        if (v < static_cast<std::size_t>(ev.bots)) w += shots;
+      }
     }
-    return x;
-  };
-  auto index_of = [&](net::IpAddress addr) {
-    const auto fwd = via_forwarder.find(addr);
-    if (fwd != via_forwarder.end()) addr = fwd->second;
-    const auto [it, inserted] = addr_index.emplace(addr, parent.size());
-    if (inserted) parent.push_back(it->second);
-    return it->second;
-  };
-
-  std::vector<std::size_t> vp_set(vps.size());
-  for (std::size_t v = 0; v < vps.size(); ++v) {
-    const auto& upstreams = vps[v].stub->recursives();
-    std::size_t first = index_of(upstreams.empty()
-                                     ? net::IpAddress{}
-                                     : upstreams.front());
-    for (std::size_t u = 1; u < upstreams.size(); ++u) {
-      const std::size_t other = index_of(upstreams[u]);
-      parent[find(other)] = find(first);
-    }
-    vp_set[v] = first;
+    weights[g] = w;
   }
-
-  // Group VPs by root set, in first-seen order.
-  std::unordered_map<std::size_t, std::size_t> group_of_root;
-  std::vector<std::vector<std::size_t>> groups;
-  for (std::size_t v = 0; v < vps.size(); ++v) {
-    const std::size_t root = find(vp_set[v]);
-    const auto [it, inserted] = group_of_root.emplace(root, groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(v);
-  }
-  return groups;
+  return weights;
 }
 
 CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
@@ -276,6 +277,11 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
     result.service_codes.push_back(svc.name());
   }
 
+  CampaignRunStats local_stats;
+  CampaignRunStats& stats =
+      config.run_stats != nullptr ? *config.run_stats : local_stats;
+  stats = CampaignRunStats{};
+
   std::size_t shards =
       config.shards != 0
           ? config.shards
@@ -283,44 +289,72 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
   shards = std::min(shards, std::max<std::size_t>(1, vps.size()));
 
   if (shards <= 1) {
-    std::vector<std::size_t> all(vps.size());
-    std::iota(all.begin(), all.end(), 0);
+    // By probe id, not position: the caller may itself be a
+    // partition-scoped replica (its vps() are then a sparse subset).
+    std::vector<std::size_t> all;
+    all.reserve(vps.size());
+    for (const auto& vp : vps) all.push_back(vp.probe_id);
+    const auto t0 = WallClock::now();
     result.vps = run_campaign_shard(testbed, config, all);
+    stats.run_s = wall_seconds(WallClock::now() - t0);
+    stats.shards.push_back(
+        {all.size(), stats.run_s, obs::current_rss_kb()});
     result.metrics = testbed.sim().metrics().snapshot();
     return result;
   }
 
-  const auto parts = pack_groups(campaign_vp_groups(testbed), shards);
+  const auto t_partition = WallClock::now();
+  const auto& groups = testbed.world()->vp_groups;
+  const auto parts = pack_groups(
+      groups,
+      campaign_group_weights(groups, config, testbed.config().attack),
+      shards);
+  stats.partition_s = wall_seconds(WallClock::now() - t_partition);
+  stats.shards.resize(parts.size());
 
   // Shard 0 runs on the caller's testbed (keeping its logs/caches useful to
-  // callers, exactly like the serial path); the rest replay on replicas
-  // built from the same config, hence bit-identical worlds.
+  // callers, exactly like the serial path); the rest materialize
+  // partition-scoped replicas of the caller's world snapshot — services and
+  // zones shared, only their own VPs' client state instantiated.
   std::vector<std::vector<VpObservation>> per_shard(parts.size());
-  // What each replica shard adds to the caller's registry/trace: metric
-  // deltas relative to a post-build baseline (the caller already carries
-  // one copy of the build-phase contribution), and the trace events
-  // recorded after the replica finished building.
-  std::vector<obs::MetricsSnapshot> shard_metrics(parts.size());
+  // Replica shards stream their metric deltas (relative to a post-build
+  // baseline; the caller already carries one copy of the build-phase
+  // contribution, and identically-built worlds give identical baselines)
+  // into one accumulator as they finish, compacted so untouched metrics
+  // ship nothing. Trace events stay per-shard: they are appended to the
+  // caller's trace in shard order, which streaming must not scramble.
+  obs::MetricRegistry accumulator;
+  std::mutex accumulator_mu;
   std::vector<std::vector<obs::TraceEvent>> shard_events(parts.size());
   std::exception_ptr error;
   std::mutex error_mu;
+  const auto t_run = WallClock::now();
   std::vector<std::thread> workers;
   workers.reserve(parts.size() - 1);
   for (std::size_t i = 1; i < parts.size(); ++i) {
-    workers.emplace_back([&testbed, &config, &parts, &per_shard,
-                          &shard_metrics, &shard_events, &error, &error_mu,
-                          i] {
+    workers.emplace_back([&testbed, &config, &parts, &per_shard, &stats,
+                          &accumulator, &accumulator_mu, &shard_events,
+                          &error, &error_mu, i] {
       try {
-        Testbed replica{testbed.config()};
+        const auto t0 = WallClock::now();
+        Testbed replica{testbed.world(), &parts[i]};
         replica.sim().sync_obs();  // fold build-time event tallies in
         const obs::MetricsSnapshot baseline =
             replica.sim().metrics().snapshot();
         const std::size_t trace_base = replica.sim().trace().size();
         per_shard[i] = run_campaign_shard(replica, config, parts[i]);
-        shard_metrics[i] =
+        obs::MetricsSnapshot delta =
             replica.sim().metrics().snapshot().delta_since(baseline);
+        delta.compact();
+        {
+          const std::scoped_lock lock{accumulator_mu};
+          accumulator.merge_sum(delta);
+        }
         const auto& events = replica.sim().trace().events();
         shard_events[i].assign(events.begin() + trace_base, events.end());
+        stats.shards[i] = {parts[i].size(),
+                           wall_seconds(WallClock::now() - t0),
+                           obs::current_rss_kb()};
       } catch (...) {
         const std::scoped_lock lock{error_mu};
         if (!error) error = std::current_exception();
@@ -328,14 +362,20 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
     });
   }
   try {
+    const auto t0 = WallClock::now();
     per_shard[0] = run_campaign_shard(testbed, config, parts[0]);
+    stats.shards[0] = {parts[0].size(),
+                       wall_seconds(WallClock::now() - t0),
+                       obs::current_rss_kb()};
   } catch (...) {
     const std::scoped_lock lock{error_mu};
     if (!error) error = std::current_exception();
   }
   for (auto& w : workers) w.join();
+  stats.run_s = wall_seconds(WallClock::now() - t_run);
   if (error) std::rethrow_exception(error);
 
+  const auto t_merge = WallClock::now();
   // Merge back in probe order: output is independent of the partition.
   result.vps.resize(vps.size());
   for (std::size_t i = 0; i < parts.size(); ++i) {
@@ -344,16 +384,18 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config) {
     }
   }
   // Fold replica observability into the caller's world. Counters and
-  // histogram bins sum and timestamps take the max, so the merged registry
+  // histogram bins sum and timestamps take the max — both commutative, so
+  // the streamed accumulator equals the per-shard sequential merge and
   // matches the serial run exactly; the trace multiset likewise (export
   // DecisionTrace::canonical() for byte-stable ordering).
+  testbed.sim().metrics().merge_sum(accumulator.snapshot());
   for (std::size_t i = 1; i < parts.size(); ++i) {
-    testbed.sim().metrics().merge_sum(shard_metrics[i]);
     for (const auto& event : shard_events[i]) {
       testbed.sim().trace().record(event);
     }
   }
   result.metrics = testbed.sim().metrics().snapshot();
+  stats.merge_s = wall_seconds(WallClock::now() - t_merge);
   return result;
 }
 

@@ -21,6 +21,23 @@
 
 namespace recwild::experiment {
 
+/// Wall-clock and memory accounting of one campaign run, for benchmarks
+/// and capacity planning. All times are host wall seconds (never sim
+/// time); rss_kb is the process RSS sampled as each shard finishes — with
+/// threaded shards this is process-wide, so the per-shard samples bound
+/// the run's footprint rather than attribute it exactly.
+struct CampaignRunStats {
+  struct Shard {
+    std::size_t vps = 0;     ///< Vantage points simulated by this shard.
+    double wall_s = 0.0;     ///< Replica materialize + event-loop wall time.
+    std::size_t rss_kb = 0;  ///< Process RSS when the shard finished.
+  };
+  double partition_s = 0.0;  ///< VP grouping + weighted packing.
+  double run_s = 0.0;        ///< Parallel section (spawn to last join).
+  double merge_s = 0.0;      ///< Observation/metrics/trace fold-back.
+  std::vector<Shard> shards; ///< Per shard, shard 0 = the caller's world.
+};
+
 struct CampaignConfig {
   /// Probing interval (paper: 2 minutes; §4.4 sweeps 5..30).
   net::Duration interval = net::Duration::minutes(2);
@@ -30,10 +47,12 @@ struct CampaignConfig {
   bool phase_jitter = true;
   /// Worker threads to run the campaign on. 1 = serial on the caller's
   /// testbed; 0 = one per hardware thread. Any value yields byte-identical
-  /// results when the testbed is freshly built (shards > 1 replays on
-  /// replicas built from Testbed::config(), so a testbed that already ran
-  /// traffic can only be reproduced by shards = 1).
+  /// results when the testbed is freshly built (shards > 1 materializes
+  /// partition-scoped replicas of Testbed::world(), so a testbed that
+  /// already ran traffic can only be reproduced by shards = 1).
   std::size_t shards = 1;
+  /// When non-null, filled with the run's timing/memory breakdown.
+  CampaignRunStats* run_stats = nullptr;
 };
 
 /// Per-VP campaign observations.
@@ -72,7 +91,15 @@ CampaignResult run_campaign(Testbed& testbed, const CampaignConfig& config);
 /// forwarders included) always land in the same group, because a shared
 /// recursive's cache and SRTT state couple their observations. Groups are
 /// listed in first-seen VP order; each group lists VP indices ascending.
-/// Exposed for tests and capacity planning.
+/// Precomputed on the world snapshot; exposed for tests and planning.
 std::vector<std::vector<std::size_t>> campaign_vp_groups(Testbed& testbed);
+
+/// Estimated query volume per VP group under `config` — campaign probes
+/// plus the attack-bot traffic of the testbed's schedule (bots are the
+/// lowest-index VPs, so attack-heavy groups weigh more). This is the load
+/// model the shard packer balances on, instead of raw VP counts.
+std::vector<double> campaign_group_weights(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const CampaignConfig& config, const attack::AttackSchedule& schedule);
 
 }  // namespace recwild::experiment

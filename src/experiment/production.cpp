@@ -17,7 +17,12 @@ namespace {
 using net::Continent;
 
 struct Source {
+  /// Live resolver — constructed only on worlds that replay this source's
+  /// traffic (partition-scoped replicas leave it null; address/node below
+  /// carry the identity for packing and analysis).
   std::unique_ptr<resolver::RecursiveResolver> resolver;
+  net::IpAddress address;
+  net::NodeId node = net::kInvalidNode;
   Continent continent = Continent::Europe;
   resolver::PolicyKind policy = resolver::PolicyKind::BindSrtt;
   double rate_per_sec = 0.0;
@@ -38,9 +43,8 @@ void schedule_next(net::Simulation& sim, Source& src, net::SimTime end,
   if (at > end) return;
   sim.at(at, [&sim, &src, end, target, lookups] {
     lookups->add(1, sim.now());
-    const std::string label =
-        "x" + std::to_string(src.resolver->address().bits()) + "n" +
-        std::to_string(src.counter++);
+    const std::string label = "x" + std::to_string(src.address.bits()) +
+                              "n" + std::to_string(src.counter++);
     dns::Name qname = target == ProductionTarget::Root
                           ? dns::Name::parse(label)
                           : dns::Name::parse(label + ".nl");
@@ -51,15 +55,29 @@ void schedule_next(net::Simulation& sim, Source& src, net::SimTime end,
   });
 }
 
-/// Builds every source recursive on `world`, in config order. Worlds built
-/// from the same TestbedConfig produce identical sources (addresses, nodes,
-/// policies, rates), which is what lets shards replay disjoint subsets of
-/// them and still merge into one coherent hour.
+/// Builds every source recursive on `world`, in config order. Worlds
+/// sharing one snapshot (identical catalogs, bindings and seeds) draw the
+/// byte-identical decision sequence here — addresses, nodes, policies,
+/// rates — which is what lets shards replay disjoint subsets of the
+/// sources and still merge into one coherent hour.
+///
+/// `only` (ascending source indices) makes this partition-scoped: every
+/// node, address and random draw still happens for every source (identity
+/// must not depend on the partition), but only the listed sources get a
+/// live resolver. A replica shard therefore pays resolver state — caches,
+/// sockets, timers — solely for the sources it replays.
 std::vector<std::unique_ptr<Source>> build_sources(
-    Testbed& world, const ProductionConfig& config) {
+    Testbed& world, const ProductionConfig& config,
+    const std::vector<std::size_t>* only = nullptr) {
   auto& sim = world.sim();
   auto& network = world.network();
   stats::Rng rng = sim.rng().fork("production");
+
+  std::vector<char> wanted;
+  if (only != nullptr) {
+    wanted.assign(config.recursives, 0);
+    for (const std::size_t i : *only) wanted.at(i) = 1;
+  }
 
   const stats::WeightedSampler continent_sampler{
       {config.weight_af, config.weight_as, config.weight_eu,
@@ -81,6 +99,7 @@ std::vector<std::unique_ptr<Source>> build_sources(
         network.add_node("prod-recursive-" + std::to_string(i), loc);
 
     auto src = std::make_unique<Source>();
+    src->node = node;
     src->continent = c;
     src->policy = config.mixture.draw(rng);
     src->sched_rng = rng.fork("prod-sched", i);
@@ -104,22 +123,31 @@ std::vector<std::unique_ptr<Source>> build_sources(
     }
     if (hints.empty()) hints.push_back(world.hints().front());
 
-    src->resolver = std::make_unique<resolver::RecursiveResolver>(
-        network, node, network.allocate_address(), std::move(rc), hints,
-        rng.fork("prod-" + std::to_string(i)));
-    src->resolver->start();
+    src->address = network.allocate_address();
+    stats::Rng resolver_rng = rng.fork("prod-" + std::to_string(i));
+    const bool materialize = wanted.empty() || wanted[i] != 0;
+    if (materialize) {
+      src->resolver = std::make_unique<resolver::RecursiveResolver>(
+          network, node, src->address, std::move(rc), hints, resolver_rng);
+      src->resolver->start();
+    }
 
     if (config.warm_start) {
       // Long-running recursives know their letters' RTTs already; seed the
       // infra cache with the stable path RTT plus measurement noise so no
-      // cold-start exploration happens inside the measured hour.
+      // cold-start exploration happens inside the measured hour. The
+      // route() condition and draws run on every world — identical
+      // bindings give identical routes — whether or not the resolver is
+      // materialized, so the shared rng stream never skews.
       for (const auto& h : hints) {
         const net::NodeId target = network.route(node, h.address);
         if (target == net::kInvalidNode) continue;
         const double rtt = network.base_rtt(node, target).ms() *
                            rng.uniform(0.97, 1.03);
-        src->resolver->infra().report_rtt(
-            h.address, net::Duration::millis(rtt), sim.now());
+        if (materialize) {
+          src->resolver->infra().report_rtt(
+              h.address, net::Duration::millis(rtt), sim.now());
+        }
       }
     }
     const double volume =
@@ -136,7 +164,8 @@ using ClientCounts =
     std::vector<std::unordered_map<net::IpAddress, std::uint64_t>>;
 
 /// Runs the traffic of `source_indices` on `world` and harvests the logs of
-/// the observed services. `sources` must be `world`'s own (pre-built).
+/// the observed services. `sources` must be `world`'s own (pre-built, with
+/// live resolvers for at least `source_indices`).
 ClientCounts run_production_shard(
     Testbed& world, std::vector<std::unique_ptr<Source>>& sources,
     const ProductionConfig& config,
@@ -228,9 +257,10 @@ ProductionResult run_production(Testbed& testbed,
     observed = {0, 1, 5, 6};
   }
 
-  // The busy-recursive population always exists in full on every world (so
-  // addresses and node ids never depend on the shard count); shards only
-  // split whose traffic is replayed where.
+  // The busy-recursive population's identity always exists in full on
+  // every world (so addresses and node ids never depend on the shard
+  // count); shards only split whose traffic — and whose live resolver
+  // state — is replayed where.
   std::vector<std::unique_ptr<Source>> sources =
       build_sources(testbed, config);
 
@@ -248,10 +278,13 @@ ProductionResult run_production(Testbed& testbed,
   } else {
     const auto parts = pack_sources(sources, shards);
     std::vector<ClientCounts> per_shard(parts.size());
-    // Replica observability contributions: metric deltas against a
-    // post-build baseline (build runs on every world, the caller already
-    // counts it once) and trace events recorded after building.
-    std::vector<obs::MetricsSnapshot> shard_metrics(parts.size());
+    // Replica shards share the caller's world snapshot (zones, catalog,
+    // services planned once) and construct live resolvers only for their
+    // own sources. Metric deltas against a post-build baseline stream into
+    // one accumulator, compacted; trace events stay per-shard so they can
+    // be appended in shard order.
+    obs::MetricRegistry accumulator;
+    std::mutex accumulator_mu;
     std::vector<std::vector<obs::TraceEvent>> shard_events(parts.size());
     std::exception_ptr error;
     std::mutex error_mu;
@@ -259,19 +292,25 @@ ProductionResult run_production(Testbed& testbed,
     workers.reserve(parts.size() - 1);
     for (std::size_t i = 1; i < parts.size(); ++i) {
       workers.emplace_back([&testbed, &config, &parts, &per_shard,
-                            &shard_metrics, &shard_events, &observed, &error,
-                            &error_mu, i] {
+                            &accumulator, &accumulator_mu, &shard_events,
+                            &observed, &error, &error_mu, i] {
         try {
-          Testbed replica{testbed.config()};
-          auto replica_sources = build_sources(replica, config);
+          Testbed replica{testbed.world()};
+          auto replica_sources =
+              build_sources(replica, config, &parts[i]);
           replica.sim().sync_obs();  // fold build-time event tallies in
           const obs::MetricsSnapshot baseline =
               replica.sim().metrics().snapshot();
           const std::size_t trace_base = replica.sim().trace().size();
           per_shard[i] = run_production_shard(replica, replica_sources,
                                               config, parts[i], observed);
-          shard_metrics[i] =
+          obs::MetricsSnapshot delta =
               replica.sim().metrics().snapshot().delta_since(baseline);
+          delta.compact();
+          {
+            const std::scoped_lock lock{accumulator_mu};
+            accumulator.merge_sum(delta);
+          }
           const auto& events = replica.sim().trace().events();
           shard_events[i].assign(events.begin() + trace_base, events.end());
         } catch (...) {
@@ -298,8 +337,8 @@ ProductionResult run_production(Testbed& testbed,
         }
       }
     }
+    testbed.sim().metrics().merge_sum(accumulator.snapshot());
     for (std::size_t i = 1; i < parts.size(); ++i) {
-      testbed.sim().metrics().merge_sum(shard_metrics[i]);
       for (const auto& event : shard_events[i]) {
         testbed.sim().trace().record(event);
       }
@@ -327,9 +366,9 @@ ProductionResult run_production(Testbed& testbed,
   // Attach source metadata.
   for (auto& [addr, t] : traffic) {
     for (const auto& src : sources) {
-      if (src->resolver->address() == addr) {
+      if (src->address == addr) {
         t.continent = src->continent;
-        t.node = src->resolver->node();
+        t.node = src->node;
         t.policy = src->policy;
         break;
       }

@@ -1,62 +1,34 @@
 #include "experiment/testbed.hpp"
 
-#include <algorithm>
-#include <cctype>
-#include <stdexcept>
-
-#include "attack/generator.hpp"
-
 namespace recwild::experiment {
 
-namespace {
-
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return s;
-}
-
-}  // namespace
-
 Testbed::Testbed(TestbedConfig config)
-    : config_(std::move(config)),
-      sim_(config_.seed),
-      network_(std::make_unique<net::Network>(sim_, config_.latency)),
-      test_domain_(dns::Name::parse(config_.test_domain)) {
-  sim_.trace().set_enabled(config_.trace_decisions);
-  if (!config_.test_sites.empty() && !config_.build_nl) {
-    throw std::invalid_argument{
-        "Testbed: a test domain requires the .nl deployment"};
-  }
-  if (!config_.attack.empty()) {
-    config_.attack.validate();
-    if (!config_.build_nl) {
-      throw std::invalid_argument{
-          "Testbed: an attack schedule requires the .nl deployment"};
-    }
-  }
-  build_roots();
-  if (config_.build_nl) build_nl();
-  if (!config_.test_sites.empty()) build_test_domain();
-  if (!config_.attack.empty()) build_attacker();
-  assemble_zones();
+    : Testbed(WorldSnapshot::build(std::move(config))) {}
 
-  for (auto& svc : roots_) svc.start();
-  for (auto& svc : nl_) svc.start();
-  for (auto& svc : test_) svc.start();
-  for (auto& svc : attacker_) svc.start();
+Testbed::Testbed(std::shared_ptr<const WorldSnapshot> world,
+                 const std::vector<std::size_t>* partition)
+    : world_(std::move(world)),
+      sim_(world_->config.seed),
+      network_(std::make_unique<net::Network>(sim_, world_->config.latency,
+                                              world_->catalog)) {
+  const TestbedConfig& config = world_->config;
+  sim_.trace().set_enabled(config.trace_decisions);
+
+  materialize_services();
+  for (auto* services : {&roots_, &nl_, &test_, &attacker_}) {
+    for (auto& svc : *services) svc.start();
+  }
   arm_defenses();
 
-  if (config_.build_population) {
-    population_ = client::build_population(
-        *network_, config_.population, hints_,
-        sim_.rng().fork("population"));
+  if (config.build_population) {
+    population_ = client::materialize_population(
+        *network_, world_->population, config.population, world_->hints,
+        partition, /*adopt_into_network=*/false);
   }
 
-  if (!config_.faults.empty()) {
+  if (!config.faults.empty()) {
     injector_ =
-        std::make_unique<fault::FaultInjector>(*network_, config_.faults);
+        std::make_unique<fault::FaultInjector>(*network_, config.faults);
     for (auto* services : {&roots_, &nl_, &test_}) {
       for (auto& svc : *services) {
         for (auto& site : svc.sites()) injector_->bind_server(*site.server);
@@ -66,154 +38,51 @@ Testbed::Testbed(TestbedConfig config)
   }
 }
 
-void Testbed::build_roots() {
-  for (const auto& spec : root_letter_specs()) {
-    const net::IpAddress addr = network_->allocate_address();
-    roots_.push_back(anycast::AnycastService::create(*network_, spec.label,
-                                                     addr, spec.site_codes));
-    // "a-root" -> a.root-servers.net
-    const dns::Name ns_name =
-        dns::Name::parse(spec.label.substr(0, 1) + ".root-servers.net");
-    NsHost host{ns_name, addr};
-    if (config_.dual_stack) {
-      const net::IpAddress addr6 = network_->allocate_address6();
-      roots_.back().listen_also(addr6);
-      host.address6 = addr6;
-      hints6_.push_back(resolver::RootHint{ns_name, addr6});
+void Testbed::materialize_services() {
+  const auto materialize = [this](const std::vector<ServicePlan>& plans,
+                                  std::vector<anycast::AnycastService>& out) {
+    out.reserve(plans.size());
+    for (const auto& sp : plans) {
+      out.push_back(anycast::AnycastService::create_at(
+          *network_, sp.label, sp.address, sp.sites));
+      if (sp.address6) out.back().listen_also(*sp.address6);
+      for (const auto& zone : sp.zones) out.back().add_zone(zone);
     }
-    root_apex_.push_back(std::move(host));
-    hints_.push_back(resolver::RootHint{ns_name, addr});
-  }
-}
-
-void Testbed::build_nl() {
-  const auto specs = config_.all_anycast_nl ? nl_all_anycast_specs()
-                                            : nl_service_specs();
-  std::size_t i = 0;
-  for (const auto& spec : specs) {
-    ++i;
-    const net::IpAddress addr = network_->allocate_address();
-    nl_.push_back(anycast::AnycastService::create(*network_, spec.label,
-                                                  addr, spec.site_codes));
-    NsHost host{dns::Name::parse("ns" + std::to_string(i) + ".dns.nl"),
-                addr};
-    if (config_.dual_stack) {
-      const net::IpAddress addr6 = network_->allocate_address6();
-      nl_.back().listen_also(addr6);
-      host.address6 = addr6;
-    }
-    nl_apex_.push_back(std::move(host));
-  }
-}
-
-void Testbed::build_test_domain() {
-  for (const auto& code : config_.test_sites) {
-    if (!net::find_location(code)) {
-      throw std::invalid_argument{"Testbed: unknown test site " + code};
-    }
-    const net::IpAddress addr = network_->allocate_address();
-    test_.push_back(anycast::AnycastService::create(
-        *network_, code, addr, std::vector<std::string>{code}));
-    NsHost host{
-        dns::Name::parse("ns-" + lower(code) + "." + config_.test_domain),
-        addr};
-    if (config_.dual_stack) {
-      const net::IpAddress addr6 = network_->allocate_address6();
-      test_.back().listen_also(addr6);
-      host.address6 = addr6;
-    }
-    test_ns_.push_back(std::move(host));
-  }
-}
-
-void Testbed::build_attacker() {
-  const auto& zone_cfg = config_.attack.zone();
-  const std::string& code = config_.attack_site;
-  if (!net::find_location(code)) {
-    throw std::invalid_argument{"Testbed: unknown attack site " + code};
-  }
-  const net::IpAddress addr = network_->allocate_address();
-  attacker_.push_back(anycast::AnycastService::create(
-      *network_, "ATK", addr, std::vector<std::string>{code}));
-  const dns::Name ns_name =
-      dns::Name::parse("ns." + zone_cfg.attacker_domain);
-  attacker_ns_.push_back(NsHost{ns_name, addr});
-  // The whole delegation-chain forest (apex + intermediate chain zones)
-  // is served by the one attacker authoritative.
-  for (auto& zone : attack::make_nxns_zones(zone_cfg, ns_name, addr)) {
-    attacker_.back().add_zone(std::move(zone));
-  }
+  };
+  materialize(world_->roots, roots_);
+  materialize(world_->nl, nl_);
+  materialize(world_->test, test_);
+  materialize(world_->attacker, attacker_);
 }
 
 void Testbed::arm_defenses() {
-  if (!config_.attack.empty()) {
+  const TestbedConfig& config = world_->config;
+  if (!config.attack.empty()) {
     // The test-domain authoritatives are the attack's victims: count their
     // load separately (attack.victim.queries, the amplification numerator).
     for (auto& svc : test_) {
       for (auto& site : svc.sites()) site.server->set_victim(true);
     }
   }
-  if (config_.rrl.rate > 0) {
+  if (config.rrl.rate > 0) {
     // RRL is the defender's: roots, .nl and the test domain arm it; the
     // attacker's own authoritative never does.
     for (auto* services : {&roots_, &nl_, &test_}) {
       for (auto& svc : *services) {
-        for (auto& site : svc.sites()) site.server->set_rrl(config_.rrl);
+        for (auto& site : svc.sites()) site.server->set_rrl(config.rrl);
       }
     }
   }
-  if (config_.referral_fanout_cap > 0) {
+  if (config.referral_fanout_cap > 0) {
     // The fanout cap is engine-wide (managed-DNS model): every hosted
     // zone's referrals are trimmed, the attacker's delegation included.
     for (auto* services : {&roots_, &nl_, &test_, &attacker_}) {
       for (auto& svc : *services) {
         for (auto& site : svc.sites()) {
-          site.server->set_referral_fanout_cap(config_.referral_fanout_cap);
+          site.server->set_referral_fanout_cap(config.referral_fanout_cap);
         }
       }
     }
-  }
-}
-
-void Testbed::assemble_zones() {
-  // Root zone: apex NS (the letters) + the .nl delegation.
-  ZoneSpec root_spec;
-  root_spec.origin = dns::Name{};
-  root_spec.apex_ns = root_apex_;
-  if (!nl_apex_.empty()) {
-    root_spec.delegations.push_back(
-        Delegation{dns::Name::parse("nl"), nl_apex_});
-  }
-  const authns::Zone root_zone = build_zone(root_spec);
-  for (auto& svc : roots_) svc.add_zone(root_zone);
-
-  // .nl zone: its 8 services + the test-domain delegation.
-  if (!nl_.empty()) {
-    ZoneSpec nl_spec;
-    nl_spec.origin = dns::Name::parse("nl");
-    nl_spec.apex_ns = nl_apex_;
-    if (!test_ns_.empty()) {
-      nl_spec.delegations.push_back(Delegation{test_domain_, test_ns_});
-    }
-    if (!attacker_ns_.empty()) {
-      nl_spec.delegations.push_back(Delegation{
-          dns::Name::parse(config_.attack.zone().attacker_domain),
-          attacker_ns_});
-    }
-    nl_spec.negative_ttl = 60;
-    const authns::Zone nl_zone = build_zone(nl_spec);
-    for (auto& svc : nl_) svc.add_zone(nl_zone);
-  }
-
-  // Test domain: each authoritative serves its own zone copy whose
-  // wildcard TXT payload is the datacenter code (paper §3.1).
-  for (std::size_t i = 0; i < test_.size(); ++i) {
-    ZoneSpec z;
-    z.origin = test_domain_;
-    z.apex_ns = test_ns_;
-    z.wildcard_txt = config_.test_sites[i];
-    z.txt_ttl = config_.txt_ttl;
-    test_[i].add_zone(build_zone(z));
   }
 }
 

@@ -1,79 +1,39 @@
-// Testbed: assembles the whole simulated world of the paper —
-// Root DNS letters (anycast), the .nl ccTLD services, the test-domain
-// authoritatives of a Table-1 combination, and the Atlas-like vantage
-// point population — on one deterministic simulation.
+// Testbed: one materialized world of the paper — Root DNS letters
+// (anycast), the .nl ccTLD services, the test-domain authoritatives of a
+// Table-1 combination, and the Atlas-like vantage point population — on one
+// deterministic simulation.
+//
+// A Testbed is mutable simulation state (sockets, servers, resolver
+// caches, the event loop) materialized over an immutable WorldSnapshot
+// (zones, geo placement, node catalog, population plan — see world.hpp).
+// Building from a TestbedConfig builds the snapshot implicitly; sharded
+// engines build it once and materialize N replicas from it, each scoped to
+// the vantage-point partition it simulates.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "anycast/service.hpp"
-#include "attack/schedule.hpp"
-#include "authns/rrl.hpp"
-#include "client/population.hpp"
 #include "experiment/deployments.hpp"
-#include "experiment/zones.hpp"
+#include "experiment/world.hpp"
 #include "fault/injector.hpp"
-#include "fault/schedule.hpp"
-#include "net/network.hpp"
 
 namespace recwild::experiment {
 
-struct TestbedConfig {
-  std::uint64_t seed = 42;
-  net::LatencyParams latency{};
-  client::PopulationConfig population{};
-  /// Build the Atlas-like population (disable for server-only tests).
-  bool build_population = true;
-  /// Build the .nl services (required when a test domain is given).
-  bool build_nl = true;
-  /// Use the all-anycast .nl variant (§7 recommendation) instead of the
-  /// paper's 5-unicast + 3-anycast deployment.
-  bool all_anycast_nl = false;
-  /// Datacenter codes for the test-domain authoritatives (a Table-1
-  /// combination); empty = no test domain.
-  std::vector<std::string> test_sites{};
-  std::string test_domain = "ourtestdomain.nl";
-  dns::Ttl txt_ttl = 5;
-  /// Dual-stack: every service additionally gets an IPv6-plane address,
-  /// published as AAAA glue. Combine with PopulationConfig::ipv6_fraction
-  /// or resolver AddressFamily to exercise v6 resolution (paper §3.1
-  /// verified its findings hold over IPv6).
-  bool dual_stack = false;
-  /// Enables the simulation's obs::DecisionTrace from construction on.
-  /// Replica worlds built from config() inherit it, so sharded campaign
-  /// runs trace exactly what the serial run traces. Metrics are always on.
-  bool trace_decisions = false;
-  /// Fault schedule armed over the world at construction (src/fault). An
-  /// empty schedule costs nothing: no injector is built, no hook installed.
-  /// Replica worlds built from config() arm the identical schedule.
-  fault::FaultSchedule faults{};
-
-  // ---- Adversarial workloads & defenses (src/attack, docs/ATTACKS.md) ----
-
-  /// Attack schedule the campaign engine replays. When non-empty, the
-  /// testbed builds the attacker-controlled authoritative (serving the
-  /// NXNS delegation chains of attack.zone()), delegates its domain from
-  /// .nl, and marks the test-domain servers as victims. Empty costs
-  /// nothing; replica worlds built from config() inherit it.
-  attack::AttackSchedule attack{};
-  /// Site hosting the attacker-controlled authoritative.
-  std::string attack_site = "AMS";
-  /// Response-rate limiting armed on every *defender* authoritative
-  /// (roots, .nl, test domain — never the attacker's). rate 0 = off.
-  authns::RrlConfig rrl{};
-  /// Referral-fanout cap on every authoritative, the attacker's included
-  /// (0 = unlimited). This is the engine-wide knob: it models a managed-DNS
-  /// platform capping referral work for all hosted zones — the only
-  /// placement where a server-side cap can trim the NXNS referral itself
-  /// (docs/ATTACKS.md).
-  int referral_fanout_cap = 0;
-};
-
 class Testbed {
  public:
+  /// Builds the world snapshot for `config`, then materializes it in full.
   explicit Testbed(TestbedConfig config);
+
+  /// Materializes a (possibly partition-scoped) replica of a prebuilt
+  /// world. With `partition` (ascending VP indices into the world's
+  /// population plan) only those vantage points — plus the forwarders and
+  /// recursives they can reach — are instantiated; nullptr materializes
+  /// the full population. Services, zones and the node catalog are shared
+  /// with every other replica of the same snapshot.
+  explicit Testbed(std::shared_ptr<const WorldSnapshot> world,
+                   const std::vector<std::size_t>* partition = nullptr);
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -90,7 +50,13 @@ class Testbed {
     return population_;
   }
   [[nodiscard]] const TestbedConfig& config() const noexcept {
-    return config_;
+    return world_->config;
+  }
+  /// The immutable world this testbed materializes. Sharded engines pass
+  /// it to replica constructors so the world is built exactly once.
+  [[nodiscard]] const std::shared_ptr<const WorldSnapshot>& world()
+      const noexcept {
+    return world_;
   }
 
   [[nodiscard]] std::vector<anycast::AnycastService>& roots() noexcept {
@@ -115,15 +81,15 @@ class Testbed {
 
   [[nodiscard]] const std::vector<resolver::RootHint>& hints()
       const noexcept {
-    return hints_;
+    return world_->hints;
   }
   /// IPv6-plane root hints (empty unless dual_stack).
   [[nodiscard]] const std::vector<resolver::RootHint>& hints6()
       const noexcept {
-    return hints6_;
+    return world_->hints6;
   }
   [[nodiscard]] const dns::Name& test_domain() const noexcept {
-    return test_domain_;
+    return world_->test_domain;
   }
 
   /// Index of the test service whose TXT payload is `code`; -1 if unknown.
@@ -139,27 +105,16 @@ class Testbed {
   }
 
  private:
-  void build_roots();
-  void build_nl();
-  void build_test_domain();
-  void build_attacker();
+  void materialize_services();
   void arm_defenses();
-  void assemble_zones();
 
-  TestbedConfig config_;
+  std::shared_ptr<const WorldSnapshot> world_;
   net::Simulation sim_;
   std::unique_ptr<net::Network> network_;
   std::vector<anycast::AnycastService> roots_;
   std::vector<anycast::AnycastService> nl_;
   std::vector<anycast::AnycastService> test_;
   std::vector<anycast::AnycastService> attacker_;
-  std::vector<NsHost> attacker_ns_;
-  std::vector<resolver::RootHint> hints_;
-  std::vector<resolver::RootHint> hints6_;
-  dns::Name test_domain_;
-  std::vector<NsHost> root_apex_;
-  std::vector<NsHost> nl_apex_;
-  std::vector<NsHost> test_ns_;
   client::Population population_;
   /// Declared last: destroyed first, so it disarms (clearing the network
   /// hook and the servers' fault providers) while both still exist.

@@ -1,0 +1,136 @@
+// WorldSnapshot: the immutable, build-once description of a testbed world,
+// shared read-only by every shard replica of a parallel campaign or
+// production run.
+//
+// Motivation (ISSUE 8): the sharded engines used to rebuild the entire
+// world per worker — zones, geo placement, the full vantage-point
+// population — which made shards anti-scale (the rebuild dominated the
+// runtime saved by parallelism) and put an O(shards × world) floor on
+// memory. A WorldSnapshot is built exactly once from a TestbedConfig; each
+// replica then materializes only mutable simulation state (sockets,
+// servers, resolver caches) on top of it, and only for the vantage-point
+// partition it simulates.
+//
+// Determinism contract. The snapshot is built with the byte-identical
+// node-id, address and RNG-draw sequences the one-shot Testbed constructor
+// used, so a world materialized from a snapshot is indistinguishable — in
+// every id, address, zone byte and random stream — from one built the old
+// way. Per-flow network RNG and latency path state are keyed by node-id
+// pairs, which is why the shared NodeCatalog (identical ids everywhere) is
+// what makes partition-scoped replicas byte-exact.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anycast/service.hpp"
+#include "attack/schedule.hpp"
+#include "authns/rrl.hpp"
+#include "client/population.hpp"
+#include "experiment/zones.hpp"
+#include "fault/schedule.hpp"
+#include "net/network.hpp"
+
+namespace recwild::experiment {
+
+struct TestbedConfig {
+  std::uint64_t seed = 42;
+  net::LatencyParams latency{};
+  client::PopulationConfig population{};
+  /// Build the Atlas-like population (disable for server-only tests).
+  bool build_population = true;
+  /// Build the .nl services (required when a test domain is given).
+  bool build_nl = true;
+  /// Use the all-anycast .nl variant (§7 recommendation) instead of the
+  /// paper's 5-unicast + 3-anycast deployment.
+  bool all_anycast_nl = false;
+  /// Datacenter codes for the test-domain authoritatives (a Table-1
+  /// combination); empty = no test domain.
+  std::vector<std::string> test_sites{};
+  std::string test_domain = "ourtestdomain.nl";
+  dns::Ttl txt_ttl = 5;
+  /// Dual-stack: every service additionally gets an IPv6-plane address,
+  /// published as AAAA glue. Combine with PopulationConfig::ipv6_fraction
+  /// or resolver AddressFamily to exercise v6 resolution (paper §3.1
+  /// verified its findings hold over IPv6).
+  bool dual_stack = false;
+  /// Enables the simulation's obs::DecisionTrace from construction on.
+  /// Replica worlds share the snapshot and inherit it, so sharded campaign
+  /// runs trace exactly what the serial run traces. Metrics are always on.
+  bool trace_decisions = false;
+  /// Fault schedule armed over the world at construction (src/fault). An
+  /// empty schedule costs nothing: no injector is built, no hook installed.
+  /// Replica worlds arm the identical schedule.
+  fault::FaultSchedule faults{};
+
+  // ---- Adversarial workloads & defenses (src/attack, docs/ATTACKS.md) ----
+
+  /// Attack schedule the campaign engine replays. When non-empty, the
+  /// testbed builds the attacker-controlled authoritative (serving the
+  /// NXNS delegation chains of attack.zone()), delegates its domain from
+  /// .nl, and marks the test-domain servers as victims. Empty costs
+  /// nothing; replica worlds inherit it through the snapshot.
+  attack::AttackSchedule attack{};
+  /// Site hosting the attacker-controlled authoritative.
+  std::string attack_site = "AMS";
+  /// Response-rate limiting armed on every *defender* authoritative
+  /// (roots, .nl, test domain — never the attacker's). rate 0 = off.
+  authns::RrlConfig rrl{};
+  /// Referral-fanout cap on every authoritative, the attacker's included
+  /// (0 = unlimited). This is the engine-wide knob: it models a managed-DNS
+  /// platform capping referral work for all hosted zones — the only
+  /// placement where a server-side cap can trim the NXNS referral itself
+  /// (docs/ATTACKS.md).
+  int referral_fanout_cap = 0;
+};
+
+/// One authoritative service, fully planned: name, shared address(es),
+/// site nodes (pre-assigned in the catalog) and the immutable zones every
+/// site serves. Replicas construct servers straight from this — no node or
+/// address allocation, no zone copies.
+struct ServicePlan {
+  std::string label;
+  net::IpAddress address;
+  std::optional<net::IpAddress> address6;
+  std::vector<anycast::SitePlan> sites;
+  std::vector<std::shared_ptr<const authns::Zone>> zones;
+};
+
+/// Everything immutable about a testbed world. Built once (see build()),
+/// then shared across shard replicas via shared_ptr<const WorldSnapshot>.
+struct WorldSnapshot {
+  TestbedConfig config;
+
+  /// Shared node directory + address-pool cursor. Replica Networks are
+  /// layered on it (net::Network's `base` constructor parameter).
+  std::shared_ptr<const net::NodeCatalog> catalog;
+
+  std::vector<ServicePlan> roots;
+  std::vector<ServicePlan> nl;
+  std::vector<ServicePlan> test;
+  std::vector<ServicePlan> attacker;
+
+  std::vector<resolver::RootHint> hints;
+  std::vector<resolver::RootHint> hints6;
+  dns::Name test_domain;
+
+  /// The planned vantage-point population (empty when
+  /// config.build_population is false).
+  client::PopulationPlan population;
+
+  /// VP partition classes: vantage points that share any recursive
+  /// resolver (forwarders chased to their upstream) are in one group,
+  /// because the shared cache/SRTT state couples their observations.
+  /// Groups in first-seen VP order, each ascending. Precomputed here so
+  /// sharded runs don't redo the union-find per run.
+  std::vector<std::vector<std::size_t>> vp_groups;
+
+  /// Builds the snapshot for `config`: plans services, assembles zones,
+  /// plans the population and computes vp_groups. Performs every
+  /// validation the one-shot Testbed constructor used to perform.
+  static std::shared_ptr<const WorldSnapshot> build(TestbedConfig config);
+};
+
+}  // namespace recwild::experiment

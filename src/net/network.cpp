@@ -8,10 +8,15 @@
 
 namespace recwild::net {
 
-Network::Network(Simulation& sim, LatencyParams params)
+Network::Network(Simulation& sim, LatencyParams params,
+                 std::shared_ptr<const NodeCatalog> base)
     : sim_(sim),
       latency_(params, sim.rng().fork("latency-model")),
       flow_rng_parent_(sim.rng().fork("packet-rng")),
+      base_(std::move(base)),
+      base_count_(base_ != nullptr
+                      ? static_cast<NodeId>(base_->node_count())
+                      : 0),
       obs_sent_(&sim.metrics().counter(obs::names::kNetPacketsSent)),
       obs_delivered_(&sim.metrics().counter(obs::names::kNetPacketsDelivered)),
       obs_dropped_(&sim.metrics().counter(obs::names::kNetPacketsDropped)),
@@ -20,7 +25,15 @@ Network::Network(Simulation& sim, LatencyParams params)
       obs_stream_sent_(&sim.metrics().counter(obs::names::kNetStreamSent)),
       obs_udp_bytes_(&sim.metrics().counter(obs::names::kDatapathUdpBytes)),
       obs_stream_bytes_(
-          &sim.metrics().counter(obs::names::kDatapathStreamBytes)) {}
+          &sim.metrics().counter(obs::names::kDatapathStreamBytes)) {
+  if (base_ != nullptr) {
+    if (base_->first_id != 0) {
+      throw std::invalid_argument{
+          "Network: a base catalog must start at node id 0"};
+    }
+    next_addr_ = base_->next_addr;
+  }
+}
 
 namespace {
 
@@ -71,14 +84,18 @@ void Network::grow_flow_table() {
 }
 
 NodeId Network::add_node(std::string name, GeoPoint point) {
-  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const NodeId id = base_count_ + static_cast<NodeId>(nodes_.size());
   nodes_.push_back(NodeInfo{id, std::move(name), point});
   return id;
 }
 
 const NodeInfo& Network::node(NodeId id) const {
-  if (id >= nodes_.size()) throw std::out_of_range{"Network::node: bad id"};
-  return nodes_[id];
+  if (id < base_count_) return base_->nodes[id];
+  const NodeId local = id - base_count_;
+  if (local >= nodes_.size()) {
+    throw std::out_of_range{"Network::node: bad id"};
+  }
+  return nodes_[local];
 }
 
 IpAddress Network::allocate_address() {
@@ -93,7 +110,7 @@ IpAddress Network::allocate_address6() {
 }
 
 void Network::listen(NodeId node, Endpoint ep, DatagramHandler handler) {
-  if (node >= nodes_.size()) throw std::out_of_range{"Network::listen"};
+  if (node >= node_count()) throw std::out_of_range{"Network::listen"};
   auto shared = std::make_shared<const DatagramHandler>(std::move(handler));
   auto& list = bindings_[ep];
   for (auto& b : list) {
@@ -156,7 +173,7 @@ const Network::Binding* Network::select_binding(NodeId from, Endpoint dst) {
 
 bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
                    WireBuffer payload) {
-  if (from_node >= nodes_.size()) throw std::out_of_range{"Network::send"};
+  if (from_node >= node_count()) throw std::out_of_range{"Network::send"};
   ++sent_;
   obs_sent_->add(1, sim_.now());
   obs_udp_bytes_->add(payload.size(), sim_.now());
@@ -175,8 +192,8 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
       obs_dropped_->add(1, sim_.now());
       if (sim_.trace().enabled()) {
         sim_.trace().record({sim_.now(), obs::TraceKind::PacketDrop,
-                             nodes_[from_node].name,
-                             nodes_[binding->node].name, "fault_injector",
+                             node(from_node).name,
+                             node(binding->node).name, "fault_injector",
                              0.0});
       }
       return true;  // sent, but eaten by an active fault
@@ -189,13 +206,13 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
     obs_dropped_->add(1, sim_.now());
     if (sim_.trace().enabled()) {
       sim_.trace().record({sim_.now(), obs::TraceKind::PacketDrop,
-                           nodes_[from_node].name, nodes_[binding->node].name,
+                           node(from_node).name, node(binding->node).name,
                            "loss_model", 0.0});
     }
     return true;  // sent, but lost in transit
   }
-  const NodeInfo& a = nodes_[from_node];
-  const NodeInfo& b = nodes_[binding->node];
+  const NodeInfo& a = node(from_node);
+  const NodeInfo& b = node(binding->node);
   const Duration delay =
       fault_delay + latency_.one_way(a.id, a.point, b.id, b.point, frng);
   Datagram dgram{src, dst, sim_.now(), std::move(payload)};
@@ -214,7 +231,7 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
 
 bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
                           WireBuffer payload) {
-  if (from_node >= nodes_.size()) {
+  if (from_node >= node_count()) {
     throw std::out_of_range{"Network::send_stream"};
   }
   ++sent_;
@@ -239,8 +256,8 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
       obs_dropped_->add(1, sim_.now());
       if (sim_.trace().enabled()) {
         sim_.trace().record({sim_.now(), obs::TraceKind::PacketDrop,
-                             nodes_[from_node].name,
-                             nodes_[binding->node].name, "fault_injector",
+                             node(from_node).name,
+                             node(binding->node).name, "fault_injector",
                              0.0});
       }
       return true;
@@ -250,8 +267,8 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
   // TCP is reliable: no drop. Cost model: SYN (one way) + SYN/ACK (one
   // way back) + payload (one way) = three one-way delays before the
   // message is in the receiver's hands.
-  const NodeInfo& a = nodes_[from_node];
-  const NodeInfo& b = nodes_[binding->node];
+  const NodeInfo& a = node(from_node);
+  const NodeInfo& b = node(binding->node);
   stats::Rng& frng = flow_rng(from_node, binding->node);
   Duration delay = fault_delay;
   for (int leg = 0; leg < 3; ++leg) {
@@ -296,6 +313,11 @@ NodeId Network::route(NodeId from, IpAddress addr) {
 }
 
 NodeId Network::find_node(std::string_view name) const {
+  if (base_ != nullptr) {
+    for (const NodeInfo& n : base_->nodes) {
+      if (n.name == name) return n.id;
+    }
+  }
   for (const NodeInfo& n : nodes_) {
     if (n.name == name) return n.id;
   }

@@ -34,6 +34,47 @@ struct NodeInfo {
   GeoPoint point;
 };
 
+/// An immutable, shareable node directory plus the address-pool cursor that
+/// produced it. A world builder fills one catalog once; every shard replica
+/// then constructs its Network *on top of* the catalog (see the Network
+/// constructor taking a base), so node ids, names, geographic points and
+/// allocated addresses are globally identical across replicas without any
+/// per-replica copy of the (potentially million-entry) node table.
+///
+/// Identity matters beyond memory: per-flow RNG streams are keyed by the
+/// (from, to) node-id pair and the latency model's path table by the
+/// unordered pair, so replicas sharing a catalog draw byte-identical
+/// jitter/loss/RTT sequences for the same logical flow.
+struct NodeCatalog {
+  /// Nodes indexed by `id - first_id` (first_id is 0 for a from-scratch
+  /// world; a catalog seeded from an existing network starts after it).
+  std::vector<NodeInfo> nodes;
+  NodeId first_id = 0;
+  /// Next host number of the shared 10/8 + 253/8 address pools; a Network
+  /// built on this catalog continues allocating from here.
+  std::uint32_t next_addr = 1;
+
+  /// Adds a node; same contract as Network::add_node.
+  NodeId add_node(std::string name, GeoPoint point) {
+    const NodeId id = first_id + static_cast<NodeId>(nodes.size());
+    nodes.push_back(NodeInfo{id, std::move(name), point});
+    return id;
+  }
+  /// Allocates a fresh 10/8 address; same pool behavior as Network.
+  IpAddress allocate_address() {
+    const std::uint32_t host = next_addr++;
+    return IpAddress{(10u << 24) | (host & 0x00ffffffu)};
+  }
+  /// Allocates a fresh 253/8 ("IPv6-plane") address.
+  IpAddress allocate_address6() {
+    const std::uint32_t host = next_addr++;
+    return IpAddress{(253u << 24) | (host & 0x00ffffffu)};
+  }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return first_id + nodes.size();
+  }
+};
+
 /// One in-flight packet. Move-only: the payload is a pooled WireBuffer
 /// that travels from the encoder through the network to the receiving
 /// handler without being copied.
@@ -79,7 +120,14 @@ class PacketFaultHook {
 
 class Network {
  public:
-  Network(Simulation& sim, LatencyParams params = {});
+  /// A network with its own private node table (the classic form), or —
+  /// when `base` is non-null — one layered over a shared immutable catalog:
+  /// base nodes are visible read-only by id, locally added nodes continue
+  /// the id sequence, and address allocation continues from the catalog's
+  /// cursor. Shard replicas built over one catalog therefore agree on every
+  /// node id and address without duplicating the table.
+  explicit Network(Simulation& sim, LatencyParams params = {},
+                   std::shared_ptr<const NodeCatalog> base = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -88,7 +136,17 @@ class Network {
   NodeId add_node(std::string name, GeoPoint point);
   [[nodiscard]] const NodeInfo& node(NodeId id) const;
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return nodes_.size();
+    return base_count_ + nodes_.size();
+  }
+  /// Next host number the address pools will hand out. World builders use
+  /// this to seed a NodeCatalog that continues an existing network's pools.
+  [[nodiscard]] std::uint32_t next_host() const noexcept {
+    return next_addr_;
+  }
+  /// The shared catalog this network is layered on (null when standalone).
+  [[nodiscard]] const std::shared_ptr<const NodeCatalog>& base_catalog()
+      const noexcept {
+    return base_;
   }
 
   /// Allocates a fresh unique address (10.0.0.0/8 pool).
@@ -209,6 +267,10 @@ class Network {
   stats::Rng flow_rng_parent_;
   std::vector<FlowSlot> flow_slots_;
   std::size_t flow_count_ = 0;
+  /// Shared immutable node prefix (ids [0, base_count_)); may be null.
+  std::shared_ptr<const NodeCatalog> base_;
+  NodeId base_count_ = 0;
+  /// Locally added nodes (ids base_count_ + index).
   std::vector<NodeInfo> nodes_;
   std::unordered_map<Endpoint, std::vector<Binding>> bindings_;
   std::vector<EndpointSlot> endpoint_slots_;

@@ -157,6 +157,15 @@ MetricsSnapshot MetricsSnapshot::delta_since(
   return out;
 }
 
+MetricsSnapshot& MetricsSnapshot::compact() {
+  std::erase_if(counters,
+                [](const CounterValue& c) { return c.value == 0; });
+  std::erase_if(histograms,
+                [](const HistogramValue& h) { return h.total == 0; });
+  gauges.clear();
+  return *this;
+}
+
 void MetricsSnapshot::write_json(std::ostream& out,
                                  SnapshotStyle style) const {
   out << "{\n  \"counters\": {";

@@ -160,6 +160,14 @@ struct MetricsSnapshot {
   [[nodiscard]] MetricsSnapshot delta_since(
       const MetricsSnapshot& baseline) const;
 
+  /// Drops zero-valued counters, empty histograms and all gauges in place
+  /// and returns *this. Applied to a shard's delta before it is streamed
+  /// into the cross-shard accumulator: merging a zero entry only touches
+  /// timestamps, and an untouched metric's timestamp is already identical
+  /// on every identically-built world, so compaction cannot change the
+  /// merged bytes — it only shrinks what each shard ships.
+  MetricsSnapshot& compact();
+
   /// Writes the snapshot as deterministic JSON: keys sorted, integers
   /// verbatim, bounds with up to six significant digits.
   void write_json(std::ostream& out,

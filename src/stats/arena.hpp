@@ -1,0 +1,105 @@
+// Monotonic object arena for shard-replica state.
+//
+// A shard replica materializes tens of thousands of small, same-lifetime
+// objects (stub resolvers, forwarders, recursive state) that all die
+// together when the replica is torn down. Allocating each from the global
+// heap costs a malloc/free pair per object and scatters them across the
+// address space; the arena carves them out of large chunks instead, and
+// destroys everything in one sweep (reverse construction order) when the
+// arena goes away. Objects never move once constructed, so raw pointers
+// into the arena stay valid for its whole lifetime.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace recwild::stats {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(Arena&& other) noexcept
+      : chunks_(std::move(other.chunks_)),
+        dtors_(std::exchange(other.dtors_, nullptr)) {}
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      clear();
+      chunks_ = std::move(other.chunks_);
+      dtors_ = std::exchange(other.dtors_, nullptr);
+    }
+    return *this;
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() { clear(); }
+
+  /// Constructs a T inside the arena and returns a pointer that stays
+  /// valid until clear()/destruction. Non-trivially-destructible types are
+  /// registered for destruction in reverse construction order.
+  template <class T, class... Args>
+  T* make(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    T* obj = ::new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      void* dmem = allocate(sizeof(Dtor), alignof(Dtor));
+      dtors_ = ::new (dmem) Dtor{
+          [](void* p) { static_cast<T*>(p)->~T(); }, obj, dtors_};
+    }
+    return obj;
+  }
+
+  /// Destroys every object (reverse construction order) and releases all
+  /// chunks.
+  void clear() noexcept {
+    for (Dtor* d = dtors_; d != nullptr; d = d->next) d->fn(d->obj);
+    dtors_ = nullptr;
+    chunks_.clear();
+  }
+
+ private:
+  struct Dtor {
+    void (*fn)(void*);
+    void* obj;
+    Dtor* next;
+  };
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t used = 0;
+    std::size_t cap = 0;
+  };
+
+  void* allocate(std::size_t size, std::size_t align) {
+    if (!chunks_.empty()) {
+      Chunk& c = chunks_.back();
+      const std::size_t at = (c.used + align - 1) & ~(align - 1);
+      if (at + size <= c.cap) {
+        c.used = at + size;
+        return c.data.get() + at;
+      }
+    }
+    const std::size_t cap = std::max<std::size_t>(kChunkBytes, size + align);
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(cap);
+    c.cap = cap;
+    chunks_.push_back(std::move(c));
+    Chunk& fresh = chunks_.back();
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(fresh.data.get());
+    const std::size_t at = ((base + align - 1) & ~(align - 1)) - base;
+    fresh.used = at + size;
+    return fresh.data.get() + at;
+  }
+
+  static constexpr std::size_t kChunkBytes = 256 * 1024;
+
+  std::vector<Chunk> chunks_;
+  Dtor* dtors_ = nullptr;
+};
+
+}  // namespace recwild::stats

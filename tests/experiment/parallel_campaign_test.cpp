@@ -62,7 +62,27 @@ TEST(ParallelCampaign, ShardsDoNotChangeResults) {
 TEST(ParallelCampaign, ExportedBytesIdenticalAcrossShardCounts) {
   const std::string serial = export_bytes(run_with_shards(1));
   EXPECT_EQ(serial, export_bytes(run_with_shards(2)));
+  EXPECT_EQ(serial, export_bytes(run_with_shards(3)));
   EXPECT_EQ(serial, export_bytes(run_with_shards(4)));
+  EXPECT_EQ(serial, export_bytes(run_with_shards(8)));
+}
+
+TEST(ParallelCampaign, RunStatsAccountForEveryVp) {
+  Testbed tb{small_config()};
+  CampaignConfig cc;
+  cc.queries_per_vp = 3;
+  cc.shards = 4;
+  CampaignRunStats stats;
+  cc.run_stats = &stats;
+  const auto result = run_campaign(tb, cc);
+  ASSERT_FALSE(stats.shards.empty());
+  std::size_t vps = 0;
+  for (const auto& s : stats.shards) {
+    vps += s.vps;
+    EXPECT_GE(s.wall_s, 0.0);
+  }
+  EXPECT_EQ(vps, result.vps.size());
+  EXPECT_GE(stats.run_s, 0.0);
 }
 
 TEST(ParallelCampaign, MoreShardsThanGroupsStillWorks) {
