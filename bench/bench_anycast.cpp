@@ -1,0 +1,354 @@
+// Anycast failover bench (docs/ANYCAST.md; paper §7 "Other
+// Considerations").
+//
+// For each site inventory — a 13-site root-letter-like deployment and a
+// 3-site regional one — a worldwide client population queries one anycast
+// service (and a single-site unicast control at the same primary location)
+// on a steady clock. Mid-run the service's most popular site withdraws its
+// BGP announcement (fault::FaultKind::SiteWithdraw): queries launched
+// during convergence die in the dead path and recover via client
+// retransmission; converged clients fail over transparently to their
+// next-best site.
+//
+// Reported per inventory, all from one deterministic seeded simulation:
+//   * steady-state and failover-phase query latency p50/p99 (client view,
+//     retransmissions included),
+//   * the anycast-vs-unicast latency gap (unicast p50 - anycast p50),
+//   * catchment-shift and convergence-loss counts, and the
+//     anycast.failover.latency_ms histogram percentiles.
+//
+// `--json FILE` emits BENCH_anycast.json; CI's nightly bench gates on the
+// 13-site inventory keeping its failover-phase p99 within 2x the
+// steady-state p99 (the engineered-anycast claim: a withdrawal is a
+// bounded blip, not an outage).
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anycast/service.hpp"
+#include "dnscore/codec.hpp"
+#include "fault/injector.hpp"
+#include "obs/names.hpp"
+#include "stats/summary.hpp"
+
+using namespace recwild;
+
+namespace {
+
+constexpr const char* kZoneText = R"(
+@ IN SOA ns1 hostmaster 1 14400 3600 1209600 300
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+* 5 IN TXT "anycast-bench"
+)";
+
+// The run's timeline (seconds).
+constexpr double kDuration = 120.0;
+constexpr double kWithdrawStart = 40.0;
+constexpr double kWithdrawEnd = 80.0;
+constexpr double kConvergenceMs = 300.0;  // jittered +-25% by the injector
+constexpr double kQueryIntervalS = 0.5;
+constexpr double kRetryTimeoutS = 0.3;
+constexpr int kMaxTries = 4;
+
+struct Inventory {
+  const char* name;
+  std::vector<std::string> sites;
+};
+
+struct Percentiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+Percentiles percentiles_of(const stats::Sample& s) {
+  if (s.empty()) return {};
+  return {s.quantile(0.5), s.quantile(0.99)};
+}
+
+/// p50/p99 of a snapshot histogram, each reported as its bin's upper edge.
+Percentiles percentiles_of(const obs::MetricsSnapshot::HistogramValue& h) {
+  Percentiles out;
+  if (h.total == 0) return out;
+  const double width = (h.hi - h.lo) / double(h.counts.size());
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    seen += h.counts[i];
+    const double edge = h.lo + width * double(i + 1);
+    if (out.p50 == 0.0 && double(seen) >= 0.50 * double(h.total)) {
+      out.p50 = edge;
+    }
+    if (double(seen) >= 0.99 * double(h.total)) {
+      out.p99 = edge;
+      break;
+    }
+  }
+  return out;
+}
+
+net::SimTime at_s(double s) {
+  return net::SimTime::origin() + net::Duration::seconds(s);
+}
+
+/// One worldwide client: fires a query at each tick, retransmits on a
+/// short timeout, and buckets the answer latency by the phase the query
+/// STARTED in.
+struct Client {
+  net::NodeId node = net::kInvalidNode;
+  net::Endpoint ep;
+  struct Pending {
+    net::SimTime first_sent;
+    int tries = 0;
+    bool steady = false;  // started outside the withdrawal window
+  };
+  std::map<std::uint16_t, Pending> pending;
+  std::uint16_t next_id = 1;
+};
+
+struct InventoryResult {
+  std::string name;
+  std::size_t sites = 0;
+  std::size_t clients = 0;
+  std::string withdrawn_site;
+  Percentiles steady;
+  Percentiles failover;
+  Percentiles unicast;
+  Percentiles failover_hist;
+  std::uint64_t failover_hist_total = 0;
+  double gap_ms = 0.0;
+  std::uint64_t shifts = 0;
+  std::uint64_t lost_in_convergence = 0;
+  std::uint64_t unanswered = 0;
+};
+
+/// Drives one service (anycast or the unicast control) with the shared
+/// client population. Latencies land in `steady` / `failover` by phase.
+struct Driver {
+  net::Simulation& sim;
+  net::Network& net;
+  anycast::AnycastService& svc;
+  std::vector<Client> clients;
+  stats::Sample steady;
+  stats::Sample failover;
+  std::uint64_t unanswered = 0;
+
+  Driver(net::Simulation& sim_, net::Network& net_,
+         anycast::AnycastService& svc_,
+         const std::vector<net::NodeId>& nodes, std::uint16_t base_port)
+      : sim(sim_), net(net_), svc(svc_) {
+    clients.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Client& c = clients[i];
+      c.node = nodes[i];
+      c.ep = net::Endpoint{net.allocate_address(), base_port};
+      net.listen(c.node, c.ep, [this, &c](const net::Datagram& d,
+                                          net::NodeId) {
+        const auto msg = dns::decode_message(d.payload);
+        const auto it = c.pending.find(msg.header.id);
+        if (it == c.pending.end()) return;  // late duplicate
+        const double ms = (sim.now() - it->second.first_sent).sec() * 1e3;
+        (it->second.steady ? steady : failover).add(ms);
+        c.pending.erase(it);
+      });
+    }
+  }
+
+  void send(Client& c, std::uint16_t id) {
+    net.send(c.node, c.ep, net::Endpoint{svc.address(), net::kDnsPort},
+             dns::encode_message(dns::Message::make_query(
+                 id, dns::Name::parse("q" + std::to_string(id) + ".x.nl"),
+                 dns::RRType::TXT)));
+    Client* cp = &c;
+    sim.at(sim.now() + net::Duration::seconds(kRetryTimeoutS),
+           [this, cp, id] {
+             const auto it = cp->pending.find(id);
+             if (it == cp->pending.end()) return;  // answered
+             if (++it->second.tries >= kMaxTries) {
+               ++unanswered;
+               cp->pending.erase(it);
+               return;
+             }
+             send(*cp, id);
+           });
+  }
+
+  void start_query(Client& c, bool steady_phase) {
+    const std::uint16_t id = c.next_id++;
+    c.pending[id] = Client::Pending{sim.now(), 1, steady_phase};
+    send(c, id);
+  }
+
+  /// Schedules the full query train for every client up front.
+  void schedule(stats::Rng& rng, bool fault_armed) {
+    for (auto& c : clients) {
+      const double offset = rng.uniform(0.0, kQueryIntervalS);
+      for (double t = offset; t < kDuration; t += kQueryIntervalS) {
+        const bool steady_phase =
+            !fault_armed || t < kWithdrawStart || t >= kWithdrawEnd;
+        Client* cp = &c;
+        sim.at(at_s(t),
+               [this, cp, steady_phase] { start_query(*cp, steady_phase); });
+      }
+    }
+  }
+};
+
+InventoryResult run_inventory(const Inventory& inv, std::uint64_t seed) {
+  net::Simulation sim{seed};
+  net::LatencyParams params;
+  params.loss_rate = 0.0;
+  net::Network network{sim, params};
+
+  auto zone = authns::Zone::from_text(dns::Name::parse("x.nl"), kZoneText);
+  auto any = anycast::AnycastService::create(
+      network, "bench-any", network.allocate_address(), inv.sites);
+  any.add_zone(zone);
+  any.start();
+  // Unicast control: one site at the inventory's primary location.
+  auto uni = anycast::AnycastService::create(
+      network, "bench-uni", network.allocate_address(), {inv.sites.front()});
+  uni.add_zone(zone);
+  uni.start();
+
+  // Clients: a few cities per continent, the same set for every inventory.
+  std::vector<net::NodeId> nodes;
+  for (const auto continent : net::all_continents()) {
+    const auto cities = net::locations_on(continent);
+    for (std::size_t i = 0; i < cities.size() && i < 8; ++i) {
+      nodes.push_back(network.add_node(
+          "vp-" + std::string(cities[i].code), cities[i].point));
+    }
+  }
+
+  // Withdraw the site with the biggest catchment — the worst case the
+  // inventory can absorb.
+  std::map<std::string, int> catchment_sizes;
+  for (const net::NodeId n : nodes) {
+    if (const auto* site = any.catchment(n, net::SimTime::origin())) {
+      ++catchment_sizes[site->code];
+    }
+  }
+  std::string victim = inv.sites.front();
+  int victim_size = -1;
+  for (const auto& [code, count] : catchment_sizes) {
+    if (count > victim_size) {
+      victim = code;
+      victim_size = count;
+    }
+  }
+
+  fault::FaultSchedule schedule;
+  schedule.add({fault::FaultKind::SiteWithdraw, at_s(kWithdrawStart),
+                at_s(kWithdrawEnd), any.address().to_string(), victim,
+                kConvergenceMs, -1.0});
+  fault::FaultInjector injector{network, schedule};
+  injector.bind_service(any);
+  injector.arm();
+
+  stats::Rng rng = sim.rng().fork("bench-anycast");
+  Driver any_driver{sim, network, any, nodes, 40'000};
+  Driver uni_driver{sim, network, uni, nodes, 41'000};
+  any_driver.schedule(rng, /*fault_armed=*/true);
+  uni_driver.schedule(rng, /*fault_armed=*/false);
+  sim.run();
+
+  const auto snap = sim.metrics().snapshot();
+  InventoryResult r;
+  r.name = inv.name;
+  r.sites = inv.sites.size();
+  r.clients = nodes.size();
+  r.withdrawn_site = victim;
+  r.steady = percentiles_of(any_driver.steady);
+  r.failover = percentiles_of(any_driver.failover);
+  r.unicast = percentiles_of(uni_driver.steady);
+  r.gap_ms = r.unicast.p50 - r.steady.p50;
+  r.shifts = snap.counter_value(obs::names::kAnycastCatchmentShift);
+  r.lost_in_convergence =
+      snap.counter_value(obs::names::kAnycastLostInConvergence);
+  r.unanswered = any_driver.unanswered + uni_driver.unanswered;
+  for (const auto& h : snap.histograms) {
+    if (h.name == obs::names::kAnycastFailoverLatencyMs) {
+      r.failover_hist = percentiles_of(h);
+      r.failover_hist_total = h.total;
+    }
+  }
+  return r;
+}
+
+void write_json(const std::string& path,
+                const std::vector<InventoryResult>& results,
+                std::uint64_t seed) {
+  std::ofstream out{path};
+  out << "{\n  \"schema\": \"bench_anycast.v1\",\n  \"seed\": " << seed
+      << ",\n  \"inventories\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"sites\": " << r.sites
+        << ", \"clients\": " << r.clients << ",\n"
+        << "     \"withdrawn_site\": \"" << r.withdrawn_site << "\",\n"
+        << "     \"steady_p50_ms\": " << r.steady.p50
+        << ", \"steady_p99_ms\": " << r.steady.p99 << ",\n"
+        << "     \"failover_p50_ms\": " << r.failover.p50
+        << ", \"failover_p99_ms\": " << r.failover.p99 << ",\n"
+        << "     \"unicast_p50_ms\": " << r.unicast.p50
+        << ", \"unicast_p99_ms\": " << r.unicast.p99
+        << ", \"anycast_unicast_gap_ms\": " << r.gap_ms << ",\n"
+        << "     \"catchment_shifts\": " << r.shifts
+        << ", \"lost_in_convergence\": " << r.lost_in_convergence
+        << ", \"unanswered\": " << r.unanswered << ",\n"
+        << "     \"failover_hist_p50_ms\": " << r.failover_hist.p50
+        << ", \"failover_hist_p99_ms\": " << r.failover_hist.p99
+        << ", \"failover_hist_total\": " << r.failover_hist_total << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("json -> %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const std::vector<Inventory> inventories = {
+      {"root13",
+       {"IAD", "LAX", "AMS", "FRA", "LHR", "NRT", "SYD", "GRU", "JNB",
+        "BOM", "SIN", "ORD", "CDG"}},
+      {"regional3", {"AMS", "IAD", "NRT"}},
+  };
+
+  std::vector<InventoryResult> results;
+  for (const auto& inv : inventories) {
+    results.push_back(run_inventory(inv, seed));
+    const auto& r = results.back();
+    std::printf(
+        "%-10s %2zu sites, %zu clients, withdrew %s\n"
+        "  steady   p50 %7.1f ms   p99 %7.1f ms\n"
+        "  failover p50 %7.1f ms   p99 %7.1f ms   (%" PRIu64
+        " shifts, %" PRIu64 " lost in convergence, %" PRIu64 " unanswered)\n"
+        "  unicast  p50 %7.1f ms   p99 %7.1f ms   gap %+.1f ms\n"
+        "  failover histogram p50 %.0f ms p99 %.0f ms over %" PRIu64
+        " flows\n",
+        r.name.c_str(), r.sites, r.clients, r.withdrawn_site.c_str(),
+        r.steady.p50, r.steady.p99, r.failover.p50, r.failover.p99,
+        r.shifts, r.lost_in_convergence, r.unanswered, r.unicast.p50,
+        r.unicast.p99, r.gap_ms, r.failover_hist.p50, r.failover_hist.p99,
+        r.failover_hist_total);
+  }
+
+  if (!json_path.empty()) write_json(json_path, results, seed);
+  return 0;
+}

@@ -14,6 +14,14 @@
 //                                      defended (RRL + fanout cap + fetch
 //                                      limits) and fail unless the defended
 //                                      victim load drops (the CI smoke)
+//       [--flap]                       use a deterministic BGP flap +
+//                                      site-withdrawal schedule instead of
+//                                      the seeded random one
+//       [--assert-failover]            with --flap: run serially and fail
+//                                      unless every VP query completed and
+//                                      the failover latency histogram
+//                                      recorded catchment shifts (the CI
+//                                      failover smoke)
 //   e.g. ./build/examples/chaos_campaign 1009 300
 #include <cstdio>
 #include <cstdlib>
@@ -36,11 +44,12 @@ using namespace recwild::experiment;
 
 namespace {
 
-TestbedConfig base_config(std::size_t probes) {
+TestbedConfig base_config(std::size_t probes, bool anycast_test = false) {
   TestbedConfig cfg;
   cfg.seed = 77;
   cfg.population.probes = probes;
   cfg.test_sites = {"DUB", "FRA", "GRU"};
+  cfg.anycast_test = anycast_test;
   cfg.trace_decisions = true;
   return cfg;
 }
@@ -94,14 +103,89 @@ fault::ChaosSpace world_space(std::size_t probes) {
   return space;
 }
 
+/// A deterministic dynamic-catchment schedule over the anycast test
+/// service (base_config with anycast_test): its first site flaps (60 s
+/// withdraw/announce cycles, 800 ms convergence) for most of the campaign,
+/// and its last site withdraws outright mid-campaign. Exercises the
+/// route-hook path end to end — targeting by shared address AND by service
+/// label — without depending on what random_schedule draws.
+fault::FaultSchedule flap_schedule(std::size_t probes) {
+  Testbed scout{base_config(probes, /*anycast_test=*/true)};
+  auto& svc = scout.test_services().front();
+  fault::FaultSchedule schedule;
+  schedule.add({fault::FaultKind::SiteFlap,
+                net::SimTime::origin() + net::Duration::minutes(2),
+                net::SimTime::origin() + net::Duration::minutes(14),
+                svc.address().to_string(), svc.sites().front().code, 800.0,
+                -1.0, 60'000.0});
+  schedule.add({fault::FaultKind::SiteWithdraw,
+                net::SimTime::origin() + net::Duration::minutes(4),
+                net::SimTime::origin() + net::Duration::minutes(12),
+                svc.name(), svc.sites().back().code, 1500.0, -1.0});
+  schedule.validate();
+  return schedule;
+}
+
+/// The CI failover smoke behind --flap --assert-failover: arm the
+/// deterministic flap schedule, run the campaign serially, and fail unless
+/// every VP query completed with an outcome AND the failover machinery
+/// measurably engaged: catchment shifts counted and failover latencies
+/// recorded in the histogram.
+int assert_failover(std::size_t probes) {
+  auto cfg = base_config(probes, /*anycast_test=*/true);
+  cfg.faults = flap_schedule(probes);
+  Testbed testbed{cfg};
+  CampaignConfig cc;
+  cc.interval = net::Duration::minutes(2);
+  cc.queries_per_vp = 8;
+  const auto result = run_campaign(testbed, cc);
+
+  bool complete = true;
+  for (const auto& vp : result.vps) {
+    if (vp.sequence.size() != cc.queries_per_vp) complete = false;
+  }
+  const auto& m = result.metrics;
+  const auto sent = m.counter_value(obs::names::kCampaignQueriesSent);
+  const auto answered =
+      m.counter_value(obs::names::kCampaignQueriesAnswered);
+  const auto unanswered =
+      m.counter_value(obs::names::kCampaignQueriesUnanswered);
+  const auto shifts =
+      m.counter_value(obs::names::kAnycastCatchmentShift);
+  const auto lost =
+      m.counter_value(obs::names::kAnycastLostInConvergence);
+  std::uint64_t hist_total = 0;
+  for (const auto& h : m.histograms) {
+    if (h.name == obs::names::kAnycastFailoverLatencyMs) {
+      hist_total = h.total;
+    }
+  }
+  std::printf(
+      "\nflap failover check: %llu sent = %llu answered + %llu unanswered; "
+      "%llu catchment shift(s), %llu lost in convergence, failover "
+      "histogram %llu sample(s)\n",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(answered),
+      static_cast<unsigned long long>(unanswered),
+      static_cast<unsigned long long>(shifts),
+      static_cast<unsigned long long>(lost),
+      static_cast<unsigned long long>(hist_total));
+  const bool ok = complete && sent == answered + unanswered &&
+                  shifts > 0 && hist_total > 0;
+  std::printf("all VP queries complete and failover measured: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}
+
 struct RunOutput {
   std::string metrics_json;
   std::string trace_tsv;
 };
 
 RunOutput run_once(const fault::FaultSchedule& schedule, std::size_t probes,
-                   std::size_t shards, const AttackOptions& atk) {
-  auto cfg = base_config(probes);
+                   std::size_t shards, const AttackOptions& atk,
+                   bool anycast_test) {
+  auto cfg = base_config(probes, anycast_test);
   cfg.faults = schedule;
   apply_attack(cfg, atk);
   Testbed testbed{cfg};
@@ -201,6 +285,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   AttackOptions atk;
   bool check_defense = false;
+  bool flap = false;
+  bool check_failover = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--schedule") == 0 && i + 1 < argc) {
       schedule_path = argv[++i];
@@ -220,6 +306,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--assert-defense") == 0) {
       check_defense = true;
+    } else if (std::strcmp(argv[i], "--flap") == 0) {
+      flap = true;
+    } else if (std::strcmp(argv[i], "--assert-failover") == 0) {
+      check_failover = true;
     } else if (n_positional < 2) {
       positional[n_positional++] = argv[i];
     }
@@ -238,9 +328,20 @@ int main(int argc, char** argv) {
     }
     return assert_defense(probes, atk.kind);
   }
+  if (check_failover) {
+    if (!flap) {
+      std::fprintf(stderr, "--assert-failover requires --flap\n");
+      return 2;
+    }
+    return assert_failover(probes);
+  }
 
   fault::FaultSchedule schedule;
-  if (!schedule_path.empty()) {
+  if (flap) {
+    schedule = flap_schedule(probes);
+    std::printf("deterministic flap schedule -> %zu fault events\n",
+                schedule.size());
+  } else if (!schedule_path.empty()) {
     std::ifstream in{schedule_path};
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", schedule_path.c_str());
@@ -271,9 +372,9 @@ int main(int argc, char** argv) {
 
   std::printf("\ncampaign under faults (%zu probes%s):\n", probes,
               atk.enabled ? ", attack armed" : "");
-  const RunOutput serial = run_once(schedule, probes, 1, atk);
-  const RunOutput two = run_once(schedule, probes, 2, atk);
-  const RunOutput four = run_once(schedule, probes, 4, atk);
+  const RunOutput serial = run_once(schedule, probes, 1, atk, flap);
+  const RunOutput two = run_once(schedule, probes, 2, atk, flap);
+  const RunOutput four = run_once(schedule, probes, 4, atk, flap);
 
   const bool metrics_ok = serial.metrics_json == two.metrics_json &&
                           serial.metrics_json == four.metrics_json;

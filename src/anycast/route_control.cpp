@@ -1,0 +1,158 @@
+#include "anycast/route_control.hpp"
+
+#include <algorithm>
+
+#include "obs/names.hpp"
+
+namespace recwild::anycast {
+
+RouteControl::RouteControl(net::Network& network, net::IpAddress address,
+                           std::string service_name)
+    : network_(network),
+      address_(address),
+      service_(std::move(service_name)),
+      obs_shift_(&network.sim().metrics().counter(
+          obs::names::kAnycastCatchmentShift)),
+      obs_failover_(&network.sim().metrics().histogram(
+          obs::names::kAnycastFailoverLatencyMs, 0.0, 5000.0, 100)) {
+  network_.add_route_hook(this);
+}
+
+RouteControl::~RouteControl() { network_.remove_route_hook(this); }
+
+RouteControl::SiteRoutes* RouteControl::find_site(net::NodeId node) {
+  for (SiteRoutes& s : sites_) {
+    if (s.node == node) return &s;
+  }
+  return nullptr;
+}
+
+const RouteControl::SiteRoutes* RouteControl::find_site(
+    net::NodeId node) const {
+  for (const SiteRoutes& s : sites_) {
+    if (s.node == node) return &s;
+  }
+  return nullptr;
+}
+
+void RouteControl::register_site(net::NodeId site_node,
+                                 std::string site_code) {
+  SiteRoutes* site = find_site(site_node);
+  if (site == nullptr) {
+    sites_.push_back(SiteRoutes{site_node, std::move(site_code), {}, 0});
+  } else if (site->code.empty()) {
+    site->code = std::move(site_code);
+  }
+}
+
+void RouteControl::add_outage(net::NodeId site_node, std::string site_code,
+                              OutageWindow window) {
+  SiteRoutes* site = find_site(site_node);
+  if (site == nullptr) {
+    sites_.push_back(SiteRoutes{site_node, std::move(site_code), {}, 0});
+    site = &sites_.back();
+  }
+  site->windows.push_back(window);
+  std::sort(site->windows.begin(), site->windows.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.start < b.start;
+            });
+}
+
+void RouteControl::clear_outages() {
+  for (SiteRoutes& s : sites_) s.windows.clear();
+}
+
+bool RouteControl::has_outages() const noexcept {
+  for (const SiteRoutes& s : sites_) {
+    if (!s.windows.empty()) return true;
+  }
+  return false;
+}
+
+void RouteControl::set_load_cap(double share) { load_cap_ = share; }
+
+net::RouteState RouteControl::site_state(net::NodeId node,
+                                         net::SimTime now) const {
+  const SiteRoutes* site = find_site(node);
+  if (site == nullptr) return net::RouteState::Announced;
+  for (const OutageWindow& w : site->windows) {
+    if (now < w.start) break;  // sorted by start, non-overlapping
+    if (now >= w.end) continue;
+    return now < w.converge ? net::RouteState::Sinking
+                            : net::RouteState::Withdrawn;
+  }
+  return net::RouteState::Announced;
+}
+
+net::RouteState RouteControl::route_state(net::IpAddress addr,
+                                          net::NodeId node, net::SimTime now) {
+  if (!manages(addr)) return net::RouteState::Announced;
+  const net::RouteState planned = site_state(node, now);
+  if (planned != net::RouteState::Announced) return planned;
+  if (load_cap_ > 0.0 && total_selected_ >= 32) {
+    // Shed the over-cap site only if it is not already the least-selected
+    // one — some site must always stay announced.
+    const SiteRoutes* site = find_site(node);
+    if (site != nullptr &&
+        static_cast<double>(site->selected) >
+            load_cap_ * static_cast<double>(total_selected_)) {
+      for (const SiteRoutes& other : sites_) {
+        if (other.node != node && other.selected < site->selected &&
+            site_state(other.node, now) == net::RouteState::Announced) {
+          return net::RouteState::Withdrawn;
+        }
+      }
+    }
+  }
+  return net::RouteState::Announced;
+}
+
+void RouteControl::on_selected(net::IpAddress addr, net::NodeId from,
+                               net::NodeId site, net::SimTime now) {
+  if (!manages(addr)) return;
+  if (load_cap_ > 0.0) {
+    SiteRoutes* s = find_site(site);
+    if (s == nullptr) {
+      sites_.push_back(SiteRoutes{site, std::string{}, {}, 0});
+      s = &sites_.back();
+    }
+    ++s->selected;
+    ++total_selected_;
+  }
+  const auto [it, first] = last_site_.try_emplace(from, site);
+  if (first || it->second == site) {
+    it->second = site;
+    return;
+  }
+  const net::NodeId prev = it->second;
+  it->second = site;
+  obs_shift_->add(1, now);
+  // Client-perceived failover latency: the sender left `prev` while an
+  // outage was in force there, so the time since that outage's withdrawal
+  // is how long this flow took to land on a live site.
+  double failover_ms = 0.0;
+  if (const SiteRoutes* p = find_site(prev)) {
+    for (const OutageWindow& w : p->windows) {
+      if (w.start <= now && now < w.end) {
+        failover_ms = (now - w.start).sec() * 1e3;
+        obs_failover_->observe(failover_ms, now);
+        break;
+      }
+    }
+  }
+  auto& sim = network_.sim();
+  if (sim.trace().enabled()) {
+    const SiteRoutes* p = find_site(prev);
+    const SiteRoutes* n = find_site(site);
+    const std::string from_code =
+        (p != nullptr && !p->code.empty()) ? p->code : network_.node(prev).name;
+    const std::string to_code =
+        (n != nullptr && !n->code.empty()) ? n->code : network_.node(site).name;
+    sim.trace().record({now, obs::TraceKind::CatchmentShift,
+                        network_.node(from).name, service_,
+                        from_code + ">" + to_code, failover_ms});
+  }
+}
+
+}  // namespace recwild::anycast

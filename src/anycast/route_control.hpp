@@ -1,0 +1,120 @@
+// Dynamic routing-plane state of one anycast service.
+//
+// A RouteControl owns the time-varying announcement table of a service's
+// sites: scheduled withdrawals (BGP flaps, crashes) with per-site
+// convergence windows, graceful drains, and optional load-aware steering.
+// It implements net::RoutePolicyHook, so the network re-resolves the
+// catchment per packet send — failover is transparent to resolvers (same
+// address, new site), exactly as real anycast behaves.
+//
+// Determinism contract: announcement state is a pure function of
+// (node, sim time) over windows fixed at arm time, so sharded replicas —
+// which arm identical windows from identical schedules — agree on every
+// routing decision. Catchment-shift and failover accounting is keyed per
+// sender node; shard VP partitions are disjoint, so merged counts reproduce
+// the serial run. The one exception is load-aware steering, which feeds
+// per-replica selection counts back into routing and is therefore
+// documented as incompatible with sharded byte-identity (see set_load_cap).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+
+namespace recwild::anycast {
+
+/// One planned outage of a site's announcement: the route is withdrawn at
+/// `start`, the rest of the internet finishes re-converging at `converge`
+/// (senders still pick the site before then, and those packets die in the
+/// dead path), and the site re-announces at `end`. A drain sets
+/// `converge == start`: peers are told before shutdown, so there is no
+/// convergence-loss phase.
+struct OutageWindow {
+  net::SimTime start;
+  net::SimTime converge;
+  net::SimTime end;
+};
+
+/// Heap-allocated by AnycastService (services move inside vectors; the
+/// network keeps a raw hook pointer, which must stay put). Registers with
+/// the network on construction and unregisters on destruction.
+class RouteControl final : public net::RoutePolicyHook {
+ public:
+  RouteControl(net::Network& network, net::IpAddress address,
+               std::string service_name);
+  ~RouteControl() override;
+
+  RouteControl(const RouteControl&) = delete;
+  RouteControl& operator=(const RouteControl&) = delete;
+
+  /// Also manage the service's second (IPv6-plane) address: a site's BGP
+  /// session carries both prefixes, so both withdraw together.
+  void set_alias(net::IpAddress address6) { alias_ = address6; }
+
+  /// Teaches the control a site's code without scheduling anything, so
+  /// catchment-shift trace rows name sites by code from the first shift.
+  void register_site(net::NodeId site_node, std::string site_code);
+
+  /// Schedules an outage of `site_node`'s announcement. Windows on one site
+  /// must not overlap (FaultSchedule::validate enforces this upstream).
+  void add_outage(net::NodeId site_node, std::string site_code,
+                  OutageWindow window);
+  /// Removes every scheduled outage (fault disarm); steering state and the
+  /// network registration stay.
+  void clear_outages();
+  [[nodiscard]] bool has_outages() const noexcept;
+
+  /// Optional load-aware steering: withdraw a site from new selections
+  /// while its share of this service's selections exceeds `share` (0
+  /// disables; the busiest site is only shed when a less-loaded site can
+  /// absorb the traffic, so the service never goes unroutable). WARNING:
+  /// selection counts are per-replica, so an armed load cap breaks sharded
+  /// byte-identity — serial runs only.
+  void set_load_cap(double share);
+
+  /// Announcement state of one site at `now` from the outage table alone
+  /// (load steering excluded — this is the planned routing state, usable
+  /// for any `now`, past or future).
+  [[nodiscard]] net::RouteState site_state(net::NodeId node,
+                                           net::SimTime now) const;
+
+  // net::RoutePolicyHook
+  [[nodiscard]] net::RouteState route_state(net::IpAddress addr,
+                                            net::NodeId node,
+                                            net::SimTime now) override;
+  void on_selected(net::IpAddress addr, net::NodeId from, net::NodeId site,
+                   net::SimTime now) override;
+
+ private:
+  struct SiteRoutes {
+    net::NodeId node = net::kInvalidNode;
+    std::string code;
+    std::vector<OutageWindow> windows;  // sorted by start
+    std::uint64_t selected = 0;         // load steering only
+  };
+
+  [[nodiscard]] SiteRoutes* find_site(net::NodeId node);
+  [[nodiscard]] const SiteRoutes* find_site(net::NodeId node) const;
+  [[nodiscard]] bool manages(net::IpAddress addr) const noexcept {
+    return addr == address_ || (alias_ && addr == *alias_);
+  }
+
+  net::Network& network_;
+  net::IpAddress address_;
+  std::optional<net::IpAddress> alias_;
+  std::string service_;
+  double load_cap_ = 0.0;
+  std::uint64_t total_selected_ = 0;
+  std::vector<SiteRoutes> sites_;
+  /// Last site each sender flow was routed to — the shift detector.
+  std::unordered_map<net::NodeId, net::NodeId> last_site_;
+  obs::Counter* obs_shift_;
+  obs::Histogram* obs_failover_;
+};
+
+}  // namespace recwild::anycast

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "anycast/route_control.hpp"
 #include "authns/server.hpp"
 #include "net/network.hpp"
 
@@ -72,8 +73,36 @@ class AnycastService {
 
   /// Fails a single site (queries to its catchment then time out), or the
   /// whole service.
+  ///
+  /// DEPRECATED as a failure model: this is the legacy ad-hoc path — the
+  /// site's server swallows queries forever but never leaves the catchment,
+  /// so clients keep timing out into it. Scheduled failures should use the
+  /// fault-schedule path instead (FaultKind::SiteWithdraw / SiteFlap via
+  /// fault::FaultInjector::bind_service, or drain() for maintenance), which
+  /// models BGP withdrawal: bounded convergence loss, then transparent
+  /// failover to the next-best site. Kept for tests and callers that want
+  /// a silent blackholed site specifically.
   void set_site_down(std::size_t site_index, bool down);
   void set_all_down(bool down);
+
+  /// Schedules a graceful drain of a site over [start, end): peers are told
+  /// before the window opens, so from `start` new queries steer to each
+  /// client's next-best site with no convergence loss while in-flight
+  /// packets complete normally; at `end` the site rejoins the catchment.
+  void drain(std::size_t site_index, net::SimTime start, net::SimTime end);
+
+  /// Optional load-aware steering (see RouteControl::set_load_cap; breaks
+  /// sharded byte-identity — serial runs only).
+  void set_load_cap(double share);
+
+  /// The service's dynamic routing-plane table, created (and registered
+  /// with the network) on first use. The fault layer pushes withdrawal
+  /// windows here.
+  [[nodiscard]] RouteControl& route_control();
+  /// The route control if one was ever created, else nullptr.
+  [[nodiscard]] const RouteControl* route_control_if_armed() const noexcept {
+    return route_.get();
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] net::IpAddress address() const noexcept { return address_; }
@@ -86,8 +115,17 @@ class AnycastService {
   }
   [[nodiscard]] std::vector<Site>& sites() noexcept { return sites_; }
 
-  /// The site a client node is routed to.
+  /// The site a client node is routed to (at the current sim time — with
+  /// dynamic routing armed, the network already excludes withdrawn sites).
   [[nodiscard]] const Site* catchment(net::NodeId from) const;
+
+  /// The site a client node is routed to at sim time `now`, from the
+  /// planned outage table: Withdrawn sites are excluded, Sinking sites are
+  /// still in the catchment (their convergence hasn't reached the client),
+  /// exact-RTT ties break toward the lowest site code — the same rules the
+  /// network applies per packet, usable for any past or future instant.
+  [[nodiscard]] const Site* catchment(net::NodeId from,
+                                      net::SimTime now) const;
 
   /// Total queries across all sites.
   [[nodiscard]] std::uint64_t total_queries() const noexcept;
@@ -102,6 +140,9 @@ class AnycastService {
   net::IpAddress address_;
   std::optional<net::IpAddress> address6_;
   std::vector<Site> sites_;
+  // Heap-allocated: the network holds a raw hook pointer to it, and the
+  // service itself moves when stored in vectors.
+  std::unique_ptr<RouteControl> route_;
 };
 
 }  // namespace recwild::anycast

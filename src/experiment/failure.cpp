@@ -44,16 +44,23 @@ fault::FaultSchedule failure_schedule(Testbed& testbed,
     auto& svc = testbed.roots().at(t);
     const auto n_sites = svc.site_count();
     std::size_t hit = n_sites;
-    if (config.kind == FailureKind::SitesDown) {
+    if (config.kind != FailureKind::ServiceDown) {
       hit = static_cast<std::size_t>(
           std::max(1.0, config.site_fraction * double(n_sites)));
     }
     for (std::size_t s = 0; s < hit && s < n_sites; ++s) {
       fault::FaultEvent e;
-      e.kind = fault::FaultKind::ServerCrash;
+      if (config.kind == FailureKind::SitesWithdrawn) {
+        e.kind = fault::FaultKind::SiteWithdraw;
+        e.target_a = svc.name();
+        e.target_b = svc.sites()[s].code;
+        e.magnitude = config.convergence_ms;
+      } else {
+        e.kind = fault::FaultKind::ServerCrash;
+        e.target_a = svc.sites()[s].server->identity();
+      }
       e.start = start;
       e.end = end;
-      e.target_a = svc.sites()[s].server->identity();
       schedule.add(std::move(e));
     }
   }
@@ -128,15 +135,16 @@ FailureResult run_failure_scenario(Testbed& testbed,
     Scheduler::next(sim, *src, end, rng, config.queries_per_minute, samples);
   }
 
-  // The failure event, expressed as a fault schedule (one ServerCrash per
-  // affected site) and enforced by a scenario-local injector. Server-only
-  // faults install no packet hook, so this composes with any injector the
-  // testbed itself armed.
+  // The failure event, expressed as a fault schedule (one ServerCrash or
+  // SiteWithdraw per affected site) and enforced by a scenario-local
+  // injector. Neither server nor site faults install the packet hook, so
+  // this composes with any injector the testbed itself armed.
   fault::FaultInjector injector{network, failure_schedule(testbed, config)};
   for (const std::size_t t : config.targets) {
     for (auto& site : testbed.roots().at(t).sites()) {
       injector.bind_server(*site.server);
     }
+    injector.bind_service(testbed.roots().at(t));
   }
   injector.arm();
 

@@ -22,16 +22,26 @@ enum class FailureKind : unsigned char {
   /// Entire services (letters) stop answering everywhere.
   ServiceDown,
   /// A fraction of each targeted service's anycast sites go dark; their
-  /// catchments black-hole while other sites keep answering.
+  /// catchments black-hole while other sites keep answering (the legacy
+  /// crash model: dead sites never leave the catchment).
   SitesDown,
+  /// A fraction of each targeted service's sites withdraw their BGP
+  /// announcements (fault::FaultKind::SiteWithdraw): after a bounded
+  /// convergence window their catchments fail over to surviving sites
+  /// transparently — the engineered-anycast behaviour §7 argues for,
+  /// versus SitesDown's unbounded timeouts.
+  SitesWithdrawn,
 };
 
 struct FailureScenarioConfig {
   FailureKind kind = FailureKind::ServiceDown;
   /// Indices into Testbed::roots() of the services hit by the event.
   std::vector<std::size_t> targets;
-  /// For SitesDown: fraction of each target's sites taken down.
+  /// For SitesDown / SitesWithdrawn: fraction of each target's sites hit.
   double site_fraction = 1.0;
+  /// For SitesWithdrawn: mean BGP convergence delay of each withdrawal
+  /// (milliseconds; jittered ±25% per site by the injector).
+  double convergence_ms = 800.0;
 
   std::size_t recursives = 200;
   double duration_minutes = 30;
@@ -80,7 +90,9 @@ struct FailureSample {
     double to_min);
 
 /// The scenario's failure event expressed as a fault schedule: one
-/// ServerCrash per affected site over the event window. What
+/// ServerCrash per affected site over the event window (ServiceDown /
+/// SitesDown — output unchanged since the crash-only days), or one
+/// SiteWithdraw per affected site (SitesWithdrawn). What
 /// run_failure_scenario arms; exposed so the same outage can be replayed,
 /// serialised, or composed with other faults.
 [[nodiscard]] fault::FaultSchedule failure_schedule(

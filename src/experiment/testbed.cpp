@@ -1,5 +1,7 @@
 #include "experiment/testbed.hpp"
 
+#include <stdexcept>
+
 namespace recwild::experiment {
 
 Testbed::Testbed(TestbedConfig config)
@@ -26,15 +28,48 @@ Testbed::Testbed(std::shared_ptr<const WorldSnapshot> world,
         partition, /*adopt_into_network=*/false);
   }
 
+  apply_drains();
+
   if (!config.faults.empty()) {
     injector_ =
         std::make_unique<fault::FaultInjector>(*network_, config.faults);
     for (auto* services : {&roots_, &nl_, &test_}) {
       for (auto& svc : *services) {
         for (auto& site : svc.sites()) injector_->bind_server(*site.server);
+        injector_->bind_service(svc);
       }
     }
     injector_->arm();
+  }
+}
+
+void Testbed::apply_drains() {
+  // Drains are part of the world plan (TestbedConfig::drains): every
+  // replica applies the identical windows during construction, before the
+  // baseline metrics snapshot, so the sharded engines merge to the serial
+  // bytes.
+  for (const SiteDrain& d : world_->config.drains) {
+    bool matched_service = false;
+    for (auto* services : {&roots_, &nl_, &test_}) {
+      for (auto& svc : *services) {
+        if (svc.name() != d.service) continue;
+        matched_service = true;
+        bool matched_site = false;
+        for (std::size_t i = 0; i < svc.sites().size(); ++i) {
+          if (d.site != "*" && svc.sites()[i].code != d.site) continue;
+          svc.drain(i, d.start, d.end);
+          matched_site = true;
+        }
+        if (!matched_site) {
+          throw std::invalid_argument{"Testbed: drain site '" + d.site +
+                                      "' not in service '" + d.service + "'"};
+        }
+      }
+    }
+    if (!matched_service) {
+      throw std::invalid_argument{"Testbed: drain service '" + d.service +
+                                  "' unknown"};
+    }
   }
 }
 

@@ -107,6 +107,7 @@ class Testbed {
  private:
   void materialize_services();
   void arm_defenses();
+  void apply_drains();
 
   std::shared_ptr<const WorldSnapshot> world_;
   net::Simulation sim_;

@@ -159,22 +159,40 @@ std::shared_ptr<const WorldSnapshot> WorldSnapshot::build(
     }
   }
 
-  // Test-domain authoritatives, one unicast service per site.
+  // Test-domain authoritatives: one unicast service per site, or — with
+  // cfg.anycast_test — a single anycast service spanning every site
+  // behind one NS name and one shared address.
   std::vector<NsHost> test_ns;
-  for (const auto& code : cfg.test_sites) {
-    if (!net::find_location(code)) {
-      throw std::invalid_argument{"Testbed: unknown test site " + code};
+  if (cfg.anycast_test && !cfg.test_sites.empty()) {
+    for (const auto& code : cfg.test_sites) {
+      if (!net::find_location(code)) {
+        throw std::invalid_argument{"Testbed: unknown test site " + code};
+      }
     }
-    ServicePlan sp = plan_service(code, {code});
-    NsHost host{
-        dns::Name::parse("ns-" + lower(code) + "." + cfg.test_domain),
-        sp.address};
+    ServicePlan sp = plan_service("test-any", cfg.test_sites);
+    NsHost host{dns::Name::parse("ns-any." + cfg.test_domain), sp.address};
     if (cfg.dual_stack) {
       sp.address6 = catalog->allocate_address6();
       host.address6 = *sp.address6;
     }
     test_ns.push_back(std::move(host));
     world->test.push_back(std::move(sp));
+  } else {
+    for (const auto& code : cfg.test_sites) {
+      if (!net::find_location(code)) {
+        throw std::invalid_argument{"Testbed: unknown test site " + code};
+      }
+      ServicePlan sp = plan_service(code, {code});
+      NsHost host{
+          dns::Name::parse("ns-" + lower(code) + "." + cfg.test_domain),
+          sp.address};
+      if (cfg.dual_stack) {
+        sp.address6 = catalog->allocate_address6();
+        host.address6 = *sp.address6;
+      }
+      test_ns.push_back(std::move(host));
+      world->test.push_back(std::move(sp));
+    }
   }
 
   // Attacker-controlled authoritative.
@@ -232,7 +250,11 @@ std::shared_ptr<const WorldSnapshot> WorldSnapshot::build(
     ZoneSpec z;
     z.origin = world->test_domain;
     z.apex_ns = test_ns;
-    z.wildcard_txt = cfg.test_sites[i];
+    // Per-site unicast services answer with their own site code (the
+    // paper's site-identification trick); the anycast service serves one
+    // shared zone — answering with its label — from every site.
+    z.wildcard_txt =
+        cfg.anycast_test ? world->test[i].label : cfg.test_sites[i];
     z.txt_ttl = cfg.txt_ttl;
     world->test[i].zones.push_back(shared_zone(build_zone(z)));
   }

@@ -35,6 +35,16 @@
 
 namespace recwild::experiment {
 
+/// A planned graceful drain of one anycast site (a maintenance window):
+/// part of the world plan, so every shard replica applies the identical
+/// drain and the sharded engines stay byte-identical.
+struct SiteDrain {
+  std::string service;  ///< Service label ("k-root", "ns3.dns.nl", ...).
+  std::string site;     ///< Site code ("AMS", ...), or "*" for every site.
+  net::SimTime start;   ///< Site leaves the catchment (no convergence loss).
+  net::SimTime end;     ///< Site rejoins the catchment.
+};
+
 struct TestbedConfig {
   std::uint64_t seed = 42;
   net::LatencyParams latency{};
@@ -49,6 +59,12 @@ struct TestbedConfig {
   /// Datacenter codes for the test-domain authoritatives (a Table-1
   /// combination); empty = no test domain.
   std::vector<std::string> test_sites{};
+  /// Serve the test domain from ONE anycast service spanning every
+  /// test_sites code (single NS, shared address) instead of one unicast
+  /// service per site. This is what dynamic-catchment experiments flap:
+  /// resolvers keep a single route to the shared address, so a site
+  /// withdrawal shifts their catchment instead of their NS choice.
+  bool anycast_test = false;
   std::string test_domain = "ourtestdomain.nl";
   dns::Ttl txt_ttl = 5;
   /// Dual-stack: every service additionally gets an IPv6-plane address,
@@ -62,8 +78,13 @@ struct TestbedConfig {
   bool trace_decisions = false;
   /// Fault schedule armed over the world at construction (src/fault). An
   /// empty schedule costs nothing: no injector is built, no hook installed.
-  /// Replica worlds arm the identical schedule.
+  /// Replica worlds arm the identical schedule. Site faults (SiteWithdraw /
+  /// SiteFlap) target services by shared address or label and sites by
+  /// code; the testbed binds every root/.nl/test service to the injector.
   fault::FaultSchedule faults{};
+  /// Planned site drains applied at construction (AnycastService::drain).
+  /// Like `faults`, part of the world plan: replicas agree byte-for-byte.
+  std::vector<SiteDrain> drains{};
 
   // ---- Adversarial workloads & defenses (src/attack, docs/ATTACKS.md) ----
 

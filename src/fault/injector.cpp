@@ -54,6 +54,10 @@ void FaultInjector::bind_server(authns::AuthServer& server) {
   servers_.emplace_back(server.identity(), &server);
 }
 
+void FaultInjector::bind_service(anycast::AnycastService& service) {
+  services_.push_back(&service);
+}
+
 void FaultInjector::disarm() {
   if (hook_installed_) {
     if (network_.fault_hook() == this) network_.set_fault_hook(nullptr);
@@ -63,6 +67,10 @@ void FaultInjector::disarm() {
     server->set_fault_provider(nullptr);
   }
   provided_.clear();
+  for (anycast::AnycastService* svc : route_armed_) {
+    svc->route_control().clear_outages();
+  }
+  route_armed_.clear();
   loss_.clear();
   spikes_.clear();
   partitions_.clear();
@@ -141,6 +149,24 @@ void FaultInjector::arm() {
         }
         break;
       }
+      case FaultKind::SiteWithdraw:
+      case FaultKind::SiteFlap: {
+        const auto addr = parse_address(e.target_a);
+        bool matched = false;
+        for (anycast::AnycastService* svc : services_) {
+          const bool by_addr =
+              addr && (svc->address() == *addr ||
+                       (svc->address6() && *svc->address6() == *addr));
+          if (by_addr || svc->name() == e.target_a) {
+            arm_site_event(i, *svc);
+            matched = true;
+          }
+        }
+        if (!matched) {
+          target_error(i, "unknown anycast service '" + e.target_a + "'");
+        }
+        break;
+      }
     }
   }
 
@@ -184,6 +210,58 @@ void FaultInjector::arm() {
 
   emit_arm_obs();
   armed_ = true;
+}
+
+void FaultInjector::arm_site_event(std::size_t index,
+                                   anycast::AnycastService& service) {
+  const FaultEvent& e = schedule_.events()[index];
+  anycast::RouteControl& routes = service.route_control();
+  bool any_site = false;
+  for (const anycast::Site& site : service.sites()) {
+    if (e.target_b != "*" && site.code != e.target_b) continue;
+    any_site = true;
+    // Slice the window into withdrawal cycles: one for a plain withdraw,
+    // alternating withdrawn/announced half-periods (starting withdrawn)
+    // for a flap. Everything is computed here, at arm time — nothing goes
+    // on the event queue, so shard byte-identity survives.
+    const net::Duration period =
+        e.kind == FaultKind::SiteFlap
+            ? net::Duration::micros(
+                  static_cast<std::int64_t>(e.period_ms * 1e3))
+            : (e.end - e.start);
+    net::SimTime cycle_start = e.start;
+    for (std::uint64_t cycle = 0; cycle_start < e.end; ++cycle) {
+      net::SimTime cycle_end = cycle_start + period;
+      if (e.end < cycle_end) cycle_end = e.end;
+      // Convergence delay: the scheduled magnitude at this cycle's start
+      // (ramps make successive flap cycles converge slower/faster), with
+      // a deterministic ±25% per-(event, site, cycle) jitter — real BGP
+      // convergence is never uniform across the catchment.
+      stats::Rng jrng = rng_parent_.fork("site-conv", index)
+                            .fork(std::uint64_t{site.node})
+                            .fork(cycle);
+      const double conv_ms =
+          e.magnitude_at(cycle_start) * jrng.uniform(0.75, 1.25);
+      net::SimTime converge =
+          cycle_start +
+          net::Duration::micros(static_cast<std::int64_t>(conv_ms * 1e3));
+      if (cycle_end < converge) converge = cycle_end;
+      routes.add_outage(site.node, site.code,
+                        anycast::OutageWindow{cycle_start, converge,
+                                              cycle_end});
+      if (e.kind != FaultKind::SiteFlap) break;
+      // Skip the announced half-period between withdrawal cycles.
+      cycle_start = cycle_end + period;
+    }
+  }
+  if (!any_site) {
+    target_error(index, "service '" + service.name() +
+                            "' has no site coded '" + e.target_b + "'");
+  }
+  for (anycast::AnycastService* armed : route_armed_) {
+    if (armed == &service) return;
+  }
+  route_armed_.push_back(&service);
 }
 
 void FaultInjector::emit_arm_obs() {

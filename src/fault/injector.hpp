@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "anycast/service.hpp"
 #include "authns/server.hpp"
 #include "fault/schedule.hpp"
 #include "net/network.hpp"
@@ -45,6 +46,15 @@ class FaultInjector final : public net::PacketFaultHook {
   /// Registers a server as a potential target of server faults, keyed by
   /// its identity(). Call before arm().
   void bind_server(authns::AuthServer& server);
+
+  /// Registers an anycast service as a potential target of site faults
+  /// (SiteWithdraw / SiteFlap), matched by its shared address (dotted quad
+  /// in target_a) or its name. Call before arm(); the service must outlive
+  /// disarm(). Site events compile into withdrawal windows pushed into the
+  /// service's RouteControl, with per-(event, site, cycle) convergence
+  /// jitter drawn from identity-keyed streams — replicas arming the same
+  /// schedule compute byte-identical windows.
+  void bind_service(anycast::AnycastService& service);
 
   /// Resolves every event's symbolic targets against the world (node names
   /// via Network::find_node, server identities via bind_server, dotted-quad
@@ -96,6 +106,11 @@ class FaultInjector final : public net::PacketFaultHook {
 
   void emit_arm_obs();
 
+  /// Compiles one site event against a bound service: resolves the site
+  /// code, slices flaps into per-cycle outage windows, draws convergence
+  /// jitter and pushes everything into the service's RouteControl.
+  void arm_site_event(std::size_t index, anycast::AnycastService& service);
+
   net::Network& network_;
   FaultSchedule schedule_;
   bool armed_ = false;
@@ -103,6 +118,8 @@ class FaultInjector final : public net::PacketFaultHook {
 
   std::vector<std::pair<std::string, authns::AuthServer*>> servers_;
   std::vector<authns::AuthServer*> provided_;  // providers installed
+  std::vector<anycast::AnycastService*> services_;
+  std::vector<anycast::AnycastService*> route_armed_;  // outages pushed
 
   std::vector<PathFault> loss_;
   std::vector<PathFault> spikes_;

@@ -18,7 +18,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 8> kKindNames{{
+constexpr std::array<KindName, 10> kKindNames{{
     {FaultKind::LossBurst, "loss_burst"},
     {FaultKind::LatencySpike, "latency_spike"},
     {FaultKind::Blackhole, "blackhole"},
@@ -27,11 +27,17 @@ constexpr std::array<KindName, 8> kKindNames{{
     {FaultKind::ServerRefuse, "server_refuse"},
     {FaultKind::ServerSlow, "server_slow"},
     {FaultKind::XferStarve, "xfer_starve"},
+    {FaultKind::SiteWithdraw, "site_withdraw"},
+    {FaultKind::SiteFlap, "site_flap"},
 }};
 
 [[nodiscard]] bool is_path_kind(FaultKind kind) noexcept {
   return kind == FaultKind::LossBurst || kind == FaultKind::LatencySpike ||
          kind == FaultKind::Partition;
+}
+
+[[nodiscard]] bool is_site_kind(FaultKind kind) noexcept {
+  return kind == FaultKind::SiteWithdraw || kind == FaultKind::SiteFlap;
 }
 
 /// Formats a double the way the trace writer does: shortest round-trip
@@ -109,6 +115,38 @@ void FaultSchedule::validate() const {
         e.magnitude < 0.0) {
       fail("delay magnitude must be >= 0");
     }
+    if (is_site_kind(e.kind)) {
+      if (e.target_b.empty()) fail("site faults need a site code target_b");
+      if (e.magnitude <= 0.0) {
+        fail("site faults need a positive convergence delay (ms)");
+      }
+      if (e.kind == FaultKind::SiteFlap && e.period_ms <= 0.0) {
+        fail("site_flap needs a positive period_ms");
+      }
+    }
+    if (e.kind != FaultKind::SiteFlap && e.period_ms != 0.0) {
+      fail("period_ms is only meaningful for site_flap");
+    }
+  }
+  // Two route faults fighting over the same (service, site) pair would make
+  // the announced/withdrawn state ambiguous — reject overlapping windows.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& a = events_[i];
+    if (!is_site_kind(a.kind)) continue;
+    for (std::size_t j = i + 1; j < events_.size(); ++j) {
+      const FaultEvent& b = events_[j];
+      if (!is_site_kind(b.kind)) continue;
+      if (a.target_a != b.target_a) continue;
+      const bool same_site = a.target_b == b.target_b ||
+                             a.target_b == "*" || b.target_b == "*";
+      if (!same_site) continue;
+      if (a.start < b.end && b.start < a.end) {
+        throw std::invalid_argument(
+            "fault event " + std::to_string(j) +
+            ": site fault window overlaps event " + std::to_string(i) +
+            " on the same site");
+      }
+    }
   }
 }
 
@@ -121,7 +159,11 @@ void write_schedule(std::ostream& out, const FaultSchedule& schedule) {
         << (e.target_a.empty() ? "-" : e.target_a) << '\t'
         << (e.target_b.empty() ? "-" : e.target_b) << '\t'
         << format_double(e.magnitude) << '\t'
-        << format_double(e.magnitude_end) << '\n';
+        << format_double(e.magnitude_end);
+    // Optional eighth column: only flaps carry a period, so pre-existing
+    // schedules keep their historical bytes.
+    if (e.period_ms != 0.0) out << '\t' << format_double(e.period_ms);
+    out << '\n';
   }
 }
 
@@ -140,8 +182,8 @@ FaultSchedule read_schedule(std::istream& in) {
       if (tab == std::string::npos) break;
       pos = tab + 1;
     }
-    if (fields.size() != 7) {
-      line_error(line_no, "expected 7 tab-separated fields, got " +
+    if (fields.size() != 7 && fields.size() != 8) {
+      line_error(line_no, "expected 7 or 8 tab-separated fields, got " +
                               std::to_string(fields.size()));
     }
     FaultEvent e;
@@ -157,6 +199,9 @@ FaultSchedule read_schedule(std::istream& in) {
     e.target_b = fields[4] == "-" ? "" : fields[4];
     e.magnitude = parse_double(fields[5], line_no, "magnitude");
     e.magnitude_end = parse_double(fields[6], line_no, "magnitude_end");
+    if (fields.size() == 8) {
+      e.period_ms = parse_double(fields[7], line_no, "period_ms");
+    }
     schedule.add(std::move(e));
   }
   return schedule;
@@ -240,6 +285,8 @@ class JsonReader {
         e.magnitude = parse_number();
       } else if (key == "magnitude_end") {
         e.magnitude_end = parse_number();
+      } else if (key == "period_ms") {
+        e.period_ms = parse_number();
       } else {
         fail("unknown key '" + key + "'");
       }
@@ -336,7 +383,11 @@ void write_schedule_json(std::ostream& out, const FaultSchedule& schedule) {
     out << ", \"target_b\": ";
     write_json_string(out, e.target_b);
     out << ", \"magnitude\": " << format_double(e.magnitude)
-        << ", \"magnitude_end\": " << format_double(e.magnitude_end) << "}";
+        << ", \"magnitude_end\": " << format_double(e.magnitude_end);
+    if (e.period_ms != 0.0) {
+      out << ", \"period_ms\": " << format_double(e.period_ms);
+    }
+    out << "}";
   }
   out << "\n]\n";
 }

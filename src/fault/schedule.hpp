@@ -50,6 +50,19 @@ enum class FaultKind : std::uint8_t {
   /// by the secondary's well-known client port) involving address
   /// `target_a` (or "*") is dropped, starving secondaries of refreshes.
   XferStarve,
+  /// Anycast route fault: the site with code `target_b` (or "*") of the
+  /// anycast service whose shared address is `target_a` withdraws its BGP
+  /// announcement for [start, end). Clients re-converge to their next-best
+  /// site after `magnitude` milliseconds of convergence delay (per-node
+  /// jittered by the injector; optionally ramping to `magnitude_end` for
+  /// schedules with several windows); queries sent during convergence are
+  /// lost at the dead site.
+  SiteWithdraw,
+  /// Anycast route fault: like SiteWithdraw, but the site alternates
+  /// withdrawn/announced phases of `period_ms` milliseconds each across
+  /// [start, end), starting withdrawn — a flapping BGP session. Each
+  /// withdrawal cycle pays its own jittered convergence delay.
+  SiteFlap,
 };
 
 /// Canonical lower-snake name ("loss_burst", ...).
@@ -59,12 +72,15 @@ enum class FaultKind : std::uint8_t {
 
 /// One scheduled fault. Active over [start, end). Target semantics depend
 /// on the kind (see FaultKind): node names for path faults, dotted-quad
-/// addresses for Blackhole/XferStarve, server identities for server faults;
-/// "*" is a wildcard where documented. `magnitude` units also depend on the
-/// kind: probability for LossBurst, milliseconds for LatencySpike and
-/// ServerSlow, unused otherwise. When `magnitude_end` >= 0 the effective
-/// magnitude ramps linearly from `magnitude` at start to `magnitude_end`
-/// at end; negative (the default) means flat.
+/// addresses for Blackhole/XferStarve, server identities for server faults,
+/// anycast service address + site code for site faults; "*" is a wildcard
+/// where documented. `magnitude` units also depend on the kind: probability
+/// for LossBurst, milliseconds for LatencySpike, ServerSlow and the site
+/// kinds' convergence delay, unused otherwise. When `magnitude_end` >= 0
+/// the effective magnitude ramps linearly from `magnitude` at start to
+/// `magnitude_end` at end; negative (the default) means flat. `period_ms`
+/// is the flap half-period for SiteFlap and must be zero for every other
+/// kind.
 struct FaultEvent {
   FaultKind kind = FaultKind::LossBurst;
   net::SimTime start;
@@ -73,6 +89,7 @@ struct FaultEvent {
   std::string target_b;
   double magnitude = 0.0;
   double magnitude_end = -1.0;
+  double period_ms = 0.0;
 
   [[nodiscard]] bool active(net::SimTime now) const noexcept {
     return start <= now && now < end;
@@ -109,7 +126,10 @@ class FaultSchedule {
 
   /// Checks structural sanity of every event: end > start, loss probability
   /// in [0,1], non-negative delays, non-empty target_a, a target_b for path
-  /// kinds. Throws std::invalid_argument naming the offending event index.
+  /// kinds, a strictly positive convergence delay and flap period for the
+  /// site kinds, and no two site-kind events with overlapping windows on
+  /// the same (service, site) pair. Throws std::invalid_argument naming the
+  /// offending event index.
   void validate() const;
 
   bool operator==(const FaultSchedule&) const = default;
@@ -120,15 +140,19 @@ class FaultSchedule {
 
 /// Writes a schedule in the repo's tab-separated discipline, one event per
 /// line: `kind<TAB>start_us<TAB>end_us<TAB>target_a<TAB>target_b<TAB>
-/// magnitude<TAB>magnitude_end`. Empty targets are stored as "-".
+/// magnitude<TAB>magnitude_end`. Empty targets are stored as "-". Events
+/// with a nonzero `period_ms` (flaps) append it as an eighth column, so
+/// schedules without site faults keep their historical bytes.
 void write_schedule(std::ostream& out, const FaultSchedule& schedule);
 
-/// Parses write_schedule's format. Skips blank and `#` lines; throws
-/// std::runtime_error naming the line number on malformed input.
+/// Parses write_schedule's format (7 or 8 fields per line). Skips blank and
+/// `#` lines; throws std::runtime_error naming the line number on malformed
+/// input.
 [[nodiscard]] FaultSchedule read_schedule(std::istream& in);
 
 /// Writes the schedule as a deterministic JSON array of event objects
-/// (kind, start_us, end_us, target_a, target_b, magnitude, magnitude_end).
+/// (kind, start_us, end_us, target_a, target_b, magnitude, magnitude_end,
+/// and period_ms when nonzero).
 void write_schedule_json(std::ostream& out, const FaultSchedule& schedule);
 
 /// Parses write_schedule_json's output (a strict subset of JSON: an array

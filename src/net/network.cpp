@@ -145,6 +145,35 @@ void Network::rebuild_endpoint_index() {
   }
 }
 
+void Network::add_route_hook(RoutePolicyHook* hook) {
+  if (hook == nullptr) return;
+  if (std::find(route_hooks_.begin(), route_hooks_.end(), hook) !=
+      route_hooks_.end()) {
+    return;
+  }
+  // Registered lazily (like RRL's counters): worlds without dynamic
+  // routing keep their historical metric snapshots byte-for-byte.
+  if (obs_lost_convergence_ == nullptr) {
+    obs_lost_convergence_ =
+        &sim_.metrics().counter(obs::names::kAnycastLostInConvergence);
+  }
+  route_hooks_.push_back(hook);
+}
+
+void Network::remove_route_hook(RoutePolicyHook* hook) {
+  std::erase(route_hooks_, hook);
+}
+
+RouteState Network::route_state_of(IpAddress addr, NodeId node) {
+  RouteState worst = RouteState::Announced;
+  for (RoutePolicyHook* hook : route_hooks_) {
+    const RouteState s = hook->route_state(addr, node, sim_.now());
+    if (s == RouteState::Withdrawn) return RouteState::Withdrawn;
+    if (s == RouteState::Sinking) worst = RouteState::Sinking;
+  }
+  return worst;
+}
+
 const Network::Binding* Network::select_binding(NodeId from, Endpoint dst) {
   if (endpoint_index_dirty_) rebuild_endpoint_index();
   if (endpoint_slots_.empty()) return nullptr;
@@ -157,18 +186,52 @@ const Network::Binding* Network::select_binding(NodeId from, Endpoint dst) {
   }
   auto& list = *endpoint_slots_[idx].list;
   if (list.empty()) return nullptr;
-  if (list.size() == 1) return &list.front();
-  // Anycast: nearest site by stable path RTT.
+  const bool dynamic_routes = !route_hooks_.empty();
+  if (list.size() == 1) {
+    if (dynamic_routes && route_state_of(dst.addr, list.front().node) ==
+                              RouteState::Withdrawn) {
+      return nullptr;
+    }
+    return &list.front();
+  }
+  // Anycast: nearest announcing site by stable path RTT. Withdrawn sites
+  // have left the routing table; Sinking sites are still selected — the
+  // sender's routers have not converged yet — and their packets die in
+  // sink_packet(). Exact-RTT ties break toward the lexicographically
+  // lowest node name (names embed the site code), which pins the catchment
+  // independent of binding order.
   const Binding* best = nullptr;
   auto best_rtt = Duration::micros(std::numeric_limits<std::int64_t>::max());
   for (const auto& b : list) {
+    if (dynamic_routes &&
+        route_state_of(dst.addr, b.node) == RouteState::Withdrawn) {
+      continue;
+    }
     const Duration rtt = base_rtt(from, b.node);
-    if (best == nullptr || rtt < best_rtt) {
+    if (best == nullptr || rtt < best_rtt ||
+        (rtt == best_rtt && node(b.node).name < node(best->node).name)) {
       best = &b;
       best_rtt = rtt;
     }
   }
   return best;
+}
+
+bool Network::sink_packet(NodeId from_node, const Endpoint& dst,
+                          NodeId site) {
+  for (RoutePolicyHook* hook : route_hooks_) {
+    hook->on_selected(dst.addr, from_node, site, sim_.now());
+  }
+  if (route_state_of(dst.addr, site) != RouteState::Sinking) return false;
+  ++dropped_;
+  obs_dropped_->add(1, sim_.now());
+  obs_lost_convergence_->add(1, sim_.now());
+  if (sim_.trace().enabled()) {
+    sim_.trace().record({sim_.now(), obs::TraceKind::PacketDrop,
+                         node(from_node).name, node(site).name,
+                         "route_convergence", 0.0});
+  }
+  return true;
 }
 
 bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
@@ -182,6 +245,9 @@ bool Network::send(NodeId from_node, Endpoint src, Endpoint dst,
     ++unroutable_;
     obs_unroutable_->add(1, sim_.now());
     return false;
+  }
+  if (!route_hooks_.empty() && sink_packet(from_node, dst, binding->node)) {
+    return true;  // sent, but lost in a withdrawing site's convergence sink
   }
   Duration fault_delay = Duration::zero();
   if (fault_hook_ != nullptr) {
@@ -243,6 +309,9 @@ bool Network::send_stream(NodeId from_node, Endpoint src, Endpoint dst,
     ++unroutable_;
     obs_unroutable_->add(1, sim_.now());
     return false;
+  }
+  if (!route_hooks_.empty() && sink_packet(from_node, dst, binding->node)) {
+    return true;  // the SYN dies in the convergence sink; sender sees silence
   }
   // Faults hit streams too: a blackholed/partitioned connection never
   // completes (the sender sees silence, like a SYN into a null route), and

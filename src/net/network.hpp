@@ -118,6 +118,43 @@ class PacketFaultHook {
                                                SimTime now) = 0;
 };
 
+/// Routing-plane state of one (address, node) announcement, as the rest of
+/// the internet sees it. The three states model a BGP withdrawal timeline:
+/// the route is gone the moment the site withdraws, but distant routers
+/// keep sending traffic into the dead path until convergence finishes.
+enum class RouteState : std::uint8_t {
+  /// The node announces the address; traffic routes to it normally.
+  Announced,
+  /// Withdrawn but not yet converged: senders still select this node (their
+  /// routers haven't heard), and packets sent to it are lost in the dead
+  /// path. The convergence-loss window of a BGP withdrawal.
+  Sinking,
+  /// Withdrawn and converged: the node has left the catchment; senders
+  /// re-resolve to their next-best announcing node.
+  Withdrawn,
+};
+
+/// Interface of the dynamic routing-plane layer (implemented by
+/// anycast::AnycastService's route control; the network sees only this
+/// vtable so src/net stays free of anycast headers). Consulted during
+/// binding selection; with no hook registered the cost is one empty-vector
+/// check per packet.
+class RoutePolicyHook {
+ public:
+  virtual ~RoutePolicyHook() = default;
+  /// The announcement state of (addr, node) at `now`. Must be deterministic
+  /// in its arguments — no wall clock, no per-replica traffic state — or
+  /// sharded byte-identity breaks. Hooks answer Announced for addresses
+  /// they do not manage.
+  [[nodiscard]] virtual RouteState route_state(IpAddress addr, NodeId node,
+                                               SimTime now) = 0;
+  /// Notification that a datagram/stream send from `from` selected `site`
+  /// for anycast address `addr` at `now`. Where catchment-shift accounting
+  /// lives; keyed per sender flow, so shard merges reproduce serial counts.
+  virtual void on_selected(IpAddress addr, NodeId from, NodeId site,
+                           SimTime now) = 0;
+};
+
 class Network {
  public:
   /// A network with its own private node table (the classic form), or —
@@ -203,6 +240,18 @@ class Network {
     return fault_hook_;
   }
 
+  /// Registers a routing-plane hook consulted during binding selection
+  /// (anycast withdrawal/drain). Several hooks may coexist — one per
+  /// anycast service with dynamic state; the caller keeps ownership and
+  /// must remove the hook before destroying it. Adding the same hook twice
+  /// is a no-op.
+  void add_route_hook(RoutePolicyHook* hook);
+  void remove_route_hook(RoutePolicyHook* hook);
+  [[nodiscard]] const std::vector<RoutePolicyHook*>& route_hooks()
+      const noexcept {
+    return route_hooks_;
+  }
+
   // Counters for tests and reports.
   [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
@@ -223,8 +272,20 @@ class Network {
     std::shared_ptr<const DatagramHandler> handler;
   };
 
-  /// Picks the lowest-RTT binding for `dst` as seen from `from`.
+  /// Picks the lowest-RTT binding for `dst` as seen from `from`, skipping
+  /// Withdrawn announcements and breaking exact-RTT ties by the
+  /// lexicographically lowest node name (site names embed the site code,
+  /// so planned and replica worlds can never disagree on a tie).
   const Binding* select_binding(NodeId from, Endpoint dst);
+
+  /// The combined route state of (addr, node) across all hooks: the most
+  /// degraded answer wins.
+  RouteState route_state_of(IpAddress addr, NodeId node);
+
+  /// Post-selection routing-plane bookkeeping shared by send/send_stream:
+  /// notifies hooks of the selection and reports whether the packet dies
+  /// in a convergence sink. Only called when hooks are registered.
+  bool sink_packet(NodeId from_node, const Endpoint& dst, NodeId site);
 
   /// Flat exact-match index over bindings_, keyed by the packed 48-bit
   /// (addr, port). listen/unlisten only mark it dirty — a testbed makes
@@ -263,6 +324,7 @@ class Network {
 
   Simulation& sim_;
   PacketFaultHook* fault_hook_ = nullptr;
+  std::vector<RoutePolicyHook*> route_hooks_;
   LatencyModel latency_;
   stats::Rng flow_rng_parent_;
   std::vector<FlowSlot> flow_slots_;
@@ -289,6 +351,8 @@ class Network {
   obs::Counter* obs_stream_sent_;
   obs::Counter* obs_udp_bytes_;
   obs::Counter* obs_stream_bytes_;
+  /// Registered on first add_route_hook (lazy, fixture-stable).
+  obs::Counter* obs_lost_convergence_ = nullptr;
 };
 
 }  // namespace recwild::net

@@ -17,7 +17,7 @@ struct KindName {
   std::string_view name;
 };
 
-constexpr std::array<KindName, 18> kKindNames{{
+constexpr std::array<KindName, 19> kKindNames{{
     {TraceKind::SelectServer, "select_server"},
     {TraceKind::PrimeServer, "prime_server"},
     {TraceKind::StickyLatch, "sticky_latch"},
@@ -36,6 +36,7 @@ constexpr std::array<KindName, 18> kKindNames{{
     {TraceKind::RrlDrop, "rrl_drop"},
     {TraceKind::RrlSlip, "rrl_slip"},
     {TraceKind::NsFetch, "ns_fetch"},
+    {TraceKind::CatchmentShift, "catchment_shift"},
 }};
 
 /// Deterministic value rendering: integers without a point, otherwise up to

@@ -44,6 +44,7 @@ enum class TraceKind : std::uint8_t {
   RrlDrop,          ///< RRL suppressed a UDP response entirely.
   RrlSlip,          ///< RRL replaced a UDP response with a TC=1 slip.
   NsFetch,          ///< Resolver spawned a glueless-NS address fetch.
+  CatchmentShift,   ///< A sender's anycast catchment moved to another site.
 };
 
 /// Canonical lower-snake name of a TraceKind (what the TSV format stores).

@@ -202,6 +202,28 @@ inline constexpr std::string_view kAttackQueriesInjected =
 inline constexpr std::string_view kAttackVictimQueries =
     "attack.victim.queries";
 
+// --- dynamic anycast catchments (src/net, src/anycast, src/fault) -------
+/// Packet sends whose anycast site differs from the sender's previous
+/// site for the same service address (per-sender-flow, so shard merges
+/// reproduce the serial count).
+inline constexpr std::string_view kAnycastCatchmentShift =
+    "anycast.catchment.shift";
+/// Histogram of client-perceived failover latency, ms: time from a site's
+/// withdrawal to the first packet the shifted sender routes to its
+/// next-best site.
+inline constexpr std::string_view kAnycastFailoverLatencyMs =
+    "anycast.failover.latency_ms";
+/// Drain windows armed on anycast sites. Counted when the drain is
+/// installed but stamped with the drain's start time, so sharded runs
+/// merge to the serial bytes.
+inline constexpr std::string_view kAnycastSiteDrained =
+    "anycast.site.drained";
+/// Packets lost in a withdrawing site's convergence sink: the route was
+/// withdrawn but the sender's routers had not converged yet. Also counted
+/// in net.packets.dropped.
+inline constexpr std::string_view kAnycastLostInConvergence =
+    "anycast.queries.lost_in_convergence";
+
 // --- resolver fetch limits (src/resolver/resolver.cpp) ------------------
 /// Glueless-delegation nameserver address fetches the resolver spawned.
 inline constexpr std::string_view kResolverFetchSpawned =

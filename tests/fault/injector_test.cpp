@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "anycast/service.hpp"
 #include "authns/secondary.hpp"
 #include "obs/names.hpp"
 
@@ -341,6 +342,183 @@ TEST(FaultInjector, DisarmRestoresTheWorld) {
   EXPECT_EQ(w.net->fault_hook(), nullptr);
   w.query_at(at_s(5), 1);
   EXPECT_EQ(w.received.size(), 1u);  // both faults gone
+}
+
+/// A two-site anycast service (FRA, SYD) with a client near FRA, for the
+/// site-fault kinds.
+struct AnycastWorld {
+  net::Simulation sim{91};
+  net::LatencyParams params;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<anycast::AnycastService> svc;
+  net::NodeId client_node = net::kInvalidNode;
+  net::Endpoint client_ep;
+  std::vector<std::uint16_t> received;
+
+  AnycastWorld() {
+    params.loss_rate = 0.0;
+    net = std::make_unique<net::Network>(sim, params);
+    svc = std::make_unique<anycast::AnycastService>(
+        anycast::AnycastService::create(*net, "root", net->allocate_address(),
+                                        {"FRA", "SYD"}));
+    svc->add_zone(authns::Zone::from_text(
+        dns::Name::parse("ourtestdomain.nl"), kZoneText));
+    svc->start();
+    client_node = net->add_node("client-node",
+                                net::find_location("AMS")->point);
+    client_ep = net::Endpoint{net->allocate_address(), 5555};
+    net->listen(client_node, client_ep,
+                [this](const net::Datagram& d, net::NodeId) {
+                  received.push_back(dns::decode_message(d.payload).header.id);
+                });
+  }
+
+  void query_at(net::SimTime at, std::uint16_t id) {
+    sim.at(at, [this, id] {
+      net->send(client_node, client_ep,
+                net::Endpoint{svc->address(), net::kDnsPort},
+                dns::encode_message(dns::Message::make_query(
+                    id, dns::Name::parse("x.ourtestdomain.nl"),
+                    dns::RRType::TXT)));
+    });
+    sim.run();
+  }
+
+  std::unique_ptr<FaultInjector> make_injector(FaultSchedule schedule) {
+    auto injector =
+        std::make_unique<FaultInjector>(*net, std::move(schedule));
+    injector->bind_service(*svc);
+    return injector;
+  }
+
+  [[nodiscard]] std::uint64_t fra() const {
+    return svc->sites()[0].server->queries_received();
+  }
+  [[nodiscard]] std::uint64_t syd() const {
+    return svc->sites()[1].server->queries_received();
+  }
+};
+
+TEST(FaultInjector, SiteWithdrawConvergesThenFailsOver) {
+  AnycastWorld w;
+  FaultSchedule s;
+  // Addressed by the service's shared address; 2000ms nominal convergence
+  // (the injector jitters it within ±25%, so converged by t=12.5s at the
+  // latest).
+  s.add({FaultKind::SiteWithdraw, at_s(10), at_s(30),
+         w.svc->address().to_string(), "FRA", 2000.0, -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  w.query_at(at_s(1), 1);     // before: FRA answers
+  w.query_at(at_s(10.5), 2);  // inside convergence: lost in the dead path
+  w.query_at(at_s(15), 3);    // converged: SYD answers transparently
+  w.query_at(at_s(35), 4);    // re-announced: FRA again
+
+  ASSERT_EQ(w.received.size(), 3u);
+  EXPECT_EQ(w.received[0], 1);
+  EXPECT_EQ(w.received[1], 3);
+  EXPECT_EQ(w.received[2], 4);
+  EXPECT_EQ(w.fra(), 2u);
+  EXPECT_EQ(w.syd(), 1u);
+  EXPECT_EQ(w.sim.metrics().snapshot().counter_value(
+                obs::names::kAnycastLostInConvergence),
+            1u);
+}
+
+TEST(FaultInjector, SiteWithdrawMatchesServiceByName) {
+  AnycastWorld w;
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, at_s(10), at_s(30), "root", "FRA", 2000.0,
+         -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  EXPECT_TRUE(w.svc->route_control().has_outages());
+}
+
+TEST(FaultInjector, SiteFlapAlternatesWithdrawnAndAnnounced) {
+  AnycastWorld w;
+  FaultSchedule s;
+  // [10s, 70s) with a 10s half-period: withdrawn [10,20) [30,40) [50,60),
+  // announced between. 1s nominal convergence per cycle.
+  s.add({FaultKind::SiteFlap, at_s(10), at_s(70),
+         w.svc->address().to_string(), "FRA", 1000.0, -1.0, 10'000.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+
+  w.query_at(at_s(15), 1);  // first withdrawn cycle, converged -> SYD
+  w.query_at(at_s(25), 2);  // announced gap -> FRA
+  w.query_at(at_s(35), 3);  // second withdrawn cycle -> SYD
+  w.query_at(at_s(45), 4);  // announced gap -> FRA
+  w.query_at(at_s(80), 5);  // after the flap -> FRA
+
+  ASSERT_EQ(w.received.size(), 5u);
+  EXPECT_EQ(w.fra(), 3u);
+  EXPECT_EQ(w.syd(), 2u);
+}
+
+TEST(FaultInjector, ConvergenceJitterIsDeterministic) {
+  // Identically-seeded worlds arm identical jittered windows: the planned
+  // routing state agrees at every instant (the sharded engines' byte-
+  // identity rests on exactly this).
+  auto states = [](AnycastWorld& w) {
+    std::vector<net::RouteState> out;
+    const net::NodeId fra_node = w.svc->sites()[0].node;
+    for (int ms = 10'000; ms < 14'000; ms += 10) {
+      out.push_back(w.svc->route_control().site_state(
+          fra_node, net::SimTime::origin() + net::Duration::millis(ms)));
+    }
+    return out;
+  };
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, at_s(10), at_s(30), "root", "FRA", 2000.0,
+         -1.0});
+
+  AnycastWorld a;
+  auto ia = a.make_injector(s);
+  ia->arm();
+  AnycastWorld b;
+  auto ib = b.make_injector(s);
+  ib->arm();
+  const auto sa = states(a);
+  EXPECT_EQ(sa, states(b));
+  // The jitter stayed inside ±25% of the 2000ms nominal delay: still
+  // Sinking at +1.49s, Withdrawn by +2.51s.
+  EXPECT_EQ(sa[149], net::RouteState::Sinking);
+  EXPECT_EQ(sa[251], net::RouteState::Withdrawn);
+}
+
+TEST(FaultInjector, SiteTargetsValidateAgainstTheWorld) {
+  AnycastWorld w;
+  {
+    FaultSchedule s;
+    s.add({FaultKind::SiteWithdraw, at_s(0), at_s(10), "no-such-service",
+           "FRA", 500.0, -1.0});
+    auto injector = w.make_injector(std::move(s));
+    EXPECT_THROW(injector->arm(), std::invalid_argument);
+  }
+  {
+    FaultSchedule s;
+    s.add({FaultKind::SiteWithdraw, at_s(0), at_s(10), "root", "XXX", 500.0,
+           -1.0});
+    auto injector = w.make_injector(std::move(s));
+    EXPECT_THROW(injector->arm(), std::invalid_argument);
+  }
+}
+
+TEST(FaultInjector, DisarmClearsScheduledWithdrawals) {
+  AnycastWorld w;
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, at_s(10), at_s(30), "root", "*", 500.0,
+         -1.0});
+  auto injector = w.make_injector(std::move(s));
+  injector->arm();
+  EXPECT_TRUE(w.svc->route_control().has_outages());
+  injector->disarm();
+  EXPECT_FALSE(w.svc->route_control().has_outages());
+  w.query_at(at_s(15), 1);  // mid-window, but the fault is gone
+  ASSERT_EQ(w.received.size(), 1u);
+  EXPECT_EQ(w.fra(), 1u);
 }
 
 }  // namespace

@@ -1,7 +1,9 @@
 #include "fault/schedule.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -21,6 +23,12 @@ FaultSchedule sample_schedule() {
          net::SimTime::from_micros(4'000'000), "10.0.0.7", "", 0.0, -1.0});
   s.add({FaultKind::XferStarve, net::SimTime::from_micros(0),
          net::SimTime::from_micros(60'000'000), "10.0.0.9", "", 0.0, -1.0});
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(12'000'000),
+         net::SimTime::from_micros(30'000'000), "10.0.0.3", "FRA", 800.0,
+         -1.0});
+  s.add({FaultKind::SiteFlap, net::SimTime::from_micros(40'000'000),
+         net::SimTime::from_micros(100'000'000), "10.0.0.3", "SYD", 500.0,
+         1500.0, 10'000.0});
   return s;
 }
 
@@ -28,7 +36,8 @@ TEST(FaultKindNames, RoundTripEveryKind) {
   for (const FaultKind k :
        {FaultKind::LossBurst, FaultKind::LatencySpike, FaultKind::Blackhole,
         FaultKind::Partition, FaultKind::ServerCrash, FaultKind::ServerRefuse,
-        FaultKind::ServerSlow, FaultKind::XferStarve}) {
+        FaultKind::ServerSlow, FaultKind::XferStarve,
+        FaultKind::SiteWithdraw, FaultKind::SiteFlap}) {
     EXPECT_EQ(fault_kind_from_string(to_string(k)), k);
   }
   EXPECT_THROW(fault_kind_from_string("earthquake"), std::invalid_argument);
@@ -103,9 +112,85 @@ TEST(FaultScheduleValidate, NamesTheOffendingEvent) {
     s.validate();
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& ex) {
-    EXPECT_NE(std::string(ex.what()).find("event 5"), std::string::npos)
+    EXPECT_NE(std::string(ex.what()).find("event 7"), std::string::npos)
         << ex.what();
   }
+}
+
+TEST(FaultScheduleValidate, RejectsSiteFaultWithoutSiteCode) {
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10'000'000), "10.0.0.3", "", 800.0, -1.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, RejectsZeroConvergenceDelay) {
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10'000'000), "10.0.0.3", "FRA", 0.0,
+         -1.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, RejectsFlapWithoutPeriod) {
+  FaultSchedule s;
+  s.add({FaultKind::SiteFlap, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10'000'000), "10.0.0.3", "FRA", 800.0,
+         -1.0, 0.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, RejectsPeriodOnNonFlapKind) {
+  FaultSchedule s;
+  s.add({FaultKind::LossBurst, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(10'000'000), "a", "b", 0.5, -1.0,
+         2'000.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, RejectsOverlappingSiteWindows) {
+  // Two withdrawals of the same (service, site) with overlapping windows:
+  // the announced/withdrawn state would be ambiguous.
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(20'000'000), "10.0.0.3", "FRA", 800.0,
+         -1.0});
+  s.add({FaultKind::SiteFlap, net::SimTime::from_micros(10'000'000),
+         net::SimTime::from_micros(40'000'000), "10.0.0.3", "FRA", 500.0,
+         -1.0, 5'000.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, WildcardSiteOverlapsAnyCode) {
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(20'000'000), "10.0.0.3", "*", 800.0,
+         -1.0});
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(5'000'000),
+         net::SimTime::from_micros(25'000'000), "10.0.0.3", "SYD", 800.0,
+         -1.0});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(FaultScheduleValidate, AcceptsDisjointSiteWindows) {
+  // Same site, back-to-back windows ([0,20) then [20,40)): legal, the
+  // windows are half-open.
+  FaultSchedule s;
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(20'000'000), "10.0.0.3", "FRA", 800.0,
+         -1.0});
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(20'000'000),
+         net::SimTime::from_micros(40'000'000), "10.0.0.3", "FRA", 800.0,
+         -1.0});
+  // Different sites of the same service may overlap freely.
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(40'000'000), "10.0.0.3", "SYD", 800.0,
+         -1.0});
+  // Same site code on a DIFFERENT service is independent.
+  s.add({FaultKind::SiteWithdraw, net::SimTime::from_micros(0),
+         net::SimTime::from_micros(40'000'000), "10.0.0.4", "FRA", 800.0,
+         -1.0});
+  EXPECT_NO_THROW(s.validate());
 }
 
 TEST(FaultScheduleTsv, RoundTripsExactly) {
@@ -130,6 +215,53 @@ TEST(FaultScheduleTsv, ReportsLineNumberOnBadInput) {
 
 TEST(FaultScheduleTsv, RejectsWrongFieldCount) {
   std::istringstream in{"loss_burst\t0\t10\ta\tb\t0.5\n"};
+  EXPECT_THROW((void)read_schedule(in), std::runtime_error);
+}
+
+TEST(FaultScheduleTsv, PeriodColumnOnlyOnFlaps) {
+  // Non-flap events keep the historical 7-column shape; flaps append an
+  // eighth column. Both parse back.
+  std::ostringstream out;
+  write_schedule(out, sample_schedule());
+  std::istringstream lines{out.str()};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto tabs =
+        static_cast<std::size_t>(std::count(line.begin(), line.end(), '\t'));
+    if (line.compare(0, 9, "site_flap") == 0) {
+      EXPECT_EQ(tabs, 7u) << line;
+    } else {
+      EXPECT_EQ(tabs, 6u) << line;
+    }
+  }
+}
+
+TEST(FaultScheduleTsv, SevenFieldSiteWithdrawParses) {
+  // A site_withdraw without the optional period column: period_ms is 0.
+  std::istringstream in{
+      "site_withdraw\t0\t10000000\t10.0.0.3\tFRA\t800\t-1\n"};
+  const auto parsed = read_schedule(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.events()[0].kind, FaultKind::SiteWithdraw);
+  EXPECT_EQ(parsed.events()[0].target_b, "FRA");
+  EXPECT_DOUBLE_EQ(parsed.events()[0].period_ms, 0.0);
+  EXPECT_NO_THROW(parsed.validate());
+}
+
+TEST(FaultScheduleTsv, EightFieldFlapParses) {
+  std::istringstream in{
+      "site_flap\t0\t60000000\t10.0.0.3\t*\t500\t-1\t10000\n"};
+  const auto parsed = read_schedule(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.events()[0].kind, FaultKind::SiteFlap);
+  EXPECT_DOUBLE_EQ(parsed.events()[0].period_ms, 10'000.0);
+  EXPECT_NO_THROW(parsed.validate());
+}
+
+TEST(FaultScheduleTsv, RejectsNineFields) {
+  std::istringstream in{
+      "site_flap\t0\t60000000\t10.0.0.3\t*\t500\t-1\t10000\textra\n"};
   EXPECT_THROW((void)read_schedule(in), std::runtime_error);
 }
 

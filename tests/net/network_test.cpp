@@ -1,6 +1,11 @@
 #include "net/network.hpp"
 
+#include <map>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "obs/names.hpp"
 
 namespace recwild::net {
 namespace {
@@ -173,6 +178,143 @@ TEST(Network, BaseRttToUsesCatchment) {
   const Duration rtt = net.base_rtt_to(client, addr);
   EXPECT_EQ(rtt, net.base_rtt(client, near_site));
   EXPECT_LT(rtt, net.base_rtt(client, far_site));
+}
+
+/// Scriptable routing-plane hook: a fixed per-node state table.
+struct StubRouteHook final : RoutePolicyHook {
+  IpAddress managed;
+  std::map<NodeId, RouteState> states;
+  std::vector<NodeId> selections;
+
+  RouteState route_state(IpAddress addr, NodeId node, SimTime) override {
+    if (addr != managed) return RouteState::Announced;
+    const auto it = states.find(node);
+    return it == states.end() ? RouteState::Announced : it->second;
+  }
+  void on_selected(IpAddress addr, NodeId, NodeId site, SimTime) override {
+    if (addr == managed) selections.push_back(site);
+  }
+};
+
+TEST(Network, WithdrawnSiteLeavesSelection) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client = net.add_node("client", point("AMS"));
+  const NodeId near_site = net.add_node("near", point("FRA"));
+  const NodeId far_site = net.add_node("far", point("SYD"));
+  const IpAddress addr = net.allocate_address();
+  NodeId hit = kInvalidNode;
+  auto handler = [&](const Datagram&, NodeId node) { hit = node; };
+  net.listen(near_site, Endpoint{addr, 53}, handler);
+  net.listen(far_site, Endpoint{addr, 53}, handler);
+
+  StubRouteHook hook;
+  hook.managed = addr;
+  hook.states[near_site] = RouteState::Withdrawn;
+  net.add_route_hook(&hook);
+
+  EXPECT_TRUE(net.send(client, Endpoint{}, Endpoint{addr, 53}, {}));
+  f.sim.run();
+  EXPECT_EQ(hit, far_site);  // nearest site withdrawn -> next best
+  ASSERT_EQ(hook.selections.size(), 1u);
+  EXPECT_EQ(hook.selections[0], far_site);
+  net.remove_route_hook(&hook);
+}
+
+TEST(Network, SinkingSiteStillAttractsAndDrops) {
+  // Withdrawn-but-unconverged: the sender still selects the dead site and
+  // the packet dies there — the convergence-loss phase of a withdrawal.
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client = net.add_node("client", point("AMS"));
+  const NodeId near_site = net.add_node("near", point("FRA"));
+  const NodeId far_site = net.add_node("far", point("SYD"));
+  const IpAddress addr = net.allocate_address();
+  bool delivered = false;
+  auto handler = [&](const Datagram&, NodeId) { delivered = true; };
+  net.listen(near_site, Endpoint{addr, 53}, handler);
+  net.listen(far_site, Endpoint{addr, 53}, handler);
+
+  StubRouteHook hook;
+  hook.managed = addr;
+  hook.states[near_site] = RouteState::Sinking;
+  net.add_route_hook(&hook);
+
+  EXPECT_TRUE(net.send(client, Endpoint{}, Endpoint{addr, 53}, {7}));
+  f.sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.dropped(), 1u);
+  EXPECT_EQ(f.sim.metrics().snapshot().counter_value(
+                obs::names::kAnycastLostInConvergence),
+            1u);
+  // The dead site was still the selection — convergence hasn't reached
+  // the client's routers.
+  ASSERT_EQ(hook.selections.size(), 1u);
+  EXPECT_EQ(hook.selections[0], near_site);
+  net.remove_route_hook(&hook);
+}
+
+TEST(Network, AllSitesWithdrawnIsUnroutable) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client = net.add_node("client", point("AMS"));
+  const NodeId site = net.add_node("site", point("FRA"));
+  const IpAddress addr = net.allocate_address();
+  net.listen(site, Endpoint{addr, 53}, [](const Datagram&, NodeId) {});
+
+  StubRouteHook hook;
+  hook.managed = addr;
+  hook.states[site] = RouteState::Withdrawn;
+  net.add_route_hook(&hook);
+  EXPECT_FALSE(net.send(client, Endpoint{}, Endpoint{addr, 53}, {}));
+  EXPECT_EQ(net.unroutable(), 1u);
+  net.remove_route_hook(&hook);
+}
+
+TEST(Network, WorstRouteStateAcrossHooksWins) {
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client = net.add_node("client", point("AMS"));
+  const NodeId site = net.add_node("site", point("FRA"));
+  const NodeId backup = net.add_node("backup", point("IAD"));
+  const IpAddress addr = net.allocate_address();
+  NodeId hit = kInvalidNode;
+  auto handler = [&](const Datagram&, NodeId node) { hit = node; };
+  net.listen(site, Endpoint{addr, 53}, handler);
+  net.listen(backup, Endpoint{addr, 53}, handler);
+
+  StubRouteHook says_ok;
+  says_ok.managed = addr;  // all Announced
+  StubRouteHook says_gone;
+  says_gone.managed = addr;
+  says_gone.states[site] = RouteState::Withdrawn;
+  net.add_route_hook(&says_ok);
+  net.add_route_hook(&says_gone);
+
+  EXPECT_TRUE(net.send(client, Endpoint{}, Endpoint{addr, 53}, {}));
+  f.sim.run();
+  EXPECT_EQ(hit, backup);
+  net.remove_route_hook(&says_ok);
+  net.remove_route_hook(&says_gone);
+}
+
+TEST(Network, EqualRttTieBreaksOnLowestNodeName) {
+  // Two sites at the same location (bit-identical RTT): selection must be
+  // deterministic — lowest node name wins, regardless of bind order.
+  Fixture f;
+  Network net{f.sim, f.params};
+  const NodeId client = net.add_node("client", point("AMS"));
+  const NodeId z_site = net.add_node("site-z", point("FRA"));
+  const NodeId a_site = net.add_node("site-a", point("FRA"));
+  const IpAddress addr = net.allocate_address();
+  NodeId hit = kInvalidNode;
+  auto handler = [&](const Datagram&, NodeId node) { hit = node; };
+  net.listen(z_site, Endpoint{addr, 53}, handler);  // bound first
+  net.listen(a_site, Endpoint{addr, 53}, handler);
+
+  net.send(client, Endpoint{}, Endpoint{addr, 53}, {});
+  f.sim.run();
+  EXPECT_EQ(hit, a_site);
 }
 
 TEST(Network, CountersTrackTraffic) {
