@@ -1,10 +1,11 @@
 #!/bin/sh
 # Canonical benchmark runner. Builds (if needed) and runs the datapath
-# benchmarks, the attack x defense matrix, the anycast failover bench and
-# the real-socket server bench, leaving BENCH_datapath.json,
-# BENCH_campaign.json, BENCH_ddos.json, BENCH_anycast.json and
-# BENCH_server.json at the repo root. These are the numbers quoted in
-# EXPERIMENTS.md and gated by CI's nightly bench job.
+# benchmarks, the attack x defense matrix, the anycast failover bench,
+# the real-socket server bench and the bulk-resolution scan bench,
+# leaving BENCH_datapath.json, BENCH_campaign.json, BENCH_ddos.json,
+# BENCH_anycast.json, BENCH_server.json and BENCH_scan.json at the repo
+# root. These are the numbers quoted in EXPERIMENTS.md and gated by CI's
+# nightly bench job.
 #
 #   scripts/run_bench.sh [build-dir]      # default: ./build
 #
@@ -21,7 +22,7 @@ if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" --target bench_datapath bench_parallel_campaign \
-  bench_ddos bench_anycast authnsd loadgen atlas_campaign
+  bench_ddos bench_anycast bench_scan authnsd loadgen atlas_campaign
 
 echo "== bench_datapath (codec allocations, differential vs legacy) =="
 "$BUILD/bench/bench_datapath" --iters 20000 \
@@ -45,6 +46,11 @@ echo "== bench_ddos (attack x defense matrix, NXNS + water torture) =="
 echo
 echo "== bench_anycast (dynamic catchments: withdrawal, failover, unicast gap) =="
 "$BUILD/bench/bench_anycast" --seed 42 --json "$ROOT/BENCH_anycast.json"
+
+echo
+echo "== bench_scan (canonical: 10M names, window 32, pipelined vs serial) =="
+"$BUILD/bench/bench_scan" --names 10000000 --window 32 --seed 42 \
+  --json "$ROOT/BENCH_scan.json"
 
 echo
 echo "== bench_server (live authnsd + loadgen, campaign query replay) =="
@@ -86,4 +92,4 @@ kill "$AUTHNSD_PID" 2>/dev/null || true
 wait "$AUTHNSD_PID" 2>/dev/null || true
 
 echo
-echo "wrote $ROOT/BENCH_datapath.json, $ROOT/BENCH_campaign.json, $ROOT/BENCH_campaign_100k.json, $ROOT/BENCH_ddos.json, $ROOT/BENCH_anycast.json and $ROOT/BENCH_server.json"
+echo "wrote $ROOT/BENCH_datapath.json, $ROOT/BENCH_campaign.json, $ROOT/BENCH_campaign_100k.json, $ROOT/BENCH_ddos.json, $ROOT/BENCH_anycast.json, $ROOT/BENCH_scan.json and $ROOT/BENCH_server.json"

@@ -35,7 +35,20 @@ void StubResolver::stop() {
 }
 
 void StubResolver::query(dns::Name qname, dns::RRType qtype, StubCallback cb) {
-  // Fresh txid, avoiding collisions with in-flight queries.
+  // Hard cap: one stub can hold at most 2^16 concurrent queries (the txid
+  // space). Bulk drivers pipeline thousands of queries per stub; when the
+  // space is exhausted the collision probe below could never terminate, so
+  // fail fast the way a saturated stub's caller would see a timeout.
+  if (pending_.size() >= 65'536) {
+    StubResult result;
+    result.question =
+        dns::Question{std::move(qname), qtype, dns::RRClass::IN};
+    result.timed_out = true;
+    cb(result);
+    return;
+  }
+  // Fresh txid, avoiding collisions with in-flight queries (the probe
+  // wraps modulo 2^16 and the cap above guarantees a free slot exists).
   std::uint16_t txid = static_cast<std::uint16_t>(rng_.next());
   while (pending_.contains(txid)) ++txid;
 

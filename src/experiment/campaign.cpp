@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "attack/generator.hpp"
+#include "experiment/sharding.hpp"
 #include "obs/names.hpp"
 #include "obs/process.hpp"
 
@@ -212,34 +213,6 @@ std::vector<VpObservation> run_campaign_shard(
     observations.push_back(std::move(obs));
   }
   return observations;
-}
-
-/// Deterministic LPT bin-packing of VP groups onto `shards` bins, weighted
-/// by estimated query volume (see campaign_group_weights). Returns
-/// per-shard ascending VP index lists; empty shards are dropped.
-std::vector<std::vector<std::size_t>> pack_groups(
-    const std::vector<std::vector<std::size_t>>& groups,
-    const std::vector<double>& weights, std::size_t shards) {
-  std::vector<std::size_t> order(groups.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) {
-              if (weights[a] != weights[b]) return weights[a] > weights[b];
-              return groups[a].front() < groups[b].front();
-            });
-
-  std::vector<std::vector<std::size_t>> bins(shards);
-  std::vector<double> load(shards, 0.0);
-  for (const std::size_t g : order) {
-    const std::size_t lightest = static_cast<std::size_t>(
-        std::min_element(load.begin(), load.end()) - load.begin());
-    load[lightest] += weights[g];
-    auto& bin = bins[lightest];
-    bin.insert(bin.end(), groups[g].begin(), groups[g].end());
-  }
-  std::erase_if(bins, [](const auto& b) { return b.empty(); });
-  for (auto& bin : bins) std::sort(bin.begin(), bin.end());
-  return bins;
 }
 
 }  // namespace

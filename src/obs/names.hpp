@@ -224,6 +224,34 @@ inline constexpr std::string_view kAnycastSiteDrained =
 inline constexpr std::string_view kAnycastLostInConvergence =
     "anycast.queries.lost_in_convergence";
 
+// --- pipelined front door (src/resolver/resolver.cpp) -------------------
+/// High-water mark of admitted in-flight client resolutions per world
+/// (gauge; excluded from shard merges). 0 unless admission control is on.
+inline constexpr std::string_view kResolverInflight = "resolver.inflight";
+/// Client (qname, qtype) chains the pipelined front door coalesced onto an
+/// already in-flight or queued identical resolution (one upstream fetch
+/// tree answers every waiter). Registered lazily on first use.
+inline constexpr std::string_view kResolverCoalesced = "resolver.coalesced";
+/// Client resolutions parked in the admission queue because
+/// max_inflight_resolutions slots were all taken.
+inline constexpr std::string_view kResolverAdmissionQueued =
+    "resolver.admission.queued";
+/// Client resolutions failed fast with SERVFAIL because the admission
+/// queue itself was full (max_queued_resolutions).
+inline constexpr std::string_view kResolverAdmissionRejected =
+    "resolver.admission.rejected";
+
+// --- bulk scan driver (src/experiment/scan.cpp) -------------------------
+/// Scan names handed to a recursive (one per JSONL row issued).
+inline constexpr std::string_view kScanNamesIssued = "scan.names.issued";
+/// Scan resolutions completed (answer, NXDOMAIN or SERVFAIL — every issued
+/// name completes; the resolver's bounded-work deadline guarantees it).
+inline constexpr std::string_view kScanNamesCompleted =
+    "scan.names.completed";
+/// Completed scan resolutions per HOST WALL second of the last run (gauge;
+/// wall clock, so never part of deterministic exports or shard merges).
+inline constexpr std::string_view kScanQps = "scan.qps";
+
 // --- resolver fetch limits (src/resolver/resolver.cpp) ------------------
 /// Glueless-delegation nameserver address fetches the resolver spawned.
 inline constexpr std::string_view kResolverFetchSpawned =

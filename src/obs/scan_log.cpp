@@ -1,0 +1,235 @@
+#include "obs/scan_log.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+namespace recwild::obs {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Strict single-line parser for exactly the shape write_scan_rows emits.
+/// Anything else — reordered keys, missing fields, trailing bytes — is an
+/// error; a scan fixture is a format contract, not general JSON.
+class RowParser {
+ public:
+  RowParser(std::string_view line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  ScanRow parse() {
+    ScanRow row;
+    expect('{');
+    row.index = parse_uint(key("i"));
+    expect(',');
+    row.qname = parse_string(key("qname"));
+    expect(',');
+    row.rcode = parse_string(key("rcode"));
+    expect(',');
+    key("answers");
+    expect('[');
+    if (peek() != ']') {
+      for (;;) {
+        row.answers.push_back(parse_string("answers element"));
+        if (peek() != ',') break;
+        ++pos_;
+      }
+    }
+    expect(']');
+    expect(',');
+    row.chain = static_cast<std::uint32_t>(parse_uint(key("chain")));
+    expect(',');
+    row.sim_ms = parse_double(key("sim_ms"));
+    expect(',');
+    row.upstream = static_cast<std::uint32_t>(parse_uint(key("upstream")));
+    expect(',');
+    row.cache_hit = parse_bool(key("cache_hit"));
+    expect('}');
+    if (pos_ != line_.size()) fail("trailing bytes after row object");
+    return row;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error{"scan jsonl line " + std::to_string(line_no_) +
+                             ": " + what};
+  }
+  char peek() const {
+    if (pos_ >= line_.size()) fail("unexpected end of line");
+    return line_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string{"expected '"} + c + "', got '" + line_[pos_] + "'");
+    }
+    ++pos_;
+  }
+  /// Consumes `"name":` and returns the key name (for error context).
+  const char* key(const char* name) {
+    const std::string want = std::string{"\""} + name + "\":";
+    if (line_.substr(pos_, want.size()) != want) {
+      fail(std::string{"expected key \""} + name + "\"");
+    }
+    pos_ += want.size();
+    return name;
+  }
+  std::uint64_t parse_uint(const char* what) {
+    if (pos_ >= line_.size() || !std::isdigit(
+            static_cast<unsigned char>(line_[pos_]))) {
+      fail(std::string{"expected unsigned integer for "} + what);
+    }
+    std::uint64_t v = 0;
+    while (pos_ < line_.size() &&
+           std::isdigit(static_cast<unsigned char>(line_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(line_[pos_] - '0');
+      ++pos_;
+    }
+    return v;
+  }
+  double parse_double(const char* what) {
+    const std::size_t start = pos_;
+    if (pos_ < line_.size() && line_[pos_] == '-') ++pos_;
+    while (pos_ < line_.size() &&
+           (std::isdigit(static_cast<unsigned char>(line_[pos_])) ||
+            line_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(std::string{"expected number for "} + what);
+    try {
+      return std::stod(std::string{line_.substr(start, pos_ - start)});
+    } catch (const std::exception&) {
+      fail(std::string{"bad number for "} + what);
+    }
+  }
+  bool parse_bool(const char* what) {
+    if (line_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (line_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    fail(std::string{"expected true/false for "} + what);
+  }
+  std::string parse_string(const char* what) {
+    if (peek() != '"') fail(std::string{"expected string for "} + what);
+    ++pos_;
+    std::string out;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      char c = line_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= line_.size()) fail("unterminated escape");
+      const char esc = line_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > line_.size()) fail("truncated \\u escape");
+          unsigned v = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = line_[pos_++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') {
+              v |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              v |= static_cast<unsigned>(h - 'a' + 10);
+            } else {
+              fail("bad \\u escape digit");
+            }
+          }
+          if (v > 0xFF) fail("\\u escape beyond latin-1 in scan row");
+          out.push_back(static_cast<char>(v));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    if (pos_ >= line_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::string_view line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_scan_rows(std::ostream& out, const std::vector<ScanRow>& rows) {
+  std::string buf;
+  for (const ScanRow& row : rows) {
+    buf.clear();
+    buf += "{\"i\":";
+    buf += std::to_string(row.index);
+    buf += ",\"qname\":";
+    append_json_string(buf, row.qname);
+    buf += ",\"rcode\":";
+    append_json_string(buf, row.rcode);
+    buf += ",\"answers\":[";
+    for (std::size_t i = 0; i < row.answers.size(); ++i) {
+      if (i != 0) buf.push_back(',');
+      append_json_string(buf, row.answers[i]);
+    }
+    buf += "],\"chain\":";
+    buf += std::to_string(row.chain);
+    buf += ",\"sim_ms\":";
+    {
+      char num[32];
+      std::snprintf(num, sizeof num, "%.3f", row.sim_ms);
+      buf += num;
+    }
+    buf += ",\"upstream\":";
+    buf += std::to_string(row.upstream);
+    buf += ",\"cache_hit\":";
+    buf += row.cache_hit ? "true" : "false";
+    buf += "}\n";
+    out << buf;
+  }
+}
+
+std::vector<ScanRow> read_scan_rows(std::istream& in) {
+  std::vector<ScanRow> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    rows.push_back(RowParser{line, line_no}.parse());
+  }
+  return rows;
+}
+
+}  // namespace recwild::obs

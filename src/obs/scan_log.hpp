@@ -1,0 +1,50 @@
+/// \file
+/// \brief JSONL scan-result sink: one structured row per bulk-scan query.
+///
+/// The bulk scan driver (experiment::ScanDriver) emits ZDNS-style output:
+/// one JSON object per line, fixed key order, deterministic number
+/// formatting — so a fixed-seed scan serialises to byte-identical output
+/// at any shard count, and fixtures can be committed and diffed.
+///
+/// Like the rest of src/obs, this file is dependency-light on purpose
+/// (strings and streams only, no dns types): rcode and answers arrive
+/// already in presentation form.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace recwild::obs {
+
+/// One completed scan query. `sim_ms` is simulated latency (admission to
+/// completion) — host wall time never appears in a row, which is what
+/// keeps fixed-seed scan output reproducible; wall-clock throughput is
+/// reported once per run (scan.qps / ScanResult), not per row.
+struct ScanRow {
+  std::uint64_t index = 0;    ///< Global name index (stable across shards).
+  std::string qname;          ///< Queried name, presentation form.
+  std::string rcode;          ///< Final rcode ("NOERROR", "SERVFAIL", ...).
+  std::vector<std::string> answers;  ///< Answer payloads (TXT strings or
+                                     ///< rdata presentation), chain order.
+  std::uint32_t chain = 0;    ///< Records in the answer chain (CNAMEs incl).
+  double sim_ms = 0.0;        ///< Simulated resolution latency, ms.
+  std::uint32_t upstream = 0; ///< Upstream transmissions (0 = cache hit).
+  bool cache_hit = false;     ///< Answered without any upstream query.
+
+  bool operator==(const ScanRow&) const = default;
+};
+
+/// Writes one `{"i":...,"qname":...,...}` object per row, `\n`-terminated,
+/// keys in fixed order, sim_ms with exactly 3 decimals (microsecond
+/// precision): deterministic bytes for deterministic rows.
+void write_scan_rows(std::ostream& out, const std::vector<ScanRow>& rows);
+
+/// Parses write_scan_rows' format. Skips blank lines; throws
+/// std::runtime_error naming the 1-based line number on malformed input
+/// (unknown key, wrong type, trailing garbage) — the same discipline as
+/// obs::read_trace / authns::read_trace.
+[[nodiscard]] std::vector<ScanRow> read_scan_rows(std::istream& in);
+
+}  // namespace recwild::obs

@@ -44,8 +44,14 @@ struct RecursiveResolver::Job {
   bool done = false;
   dns::Name current_zone;
   std::vector<net::IpAddress> failed_servers;
-  /// Bounded-work safety net (ResolverConfig::max_resolution_time).
-  net::EventId deadline_event = 0;
+  /// Bounded-work safety net: key of the shared DeadlineBatch this job is
+  /// registered on (absolute expiry, microseconds) and the job's slot in
+  /// its member list, valid while in_deadline_batch.
+  std::int64_t deadline_key = 0;
+  std::size_t deadline_slot = 0;
+  bool in_deadline_batch = false;
+  /// Holds an admission slot (pipelined front door); finish() releases it.
+  bool admitted = false;
   /// Glueless-NS address fetches this job is parked on; stepped again when
   /// the last one lands (see maybe_fetch_ns_addresses).
   int pending_fetches = 0;
@@ -87,6 +93,7 @@ RecursiveResolver::RecursiveResolver(net::Network& network, net::NodeId node,
       &m.histogram(obs::names::kResolverUpstreamRttMs, 0.0, 1000.0, 100);
   obs_resolve_hist_ =
       &m.histogram(obs::names::kResolverResolveMs, 0.0, 5000.0, 100);
+  obs_inflight_ = &m.gauge(obs::names::kResolverInflight);
   infra_.attach_metrics(m);
   cache_.attach_metrics(m);
   selector_->attach_obs(trace_, &m, config_.name);
@@ -130,17 +137,162 @@ void RecursiveResolver::compact_qnames() {
 
 void RecursiveResolver::resolve(const dns::Question& q, ResolveCallback cb) {
   obs_client_queries_->add(1, network_.sim().now());
-  resolve_internal(q, std::move(cb), nullptr);
+  std::vector<ResolveCallback> cbs;
+  cbs.push_back(std::move(cb));
+  if (config_.max_inflight_resolutions <= 0) {
+    resolve_internal(q, std::move(cbs), nullptr, /*admitted=*/false);
+    return;
+  }
+  admit(q, std::move(cbs));
+}
+
+void RecursiveResolver::note_coalesced() {
+  if (obs_coalesced_ == nullptr) {
+    obs_coalesced_ =
+        &network_.sim().metrics().counter(obs::names::kResolverCoalesced);
+  }
+  obs_coalesced_->add(1, network_.sim().now());
+}
+
+void RecursiveResolver::admit(const dns::Question& q,
+                              std::vector<ResolveCallback> cbs) {
+  const net::SimTime now = network_.sim().now();
+  // Duplicate of an in-flight chain: join its waiter list — one upstream
+  // fetch tree answers everyone, and the join never consumes a slot.
+  if (const auto it = inflight_.find(PendingView{q.qname, q.qtype});
+      it != inflight_.end()) {
+    if (const auto job = it->second.lock(); job && !job->done) {
+      note_coalesced();
+      resolve_internal(q, std::move(cbs), nullptr, /*admitted=*/false);
+      return;
+    }
+  }
+  // A live cached RRset answers synchronously: bypass admission (queueing
+  // a pure cache hit behind upstream-bound work would be pointless).
+  // peek() is metrics/LRU-neutral and uses the SAME expiry boundary as
+  // get() (expires_at <= now is expired): a question arriving exactly at
+  // expiry must take the admitted upstream path, never this bypass — a
+  // disagreement would leak unadmitted upstream chains past the cap.
+  if (cache_.peek(q.qname, q.qtype, now) != nullptr) {
+    resolve_internal(q, std::move(cbs), nullptr, /*admitted=*/false);
+    return;
+  }
+  if (client_inflight_ >=
+      static_cast<std::size_t>(config_.max_inflight_resolutions)) {
+    // Duplicate of a queued question: coalesce onto the queue entry.
+    if (const auto it = queued_.find(PendingView{q.qname, q.qtype});
+        it != queued_.end()) {
+      note_coalesced();
+      for (auto& cb : cbs) it->second->callbacks.push_back(std::move(cb));
+      return;
+    }
+    if (config_.max_queued_resolutions > 0 &&
+        admission_queue_.size() >=
+            static_cast<std::size_t>(config_.max_queued_resolutions)) {
+      if (obs_admission_rejected_ == nullptr) {
+        obs_admission_rejected_ = &network_.sim().metrics().counter(
+            obs::names::kResolverAdmissionRejected);
+      }
+      obs_admission_rejected_->add(1, now);
+      const ResolveOutcome outcome;  // SERVFAIL, zero elapsed/upstream
+      for (auto& cb : cbs) cb(outcome);
+      return;
+    }
+    admission_queue_.push_back(QueuedResolution{q, std::move(cbs)});
+    queued_.insert_or_assign(PendingKey{q.qname, q.qtype},
+                             &admission_queue_.back());
+    if (obs_admission_queued_ == nullptr) {
+      obs_admission_queued_ = &network_.sim().metrics().counter(
+          obs::names::kResolverAdmissionQueued);
+    }
+    obs_admission_queued_->add(1, now);
+    return;
+  }
+  ++client_inflight_;
+  obs_inflight_->max_of(static_cast<double>(client_inflight_), now);
+  resolve_internal(q, std::move(cbs), nullptr, /*admitted=*/true);
+}
+
+void RecursiveResolver::drain_admission_queue() {
+  // Reentrancy guard: an admitted resolution that completes synchronously
+  // (negative cache, dead delegation) finishes inside resolve_internal and
+  // calls back into this function; the outer loop already owns the drain.
+  if (draining_ || admission_queue_.empty()) return;
+  draining_ = true;
+  while (!admission_queue_.empty() &&
+         client_inflight_ <
+             static_cast<std::size_t>(config_.max_inflight_resolutions)) {
+    QueuedResolution next = std::move(admission_queue_.front());
+    queued_.erase(
+        queued_.find(PendingView{next.question.qname, next.question.qtype}));
+    admission_queue_.pop_front();
+    // An identical chain may have started while this entry waited (internal
+    // NS fetches bypass admission); joining it consumes no slot.
+    bool join = false;
+    if (const auto it = inflight_.find(
+            PendingView{next.question.qname, next.question.qtype});
+        it != inflight_.end()) {
+      const auto job = it->second.lock();
+      join = job && !job->done;
+    }
+    if (!join) {
+      ++client_inflight_;
+      obs_inflight_->max_of(static_cast<double>(client_inflight_),
+                            network_.sim().now());
+    }
+    resolve_internal(next.question, std::move(next.callbacks), nullptr,
+                     /*admitted=*/!join);
+  }
+  draining_ = false;
+}
+
+void RecursiveResolver::arm_deadline(const std::shared_ptr<Job>& job) {
+  // Bounded work: no resolution outlives max_resolution_time, whatever a
+  // fault schedule does to the servers. Jobs expiring on the same
+  // microsecond share one simulation event (pipelined chains would
+  // otherwise schedule N identical deadlines); the batch's last finish()
+  // cancels it, so a batch of one costs exactly the per-job event it
+  // replaces. The strong member ref also anchors the job while it waits
+  // on child NS-address fetches, which hold only weak parents.
+  const net::SimTime expiry =
+      network_.sim().now() + config_.max_resolution_time;
+  const std::int64_t key = expiry.count_micros();
+  auto [it, created] = deadline_batches_.try_emplace(key);
+  DeadlineBatch& batch = it->second;
+  if (created) {
+    batch.event = network_.sim().at(
+        expiry, [this, key] { fire_deadline_batch(key); });
+  }
+  job->deadline_key = key;
+  job->deadline_slot = batch.jobs.size();
+  job->in_deadline_batch = true;
+  batch.jobs.push_back(job);
+  ++batch.live;
+}
+
+void RecursiveResolver::fire_deadline_batch(std::int64_t key) {
+  const auto it = deadline_batches_.find(key);
+  if (it == deadline_batches_.end()) return;
+  DeadlineBatch batch = std::move(it->second);
+  deadline_batches_.erase(it);
+  for (const auto& j : batch.jobs) {
+    if (!j || j->done) continue;
+    obs_deadline_expired_->add(1, network_.sim().now());
+    finish(j, dns::Rcode::ServFail);
+  }
+  // One cancel per batch, after the entry is gone (finish() skipped it):
+  // the same schedule/cancel bookkeeping as a normally-finished batch.
+  network_.sim().cancel(batch.event);
 }
 
 void RecursiveResolver::resolve_internal(
-    const dns::Question& q, ResolveCallback cb,
-    std::shared_ptr<std::uint32_t> fetch_budget) {
+    const dns::Question& q, std::vector<ResolveCallback> cbs,
+    std::shared_ptr<std::uint32_t> fetch_budget, bool admitted) {
   // Coalesce identical in-flight questions.
   if (const auto it = inflight_.find(PendingView{q.qname, q.qtype});
       it != inflight_.end()) {
     if (auto job = it->second.lock(); job && !job->done) {
-      job->callbacks.push_back(std::move(cb));
+      for (auto& cb : cbs) job->callbacks.push_back(std::move(cb));
       return;
     }
     inflight_.erase(it);
@@ -148,21 +300,12 @@ void RecursiveResolver::resolve_internal(
   auto job = std::make_shared<Job>();
   job->original = q;
   job->current_name = q.qname;
-  job->callbacks.push_back(std::move(cb));
+  job->callbacks = std::move(cbs);
   job->started_at = network_.sim().now();
   job->fetch_budget = std::move(fetch_budget);
+  job->admitted = admitted;
   inflight_.insert_or_assign(PendingKey{q.qname, q.qtype}, job);
-  // Bounded work: no resolution outlives max_resolution_time, whatever a
-  // fault schedule does to the servers. Cancelled in finish(); the weak
-  // capture keeps the deadline from extending the job's lifetime.
-  std::weak_ptr<Job> weak = job;
-  job->deadline_event =
-      network_.sim().after(config_.max_resolution_time, [this, weak] {
-        const auto j = weak.lock();
-        if (!j || j->done) return;
-        obs_deadline_expired_->add(1, network_.sim().now());
-        finish(j, dns::Rcode::ServFail);
-      });
+  arm_deadline(job);
   step(job);
 }
 
@@ -822,14 +965,17 @@ bool RecursiveResolver::maybe_fetch_ns_addresses(
                       target.to_string(), child_zone.to_string(), 0.0});
     }
     std::weak_ptr<Job> weak = job;
-    resolve_internal(
-        dns::Question{target, addr_type, dns::RRClass::IN},
-        [this, weak](const ResolveOutcome&) {
-          const auto j = weak.lock();
-          if (!j || j->done) return;
-          if (--j->pending_fetches == 0) step(j);
-        },
-        job->fetch_budget);
+    std::vector<ResolveCallback> fetch_cbs;
+    fetch_cbs.push_back([this, weak](const ResolveOutcome&) {
+      const auto j = weak.lock();
+      if (!j || j->done) return;
+      if (--j->pending_fetches == 0) step(j);
+    });
+    // Internal fetches bypass admission (admitted=false): gating them
+    // behind the client resolutions that spawned them would deadlock.
+    resolve_internal(dns::Question{target, addr_type, dns::RRClass::IN},
+                     std::move(fetch_cbs), job->fetch_budget,
+                     /*admitted=*/false);
   }
   return true;
 }
@@ -845,8 +991,26 @@ void RecursiveResolver::finish(const std::shared_ptr<Job>& job,
                                dns::Rcode rcode) {
   if (job->done) return;
   job->done = true;
-  network_.sim().cancel(job->deadline_event);
-  job->deadline_event = 0;
+  // Leave the deadline batch; the last member out cancels the event. A
+  // fired batch already erased its entry (and cancels once itself).
+  if (job->in_deadline_batch) {
+    job->in_deadline_batch = false;
+    if (const auto it = deadline_batches_.find(job->deadline_key);
+        it != deadline_batches_.end()) {
+      if (--it->second.live <= 0) {
+        network_.sim().cancel(it->second.event);
+        deadline_batches_.erase(it);
+      } else if (job->deadline_slot < it->second.jobs.size()) {
+        // Release the anchor so the finished job does not outlive its
+        // resolution just because batch-mates are still running.
+        it->second.jobs[job->deadline_slot].reset();
+      }
+    }
+  }
+  if (job->admitted) {
+    job->admitted = false;
+    --client_inflight_;
+  }
   const net::SimTime now = network_.sim().now();
   if (rcode == dns::Rcode::ServFail) {
     ++servfails_;
@@ -871,6 +1035,7 @@ void RecursiveResolver::finish(const std::shared_ptr<Job>& job,
   }
   for (auto& cb : job->callbacks) cb(outcome);
   job->callbacks.clear();
+  drain_admission_queue();
 }
 
 }  // namespace recwild::resolver

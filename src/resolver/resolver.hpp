@@ -11,6 +11,8 @@
 // Figure 1); its selection policy is drawn from the population mixture.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -83,6 +85,22 @@ struct ResolverConfig {
   /// zone's servers (NS queries for the next label) instead of the full
   /// query name. Off by default, like the resolvers of the paper's era.
   bool qname_minimization = false;
+
+  /// Pipelined front door (ZDNS-style bulk resolution): client resolutions
+  /// admitted in flight at once. Above the cap, new questions wait in a
+  /// FIFO admission queue and are started as slots free up; duplicates of
+  /// an in-flight or queued (qname, qtype) coalesce onto its waiter list
+  /// and never consume a slot, and questions a live cached RRset can answer
+  /// bypass admission entirely (they complete synchronously from cache).
+  /// Internal NS-address fetches also bypass admission — gating them behind
+  /// the very resolutions that spawned them would deadlock. Queue wait is
+  /// excluded from ResolveOutcome::elapsed (the clock starts at admission).
+  /// 0 = unlimited, no admission control (the default).
+  int max_inflight_resolutions = 0;
+  /// Admission-queue depth bound; at the cap new resolutions fail fast
+  /// with SERVFAIL (resolver.admission.rejected). 0 = unbounded queue.
+  /// Only meaningful with max_inflight_resolutions > 0.
+  int max_queued_resolutions = 0;
 };
 
 /// Final result delivered to the caller of resolve().
@@ -117,6 +135,16 @@ class RecursiveResolver {
   // Fetch-limit counters (0 when the knobs are off).
   [[nodiscard]] std::uint64_t ns_fetches_spawned() const noexcept {
     return ns_fetches_spawned_;
+  }
+
+  /// Admitted client resolutions currently in flight (0 unless the
+  /// pipelined front door is on; joins and internal fetches don't count).
+  [[nodiscard]] std::size_t inflight_resolutions() const noexcept {
+    return client_inflight_;
+  }
+  /// Client resolutions waiting in the admission queue.
+  [[nodiscard]] std::size_t queued_resolutions() const noexcept {
+    return admission_queue_.size();
   }
 
   [[nodiscard]] net::IpAddress address() const noexcept { return address_; }
@@ -160,8 +188,29 @@ class RecursiveResolver {
   /// resolve() plus a shared NS-fetch budget carried into the new job, so
   /// glueless chains nested under an NXNS-style referral spend their
   /// parent's max_fetches_per_resolution allowance, not a fresh one.
-  void resolve_internal(const dns::Question& q, ResolveCallback cb,
-                        std::shared_ptr<std::uint32_t> fetch_budget);
+  /// Takes the job's whole waiter list up front: an admission-queue entry
+  /// drains with every coalesced callback it accumulated, and a chain that
+  /// completes synchronously (cache hit) must answer all of them.
+  /// `admitted` marks a resolution holding an admission slot — finish()
+  /// releases it and drains the queue.
+  void resolve_internal(const dns::Question& q,
+                        std::vector<ResolveCallback> cbs,
+                        std::shared_ptr<std::uint32_t> fetch_budget,
+                        bool admitted);
+  /// The pipelined front door: join / cache-bypass / start / queue /
+  /// reject, in that order (see ResolverConfig::max_inflight_resolutions).
+  void admit(const dns::Question& q, std::vector<ResolveCallback> cbs);
+  /// Starts queued resolutions while slots are free (called from finish;
+  /// reentrancy-guarded, so synchronous completions don't recurse).
+  void drain_admission_queue();
+  /// Registers `job` on the deadline batch expiring at started_at +
+  /// max_resolution_time. Jobs starting at the same instant share one
+  /// simulation event, so N pipelined chains don't multiply queue churn.
+  void arm_deadline(const std::shared_ptr<Job>& job);
+  void fire_deadline_batch(std::int64_t key);
+  /// Counts one (qname, qtype) chain coalescing onto an existing in-flight
+  /// or queued resolution (lazily registered: resolver.coalesced).
+  void note_coalesced();
 
   void on_client_datagram(const net::Datagram& dgram);
   void on_upstream_datagram(const net::Datagram& dgram);
@@ -296,6 +345,37 @@ class RecursiveResolver {
                      PendingKeyEq>
       inflight_;
 
+  // Pipelined front door (max_inflight_resolutions > 0). The queue is a
+  // deque so queued_ can hold stable pointers into it: push_back/pop_front
+  // never move other elements. queued_ coalesces duplicates of a waiting
+  // question onto its callback list instead of queueing it twice.
+  struct QueuedResolution {
+    dns::Question question;
+    std::vector<ResolveCallback> callbacks;
+  };
+  std::deque<QueuedResolution> admission_queue_;
+  std::unordered_map<PendingKey, QueuedResolution*, PendingKeyHash,
+                     PendingKeyEq>
+      queued_;
+  /// Admitted client resolutions in flight (slots held).
+  std::size_t client_inflight_ = 0;
+  bool draining_ = false;
+
+  /// Batched bounded-work deadlines: every job whose deadline lands on the
+  /// same microsecond shares one simulation event, keyed by the absolute
+  /// expiry time. `live` counts unfinished members; the last finish()
+  /// cancels the event, so a batch of one schedules and cancels exactly
+  /// like the per-job deadline it replaces. Members are STRONG refs — the
+  /// batch is what keeps a job alive while it waits on child NS-address
+  /// fetches (which hold only weak parents); finish() resets the member's
+  /// slot so completed jobs never linger.
+  struct DeadlineBatch {
+    net::EventId event = 0;
+    std::vector<std::shared_ptr<Job>> jobs;
+    int live = 0;
+  };
+  std::unordered_map<std::int64_t, DeadlineBatch> deadline_batches_;
+
   std::uint64_t client_queries_ = 0;
   std::uint64_t upstream_sent_ = 0;
   std::uint64_t upstream_timeouts_ = 0;
@@ -324,6 +404,16 @@ class RecursiveResolver {
   obs::Counter* obs_fetch_spawned_ = nullptr;
   obs::Counter* obs_fetch_resolution_capped_ = nullptr;
   obs::Counter* obs_fetch_zone_capped_ = nullptr;
+  /// High-water mark of admitted in-flight client resolutions (gauge:
+  /// point-in-time level, excluded from shard merges; eager registration
+  /// is fixture-safe because committed snapshots are MergeSafe).
+  obs::Gauge* obs_inflight_ = nullptr;
+  // Pipelining counters, resolved lazily (the obs_formerr_ pattern):
+  // admission is off in every committed fixture world, and coalescing is
+  // workload-dependent — always-zero eager rows would invalidate fixtures.
+  obs::Counter* obs_coalesced_ = nullptr;
+  obs::Counter* obs_admission_queued_ = nullptr;
+  obs::Counter* obs_admission_rejected_ = nullptr;
 };
 
 }  // namespace recwild::resolver

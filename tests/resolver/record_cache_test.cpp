@@ -54,6 +54,35 @@ TEST(RecordCache, ExpiresAtTtl) {
   EXPECT_EQ(cache.size(), 0u);  // expired entry evicted on access
 }
 
+TEST(RecordCache, PeekAndGetAgreeOnTheExpiryBoundary) {
+  // Regression guard for the resolver's pipelined front door: peek is the
+  // admission-bypass probe and get is the resolution path. They must share
+  // the `expires_at <= now` boundary — if peek called an entry live one
+  // instant longer than get, a waiter arriving exactly at expiry would
+  // bypass admission, then miss in get and run upstream without ever
+  // holding an inflight slot.
+  RecordCache cache;
+  cache.put(a_set("x.nl", 300), at_s(0));
+  const dns::Name name = dns::Name::parse("x.nl");
+  EXPECT_NE(cache.peek(name, dns::RRType::A, at_s(299)), nullptr);
+  EXPECT_TRUE(cache.get(name, dns::RRType::A, at_s(299)).has_value());
+  // peek first (metrics/LRU-neutral, so it cannot evict), then get.
+  cache.put(a_set("x.nl", 300), at_s(0));
+  EXPECT_EQ(cache.peek(name, dns::RRType::A, at_s(300)), nullptr);
+  EXPECT_FALSE(cache.get(name, dns::RRType::A, at_s(300)).has_value());
+}
+
+TEST(RecordCache, PeekIsMetricsAndLruNeutral) {
+  RecordCache cache;
+  cache.put(a_set("x.nl", 300), at_s(0));
+  const auto hits = cache.hits();
+  const auto misses = cache.misses();
+  (void)cache.peek(dns::Name::parse("x.nl"), dns::RRType::A, at_s(1));
+  (void)cache.peek(dns::Name::parse("absent.nl"), dns::RRType::A, at_s(1));
+  EXPECT_EQ(cache.hits(), hits);
+  EXPECT_EQ(cache.misses(), misses);
+}
+
 TEST(RecordCache, TtlClampedToMax) {
   RecordCacheConfig cfg;
   cfg.max_ttl = 100;
